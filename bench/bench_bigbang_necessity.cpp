@@ -1,0 +1,104 @@
+// EXP-S52: reproduces the paper's §5.2 design exploration — the necessity of
+// the big-bang mechanism — by the paper's own method: bounded model checking
+// for the earliest clique scenario under a faulty guardian.
+//
+// Property: Lemma-1 agreement (no two correct ACTIVE nodes with different
+// slot positions) with one faulty hub. Without the big-bang, nodes can
+// synchronize directly on one half of a cold-start collision that the
+// faulty guardian relayed selectively — the classical clique — at a shallow
+// depth. With the big-bang armed, the immediate collision-half clique is
+// eliminated and the earliest residual clique (the class the paper excludes
+// by its power-on assumption, §5.2 last paragraph) sits strictly deeper.
+//
+// We report the earliest violation depth found by bounded search (paper:
+// the SAL bounded model checker found the 5-node violation at depth 13 in
+// 93 s vs 127 s for the symbolic checker), plus the time to find it with
+// bounded vs unbounded search.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/verifier.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+tt::tta::ClusterConfig clique_config(int n, bool big_bang) {
+  tt::tta::ClusterConfig cfg;
+  cfg.n = n;
+  cfg.faulty_hub = 0;
+  cfg.big_bang = big_bang;
+  cfg.init_window = 3;
+  cfg.hub_init_window = 1;  // guardians before nodes
+  return cfg;
+}
+
+/// Depth of the shortest agreement violation (BFS gives minimal traces).
+int earliest_clique_depth(int n, bool big_bang, double* seconds = nullptr) {
+  auto r = tt::core::verify(clique_config(n, big_bang), tt::core::Lemma::kSafety);
+  if (seconds != nullptr) *seconds = r.stats.seconds;
+  if (r.holds) return -1;
+  return static_cast<int>(r.trace.size()) - 1;
+}
+
+void BM_EarliestClique(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool big_bang = state.range(1) != 0;
+  for (auto _ : state) {
+    const int depth = earliest_clique_depth(n, big_bang);
+    state.counters["depth"] = depth;
+    benchmark::DoNotOptimize(depth);
+  }
+}
+BENCHMARK(BM_EarliestClique)
+    ->ArgsProduct({{3, 4}, {0, 1}})
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.01);
+
+void BM_BoundedVsFull(benchmark::State& state) {
+  // The paper's §5.2 tooling comparison: a depth-bounded search that stops
+  // at the known violation depth vs the full (unbounded) search.
+  const int n = static_cast<int>(state.range(0));
+  const bool bounded = state.range(1) != 0;
+  const auto cfg = clique_config(n, /*big_bang=*/false);
+  tt::mc::SearchLimits limits;
+  if (bounded) limits.max_depth = earliest_clique_depth(n, false) + 1;
+  for (auto _ : state) {
+    auto r = tt::core::verify(cfg, tt::core::Lemma::kSafety, limits);
+    if (r.holds) state.SkipWithError("expected a clique counterexample");
+    benchmark::DoNotOptimize(r.trace.size());
+  }
+}
+BENCHMARK(BM_BoundedVsFull)
+    ->ArgsProduct({{3, 4}, {0, 1}})
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.01);
+
+void print_table() {
+  std::printf("\n=== §5.2: big-bang necessity (faulty guardian, guardians-first) ===\n");
+  tt::TextTable t({"n", "big-bang", "earliest clique depth", "search s"});
+  for (int n = 3; n <= 5; ++n) {
+    for (bool bb : {false, true}) {
+      double secs = 0;
+      const int depth = earliest_clique_depth(n, bb, &secs);
+      t.add_row({std::to_string(n), bb ? "on" : "off",
+                 depth < 0 ? "none" : std::to_string(depth), tt::strfmt("%.2f", secs)});
+    }
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "(shape: without the big-bang the clique appears strictly earlier — nodes\n"
+      " synchronize directly on a selectively-relayed collision half. The paper\n"
+      " found its 5-node violation at depth 13 with the SAT-based bounded model\n"
+      " checker. The residual deep cliques with big-bang ON are the class the\n"
+      " paper excludes by the guardians-first power-on assumption, §5.2.)\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_table();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces the paper's §5.2 design-exploration result: the big-bang
+// mechanism is *necessary*. Under a faulty guardian, nodes can synchronize
+// on one half of a cold-start collision that the guardian relayed
+// selectively and leave the correct guardian behind — the classical clique.
+// Without the big-bang this happens strictly earlier (the very first
+// collision suffices); the mechanism eliminates that immediate clique, and
+// what remains is the deeper class the paper excludes by its power-on
+// assumption (§5.2, last paragraph).
+//
+// Like the paper, we find the violations with bounded (shortest-
+// counterexample) search and print the clique trace.
+//
+//   ./bigbang_counterexample [n]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/verifier.hpp"
+#include "tta/trace_printer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tt;
+
+  tta::ClusterConfig cfg;
+  cfg.n = argc > 1 ? std::atoi(argv[1]) : 3;
+  cfg.faulty_hub = 0;  // guardian of channel 0 is the adversary
+  cfg.init_window = 3;
+  cfg.hub_init_window = 1;  // guardians power up before the nodes (§5.2)
+
+  std::printf("lemma: agreement among correct ACTIVE nodes, one faulty guardian\n\n");
+
+  cfg.big_bang = false;
+  auto without_bb = core::verify(cfg, core::Lemma::kSafety);
+  const int depth_off =
+      without_bb.holds ? -1 : static_cast<int>(without_bb.trace.size()) - 1;
+
+  cfg.big_bang = true;
+  auto with_bb = core::verify(cfg, core::Lemma::kSafety);
+  const int depth_on = with_bb.holds ? -1 : static_cast<int>(with_bb.trace.size()) - 1;
+
+  std::printf("big-bang OFF: earliest clique at depth %d (%zu states, %.2fs)\n", depth_off,
+              without_bb.stats.states, without_bb.stats.seconds);
+  std::printf("big-bang ON : earliest clique at depth %d (%zu states, %.2fs)\n\n", depth_on,
+              with_bb.stats.states, with_bb.stats.seconds);
+
+  if (!without_bb.trace.empty()) {
+    cfg.big_bang = false;
+    const tta::Cluster cluster(core::prepare_config(cfg, core::Lemma::kSafety));
+    std::printf("clique counterexample without the big-bang (%d steps):\n%s", depth_off,
+                tta::describe_trace(cluster, without_bb.trace).c_str());
+    std::printf(
+        "\nreading guide: nodes synchronize on one half of a cs collision that\n"
+        "the faulty guardian relayed selectively; the correct guardian saw the\n"
+        "collision, went to SILENCE, and is left behind — the §5.2 clique.\n");
+  }
+  // Success of the experiment = the mechanism matters: the clique without
+  // the big-bang appears strictly earlier than any residual one with it.
+  const bool reproduced = depth_off >= 0 && (depth_on < 0 || depth_on > depth_off);
+  std::printf("\nbig-bang pushes the earliest clique deeper: %s\n",
+              reproduced ? "yes (necessity reproduced)" : "NO");
+  return reproduced ? 0 : 1;
+}

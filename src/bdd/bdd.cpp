@@ -1,0 +1,170 @@
+#include "bdd/bdd.hpp"
+
+#include <cmath>
+
+namespace tt::bdd {
+
+namespace {
+
+constexpr std::uint64_t pack_triple(std::uint32_t a, std::uint32_t b, std::uint32_t c) {
+  // 21 bits per component is plenty below the package's practical node limit.
+  TT_ASSERT(a < (1u << 21) && b < (1u << 21) && c < (1u << 21));
+  return (static_cast<std::uint64_t>(a) << 42) | (static_cast<std::uint64_t>(b) << 21) | c;
+}
+
+}  // namespace
+
+Manager::Manager(int num_vars) : num_vars_(num_vars) {
+  TT_REQUIRE(num_vars >= 1 && num_vars < (1 << 20), "variable count out of range");
+  // Terminals: index 0 = false, 1 = true. Their `var` is a sentinel beyond
+  // every real variable so top_var comparisons are uniform.
+  nodes_.push_back({num_vars_, kFalse, kFalse});
+  nodes_.push_back({num_vars_, kTrue, kTrue});
+}
+
+NodeId Manager::make(int var, NodeId lo, NodeId hi) {
+  if (lo == hi) return lo;  // reduction rule
+  const std::uint64_t key = pack_triple(static_cast<std::uint32_t>(var), lo, hi);
+  if (const auto it = unique_.find(key); it != unique_.end()) return it->second;
+  nodes_.push_back({var, lo, hi});
+  const auto id = static_cast<NodeId>(nodes_.size() - 1);
+  TT_REQUIRE(id < (1u << 21), "BDD node limit exceeded");
+  unique_.emplace(key, id);
+  return id;
+}
+
+NodeId Manager::var(int v) {
+  TT_ASSERT(v >= 0 && v < num_vars_);
+  return make(v, kFalse, kTrue);
+}
+
+NodeId Manager::nvar(int v) {
+  TT_ASSERT(v >= 0 && v < num_vars_);
+  return make(v, kTrue, kFalse);
+}
+
+int Manager::top_var(NodeId f, NodeId g, NodeId h) const {
+  int v = nodes_[f].var;
+  v = std::min(v, nodes_[g].var);
+  v = std::min(v, nodes_[h].var);
+  return v;
+}
+
+NodeId Manager::cofactor(NodeId f, int var, bool positive) const {
+  const Node& n = nodes_[f];
+  if (n.var != var) return f;  // f does not depend on var at this level
+  return positive ? n.hi : n.lo;
+}
+
+NodeId Manager::ite(NodeId f, NodeId g, NodeId h) {
+  // Terminal cases.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+
+  const std::uint64_t key = pack_triple(f, g, h);
+  if (const auto it = ite_cache_.find(key); it != ite_cache_.end()) return it->second;
+
+  const int v = top_var(f, g, h);
+  const NodeId lo = ite(cofactor(f, v, false), cofactor(g, v, false), cofactor(h, v, false));
+  const NodeId hi = ite(cofactor(f, v, true), cofactor(g, v, true), cofactor(h, v, true));
+  const NodeId out = make(v, lo, hi);
+  ite_cache_.emplace(key, out);
+  return out;
+}
+
+NodeId Manager::exists(NodeId f, const std::vector<std::uint8_t>& quantify) {
+  TT_ASSERT(quantify.size() == static_cast<std::size_t>(num_vars_));
+  op_cache_.clear();
+  // Recursive existential quantification with an operation-local cache.
+  struct Rec {
+    Manager& m;
+    const std::vector<std::uint8_t>& q;
+    NodeId operator()(NodeId f) {
+      if (f == kFalse || f == kTrue) return f;
+      const std::uint64_t key = pack_triple(f, 0, 0);
+      if (const auto it = m.op_cache_.find(key); it != m.op_cache_.end()) return it->second;
+      const Node n = m.nodes_[f];
+      const NodeId lo = (*this)(n.lo);
+      const NodeId hi = (*this)(n.hi);
+      const NodeId out = q[static_cast<std::size_t>(n.var)] != 0
+                             ? m.lor(lo, hi)
+                             : m.make(n.var, lo, hi);
+      m.op_cache_.emplace(key, out);
+      return out;
+    }
+  };
+  return Rec{*this, quantify}(f);
+}
+
+NodeId Manager::rename(NodeId f, const std::vector<int>& map) {
+  TT_ASSERT(map.size() == static_cast<std::size_t>(num_vars_));
+  op_cache_.clear();
+  struct Rec {
+    Manager& m;
+    const std::vector<int>& map;
+    NodeId operator()(NodeId f) {
+      if (f == kFalse || f == kTrue) return f;
+      const std::uint64_t key = pack_triple(f, 1, 0);
+      if (const auto it = m.op_cache_.find(key); it != m.op_cache_.end()) return it->second;
+      const Node n = m.nodes_[f];
+      const NodeId out = m.make(map[static_cast<std::size_t>(n.var)], (*this)(n.lo),
+                                (*this)(n.hi));
+      m.op_cache_.emplace(key, out);
+      return out;
+    }
+  };
+  return Rec{*this, map}(f);
+}
+
+double Manager::sat_count(NodeId f) {
+  count_cache_.clear();
+  struct Rec {
+    Manager& m;
+    double operator()(NodeId f) {
+      if (f == kFalse) return 0.0;
+      if (f == kTrue) return 1.0;
+      if (const auto it = m.count_cache_.find(f); it != m.count_cache_.end()) {
+        return it->second;
+      }
+      const Node& n = m.nodes_[f];
+      // Scale each branch by the variables skipped between the levels.
+      const double lo = (*this)(n.lo) *
+                        std::pow(2.0, m.nodes_[n.lo].var - n.var - 1);
+      const double hi = (*this)(n.hi) *
+                        std::pow(2.0, m.nodes_[n.hi].var - n.var - 1);
+      const double out = lo + hi;
+      m.count_cache_.emplace(f, out);
+      return out;
+    }
+  };
+  // Top-level scaling for variables above the root.
+  return Rec{*this}(f) * std::pow(2.0, nodes_[f].var);
+}
+
+bool Manager::eval(NodeId f, const std::vector<bool>& assignment) const {
+  TT_ASSERT(assignment.size() == static_cast<std::size_t>(num_vars_));
+  while (f != kFalse && f != kTrue) {
+    const Node& n = nodes_[f];
+    f = assignment[static_cast<std::size_t>(n.var)] ? n.hi : n.lo;
+  }
+  return f == kTrue;
+}
+
+std::vector<bool> Manager::any_sat(NodeId f) const {
+  TT_REQUIRE(f != kFalse, "any_sat of the false BDD");
+  std::vector<bool> out(static_cast<std::size_t>(num_vars_), false);
+  while (f != kTrue) {
+    const Node& n = nodes_[f];
+    if (n.hi != kFalse) {
+      out[static_cast<std::size_t>(n.var)] = true;
+      f = n.hi;
+    } else {
+      f = n.lo;
+    }
+  }
+  return out;
+}
+
+}  // namespace tt::bdd

@@ -1,0 +1,97 @@
+// A reduced ordered binary decision diagram (ROBDD) package — the substrate
+// behind the symbolic model checker (the paper's workhorse: "the symbolic
+// model checker of SAL is able to examine these in a few tens of minutes").
+//
+// Classic Bryant construction: a unique table interning (var, lo, hi)
+// triples, an ITE-based apply with a computed cache, existential
+// quantification over a variable mask, and model counting. No complement
+// edges and no dynamic reordering — the mini-SAL models are small enough
+// that clarity wins.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace tt::bdd {
+
+using NodeId = std::uint32_t;
+
+constexpr NodeId kFalse = 0;
+constexpr NodeId kTrue = 1;
+
+class Manager {
+ public:
+  /// `num_vars` is the total variable count; variable 0 is the topmost.
+  explicit Manager(int num_vars);
+
+  [[nodiscard]] int num_vars() const noexcept { return num_vars_; }
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  /// The BDD of a single variable / its negation.
+  [[nodiscard]] NodeId var(int v);
+  [[nodiscard]] NodeId nvar(int v);
+
+  [[nodiscard]] NodeId ite(NodeId f, NodeId g, NodeId h);
+  [[nodiscard]] NodeId land(NodeId f, NodeId g) { return ite(f, g, kFalse); }
+  [[nodiscard]] NodeId lor(NodeId f, NodeId g) { return ite(f, kTrue, g); }
+  [[nodiscard]] NodeId lnot(NodeId f) { return ite(f, kFalse, kTrue); }
+  [[nodiscard]] NodeId lxor(NodeId f, NodeId g) { return ite(f, lnot(g), g); }
+
+  /// Existentially quantifies every variable v with quantify[v] != 0.
+  [[nodiscard]] NodeId exists(NodeId f, const std::vector<std::uint8_t>& quantify);
+
+  /// Relational product: exists(quantify, f & g). (Computed as AND followed
+  /// by quantification; adequate at mini-SAL scale.)
+  [[nodiscard]] NodeId and_exists(NodeId f, NodeId g,
+                                  const std::vector<std::uint8_t>& quantify) {
+    return exists(land(f, g), quantify);
+  }
+
+  /// Rebuilds `f` with every variable v replaced by map[v]. The mapping must
+  /// be strictly monotone on the variables occurring in f (it preserves the
+  /// order), which holds for the next->current renaming used by symbolic
+  /// reachability (2i+1 -> 2i).
+  [[nodiscard]] NodeId rename(NodeId f, const std::vector<int>& map);
+
+  /// Number of satisfying assignments over all `num_vars` variables.
+  [[nodiscard]] double sat_count(NodeId f);
+
+  /// Evaluates f under a full assignment (one bool per variable).
+  [[nodiscard]] bool eval(NodeId f, const std::vector<bool>& assignment) const;
+
+  /// Extracts one satisfying assignment (f must not be kFalse); unassigned
+  /// variables default to false.
+  [[nodiscard]] std::vector<bool> any_sat(NodeId f) const;
+
+ private:
+  struct Node {
+    int var;
+    NodeId lo;
+    NodeId hi;
+  };
+  struct TripleHash {
+    std::size_t operator()(const std::uint64_t& k) const noexcept {
+      std::uint64_t x = k;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      return static_cast<std::size_t>(x ^ (x >> 31));
+    }
+  };
+
+  [[nodiscard]] NodeId make(int var, NodeId lo, NodeId hi);
+  [[nodiscard]] int top_var(NodeId f, NodeId g, NodeId h) const;
+  [[nodiscard]] NodeId cofactor(NodeId f, int var, bool positive) const;
+
+  int num_vars_;
+  std::vector<Node> nodes_;
+  std::unordered_map<std::uint64_t, NodeId, TripleHash> unique_;
+  std::unordered_map<std::uint64_t, NodeId, TripleHash> ite_cache_;
+  // Per-operation scratch caches (cleared at each public call).
+  std::unordered_map<std::uint64_t, NodeId, TripleHash> op_cache_;
+  std::unordered_map<NodeId, double> count_cache_;
+};
+
+}  // namespace tt::bdd

@@ -1,0 +1,39 @@
+// SAT-based bounded model checking over kernel::System — the rebuild of the
+// paper's "bounded (using a SAT solver)" SAL engine (§3, §5.2).
+//
+// Encoding: one-hot per finite-domain variable and time frame (domains are
+// small, so one-hot beats bit-blasting: comparisons become single literals
+// and modular increments become per-value implications). Each choice group
+// gets exactly-one selector variables per frame; a selector implies its
+// command's guard at frame t and its assignments at frame t+1; unassigned
+// variables are framed. Integer expressions are encoded through the
+// "expr == value" recursion, boolean ones through Tseitin definitions.
+//
+// The check iterates depths 0, 1, 2, ...: at depth k the property must be
+// violated in frame k. Because shallower depths were already refuted, the
+// first SAT answer yields a minimal-length counterexample — mirroring how
+// the paper "explores to increasing depths with a bounded model checker".
+#pragma once
+
+#include <vector>
+
+#include "kernel/system.hpp"
+#include "sat/solver.hpp"
+
+namespace tt::bmc {
+
+struct BmcResult {
+  bool violation_found = false;
+  int depth = -1;  ///< frame of the violation (trace length - 1)
+  std::vector<std::vector<int>> trace;  ///< valuations, frame 0 .. depth
+  std::uint64_t total_conflicts = 0;
+  std::uint64_t total_clauses = 0;
+  double seconds = 0.0;
+};
+
+/// Checks the invariant G(property) of `system` up to `max_depth` frames.
+/// `property` is a boolean expression in the system's pool.
+[[nodiscard]] BmcResult check_invariant_bounded(const kernel::System& system,
+                                                kernel::ExprId property, int max_depth);
+
+}  // namespace tt::bmc

@@ -1,0 +1,29 @@
+#include "core/scenario_math.hpp"
+
+#include "support/assert.hpp"
+
+namespace tt::core {
+
+ScenarioCounts count_scenarios(int n, int delta_init, int delta_failure, int wcsup) {
+  TT_REQUIRE(n >= 1 && delta_init >= 1 && delta_failure >= 1 && wcsup >= 1,
+             "scenario parameters must be positive");
+  ScenarioCounts out;
+  out.n = n;
+  out.delta_init = delta_init;
+  out.delta_failure = delta_failure;
+  out.wcsup = wcsup;
+  out.startup_scenarios =
+      BigUint::pow(BigUint(static_cast<std::uint64_t>(delta_init)),
+                   static_cast<unsigned>(n + 1));
+  const BigUint per_slot =
+      BigUint(static_cast<std::uint64_t>(delta_failure)) *
+      BigUint(static_cast<std::uint64_t>(delta_failure));
+  out.fault_scenarios = BigUint::pow(per_slot, static_cast<unsigned>(wcsup));
+  return out;
+}
+
+ScenarioCounts paper_scenarios(int n) {
+  return count_scenarios(n, paper_delta_init(n), 6, paper_wcsup_slots(n));
+}
+
+}  // namespace tt::core

@@ -1,0 +1,42 @@
+// Exact evaluation of the paper's scenario-count formulas (§5.4, Fig. 5).
+//
+//   |S_sup|  = (δ_init)^(n+1)        startup-delay scenarios: n nodes plus
+//                                    one delayed guardian, each free to wake
+//                                    at any of δ_init instants
+//   |S_f.n.| = ((δ_failure)^2)^wcsup  fault scenarios of one faulty node over
+//                                    a worst-case startup window: per slot,
+//                                    δ_failure choices on each of 2 channels
+//
+// δ_failure in the formula is the *number of output kinds* at the configured
+// fault degree (the paper uses 6 at degree 6). wcsup is the worst-case
+// startup time in slots (paper: 7n - 5).
+#pragma once
+
+#include "support/biguint.hpp"
+
+namespace tt::core {
+
+struct ScenarioCounts {
+  int n = 0;
+  int delta_init = 0;    ///< δ_init in slots
+  int delta_failure = 0; ///< per-channel fault choices
+  int wcsup = 0;         ///< worst-case startup time in slots
+  BigUint startup_scenarios;  ///< |S_sup|
+  BigUint fault_scenarios;    ///< |S_f.n.|
+};
+
+/// Paper's closed-form worst-case startup time: w_sup = 7*round - 5*slot,
+/// in unit slots = 7n - 5 (Fig. 5 lists 16 / 23 / 30 for n = 3 / 4 / 5).
+[[nodiscard]] constexpr int paper_wcsup_slots(int n) noexcept { return 7 * n - 5; }
+
+/// Paper's δ_init: 8 TDMA rounds (Fig. 5 lists 24 / 32 / 40 slots).
+[[nodiscard]] constexpr int paper_delta_init(int n) noexcept { return 8 * n; }
+
+/// Evaluates both formulas exactly.
+[[nodiscard]] ScenarioCounts count_scenarios(int n, int delta_init, int delta_failure,
+                                             int wcsup);
+
+/// Convenience: the paper's own parameter choices for cluster size n.
+[[nodiscard]] ScenarioCounts paper_scenarios(int n);
+
+}  // namespace tt::core

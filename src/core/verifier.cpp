@@ -1,0 +1,78 @@
+#include "core/verifier.hpp"
+
+#include "mc/liveness.hpp"
+#include "mc/reachability.hpp"
+#include "support/assert.hpp"
+#include "tta/properties.hpp"
+
+namespace tt::core {
+
+tta::ClusterConfig prepare_config(tta::ClusterConfig cfg, Lemma lemma) {
+  switch (lemma) {
+    case Lemma::kSafety:
+    case Lemma::kLiveness:
+    case Lemma::kHubAgreement:
+    case Lemma::kReintegration:
+      // No startup_time tracking: a smaller state vector, as in the paper's
+      // corresponding runs.
+      cfg.timeliness_bound = 0;
+      break;
+    case Lemma::kTimeliness:
+      TT_REQUIRE(cfg.timeliness_bound > 0, "timeliness needs a positive bound");
+      cfg.timeliness_target = tta::TimelinessTarget::kFirstCorrectActive;
+      break;
+    case Lemma::kSafety2:
+      TT_REQUIRE(cfg.timeliness_bound > 0, "safety_2 needs a positive bound");
+      TT_REQUIRE(cfg.faulty_hub != tta::ClusterConfig::kNone,
+                 "safety_2 is the faulty-hub lemma");
+      cfg.timeliness_target = tta::TimelinessTarget::kCorrectHubSynced;
+      break;
+  }
+  return cfg;
+}
+
+VerificationResult verify(const tta::ClusterConfig& raw_cfg, Lemma lemma,
+                          const mc::SearchLimits& limits) {
+  const tta::ClusterConfig cfg = prepare_config(raw_cfg, lemma);
+  const tta::Cluster cluster(cfg);
+  VerificationResult out;
+
+  if (lemma == Lemma::kLiveness || lemma == Lemma::kReintegration) {
+    auto goal = [&](const tta::Cluster::State& s) {
+      return tta::all_correct_active(cfg, cluster.unpack(s));
+    };
+    auto r = lemma == Lemma::kLiveness
+                 ? mc::check_eventually(cluster, goal, limits)
+                 : mc::check_always_eventually(cluster, goal, limits);
+    out.holds = r.verdict == mc::LivenessVerdict::kHolds;
+    out.exhausted = r.verdict != mc::LivenessVerdict::kLimit;
+    out.stats = r.stats;
+    out.trace = std::move(r.trace);
+    out.loop_start = r.loop_start;
+    out.verdict_text = to_string(r.verdict);
+    return out;
+  }
+
+  auto invariant = [&](const tta::Cluster::State& s) {
+    const tta::ClusterState c = cluster.unpack(s);
+    switch (lemma) {
+      case Lemma::kSafety: return tta::holds_safety(cfg, c);
+      case Lemma::kTimeliness:
+      case Lemma::kSafety2: return tta::holds_timeliness(cfg, c);
+      case Lemma::kHubAgreement: return tta::holds_hub_agreement(cfg, c);
+      case Lemma::kLiveness:
+      case Lemma::kReintegration: break;
+    }
+    TT_ASSERT(false && "unreachable");
+    return true;
+  };
+  auto r = mc::check_invariant(cluster, invariant, limits);
+  out.holds = r.verdict == mc::Verdict::kHolds;
+  out.exhausted = r.verdict != mc::Verdict::kLimit;
+  out.stats = r.stats;
+  out.trace = std::move(r.trace);
+  out.verdict_text = to_string(r.verdict);
+  return out;
+}
+
+}  // namespace tt::core

@@ -1,0 +1,55 @@
+// The exhaustive-fault-simulation facade: one call = one model-checking run
+// of one lemma against one cluster configuration, mirroring how the paper's
+// experiments are organized (a lemma x configuration grid, Figs. 4 and 6).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mc/run_stats.hpp"
+#include "tta/cluster.hpp"
+#include "tta/config.hpp"
+
+namespace tt::core {
+
+enum class Lemma {
+  kSafety,      ///< Lemma 1: agreement among active correct nodes (invariant)
+  kLiveness,    ///< Lemma 2: all correct nodes eventually active (F-property)
+  kTimeliness,  ///< Lemma 3: active within cfg.timeliness_bound slots (invariant)
+  kSafety2,     ///< Lemma 4: correct guardian synced within bound (invariant)
+  kHubAgreement,   ///< extension: active nodes agree with active guardians
+  kReintegration,  ///< extension (§2.1 restart problem): AG AF all-correct-active
+};
+
+[[nodiscard]] constexpr const char* to_string(Lemma l) noexcept {
+  switch (l) {
+    case Lemma::kSafety: return "safety";
+    case Lemma::kLiveness: return "liveness";
+    case Lemma::kTimeliness: return "timeliness";
+    case Lemma::kSafety2: return "safety_2";
+    case Lemma::kHubAgreement: return "hub_agreement";
+    case Lemma::kReintegration: return "reintegration";
+  }
+  return "?";
+}
+
+struct VerificationResult {
+  bool holds = false;
+  bool exhausted = true;  ///< false when a search limit stopped exploration
+  mc::RunStats stats;
+  std::vector<tta::Cluster::State> trace;  ///< counterexample when !holds
+  std::size_t loop_start = 0;              ///< lasso entry for liveness cycles
+  std::string verdict_text;
+};
+
+/// Runs one lemma against one configuration. For kTimeliness/kSafety2 the
+/// configuration must carry a positive timeliness_bound (and the matching
+/// TimelinessTarget); `prepare_config` sets these up.
+[[nodiscard]] VerificationResult verify(const tta::ClusterConfig& cfg, Lemma lemma,
+                                        const mc::SearchLimits& limits = {});
+
+/// Normalizes a configuration for a lemma: picks the timeliness target and
+/// asserts bound preconditions. Returns the adjusted copy.
+[[nodiscard]] tta::ClusterConfig prepare_config(tta::ClusterConfig cfg, Lemma lemma);
+
+}  // namespace tt::core

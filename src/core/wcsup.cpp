@@ -1,0 +1,34 @@
+#include "core/wcsup.hpp"
+
+#include "support/assert.hpp"
+#include "support/timer.hpp"
+
+namespace tt::core {
+
+WcsupResult find_worst_case_startup(tta::ClusterConfig cfg, Lemma lemma, int start_bound,
+                                    int max_bound, const mc::SearchLimits& limits) {
+  TT_REQUIRE(lemma == Lemma::kTimeliness || lemma == Lemma::kSafety2,
+             "wcsup sweeps only deadline lemmas");
+  TT_REQUIRE(start_bound >= 1 && start_bound <= max_bound, "bad sweep range");
+  Timer timer;
+  WcsupResult out;
+  // The set of runs violating "startup_time <= B" shrinks monotonically in B,
+  // so a linear upward sweep mirrors the paper's procedure and the first
+  // passing bound is the minimum.
+  for (int bound = start_bound; bound <= max_bound; ++bound) {
+    cfg.timeliness_bound = bound;
+    VerificationResult r = verify(cfg, lemma, limits);
+    out.last_stats = r.stats;
+    if (r.holds && r.exhausted) {
+      out.minimal_bound = bound;
+      break;
+    }
+    TT_REQUIRE(r.exhausted, "wcsup sweep hit a search limit; raise limits");
+    out.failing_bounds.push_back(bound);
+    out.worst_trace = std::move(r.trace);
+  }
+  out.total_seconds = timer.seconds();
+  return out;
+}
+
+}  // namespace tt::core

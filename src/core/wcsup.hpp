@@ -1,0 +1,34 @@
+// Worst-case startup time search (paper §5.3).
+//
+// The paper explored w_sup "by model checking the timeliness property for
+// different values of @par startuptime ... increasing it by small steps until
+// counterexamples were no longer produced". This module automates exactly
+// that loop: it sweeps the bound upward and returns the minimal bound for
+// which the invariant holds, together with the last counterexample (the
+// worst-case startup scenario itself).
+#pragma once
+
+#include <vector>
+
+#include "core/verifier.hpp"
+#include "mc/run_stats.hpp"
+#include "tta/config.hpp"
+
+namespace tt::core {
+
+struct WcsupResult {
+  int minimal_bound = -1;  ///< least passing bound; -1 when max_bound hit
+  std::vector<int> failing_bounds;  ///< every swept bound that produced a counterexample
+  std::vector<tta::Cluster::State> worst_trace;  ///< counterexample at minimal_bound-1
+  mc::RunStats last_stats;
+  double total_seconds = 0.0;
+};
+
+/// Sweeps the timeliness bound in [start_bound, max_bound]; `lemma` selects
+/// the counter semantics (kTimeliness for §5.3, kSafety2 for §5.2-style hub
+/// deadlines).
+[[nodiscard]] WcsupResult find_worst_case_startup(tta::ClusterConfig cfg, Lemma lemma,
+                                                  int start_bound, int max_bound,
+                                                  const mc::SearchLimits& limits = {});
+
+}  // namespace tt::core

@@ -1,0 +1,135 @@
+#include "kernel/expr.hpp"
+
+namespace tt::kernel {
+
+ExprId ExprPool::push(ExprNode n) {
+  nodes_.push_back(n);
+  return static_cast<ExprId>(nodes_.size() - 1);
+}
+
+ExprId ExprPool::constant(int value) {
+  ExprNode n;
+  n.op = Op::kConst;
+  n.k = value;
+  return push(n);
+}
+
+ExprId ExprPool::var(VarId v) {
+  TT_REQUIRE(v >= 0, "invalid variable id");
+  ExprNode n;
+  n.op = Op::kVar;
+  n.var = v;
+  return push(n);
+}
+
+ExprId ExprPool::add_mod(ExprId a, int k, int m) {
+  TT_REQUIRE(m >= 1, "modulus must be positive");
+  ExprNode n;
+  n.op = Op::kAddMod;
+  n.a = a;
+  n.k = k;
+  n.m = m;
+  return push(n);
+}
+
+ExprId ExprPool::eq_const(ExprId a, int k) {
+  ExprNode n;
+  n.op = Op::kEqC;
+  n.a = a;
+  n.k = k;
+  return push(n);
+}
+
+ExprId ExprPool::lt_const(ExprId a, int k) {
+  ExprNode n;
+  n.op = Op::kLtC;
+  n.a = a;
+  n.k = k;
+  return push(n);
+}
+
+ExprId ExprPool::ge_const(ExprId a, int k) {
+  ExprNode n;
+  n.op = Op::kGeC;
+  n.a = a;
+  n.k = k;
+  return push(n);
+}
+
+ExprId ExprPool::eq(ExprId a, ExprId b) {
+  ExprNode n;
+  n.op = Op::kEqV;
+  n.a = a;
+  n.b = b;
+  return push(n);
+}
+
+ExprId ExprPool::land(ExprId a, ExprId b) {
+  ExprNode n;
+  n.op = Op::kAnd;
+  n.a = a;
+  n.b = b;
+  return push(n);
+}
+
+ExprId ExprPool::lor(ExprId a, ExprId b) {
+  ExprNode n;
+  n.op = Op::kOr;
+  n.a = a;
+  n.b = b;
+  return push(n);
+}
+
+ExprId ExprPool::lnot(ExprId a) {
+  ExprNode n;
+  n.op = Op::kNot;
+  n.a = a;
+  return push(n);
+}
+
+ExprId ExprPool::ite(ExprId cond, ExprId then_e, ExprId else_e) {
+  ExprNode n;
+  n.op = Op::kIte;
+  n.c = cond;
+  n.a = then_e;
+  n.b = else_e;
+  return push(n);
+}
+
+ExprId ExprPool::all(const std::vector<ExprId>& xs) {
+  if (xs.empty()) return eq_const(constant(0), 0);  // true
+  ExprId acc = xs[0];
+  for (std::size_t i = 1; i < xs.size(); ++i) acc = land(acc, xs[i]);
+  return acc;
+}
+
+ExprId ExprPool::any(const std::vector<ExprId>& xs) {
+  if (xs.empty()) return eq_const(constant(0), 1);  // false
+  ExprId acc = xs[0];
+  for (std::size_t i = 1; i < xs.size(); ++i) acc = lor(acc, xs[i]);
+  return acc;
+}
+
+int ExprPool::eval(ExprId id, const std::vector<int>& valuation) const {
+  const ExprNode& n = nodes_[id];
+  switch (n.op) {
+    case Op::kConst: return n.k;
+    case Op::kVar: return valuation[static_cast<std::size_t>(n.var)];
+    case Op::kAddMod: {
+      const int v = eval(n.a, valuation) + n.k;
+      return ((v % n.m) + n.m) % n.m;
+    }
+    case Op::kEqC: return eval(n.a, valuation) == n.k ? 1 : 0;
+    case Op::kLtC: return eval(n.a, valuation) < n.k ? 1 : 0;
+    case Op::kGeC: return eval(n.a, valuation) >= n.k ? 1 : 0;
+    case Op::kEqV: return eval(n.a, valuation) == eval(n.b, valuation) ? 1 : 0;
+    case Op::kAnd: return (eval(n.a, valuation) != 0 && eval(n.b, valuation) != 0) ? 1 : 0;
+    case Op::kOr: return (eval(n.a, valuation) != 0 || eval(n.b, valuation) != 0) ? 1 : 0;
+    case Op::kNot: return eval(n.a, valuation) == 0 ? 1 : 0;
+    case Op::kIte: return eval(n.c, valuation) != 0 ? eval(n.a, valuation) : eval(n.b, valuation);
+  }
+  TT_ASSERT(false && "unreachable");
+  return 0;
+}
+
+}  // namespace tt::kernel

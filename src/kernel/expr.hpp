@@ -1,0 +1,76 @@
+// Expression DAG of the guarded-command IR ("mini-SAL", DESIGN.md §1).
+//
+// Expressions are interned in a pool and referenced by dense ids. The
+// operator set is deliberately small — comparisons, boolean connectives,
+// if-then-else, and modular increment — because every engine (explicit
+// interpreter, SAT-based BMC, BDD-based symbolic reachability) must give it
+// semantics. Integer-valued expressions are evaluated against a valuation of
+// the system's finite-domain variables; symbolic engines expand them through
+// the "expr == value" recursion (see bmc/encoder and bdd/symbolic).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace tt::kernel {
+
+using VarId = int;
+using ExprId = int;
+
+enum class Op : std::uint8_t {
+  kConst,   ///< integer literal
+  kVar,     ///< current-state variable value
+  kAddMod,  ///< (a + k) mod m   — modular increment by a constant
+  kEqC,     ///< a == k          (boolean)
+  kLtC,     ///< a <  k          (boolean)
+  kGeC,     ///< a >= k          (boolean)
+  kEqV,     ///< a == b          (boolean, both integer expressions)
+  kAnd,     ///< a && b
+  kOr,      ///< a || b
+  kNot,     ///< !a
+  kIte,     ///< c ? a : b       (integer or boolean alternatives)
+};
+
+struct ExprNode {
+  Op op = Op::kConst;
+  ExprId a = -1;
+  ExprId b = -1;
+  ExprId c = -1;  ///< condition of kIte
+  int k = 0;      ///< constant operand / modulus partner (kAddMod stores k and m)
+  int m = 0;
+  VarId var = -1;
+};
+
+/// Interning pool for expression nodes; owned by a kernel::System.
+class ExprPool {
+ public:
+  [[nodiscard]] ExprId constant(int value);
+  [[nodiscard]] ExprId var(VarId v);
+  [[nodiscard]] ExprId add_mod(ExprId a, int k, int m);
+  [[nodiscard]] ExprId eq_const(ExprId a, int k);
+  [[nodiscard]] ExprId lt_const(ExprId a, int k);
+  [[nodiscard]] ExprId ge_const(ExprId a, int k);
+  [[nodiscard]] ExprId eq(ExprId a, ExprId b);
+  [[nodiscard]] ExprId land(ExprId a, ExprId b);
+  [[nodiscard]] ExprId lor(ExprId a, ExprId b);
+  [[nodiscard]] ExprId lnot(ExprId a);
+  [[nodiscard]] ExprId ite(ExprId cond, ExprId then_e, ExprId else_e);
+
+  /// Variadic conjunction/disjunction helpers (empty list = true / false).
+  [[nodiscard]] ExprId all(const std::vector<ExprId>& xs);
+  [[nodiscard]] ExprId any(const std::vector<ExprId>& xs);
+
+  [[nodiscard]] const ExprNode& node(ExprId id) const { return nodes_[id]; }
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+
+  /// Evaluates `id` under `valuation` (one int per variable).
+  [[nodiscard]] int eval(ExprId id, const std::vector<int>& valuation) const;
+
+ private:
+  ExprId push(ExprNode n);
+  std::vector<ExprNode> nodes_;
+};
+
+}  // namespace tt::kernel

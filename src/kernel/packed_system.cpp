@@ -1,0 +1,45 @@
+#include "kernel/packed_system.hpp"
+
+#include "support/assert.hpp"
+#include "support/bitpack.hpp"
+
+namespace tt::kernel {
+
+PackedSystem::PackedSystem(const System& system) : system_(system) {
+  for (const VarDecl& d : system_.vars()) {
+    const int w = bits_for(static_cast<std::uint64_t>(d.domain));
+    width_.push_back(w);
+    bits_total_ += w;
+  }
+  TT_REQUIRE(bits_total_ <= static_cast<int>(kWords * 64),
+             "system state exceeds packed capacity");
+}
+
+PackedSystem::State PackedSystem::pack(const std::vector<int>& valuation) const {
+  State s{};
+  BitWriter w(s.data(), kWords);
+  for (std::size_t i = 0; i < valuation.size(); ++i) {
+    w.put(static_cast<std::uint64_t>(valuation[i]), width_[i]);
+  }
+  return s;
+}
+
+std::vector<int> PackedSystem::unpack(const State& s) const {
+  std::vector<int> v(width_.size());
+  BitReader r(s.data(), kWords);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<int>(r.get(width_[i]));
+  }
+  return v;
+}
+
+void PackedSystem::initial_states(Emit emit) const {
+  system_.initial_valuations([&](const std::vector<int>& v) { emit(pack(v)); });
+}
+
+void PackedSystem::successors(const State& s, Emit emit) const {
+  const std::vector<int> current = unpack(s);
+  system_.successor_valuations(current, [&](const std::vector<int>& v) { emit(pack(v)); });
+}
+
+}  // namespace tt::kernel

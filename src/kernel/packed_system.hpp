@@ -1,0 +1,37 @@
+// Adapter exposing a kernel::System as an mc::TransitionSystem over packed
+// 256-bit states — the explicit-state engine of the mini-SAL tool bus.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "kernel/system.hpp"
+#include "support/function_ref.hpp"
+
+namespace tt::kernel {
+
+class PackedSystem {
+ public:
+  static constexpr std::size_t kWords = 4;
+  using State = std::array<std::uint64_t, kWords>;
+  using Emit = FunctionRef<void(const State&)>;
+
+  explicit PackedSystem(const System& system);
+
+  void initial_states(Emit emit) const;
+  void successors(const State& s, Emit emit) const;
+
+  [[nodiscard]] State pack(const std::vector<int>& valuation) const;
+  [[nodiscard]] std::vector<int> unpack(const State& s) const;
+
+  [[nodiscard]] const System& system() const noexcept { return system_; }
+  [[nodiscard]] int state_bits() const noexcept { return bits_total_; }
+
+ private:
+  const System& system_;
+  std::vector<int> width_;  ///< bits per variable
+  int bits_total_ = 0;
+};
+
+}  // namespace tt::kernel

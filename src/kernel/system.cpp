@@ -1,0 +1,130 @@
+#include "kernel/system.hpp"
+
+#include <functional>
+
+#include "support/assert.hpp"
+#include "support/bitpack.hpp"
+
+namespace tt::kernel {
+
+VarId System::add_var(std::string name, int domain, int init) {
+  TT_REQUIRE(domain >= 1 && domain <= 4096, "variable domain out of range");
+  TT_REQUIRE(init >= 0 && init < domain, "initial value outside domain");
+  VarDecl d;
+  d.name = std::move(name);
+  d.domain = domain;
+  d.init = init;
+  vars_.push_back(std::move(d));
+  return static_cast<VarId>(vars_.size() - 1);
+}
+
+VarId System::add_var_nondet(std::string name, int domain) {
+  TT_REQUIRE(domain >= 1 && domain <= 4096, "variable domain out of range");
+  VarDecl d;
+  d.name = std::move(name);
+  d.domain = domain;
+  d.init_any = true;
+  vars_.push_back(std::move(d));
+  return static_cast<VarId>(vars_.size() - 1);
+}
+
+int System::add_group(std::string name, bool else_stutter) {
+  ChoiceGroup g;
+  g.name = std::move(name);
+  g.else_stutter = else_stutter;
+  groups_.push_back(std::move(g));
+  return static_cast<int>(groups_.size() - 1);
+}
+
+void System::add_command(int group, ExprId guard, std::vector<Assignment> assigns) {
+  TT_REQUIRE(group >= 0 && group < static_cast<int>(groups_.size()), "unknown group");
+  for (const Assignment& a : assigns) {
+    TT_REQUIRE(a.var >= 0 && a.var < static_cast<VarId>(vars_.size()), "unknown variable");
+    VarDecl& d = vars_[static_cast<std::size_t>(a.var)];
+    if (d.group == -1) {
+      d.group = group;
+    } else {
+      TT_REQUIRE(d.group == group, "variable assigned from two choice groups: " + d.name);
+    }
+  }
+  Command c;
+  c.guard = guard;
+  c.assigns = std::move(assigns);
+  groups_[static_cast<std::size_t>(group)].commands.push_back(std::move(c));
+}
+
+void System::initial_valuations(
+    const std::function<void(const std::vector<int>&)>& emit) const {
+  std::vector<int> v(vars_.size(), 0);
+  for (std::size_t i = 0; i < vars_.size(); ++i) v[i] = vars_[i].init_any ? 0 : vars_[i].init;
+
+  // Odometer over the nondeterministically initialized variables.
+  std::vector<std::size_t> free_vars;
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    if (vars_[i].init_any) free_vars.push_back(i);
+  }
+  while (true) {
+    emit(v);
+    std::size_t k = 0;
+    while (k < free_vars.size()) {
+      if (++v[free_vars[k]] < vars_[free_vars[k]].domain) break;
+      v[free_vars[k]] = 0;
+      ++k;
+    }
+    if (k == free_vars.size()) break;
+  }
+}
+
+void System::successor_valuations(
+    const std::vector<int>& current,
+    const std::function<void(const std::vector<int>&)>& emit) const {
+  TT_ASSERT(current.size() == vars_.size());
+
+  // Per group: the indices of enabled commands (or kStutter).
+  constexpr int kStutter = -1;
+  std::vector<std::vector<int>> enabled(groups_.size());
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    const ChoiceGroup& grp = groups_[g];
+    for (std::size_t c = 0; c < grp.commands.size(); ++c) {
+      if (exprs_.eval(grp.commands[c].guard, current) != 0) {
+        enabled[g].push_back(static_cast<int>(c));
+      }
+    }
+    if (enabled[g].empty()) {
+      if (!grp.else_stutter) return;  // deadlock: no successors
+      enabled[g].push_back(kStutter);
+    }
+  }
+
+  std::vector<std::size_t> choice(groups_.size(), 0);
+  std::vector<int> next;
+  while (true) {
+    next = current;
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+      const int cmd = enabled[g][choice[g]];
+      if (cmd == kStutter) continue;
+      for (const Assignment& a : groups_[g].commands[static_cast<std::size_t>(cmd)].assigns) {
+        const int value = exprs_.eval(a.value, current);
+        const VarDecl& d = vars_[static_cast<std::size_t>(a.var)];
+        TT_ASSERT(value >= 0 && value < d.domain);
+        next[static_cast<std::size_t>(a.var)] = value;
+      }
+    }
+    emit(next);
+    std::size_t k = 0;
+    while (k < groups_.size()) {
+      if (++choice[k] < enabled[k].size()) break;
+      choice[k] = 0;
+      ++k;
+    }
+    if (k == groups_.size()) break;
+  }
+}
+
+int System::state_bits() const {
+  int bits = 0;
+  for (const VarDecl& d : vars_) bits += bits_for(static_cast<std::uint64_t>(d.domain));
+  return bits;
+}
+
+}  // namespace tt::kernel

@@ -1,0 +1,84 @@
+// The guarded-command transition system of the mini-SAL IR.
+//
+// A System is a set of finite-domain variables plus *choice groups* (the
+// analogue of SAL modules in a synchronous composition). Each group owns a
+// disjoint set of variables and contributes a set of guarded commands. One
+// global step executes every group simultaneously: each group
+// nondeterministically selects one of its enabled commands (all guards read
+// the pre-state), and the selected commands' assignments are applied
+// together. Variables not assigned by the selected command keep their value.
+// A group with no enabled command either stutters (if built with
+// `else_stutter`) or deadlocks the system — matching SAL semantics.
+//
+// This IR is consumed by three engines, mirroring the SAL tool bus:
+//   * kernel::PackedSystem      — explicit-state (mc/ engines)
+//   * bmc::Encoder + sat::Solver — SAT-based bounded model checking
+//   * bdd::SymbolicReachability — BDD-based symbolic model checking
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "kernel/expr.hpp"
+
+namespace tt::kernel {
+
+struct VarDecl {
+  std::string name;
+  int domain = 2;      ///< values 0 .. domain-1
+  int init = 0;        ///< initial value (ignored if init_any)
+  bool init_any = false;  ///< nondeterministic initial value
+  int group = -1;      ///< owning choice group (set when first assigned)
+};
+
+struct Assignment {
+  VarId var = -1;
+  ExprId value = -1;
+};
+
+struct Command {
+  ExprId guard = -1;
+  std::vector<Assignment> assigns;
+};
+
+struct ChoiceGroup {
+  std::string name;
+  bool else_stutter = true;
+  std::vector<Command> commands;
+};
+
+class System {
+ public:
+  [[nodiscard]] VarId add_var(std::string name, int domain, int init);
+  [[nodiscard]] VarId add_var_nondet(std::string name, int domain);
+
+  [[nodiscard]] int add_group(std::string name, bool else_stutter = true);
+
+  /// Adds a guarded command to `group`. Every assigned variable becomes
+  /// owned by that group; assigning it from another group is an error.
+  void add_command(int group, ExprId guard, std::vector<Assignment> assigns);
+
+  [[nodiscard]] ExprPool& exprs() noexcept { return exprs_; }
+  [[nodiscard]] const ExprPool& exprs() const noexcept { return exprs_; }
+
+  [[nodiscard]] const std::vector<VarDecl>& vars() const noexcept { return vars_; }
+  [[nodiscard]] const std::vector<ChoiceGroup>& groups() const noexcept { return groups_; }
+
+  /// Enumerates initial valuations (cartesian product over init_any vars).
+  void initial_valuations(const std::function<void(const std::vector<int>&)>& emit) const;
+
+  /// Enumerates successor valuations of `current`.
+  void successor_valuations(const std::vector<int>& current,
+                            const std::function<void(const std::vector<int>&)>& emit) const;
+
+  /// Total state bits of a packed valuation.
+  [[nodiscard]] int state_bits() const;
+
+ private:
+  ExprPool exprs_;
+  std::vector<VarDecl> vars_;
+  std::vector<ChoiceGroup> groups_;
+};
+
+}  // namespace tt::kernel

@@ -1,0 +1,181 @@
+#include "kernel/ttalite.hpp"
+
+#include "support/assert.hpp"
+
+namespace tt::kernel {
+
+TtaLite::TtaLite(const TtaLiteConfig& cfg) : cfg_(cfg) {
+  TT_REQUIRE(cfg_.n >= 2 && cfg_.n <= 6, "TTA-lite supports 2..6 nodes");
+  TT_REQUIRE(cfg_.fault_degree >= 1 && cfg_.fault_degree <= 3, "lite fault degree is 1..3");
+  build();
+}
+
+void TtaLite::build() {
+  const int n = cfg_.n;
+  const int counter_domain = 3 * n + 2;  // covers LT_TO max = 3n - 1 and the window
+  auto& e = system_.exprs();
+
+  for (int i = 0; i < n; ++i) {
+    state_.push_back(system_.add_var("state" + std::to_string(i), 4, kInit));
+    counter_.push_back(system_.add_var("counter" + std::to_string(i), counter_domain, 1));
+    pos_.push_back(system_.add_var("pos" + std::to_string(i), n, 0));
+    out_.push_back(system_.add_var("out" + std::to_string(i), 3, kOutQuiet));
+  }
+
+  // Reception helpers (combinational bus, pre-state `out` variables): node i
+  // sees a usable frame from sender j iff j transmitted alone in the
+  // previous slot; simultaneous transmitters garble the medium.
+  auto transmitting = [&](int j) { return e.lnot(e.eq_const(e.var(out_[j]), kOutQuiet)); };
+  auto alone = [&](int j) {
+    std::vector<ExprId> terms;
+    for (int k = 0; k < n; ++k) {
+      terms.push_back(k == j ? transmitting(k)
+                             : e.eq_const(e.var(out_[k]), kOutQuiet));
+    }
+    return e.all(terms);
+  };
+
+  for (int i = 0; i < n; ++i) {
+    const int g = system_.add_group("node" + std::to_string(i), /*else_stutter=*/false);
+    const ExprId st = e.var(state_[i]);
+    const ExprId ct = e.var(counter_[i]);
+    const ExprId ct_plus1 = e.add_mod(ct, 1, counter_domain);
+    const ExprId one = e.constant(1);
+    const ExprId zero = e.constant(0);
+
+    const bool faulty = (i == cfg_.faulty_node);
+    if (faulty) {
+      // The preliminary experiment's reduced fault dial: a faulty node may
+      // stay silent, and with higher degrees also emit cs-/i-frames at will.
+      // All its private variables are pinned to 0 (the feedback idea applied
+      // at build time: a faulty node's bookkeeping is pure state clutter).
+      const ExprId always = e.ge_const(ct, 0);
+      auto faulty_cmd = [&](int out_value) {
+        system_.add_command(g, always,
+                            {{out_[i], e.constant(out_value)},
+                             {state_[i], zero},
+                             {counter_[i], zero},
+                             {pos_[i], zero}});
+      };
+      faulty_cmd(kOutQuiet);
+      if (cfg_.fault_degree >= 2) faulty_cmd(kOutCs);
+      if (cfg_.fault_degree >= 3) faulty_cmd(kOutI);
+      continue;
+    }
+
+    const ExprId in_init = e.eq_const(st, kInit);
+    const ExprId in_listen = e.eq_const(st, kListen);
+    const ExprId in_coldstart = e.eq_const(st, kColdstart);
+    const ExprId in_active = e.eq_const(st, kActive);
+
+    // Any usable frame / any usable foreign frame on the bus last slot.
+    std::vector<ExprId> frame_terms;
+    std::vector<ExprId> foreign_terms;
+    for (int j = 0; j < n; ++j) {
+      frame_terms.push_back(alone(j));
+      if (j != i) foreign_terms.push_back(alone(j));
+    }
+    const ExprId any_frame = e.any(frame_terms);
+    const ExprId any_foreign = e.any(foreign_terms);
+
+    // Synchronized position implied by the received frame: the sender
+    // transmitted in its own slot during the previous step, so the current
+    // slot is (sender + 1) mod n. Encoded as a cascade of ites over senders.
+    auto sync_pos_from = [&](bool exclude_self) {
+      ExprId acc = zero;  // unreachable default
+      for (int j = n - 1; j >= 0; --j) {
+        if (exclude_self && j == i) continue;
+        acc = e.ite(alone(j), e.constant((j + 1) % n), acc);
+      }
+      return acc;
+    };
+    const ExprId sync_pos_any = sync_pos_from(false);
+    const ExprId sync_pos_foreign = sync_pos_from(true);
+
+    auto i_frame_out = [&](ExprId new_pos) {
+      return e.ite(e.eq_const(new_pos, i), e.constant(kOutI), e.constant(kOutQuiet));
+    };
+
+    // INIT: wake up now, or let time advance while inside the window.
+    system_.add_command(g, in_init,
+                        {{state_[i], e.constant(kListen)}, {counter_[i], one},
+                         {out_[i], zero}});
+    system_.add_command(g, e.land(in_init, e.lt_const(ct, cfg_.init_window)),
+                        {{counter_[i], ct_plus1}, {out_[i], zero}});
+
+    // LISTEN: the original algorithm has no big-bang — the first usable
+    // frame (cs or i, it always names the sender's slot) synchronizes
+    // directly. Garbled overlaps are not usable.
+    system_.add_command(g, e.land(in_listen, any_frame),
+                        {{state_[i], e.constant(kActive)},
+                         {pos_[i], sync_pos_any},
+                         {counter_[i], zero},
+                         {out_[i], i_frame_out(sync_pos_any)}});
+    system_.add_command(
+        g, e.land(in_listen, e.land(e.lnot(any_frame), e.ge_const(ct, 2 * n + i))),
+        {{state_[i], e.constant(kColdstart)}, {counter_[i], one},
+         {out_[i], e.constant(kOutCs)}});
+    system_.add_command(
+        g, e.land(in_listen, e.land(e.lnot(any_frame), e.lt_const(ct, 2 * n + i))),
+        {{counter_[i], ct_plus1}, {out_[i], zero}});
+
+    // COLDSTART: synchronize on a foreign frame, retransmit on timeout.
+    system_.add_command(g, e.land(in_coldstart, any_foreign),
+                        {{state_[i], e.constant(kActive)},
+                         {pos_[i], sync_pos_foreign},
+                         {counter_[i], zero},
+                         {out_[i], i_frame_out(sync_pos_foreign)}});
+    system_.add_command(
+        g, e.land(in_coldstart, e.land(e.lnot(any_foreign), e.ge_const(ct, n + i))),
+        {{counter_[i], one}, {out_[i], e.constant(kOutCs)}});
+    system_.add_command(
+        g, e.land(in_coldstart, e.land(e.lnot(any_foreign), e.lt_const(ct, n + i))),
+        {{counter_[i], ct_plus1}, {out_[i], zero}});
+
+    // ACTIVE: run the TDMA schedule.
+    const ExprId pos_next = e.add_mod(e.var(pos_[i]), 1, n);
+    system_.add_command(
+        g, in_active,
+        {{pos_[i], pos_next}, {out_[i], i_frame_out(pos_next)}});
+  }
+}
+
+bool TtaLite::safety(const std::vector<int>& v) const {
+  int agreed = -1;
+  for (int i = 0; i < cfg_.n; ++i) {
+    if (i == cfg_.faulty_node) continue;
+    if (v[static_cast<std::size_t>(state_[i])] != kActive) continue;
+    const int p = v[static_cast<std::size_t>(pos_[i])];
+    if (agreed < 0) {
+      agreed = p;
+    } else if (p != agreed) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool TtaLite::all_correct_active(const std::vector<int>& v) const {
+  for (int i = 0; i < cfg_.n; ++i) {
+    if (i == cfg_.faulty_node) continue;
+    if (v[static_cast<std::size_t>(state_[i])] != kActive) return false;
+  }
+  return true;
+}
+
+ExprId TtaLite::safety_expr() {
+  auto& e = system_.exprs();
+  std::vector<ExprId> terms;
+  for (int i = 0; i < cfg_.n; ++i) {
+    for (int j = i + 1; j < cfg_.n; ++j) {
+      if (i == cfg_.faulty_node || j == cfg_.faulty_node) continue;
+      const ExprId both_active = e.land(e.eq_const(e.var(state_[i]), kActive),
+                                        e.eq_const(e.var(state_[j]), kActive));
+      const ExprId agree = e.eq(e.var(pos_[i]), e.var(pos_[j]));
+      terms.push_back(e.lor(e.lnot(both_active), agree));
+    }
+  }
+  return e.all(terms);
+}
+
+}  // namespace tt::kernel

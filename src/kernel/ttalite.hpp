@@ -1,0 +1,74 @@
+// TTA-lite: the *original* node-only startup algorithm for the bus topology
+// ([12] in the paper), expressed in the mini-SAL IR.
+//
+// This reproduces the paper's §3 preliminary experiment: a single broadcast
+// bus (no guardians, no interlinks, no big-bang — receivers synchronize on
+// the first cs-frame directly), with only a few kinds of node faults. The
+// paper reports 41,322 reachable states for the largest preliminary model
+// and uses it to compare explicit-state against symbolic model checking
+// (30 s vs 0.38 s for 4 nodes); bench_prelim_engines re-runs that comparison
+// across our three engines (explicit / BDD / SAT-BMC) on this very model.
+//
+// Model shape: per node, variables {state, counter, pos, out}. The bus is
+// *combinational*: a node's reception at step t is an expression over every
+// node's `out` variable from step t-1 — exactly one transmitter means a
+// frame (whose time equals the transmitter's identity), two or more
+// overlap into a garbled signal (physical collision on a bus, §2.3). This
+// gives the same one-slot transmit-to-react latency as the tta:: star model.
+#pragma once
+
+#include <vector>
+
+#include "kernel/system.hpp"
+
+namespace tt::kernel {
+
+struct TtaLiteConfig {
+  int n = 4;
+  int init_window = 3;  ///< wake-up window in slots
+  int faulty_node = -1;
+  /// 1 = fail-silent, 2 = may also send cs-frames, 3 = may also send
+  /// i-frames (the preliminary experiment's "few kinds of faults").
+  int fault_degree = 1;
+};
+
+class TtaLite {
+ public:
+  explicit TtaLite(const TtaLiteConfig& cfg);
+
+  [[nodiscard]] const System& system() const noexcept { return system_; }
+  [[nodiscard]] System& system() noexcept { return system_; }
+  [[nodiscard]] const TtaLiteConfig& config() const noexcept { return cfg_; }
+
+  // Variable accessors (indices into a valuation).
+  [[nodiscard]] VarId state_var(int i) const { return state_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] VarId counter_var(int i) const { return counter_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] VarId pos_var(int i) const { return pos_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] VarId out_var(int i) const { return out_[static_cast<std::size_t>(i)]; }
+
+  // Node automaton states.
+  static constexpr int kInit = 0;
+  static constexpr int kListen = 1;
+  static constexpr int kColdstart = 2;
+  static constexpr int kActive = 3;
+  // Transmission kinds (the `out` variables).
+  static constexpr int kOutQuiet = 0;
+  static constexpr int kOutCs = 1;
+  static constexpr int kOutI = 2;
+
+  /// Lemma 1 on valuations: correct active nodes agree on the position.
+  [[nodiscard]] bool safety(const std::vector<int>& valuation) const;
+  /// Lemma 2 goal: all correct nodes active.
+  [[nodiscard]] bool all_correct_active(const std::vector<int>& valuation) const;
+  /// Lemma 1 as an IR expression (for the symbolic and SAT engines).
+  [[nodiscard]] ExprId safety_expr();
+
+ private:
+  void build();
+
+  TtaLiteConfig cfg_;
+  System system_;
+  std::vector<VarId> state_, counter_, pos_, out_;
+};
+
+}  // namespace tt::kernel

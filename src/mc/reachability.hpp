@@ -1,0 +1,128 @@
+// Invariant checking by breadth-first reachability.
+//
+// This is the explicit-state analogue of SAL's symbolic `sal-smc` invariant
+// runs (paper Fig. 4 and Fig. 6(a,c,d)). BFS gives shortest counterexamples,
+// which also makes the same routine the *bounded* model checker of the paper
+// (§5.2): pass SearchLimits::max_depth to explore only to a given depth, the
+// explicit-state counterpart of SAT-based BMC depth bounds.
+//
+// Parent links are kept per interned state so a violating trace can be
+// reconstructed; memory cost is 4 bytes/state on top of the packed state.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "mc/run_stats.hpp"
+#include "mc/transition_system.hpp"
+#include "support/state_index_map.hpp"
+#include "support/timer.hpp"
+
+namespace tt::mc {
+
+enum class Verdict {
+  kHolds,     ///< property holds on every explored behaviour (exhaustive if no limit hit)
+  kViolated,  ///< counterexample found (trace attached)
+  kLimit,     ///< a search limit stopped exploration before completion
+};
+
+[[nodiscard]] constexpr const char* to_string(Verdict v) noexcept {
+  switch (v) {
+    case Verdict::kHolds: return "holds";
+    case Verdict::kViolated: return "VIOLATED";
+    case Verdict::kLimit: return "limit-reached";
+  }
+  return "?";
+}
+
+template <class TS>
+struct InvariantResult {
+  Verdict verdict = Verdict::kHolds;
+  RunStats stats;
+  /// Initial state .. violating state; empty unless verdict == kViolated.
+  std::vector<typename TS::State> trace;
+};
+
+/// Checks G(holds) over the reachable states of `ts`.
+///
+/// `holds` is a predicate on packed states. Returns on first violation with a
+/// minimal-length trace, or after the frontier empties (kHolds), or when a
+/// limit triggers (kLimit).
+template <TransitionSystem TS, class Pred>
+[[nodiscard]] InvariantResult<TS> check_invariant(const TS& ts, Pred&& holds,
+                                                  const SearchLimits& limits = {}) {
+  using State = typename TS::State;
+  Timer timer;
+  InvariantResult<TS> result;
+  StateIndexMap<TS::kWords> seen;
+  std::vector<std::uint32_t> parent;
+  std::vector<std::uint32_t> queue;  // dense indices in BFS order
+
+  auto build_trace = [&](std::uint32_t bad) {
+    std::vector<State> rev;
+    for (std::uint32_t at = bad; at != StateIndexMap<TS::kWords>::kEmpty; at = parent[at]) {
+      rev.push_back(seen.at(at));
+    }
+    result.trace.assign(rev.rbegin(), rev.rend());
+  };
+
+  bool violated = false;
+  std::uint32_t bad_idx = 0;
+  auto visit = [&](const State& s, std::uint32_t from) {
+    if (violated) return;
+    auto [idx, fresh] = seen.insert(s);
+    if (!fresh) return;
+    parent.push_back(from);
+    queue.push_back(idx);
+    if (!holds(s)) {
+      violated = true;
+      bad_idx = idx;
+    }
+  };
+
+  ts.initial_states([&](const State& s) { visit(s, StateIndexMap<TS::kWords>::kEmpty); });
+
+  std::size_t head = 0;
+  std::size_t level_end = queue.size();  // end of current BFS level
+  int depth = 0;
+  while (head < queue.size() && !violated) {
+    if (head == level_end) {
+      ++depth;
+      level_end = queue.size();
+      if (depth > limits.max_depth) break;
+    }
+    if (seen.size() > limits.max_states) break;
+    const State s = seen.at(queue[head]);
+    const auto from = queue[head];
+    ++head;
+    ts.successors(s, [&](const State& t) {
+      ++result.stats.transitions;
+      visit(t, from);
+    });
+  }
+
+  result.stats.states = seen.size();
+  result.stats.depth = depth;
+  result.stats.memory_bytes = seen.memory_bytes() + parent.capacity() * 4 + queue.capacity() * 4;
+  result.stats.seconds = timer.seconds();
+  if (violated) {
+    result.verdict = Verdict::kViolated;
+    build_trace(bad_idx);
+  } else if (head < queue.size()) {
+    result.verdict = Verdict::kLimit;
+  } else {
+    result.verdict = Verdict::kHolds;
+  }
+  return result;
+}
+
+/// Exhaustively counts reachable states (the paper's `sal-smc --count`
+/// analogue used for Fig. 5's reachable-state column).
+template <TransitionSystem TS>
+[[nodiscard]] RunStats count_reachable(const TS& ts, const SearchLimits& limits = {}) {
+  auto r = check_invariant(ts, [](const typename TS::State&) { return true; }, limits);
+  return r.stats;
+}
+
+}  // namespace tt::mc

@@ -1,0 +1,24 @@
+// Statistics every engine run reports; benches render these into the
+// paper-vs-measured tables (cpu time and state counts mirror Fig. 4/6).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+namespace tt::mc {
+
+struct RunStats {
+  std::size_t states = 0;        ///< distinct states interned
+  std::size_t transitions = 0;   ///< transitions enumerated
+  int depth = 0;                 ///< max BFS depth / DFS stack depth reached
+  double seconds = 0.0;          ///< wall-clock time of the run
+  std::size_t memory_bytes = 0;  ///< state store footprint
+};
+
+/// Resource bounds for a search; engines stop with Verdict::kLimit when hit.
+struct SearchLimits {
+  std::size_t max_states = std::numeric_limits<std::size_t>::max();
+  int max_depth = std::numeric_limits<int>::max();  ///< BFS level / path length
+};
+
+}  // namespace tt::mc

@@ -1,0 +1,79 @@
+// Random-walk simulation over a TransitionSystem.
+//
+// The paper's design loop alternated model checking with eyeballing concrete
+// scenarios; this engine provides that: a seeded random scheduler resolves
+// all nondeterminism (fault injection included) and records the trajectory.
+// Examples use it to print startup timelines.
+#pragma once
+
+#include <vector>
+
+#include "mc/transition_system.hpp"
+#include "support/rng.hpp"
+
+namespace tt::mc {
+
+template <class TS>
+struct SimulationResult {
+  std::vector<typename TS::State> trace;  ///< visited states, in order
+  bool deadlocked = false;                ///< walk ended early: no successor
+};
+
+/// Walks `steps` transitions from a uniformly chosen initial state.
+template <TransitionSystem TS>
+[[nodiscard]] SimulationResult<TS> simulate(const TS& ts, int steps, Rng& rng) {
+  using State = typename TS::State;
+  SimulationResult<TS> result;
+
+  std::vector<State> options;
+  ts.initial_states([&](const State& s) { options.push_back(s); });
+  if (options.empty()) {
+    result.deadlocked = true;
+    return result;
+  }
+  State current = options[rng.below(static_cast<std::uint32_t>(options.size()))];
+  result.trace.push_back(current);
+
+  for (int i = 0; i < steps; ++i) {
+    options.clear();
+    ts.successors(current, [&](const State& t) { options.push_back(t); });
+    if (options.empty()) {
+      result.deadlocked = true;
+      break;
+    }
+    current = options[rng.below(static_cast<std::uint32_t>(options.size()))];
+    result.trace.push_back(current);
+  }
+  return result;
+}
+
+/// Walks until `stop(state)` holds or `max_steps` transitions elapsed.
+template <TransitionSystem TS, class Pred>
+[[nodiscard]] SimulationResult<TS> simulate_until(const TS& ts, Pred&& stop, int max_steps,
+                                                  Rng& rng) {
+  using State = typename TS::State;
+  SimulationResult<TS> result;
+
+  std::vector<State> options;
+  ts.initial_states([&](const State& s) { options.push_back(s); });
+  if (options.empty()) {
+    result.deadlocked = true;
+    return result;
+  }
+  State current = options[rng.below(static_cast<std::uint32_t>(options.size()))];
+  result.trace.push_back(current);
+
+  for (int i = 0; i < max_steps && !stop(current); ++i) {
+    options.clear();
+    ts.successors(current, [&](const State& t) { options.push_back(t); });
+    if (options.empty()) {
+      result.deadlocked = true;
+      break;
+    }
+    current = options[rng.below(static_cast<std::uint32_t>(options.size()))];
+    result.trace.push_back(current);
+  }
+  return result;
+}
+
+}  // namespace tt::mc

@@ -1,0 +1,23 @@
+// The TransitionSystem concept: the contract between a model (tta::Cluster,
+// kernel::PackedSystem, ...) and the explicit-state engines.
+//
+// A model exposes packed states as std::array<u64, kWords> and enumerates
+// initial states and successors through callbacks, so the engines never
+// allocate per-transition and the model never materializes successor sets.
+#pragma once
+
+#include <array>
+#include <concepts>
+#include <cstdint>
+
+namespace tt::mc {
+
+template <class TS>
+concept TransitionSystem = requires(const TS ts, const typename TS::State& s) {
+  { TS::kWords } -> std::convertible_to<std::size_t>;
+  requires std::same_as<typename TS::State, std::array<std::uint64_t, TS::kWords>>;
+  ts.initial_states([](const typename TS::State&) {});
+  ts.successors(s, [](const typename TS::State&) {});
+};
+
+}  // namespace tt::mc

@@ -1,0 +1,71 @@
+#include "sat/dimacs.hpp"
+
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace tt::sat {
+
+Cnf parse_dimacs(const std::string& text) {
+  Cnf cnf;
+  std::istringstream in(text);
+  std::string token;
+  bool header_seen = false;
+  int declared_clauses = 0;
+  std::vector<int> current;
+  while (in >> token) {
+    if (token == "c") {
+      std::string rest;
+      std::getline(in, rest);
+      continue;
+    }
+    if (token == "p") {
+      std::string fmt;
+      TT_REQUIRE(static_cast<bool>(in >> fmt >> cnf.num_vars >> declared_clauses),
+                 "malformed DIMACS header");
+      TT_REQUIRE(fmt == "cnf", "unsupported DIMACS format: " + fmt);
+      header_seen = true;
+      continue;
+    }
+    TT_REQUIRE(header_seen, "DIMACS literal before header");
+    int lit = 0;
+    try {
+      lit = std::stoi(token);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("ttstart: bad DIMACS token: " + token);
+    }
+    if (lit == 0) {
+      cnf.clauses.push_back(current);
+      current.clear();
+    } else {
+      TT_REQUIRE(std::abs(lit) <= cnf.num_vars, "literal exceeds declared variables");
+      current.push_back(lit);
+    }
+  }
+  TT_REQUIRE(current.empty(), "unterminated DIMACS clause");
+  return cnf;
+}
+
+std::string to_dimacs(const Cnf& cnf) {
+  std::ostringstream out;
+  out << "p cnf " << cnf.num_vars << " " << cnf.clauses.size() << "\n";
+  for (const auto& clause : cnf.clauses) {
+    for (int lit : clause) out << lit << " ";
+    out << "0\n";
+  }
+  return out.str();
+}
+
+void load(const Cnf& cnf, Solver& solver) {
+  while (solver.num_vars() < cnf.num_vars) (void)solver.new_var();
+  for (const auto& clause : cnf.clauses) {
+    std::vector<Lit> lits;
+    lits.reserve(clause.size());
+    for (int lit : clause) {
+      lits.push_back(Lit::make(std::abs(lit) - 1, lit < 0));
+    }
+    solver.add_clause(std::move(lits));
+  }
+}
+
+}  // namespace tt::sat

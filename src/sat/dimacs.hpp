@@ -1,0 +1,26 @@
+// Minimal DIMACS CNF reader/writer for tests and tooling interop.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/solver.hpp"
+
+namespace tt::sat {
+
+struct Cnf {
+  int num_vars = 0;
+  std::vector<std::vector<int>> clauses;  ///< DIMACS literals (1-based, sign = polarity)
+};
+
+/// Parses DIMACS CNF text. Throws std::invalid_argument on malformed input.
+[[nodiscard]] Cnf parse_dimacs(const std::string& text);
+
+/// Renders a CNF in DIMACS format.
+[[nodiscard]] std::string to_dimacs(const Cnf& cnf);
+
+/// Loads a CNF into a solver (creating variables 0..num_vars-1).
+void load(const Cnf& cnf, Solver& solver);
+
+}  // namespace tt::sat

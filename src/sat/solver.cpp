@@ -1,0 +1,388 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tt::sat {
+
+int Solver::new_var() {
+  const int v = num_vars();
+  assign_.push_back(0);
+  phase_.push_back(-1);  // default polarity: false (BMC formulas like sparse models)
+  level_.push_back(0);
+  reason_.push_back(kNoReason);
+  activity_.push_back(0.0);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  return v;
+}
+
+void Solver::add_clause(std::vector<Lit> lits) {
+  TT_ASSERT(trail_lim_.empty());  // clauses may only be added at level 0
+  // Normalize: remove duplicates and satisfied/false literals at level 0.
+  std::sort(lits.begin(), lits.end(),
+            [](Lit a, Lit b) { return a.code() < b.code(); });
+  std::vector<Lit> out;
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    const Lit l = lits[i];
+    if (i > 0 && l == lits[i - 1]) continue;
+    if (i > 0 && l == ~lits[i - 1]) return;  // tautology
+    const auto v = lit_value(l);
+    if (v > 0) return;  // already satisfied at level 0
+    if (v < 0) continue;
+    out.push_back(l);
+  }
+  if (out.empty()) {
+    unsat_ = true;
+    return;
+  }
+  if (out.size() == 1) {
+    if (lit_value(out[0]) == 0) {
+      enqueue(out[0], kNoReason);
+      if (propagate() != kNoReason) unsat_ = true;
+    }
+    return;
+  }
+  Clause c;
+  c.lits = std::move(out);
+  clauses_.push_back(std::move(c));
+  attach(static_cast<ClauseRef>(clauses_.size() - 1));
+}
+
+void Solver::attach(ClauseRef cr) {
+  const Clause& c = clauses_[static_cast<std::size_t>(cr)];
+  watches_[static_cast<std::size_t>((~c.lits[0]).code())].push_back(cr);
+  watches_[static_cast<std::size_t>((~c.lits[1]).code())].push_back(cr);
+}
+
+void Solver::enqueue(Lit l, ClauseRef reason) {
+  TT_ASSERT(lit_value(l) == 0);
+  assign_[static_cast<std::size_t>(l.var())] = l.negated() ? -1 : 1;
+  level_[static_cast<std::size_t>(l.var())] = static_cast<int>(trail_lim_.size());
+  reason_[static_cast<std::size_t>(l.var())] = reason;
+  trail_.push_back(l);
+}
+
+Solver::ClauseRef Solver::propagate() {
+  while (propagate_head_ < trail_.size()) {
+    const Lit p = trail_[propagate_head_++];
+    ++stats_.propagations;
+    auto& watch_list = watches_[static_cast<std::size_t>(p.code())];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < watch_list.size(); ++i) {
+      const ClauseRef cr = watch_list[i];
+      Clause& c = clauses_[static_cast<std::size_t>(cr)];
+      // Ensure the falsified literal is lits[1].
+      if (c.lits[0] == ~p) std::swap(c.lits[0], c.lits[1]);
+      TT_ASSERT(c.lits[1] == ~p);
+      if (lit_value(c.lits[0]) > 0) {
+        watch_list[keep++] = cr;  // satisfied; keep watching
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool moved = false;
+      for (std::size_t k = 2; k < c.lits.size(); ++k) {
+        if (lit_value(c.lits[k]) >= 0) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[static_cast<std::size_t>((~c.lits[1]).code())].push_back(cr);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Unit or conflicting.
+      watch_list[keep++] = cr;
+      if (lit_value(c.lits[0]) < 0) {
+        // Conflict: restore the remaining watches and report.
+        for (std::size_t j = i + 1; j < watch_list.size(); ++j) {
+          watch_list[keep++] = watch_list[j];
+        }
+        watch_list.resize(keep);
+        propagate_head_ = trail_.size();
+        return cr;
+      }
+      enqueue(c.lits[0], cr);
+    }
+    watch_list.resize(keep);
+  }
+  return kNoReason;
+}
+
+void Solver::bump_var(int var) {
+  activity_[static_cast<std::size_t>(var)] += var_inc_;
+  if (activity_[static_cast<std::size_t>(var)] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+}
+
+void Solver::bump_clause(Clause& c) {
+  c.activity += clause_inc_;
+  if (c.activity > 1e20) {
+    for (Clause& cl : clauses_) {
+      if (cl.learned) cl.activity *= 1e-20;
+    }
+    clause_inc_ *= 1e-20;
+  }
+}
+
+void Solver::decay_activities() {
+  var_inc_ /= 0.95;
+  clause_inc_ /= 0.999;
+}
+
+void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learnt, int& backtrack_level) {
+  learnt.clear();
+  learnt.push_back(Lit::make(0, false));  // placeholder for the asserting literal
+  to_clear_.clear();
+  int counter = 0;
+  Lit p;
+  bool have_p = false;
+  std::size_t trail_index = trail_.size();
+  const int current_level = static_cast<int>(trail_lim_.size());
+
+  ClauseRef cr = conflict;
+  do {
+    TT_ASSERT(cr != kNoReason);
+    Clause& c = clauses_[static_cast<std::size_t>(cr)];
+    if (c.learned) bump_clause(c);
+    for (const Lit q : c.lits) {
+      if (have_p && q == p) continue;
+      const int v = q.var();
+      if (seen_[static_cast<std::size_t>(v)] != 0 || level_[static_cast<std::size_t>(v)] == 0) {
+        continue;
+      }
+      seen_[static_cast<std::size_t>(v)] = 1;
+      to_clear_.push_back(v);
+      bump_var(v);
+      if (level_[static_cast<std::size_t>(v)] == current_level) {
+        ++counter;
+      } else {
+        learnt.push_back(q);
+      }
+    }
+    // Walk the trail backwards to the next marked literal. Marks stay set
+    // for the whole analysis (they double as the "already visited" set) and
+    // are cleared together at the end via to_clear_.
+    while (seen_[static_cast<std::size_t>(trail_[trail_index - 1].var())] == 0) {
+      --trail_index;
+    }
+    --trail_index;
+    p = trail_[trail_index];
+    have_p = true;
+    cr = reason_[static_cast<std::size_t>(p.var())];
+    --counter;
+  } while (counter > 0);
+  learnt[0] = ~p;
+
+  // Recursive clause minimization (remove literals implied by the rest).
+  std::uint32_t abstract_levels = 0;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    abstract_levels |= 1u << (level_[static_cast<std::size_t>(learnt[i].var())] & 31);
+  }
+  std::size_t keep = 1;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    const int v = learnt[i].var();
+    if (reason_[static_cast<std::size_t>(v)] == kNoReason ||
+        !lit_redundant(learnt[i], abstract_levels)) {
+      learnt[keep++] = learnt[i];
+    }
+  }
+  learnt.resize(keep);
+
+  // Compute the backtrack level (second-highest level in the clause).
+  backtrack_level = 0;
+  if (learnt.size() > 1) {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < learnt.size(); ++i) {
+      if (level_[static_cast<std::size_t>(learnt[i].var())] >
+          level_[static_cast<std::size_t>(learnt[max_i].var())]) {
+        max_i = i;
+      }
+    }
+    std::swap(learnt[1], learnt[max_i]);
+    backtrack_level = level_[static_cast<std::size_t>(learnt[1].var())];
+  }
+  for (const int v : to_clear_) seen_[static_cast<std::size_t>(v)] = 0;
+}
+
+bool Solver::lit_redundant(Lit l, std::uint32_t abstract_levels) {
+  minimize_stack_.clear();
+  minimize_stack_.push_back(l);
+  std::vector<int> newly_marked;
+  while (!minimize_stack_.empty()) {
+    const Lit q = minimize_stack_.back();
+    minimize_stack_.pop_back();
+    const ClauseRef cr = reason_[static_cast<std::size_t>(q.var())];
+    if (cr == kNoReason) {
+      for (int v : newly_marked) seen_[static_cast<std::size_t>(v)] = 0;
+      return false;
+    }
+    const Clause& c = clauses_[static_cast<std::size_t>(cr)];
+    for (const Lit r : c.lits) {
+      const int v = r.var();
+      if (v == q.var() || seen_[static_cast<std::size_t>(v)] != 0 ||
+          level_[static_cast<std::size_t>(v)] == 0) {
+        continue;
+      }
+      if ((1u << (level_[static_cast<std::size_t>(v)] & 31) & abstract_levels) == 0) {
+        for (int vv : newly_marked) seen_[static_cast<std::size_t>(vv)] = 0;
+        return false;
+      }
+      seen_[static_cast<std::size_t>(v)] = 1;
+      newly_marked.push_back(v);
+      minimize_stack_.push_back(r);
+    }
+  }
+  // Success: keep the marks (they memoize redundancy for the remaining
+  // literals) but register them for the end-of-analysis cleanup.
+  for (int v : newly_marked) to_clear_.push_back(v);
+  return true;
+}
+
+void Solver::backtrack(int target_level) {
+  while (static_cast<int>(trail_lim_.size()) > target_level) {
+    const int boundary = trail_lim_.back();
+    trail_lim_.pop_back();
+    while (static_cast<int>(trail_.size()) > boundary) {
+      const Lit l = trail_.back();
+      trail_.pop_back();
+      phase_[static_cast<std::size_t>(l.var())] = l.negated() ? -1 : 1;
+      assign_[static_cast<std::size_t>(l.var())] = 0;
+      reason_[static_cast<std::size_t>(l.var())] = kNoReason;
+    }
+  }
+  propagate_head_ = trail_.size();
+}
+
+int Solver::pick_branch_var() {
+  int best = -1;
+  double best_activity = -1.0;
+  for (int v = 0; v < num_vars(); ++v) {
+    if (assign_[static_cast<std::size_t>(v)] != 0) continue;
+    if (activity_[static_cast<std::size_t>(v)] > best_activity) {
+      best_activity = activity_[static_cast<std::size_t>(v)];
+      best = v;
+    }
+  }
+  return best;
+}
+
+int Solver::luby(int i) {
+  // Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+  int k = 1;
+  while ((1 << (k + 1)) <= i + 1) ++k;
+  while ((1 << k) - 1 != i + 1) {
+    i = i - (1 << k) + 1;
+    k = 1;
+    while ((1 << (k + 1)) <= i + 1) ++k;
+  }
+  return 1 << (k - 1);
+}
+
+void Solver::reduce_learned() {
+  // Remove the least active half of the learned clauses (keeping binary
+  // clauses), then rebuild the watch lists.
+  std::vector<ClauseRef> learned;
+  for (std::size_t i = 0; i < clauses_.size(); ++i) {
+    if (clauses_[i].learned && clauses_[i].lits.size() > 2) {
+      learned.push_back(static_cast<ClauseRef>(i));
+    }
+  }
+  if (learned.size() < 100) return;
+  std::sort(learned.begin(), learned.end(), [&](ClauseRef a, ClauseRef b) {
+    return clauses_[static_cast<std::size_t>(a)].activity <
+           clauses_[static_cast<std::size_t>(b)].activity;
+  });
+  std::vector<std::uint8_t> drop(clauses_.size(), 0);
+  for (std::size_t i = 0; i < learned.size() / 2; ++i) {
+    const ClauseRef cr = learned[i];
+    const Clause& c = clauses_[static_cast<std::size_t>(cr)];
+    // Never drop a clause that is currently a reason on the trail.
+    bool is_reason = false;
+    for (const Lit l : c.lits) {
+      if (assign_[static_cast<std::size_t>(l.var())] != 0 &&
+          reason_[static_cast<std::size_t>(l.var())] == cr) {
+        is_reason = true;
+        break;
+      }
+    }
+    if (!is_reason) drop[static_cast<std::size_t>(cr)] = 1;
+  }
+  // Rebuild: compacting clause storage would invalidate ClauseRefs held in
+  // reason_, so we only empty the dropped clauses and detach their watches.
+  for (auto& wl : watches_) {
+    std::size_t keep = 0;
+    for (const ClauseRef cr : wl) {
+      if (drop[static_cast<std::size_t>(cr)] == 0) wl[keep++] = cr;
+    }
+    wl.resize(keep);
+  }
+  for (std::size_t i = 0; i < clauses_.size(); ++i) {
+    if (drop[i] != 0) {
+      clauses_[i].lits.clear();
+      clauses_[i].lits.shrink_to_fit();
+    }
+  }
+}
+
+Result Solver::solve() {
+  if (unsat_) return Result::kUnsat;
+  if (propagate() != kNoReason) return Result::kUnsat;
+
+  std::vector<Lit> learnt;
+  int restart_count = 0;
+  std::uint64_t conflicts_until_restart =
+      100 * static_cast<std::uint64_t>(luby(restart_count));
+  std::uint64_t conflicts_this_restart = 0;
+  std::uint64_t reduce_at = 4000;
+
+  while (true) {
+    const ClauseRef conflict = propagate();
+    if (conflict != kNoReason) {
+      ++stats_.conflicts;
+      ++conflicts_this_restart;
+      if (trail_lim_.empty()) return Result::kUnsat;
+      int backtrack_level = 0;
+      analyze(conflict, learnt, backtrack_level);
+      backtrack(backtrack_level);
+      if (learnt.size() == 1) {
+        enqueue(learnt[0], kNoReason);
+      } else {
+        Clause c;
+        c.lits = learnt;
+        c.learned = true;
+        clauses_.push_back(std::move(c));
+        const auto cr = static_cast<ClauseRef>(clauses_.size() - 1);
+        bump_clause(clauses_[static_cast<std::size_t>(cr)]);
+        attach(cr);
+        enqueue(learnt[0], cr);
+        ++stats_.learned;
+      }
+      decay_activities();
+      if (stats_.learned >= reduce_at) {
+        reduce_learned();
+        reduce_at += 2000;
+      }
+      continue;
+    }
+
+    if (conflicts_this_restart >= conflicts_until_restart) {
+      ++stats_.restarts;
+      ++restart_count;
+      conflicts_this_restart = 0;
+      conflicts_until_restart = 100 * static_cast<std::uint64_t>(luby(restart_count));
+      backtrack(0);
+      continue;
+    }
+
+    const int v = pick_branch_var();
+    if (v < 0) return Result::kSat;  // full assignment, no conflict
+    ++stats_.decisions;
+    trail_lim_.push_back(static_cast<int>(trail_.size()));
+    enqueue(Lit::make(v, phase_[static_cast<std::size_t>(v)] < 0), kNoReason);
+  }
+}
+
+}  // namespace tt::sat

@@ -1,0 +1,114 @@
+// A CDCL SAT solver — the substrate behind the bounded model checker
+// (paper §5.2: "Bounded model checkers, which are based on propositional
+// satisfiability (SAT) solvers, are specialized for detecting bugs").
+//
+// Feature set: two-watched-literal propagation, first-UIP conflict analysis
+// with recursive clause minimization, EVSIDS branching, phase saving, Luby
+// restarts, and lazy clause-database reduction. Deliberately no
+// preprocessing: BMC formulas are generated, solved once, and discarded.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace tt::sat {
+
+/// A literal: variable index v with sign. Encoded as 2v (positive) or 2v+1
+/// (negated), the classic MiniSat representation.
+class Lit {
+ public:
+  Lit() = default;
+  static Lit make(int var, bool negated) { return Lit((var << 1) | (negated ? 1 : 0)); }
+
+  [[nodiscard]] int var() const noexcept { return code_ >> 1; }
+  [[nodiscard]] bool negated() const noexcept { return (code_ & 1) != 0; }
+  [[nodiscard]] Lit operator~() const noexcept { return Lit(code_ ^ 1); }
+  [[nodiscard]] int code() const noexcept { return code_; }
+  [[nodiscard]] bool operator==(const Lit&) const = default;
+
+ private:
+  explicit Lit(int code) : code_(code) {}
+  int code_ = -2;
+};
+
+enum class Result { kSat, kUnsat };
+
+class Solver {
+ public:
+  /// Creates a fresh variable; returns its index.
+  int new_var();
+  [[nodiscard]] int num_vars() const noexcept { return static_cast<int>(assign_.size()); }
+
+  /// Adds a clause (empty clause makes the instance trivially unsat).
+  void add_clause(std::vector<Lit> lits);
+
+  /// Solves the current formula. May be called once per instance.
+  [[nodiscard]] Result solve();
+
+  /// Value of `var` in the satisfying assignment (only after kSat).
+  [[nodiscard]] bool value(int var) const {
+    TT_ASSERT(assign_[static_cast<std::size_t>(var)] != 0);
+    return assign_[static_cast<std::size_t>(var)] > 0;
+  }
+
+  struct Stats {
+    std::uint64_t conflicts = 0;
+    std::uint64_t decisions = 0;
+    std::uint64_t propagations = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t learned = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Clause {
+    std::vector<Lit> lits;
+    bool learned = false;
+    double activity = 0.0;
+  };
+  using ClauseRef = int;
+  static constexpr ClauseRef kNoReason = -1;
+
+  [[nodiscard]] std::int8_t lit_value(Lit l) const {
+    const std::int8_t v = assign_[static_cast<std::size_t>(l.var())];
+    return l.negated() ? static_cast<std::int8_t>(-v) : v;
+  }
+
+  void enqueue(Lit l, ClauseRef reason);
+  [[nodiscard]] ClauseRef propagate();
+  void analyze(ClauseRef conflict, std::vector<Lit>& learnt, int& backtrack_level);
+  [[nodiscard]] bool lit_redundant(Lit l, std::uint32_t abstract_levels);
+  void backtrack(int level);
+  [[nodiscard]] int pick_branch_var();
+  void bump_var(int var);
+  void bump_clause(Clause& c);
+  void decay_activities();
+  void attach(ClauseRef cr);
+  void reduce_learned();
+  [[nodiscard]] static int luby(int i);
+
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<ClauseRef>> watches_;  // indexed by literal code
+  std::vector<std::int8_t> assign_;              // 0 unassigned, +1 true, -1 false
+  std::vector<std::int8_t> phase_;               // saved phases
+  std::vector<int> level_;
+  std::vector<ClauseRef> reason_;
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  std::size_t propagate_head_ = 0;
+
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  double clause_inc_ = 1.0;
+  std::vector<int> heap_;  // lazy: simple max-scan; fine for BMC-scale problems
+  std::vector<std::uint8_t> seen_;
+  std::vector<int> to_clear_;  ///< vars whose seen_ mark analyze() must reset
+  std::vector<Lit> minimize_stack_;
+
+  bool unsat_ = false;
+  Stats stats_;
+};
+
+}  // namespace tt::sat

@@ -1,0 +1,40 @@
+// Assertion and narrowing helpers shared by every ttstart module.
+//
+// TT_ASSERT   - internal invariant; aborts with a message. Compiled in all
+//               build types: model-checker correctness depends on these and
+//               the cost is negligible next to state exploration.
+// TT_REQUIRE  - precondition on public API input; throws std::invalid_argument.
+// tt::narrow  - checked narrowing conversion (Core Guidelines ES.46).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+namespace tt {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "ttstart: assertion failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+template <class To, class From>
+[[nodiscard]] constexpr To narrow(From v) {
+  static_assert(std::is_integral_v<To> && std::is_integral_v<From>);
+  const To r = static_cast<To>(v);
+  if (static_cast<From>(r) != v || ((r < To{}) != (v < From{}))) {
+    throw std::range_error("ttstart: narrowing conversion lost information");
+  }
+  return r;
+}
+
+}  // namespace tt
+
+#define TT_ASSERT(expr) \
+  ((expr) ? static_cast<void>(0) : ::tt::assert_fail(#expr, __FILE__, __LINE__))
+
+#define TT_REQUIRE(expr, msg)                                            \
+  ((expr) ? static_cast<void>(0)                                         \
+          : throw std::invalid_argument(std::string("ttstart: ") + (msg)))

@@ -1,0 +1,157 @@
+#include "support/biguint.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace tt {
+
+BigUint::BigUint(std::uint64_t v) {
+  while (v != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(v));
+    v >>= 32;
+  }
+}
+
+BigUint BigUint::from_decimal(const std::string& digits) {
+  TT_REQUIRE(!digits.empty(), "empty decimal string");
+  BigUint r;
+  for (char c : digits) {
+    TT_REQUIRE(c >= '0' && c <= '9', "invalid decimal digit");
+    r *= BigUint(10);
+    r += BigUint(static_cast<std::uint64_t>(c - '0'));
+  }
+  return r;
+}
+
+void BigUint::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUint& BigUint::operator+=(const BigUint& rhs) {
+  const std::size_t n = std::max(limbs_.size(), rhs.limbs_.size());
+  limbs_.resize(n, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry + limbs_[i];
+    if (i < rhs.limbs_.size()) sum += rhs.limbs_[i];
+    limbs_[i] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  if (carry != 0) limbs_.push_back(static_cast<std::uint32_t>(carry));
+  return *this;
+}
+
+BigUint& BigUint::operator*=(const BigUint& rhs) {
+  if (is_zero() || rhs.is_zero()) {
+    limbs_.clear();
+    return *this;
+  }
+  std::vector<std::uint32_t> out(limbs_.size() + rhs.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < rhs.limbs_.size(); ++j) {
+      std::uint64_t cur = out[i + j] + carry +
+                          static_cast<std::uint64_t>(limbs_[i]) * rhs.limbs_[j];
+      out[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + rhs.limbs_.size();
+    while (carry != 0) {
+      std::uint64_t cur = out[k] + carry;
+      out[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  limbs_ = std::move(out);
+  trim();
+  return *this;
+}
+
+BigUint BigUint::pow(const BigUint& base, unsigned exponent) {
+  BigUint result(1);
+  BigUint b = base;
+  while (exponent != 0) {
+    if (exponent & 1u) result *= b;
+    exponent >>= 1;
+    if (exponent != 0) b *= b;
+  }
+  return result;
+}
+
+std::strong_ordering BigUint::operator<=>(const BigUint& rhs) const {
+  if (limbs_.size() != rhs.limbs_.size()) return limbs_.size() <=> rhs.limbs_.size();
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != rhs.limbs_[i]) return limbs_[i] <=> rhs.limbs_[i];
+  }
+  return std::strong_ordering::equal;
+}
+
+double BigUint::to_double() const noexcept {
+  double r = 0.0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) r = r * 4294967296.0 + limbs_[i];
+  return r;
+}
+
+std::string BigUint::to_decimal() const {
+  if (is_zero()) return "0";
+  std::vector<std::uint32_t> work = limbs_;
+  std::string out;
+  while (!work.empty()) {
+    // Divide work by 1e9; collect remainder digits.
+    std::uint64_t rem = 0;
+    for (std::size_t i = work.size(); i-- > 0;) {
+      std::uint64_t cur = (rem << 32) | work[i];
+      work[i] = static_cast<std::uint32_t>(cur / 1000000000u);
+      rem = cur % 1000000000u;
+    }
+    while (!work.empty() && work.back() == 0) work.pop_back();
+    for (int d = 0; d < 9; ++d) {
+      out.push_back(static_cast<char>('0' + rem % 10));
+      rem /= 10;
+      if (work.empty() && rem == 0) break;
+    }
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string BigUint::to_scientific(int sig) const {
+  TT_REQUIRE(sig >= 1, "need at least one significant digit");
+  const std::string dec = to_decimal();
+  int exp10 = static_cast<int>(dec.size()) - 1;
+  if (exp10 < sig + 2) return dec;  // small numbers read better exactly
+
+  // Round to `sig` significant digits (half-up), handling the 9.99 -> 10
+  // carry by shifting the exponent.
+  std::string digits = dec.substr(0, static_cast<std::size_t>(sig));
+  const bool round_up = dec.size() > static_cast<std::size_t>(sig) && dec[sig] >= '5';
+  if (round_up) {
+    int i = sig - 1;
+    while (i >= 0 && digits[i] == '9') digits[i--] = '0';
+    if (i < 0) {
+      digits.insert(digits.begin(), '1');
+      digits.pop_back();
+      ++exp10;
+    } else {
+      ++digits[i];
+    }
+  }
+  std::string mant;
+  mant.push_back(digits[0]);
+  if (sig > 1) {
+    mant.push_back('.');
+    mant += digits.substr(1);
+    while (mant.size() > 2 && mant.back() == '0') mant.pop_back();
+    if (mant.back() == '.') mant.pop_back();
+  }
+  return mant + "e" + std::to_string(exp10);
+}
+
+int BigUint::decimal_digits() const {
+  return static_cast<int>(to_decimal().size());
+}
+
+}  // namespace tt

@@ -1,0 +1,47 @@
+// Arbitrary-precision unsigned integers.
+//
+// Used by core/scenario_math to evaluate the paper's scenario-count formulas
+// (Figure 5) *exactly* — |S_f.n.| for n=5 is ~4.9e46, far beyond u64. Only the
+// operations the formulas need are provided: +, *, pow, comparison, decimal
+// and scientific rendering. Representation: little-endian base-2^32 limbs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tt {
+
+class BigUint {
+ public:
+  BigUint() = default;
+  BigUint(std::uint64_t v);  // NOLINT(google-explicit-constructor): numeric literal ergonomics
+
+  [[nodiscard]] static BigUint from_decimal(const std::string& digits);
+
+  BigUint& operator+=(const BigUint& rhs);
+  BigUint& operator*=(const BigUint& rhs);
+  [[nodiscard]] friend BigUint operator+(BigUint lhs, const BigUint& rhs) { return lhs += rhs; }
+  [[nodiscard]] friend BigUint operator*(BigUint lhs, const BigUint& rhs) { return lhs *= rhs; }
+
+  [[nodiscard]] static BigUint pow(const BigUint& base, unsigned exponent);
+
+  [[nodiscard]] bool operator==(const BigUint& rhs) const = default;
+  [[nodiscard]] std::strong_ordering operator<=>(const BigUint& rhs) const;
+
+  [[nodiscard]] bool is_zero() const noexcept { return limbs_.empty(); }
+  /// Approximate double value (inf if > DBL_MAX).
+  [[nodiscard]] double to_double() const noexcept;
+  /// Exact decimal string.
+  [[nodiscard]] std::string to_decimal() const;
+  /// "4.9e46"-style rendering with `sig` significant digits.
+  [[nodiscard]] std::string to_scientific(int sig = 2) const;
+  /// Number of decimal digits (1 for zero).
+  [[nodiscard]] int decimal_digits() const;
+
+ private:
+  void trim();
+  std::vector<std::uint32_t> limbs_;  // little-endian; empty == 0
+};
+
+}  // namespace tt

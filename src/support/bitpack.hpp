@@ -1,0 +1,84 @@
+// Bit-level packing of model-checker states into fixed arrays of u64 words.
+//
+// A `BitCursor` writes/reads unsigned fields of declared width sequentially.
+// State layouts are computed once per model configuration; pack/unpack must
+// agree on the field order, which the model code guarantees by using a single
+// (templated) visit function for both directions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "support/assert.hpp"
+
+namespace tt {
+
+/// Number of bits needed to represent values in [0, n-1] (n >= 1).
+[[nodiscard]] constexpr int bits_for(std::uint64_t n) noexcept {
+  int b = 0;
+  std::uint64_t v = (n == 0) ? 0 : n - 1;
+  while (v != 0) {
+    ++b;
+    v >>= 1;
+  }
+  return b == 0 ? 1 : b;
+}
+
+/// Sequential bit writer over a caller-owned word array.
+class BitWriter {
+ public:
+  BitWriter(std::uint64_t* words, int nwords) noexcept : words_(words), nwords_(nwords) {
+    for (int i = 0; i < nwords; ++i) words_[i] = 0;
+  }
+
+  void put(std::uint64_t value, int width) {
+    TT_ASSERT(width > 0 && width <= 64);
+    TT_ASSERT(width == 64 || value < (std::uint64_t{1} << width));
+    int word = pos_ >> 6;
+    const int off = pos_ & 63;
+    TT_ASSERT(word < nwords_);
+    words_[word] |= value << off;
+    if (off + width > 64) {
+      TT_ASSERT(word + 1 < nwords_);
+      words_[word + 1] |= value >> (64 - off);
+    }
+    pos_ += width;
+  }
+
+  [[nodiscard]] int bits_written() const noexcept { return pos_; }
+
+ private:
+  std::uint64_t* words_;
+  int nwords_;
+  int pos_ = 0;
+};
+
+/// Sequential bit reader mirroring BitWriter.
+class BitReader {
+ public:
+  BitReader(const std::uint64_t* words, int nwords) noexcept : words_(words), nwords_(nwords) {}
+
+  [[nodiscard]] std::uint64_t get(int width) {
+    TT_ASSERT(width > 0 && width <= 64);
+    const int word = pos_ >> 6;
+    const int off = pos_ & 63;
+    TT_ASSERT(word < nwords_);
+    std::uint64_t v = words_[word] >> off;
+    if (off + width > 64) {
+      TT_ASSERT(word + 1 < nwords_);
+      v |= words_[word + 1] << (64 - off);
+    }
+    pos_ += width;
+    if (width < 64) v &= (std::uint64_t{1} << width) - 1;
+    return v;
+  }
+
+  [[nodiscard]] int bits_read() const noexcept { return pos_; }
+
+ private:
+  const std::uint64_t* words_;
+  int nwords_;
+  int pos_ = 0;
+};
+
+}  // namespace tt

@@ -1,0 +1,34 @@
+// FunctionRef: non-owning callable reference (the Core Guidelines' answer to
+// "callback parameter that never outlives the call"). Used on the hot
+// model-checker path where std::function's ownership and potential allocation
+// are unnecessary: successor callbacks run ~1e9 times per verification run.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace tt {
+
+template <class Sig>
+class FunctionRef;
+
+template <class R, class... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <class F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+             std::is_invocable_r_v<R, F&, Args...>)
+  FunctionRef(F&& f) noexcept  // NOLINT(google-explicit-constructor): by design
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const { return call_(obj_, std::forward<Args>(args)...); }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace tt

@@ -1,0 +1,35 @@
+// Hashing primitives for packed model-checker states.
+//
+// We hash fixed-width arrays of 64-bit words. The mixer is the splitmix64
+// finalizer, which has full avalanche and is the standard choice for hash
+// tables keyed by machine words.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace tt {
+
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+[[nodiscard]] constexpr std::uint64_t hash_words(std::span<const std::uint64_t> words) noexcept {
+  std::uint64_t h = 0x243f6a8885a308d3ULL;  // pi digits, arbitrary nonzero seed
+  for (std::uint64_t w : words) h = mix64(h ^ w);
+  return h;
+}
+
+template <std::size_t W>
+[[nodiscard]] constexpr std::uint64_t hash_words(const std::array<std::uint64_t, W>& words) noexcept {
+  std::uint64_t h = 0x243f6a8885a308d3ULL;
+  for (std::uint64_t w : words) h = mix64(h ^ w);
+  return h;
+}
+
+}  // namespace tt

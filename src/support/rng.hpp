@@ -1,0 +1,55 @@
+// Deterministic pseudo-random number generation for simulation and tests.
+//
+// xoshiro256** seeded via splitmix64 — small, fast, reproducible across
+// platforms (unlike std::default_random_engine).
+#pragma once
+
+#include <cstdint>
+
+#include "support/assert.hpp"
+
+namespace tt {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) noexcept {
+    // splitmix64 stream to fill the xoshiro state.
+    auto next_seed = [&seed]() {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return z ^ (z >> 31);
+    };
+    for (auto& w : s_) w = next_seed();
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound) via Lemire's multiply-shift (bound > 0).
+  std::uint32_t below(std::uint32_t bound) noexcept {
+    TT_ASSERT(bound > 0);
+    return static_cast<std::uint32_t>((static_cast<unsigned __int128>(next() >> 32) * bound) >> 32);
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() noexcept { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace tt

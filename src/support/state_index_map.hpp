@@ -1,0 +1,89 @@
+// StateIndexMap: the central data structure of the explicit-state engines.
+//
+// It interns fixed-width packed states (arrays of W u64 words) and assigns
+// each distinct state a dense 32-bit index in insertion order. The dense
+// index doubles as a BFS queue position and as a handle for parent links
+// (counterexample reconstruction).
+//
+// Implementation: open addressing with linear probing over a power-of-two
+// table of u32 slots; states live contiguously in an arena vector. This keeps
+// the per-state overhead at sizeof(state) + 4-8 bytes and makes the probe
+// sequence cache-friendly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/hash.hpp"
+
+namespace tt {
+
+template <std::size_t W>
+class StateIndexMap {
+ public:
+  using State = std::array<std::uint64_t, W>;
+  static constexpr std::uint32_t kEmpty = 0xffffffffu;
+
+  explicit StateIndexMap(std::size_t initial_capacity = 1 << 16) {
+    std::size_t cap = 64;
+    while (cap < initial_capacity) cap <<= 1;
+    table_.assign(cap, kEmpty);
+    mask_ = cap - 1;
+  }
+
+  /// Interns `s`. Returns {dense index, true-if-new}.
+  std::pair<std::uint32_t, bool> insert(const State& s) {
+    if ((arena_.size() + 1) * 10 >= table_.size() * 7) grow();
+    std::size_t slot = hash_words(s) & mask_;
+    while (true) {
+      const std::uint32_t idx = table_[slot];
+      if (idx == kEmpty) {
+        const auto dense = static_cast<std::uint32_t>(arena_.size());
+        TT_ASSERT(dense != kEmpty);
+        arena_.push_back(s);
+        table_[slot] = dense;
+        return {dense, true};
+      }
+      if (arena_[idx] == s) return {idx, false};
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  /// Looks up `s`; returns kEmpty when absent.
+  [[nodiscard]] std::uint32_t find(const State& s) const {
+    std::size_t slot = hash_words(s) & mask_;
+    while (true) {
+      const std::uint32_t idx = table_[slot];
+      if (idx == kEmpty) return kEmpty;
+      if (arena_[idx] == s) return idx;
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  [[nodiscard]] const State& at(std::uint32_t idx) const { return arena_[idx]; }
+  [[nodiscard]] std::size_t size() const noexcept { return arena_.size(); }
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return arena_.capacity() * sizeof(State) + table_.capacity() * sizeof(std::uint32_t);
+  }
+
+ private:
+  void grow() {
+    std::vector<std::uint32_t> bigger(table_.size() * 2, kEmpty);
+    const std::size_t mask = bigger.size() - 1;
+    for (std::uint32_t idx = 0; idx < arena_.size(); ++idx) {
+      std::size_t slot = hash_words(arena_[idx]) & mask;
+      while (bigger[slot] != kEmpty) slot = (slot + 1) & mask;
+      bigger[slot] = idx;
+    }
+    table_ = std::move(bigger);
+    mask_ = mask;
+  }
+
+  std::vector<State> arena_;
+  std::vector<std::uint32_t> table_;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace tt

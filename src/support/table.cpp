@@ -1,0 +1,55 @@
+#include "support/table.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "support/assert.hpp"
+
+namespace tt {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  TT_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  TT_REQUIRE(cells.size() == header_.size(), "row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    out += "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += " " + row[c] + std::string(width[c] - row[c].size(), ' ') + " |";
+    }
+    out += "\n";
+  };
+  std::string out;
+  emit_row(header_, out);
+  out += "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) out += std::string(width[c] + 2, '-') + "|";
+  out += "\n";
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+std::string strfmt(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  TT_ASSERT(n >= 0);
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+  va_end(args2);
+  return out;
+}
+
+}  // namespace tt

@@ -1,0 +1,30 @@
+// Plain-text table rendering for bench output and EXPERIMENTS.md.
+//
+// Benches print "paper vs measured" tables; this keeps them aligned and
+// consistent. Cells are strings; the first row is the header.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tt {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Renders with column alignment, `| a | b |` style (markdown-compatible).
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helper returning std::string.
+[[nodiscard]] std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace tt

@@ -1,0 +1,322 @@
+#include "tta/cluster.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/bitpack.hpp"
+
+namespace tt::tta {
+
+Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
+  cfg_.validate();
+  faulty_outputs_ = FaultyNodeOutputs(cfg_);
+
+  counter_bits_ = bits_for(static_cast<std::uint64_t>(cfg_.max_count()) + 1);
+  pos_bits_ = bits_for(static_cast<std::uint64_t>(cfg_.n));
+  frame_bits_ = 2 + pos_bits_ + 1;
+  st_bits_ = cfg_.timeliness_bound > 0
+                 ? bits_for(static_cast<std::uint64_t>(cfg_.timeliness_bound) + 3)
+                 : 0;
+  restart_bits_ = cfg_.transient_restarts > 0
+                      ? bits_for(static_cast<std::uint64_t>(cfg_.transient_restarts) + 1)
+                      : 0;
+
+  int bits = 0;
+  bits += cfg_.n * (3 + counter_bits_ + pos_bits_ + 1);
+  for (int h = 0; h < 2; ++h) {
+    if (cfg_.hub_is_faulty(h)) {
+      bits += 3 + 2 * cfg_.n + cfg_.n * frame_bits_;
+    } else {
+      bits += 3 + counter_bits_ + pos_bits_ + cfg_.n + frame_bits_;
+    }
+  }
+  bits += st_bits_;
+  bits += restart_bits_;
+  TT_REQUIRE(bits <= static_cast<int>(kWords * 64), "state exceeds packed capacity");
+  state_bits_ = bits;
+}
+
+Cluster::State Cluster::pack(const ClusterState& c) const {
+  State s{};
+  BitWriter w(s.data(), kWords);
+  auto put_frame = [&](const Frame& f) {
+    w.put(static_cast<std::uint64_t>(f.kind), 2);
+    w.put(f.time, pos_bits_);
+    w.put(f.ok ? 1 : 0, 1);
+  };
+  for (int i = 0; i < cfg_.n; ++i) {
+    const NodeVars& v = c.node[i];
+    w.put(static_cast<std::uint64_t>(v.state), 3);
+    w.put(v.counter, counter_bits_);
+    w.put(v.pos, pos_bits_);
+    w.put(v.big_bang ? 1 : 0, 1);
+  }
+  for (int h = 0; h < 2; ++h) {
+    const HubVars& v = c.hub[h];
+    w.put(static_cast<std::uint64_t>(v.state), 3);
+    if (cfg_.hub_is_faulty(h)) {
+      w.put(v.pattern, 2 * cfg_.n);
+      for (int j = 0; j < cfg_.n; ++j) put_frame(v.out_per_port[j]);
+    } else {
+      w.put(v.counter, counter_bits_);
+      w.put(v.slot_pos, pos_bits_);
+      w.put(v.locks, cfg_.n);
+      put_frame(v.out);
+    }
+  }
+  if (st_bits_ > 0) w.put(c.startup_time, st_bits_);
+  if (restart_bits_ > 0) w.put(c.restarts_used, restart_bits_);
+  TT_ASSERT(w.bits_written() == state_bits_);
+  return s;
+}
+
+ClusterState Cluster::unpack(const State& s) const {
+  ClusterState c;
+  BitReader r(s.data(), kWords);
+  auto get_frame = [&]() {
+    Frame f;
+    f.kind = static_cast<MsgKind>(r.get(2));
+    f.time = static_cast<std::uint8_t>(r.get(pos_bits_));
+    f.ok = r.get(1) != 0;
+    return f;
+  };
+  for (int i = 0; i < cfg_.n; ++i) {
+    NodeVars& v = c.node[i];
+    v.state = static_cast<NodeState>(r.get(3));
+    v.counter = static_cast<std::uint8_t>(r.get(counter_bits_));
+    v.pos = static_cast<std::uint8_t>(r.get(pos_bits_));
+    v.big_bang = r.get(1) != 0;
+  }
+  for (int h = 0; h < 2; ++h) {
+    HubVars& v = c.hub[h];
+    v = HubVars{};
+    v.state = static_cast<HubState>(r.get(3));
+    if (cfg_.hub_is_faulty(h)) {
+      v.counter = 0;
+      v.pattern = static_cast<std::uint16_t>(r.get(2 * cfg_.n));
+      for (int j = 0; j < cfg_.n; ++j) v.out_per_port[j] = get_frame();
+    } else {
+      v.counter = static_cast<std::uint8_t>(r.get(counter_bits_));
+      v.slot_pos = static_cast<std::uint8_t>(r.get(pos_bits_));
+      v.locks = static_cast<std::uint8_t>(r.get(cfg_.n));
+      v.out = get_frame();
+    }
+  }
+  c.startup_time = st_bits_ > 0 ? static_cast<std::uint8_t>(r.get(st_bits_)) : 0;
+  c.restarts_used = restart_bits_ > 0 ? static_cast<std::uint8_t>(r.get(restart_bits_)) : 0;
+  TT_ASSERT(r.bits_read() == state_bits_);
+  return c;
+}
+
+ClusterState Cluster::base_initial_state() const {
+  ClusterState c;
+  for (int i = 0; i < cfg_.n; ++i) {
+    if (cfg_.node_is_faulty(i)) {
+      c.node[i] = faulty_node_vars(cfg_, 0);
+    } else {
+      c.node[i] = NodeVars{};  // INIT, counter 1, big-bang armed
+    }
+  }
+  for (int h = 0; h < 2; ++h) {
+    c.hub[h] = HubVars{};
+    if (cfg_.hub_is_faulty(h)) {
+      c.hub[h].state = HubState::kFaulty;
+      c.hub[h].counter = 0;
+    }
+  }
+  c.startup_time = 0;
+  return c;
+}
+
+void Cluster::initial_states(Emit emit) const {
+  ClusterState c = base_initial_state();
+  if (cfg_.faulty_hub == ClusterConfig::kNone) {
+    emit(pack(c));
+    return;
+  }
+  const int total = pow3(cfg_.n);
+  for (int p = 0; p < total; ++p) {
+    HubVars& fh = c.hub[cfg_.faulty_hub];
+    fh.pattern = 0;
+    int rest = p;
+    for (int j = 0; j < cfg_.n; ++j) {
+      fh.set_port_mode(j, static_cast<HubPortMode>(rest % 3));
+      rest /= 3;
+    }
+    emit(pack(c));
+  }
+}
+
+void Cluster::successors(const State& s, Emit emit) const {
+  const ClusterState c = unpack(s);
+  step(c, [&](const ClusterState& t) { emit(pack(t)); });
+}
+
+void Cluster::step_unpacked(const ClusterState& c, EmitUnpacked emit) const {
+  step(c, emit);
+}
+
+std::uint8_t Cluster::next_startup_time(const ClusterState& next, std::uint8_t prev) const {
+  const int bound = cfg_.timeliness_bound;
+  if (bound == 0) return 0;
+  const auto done = static_cast<std::uint8_t>(bound + 2);
+  if (prev == done) return done;
+
+  bool target = false;
+  if (cfg_.timeliness_target == TimelinessTarget::kFirstCorrectActive) {
+    for (int i = 0; i < cfg_.n; ++i) {
+      if (!cfg_.node_is_faulty(i) && next.node[i].state == NodeState::kActive) {
+        target = true;
+        break;
+      }
+    }
+  } else {
+    const int hc = cfg_.faulty_hub == 0 ? 1 : 0;  // first correct hub
+    target = next.hub[hc].state == HubState::kTentative ||
+             next.hub[hc].state == HubState::kActive;
+  }
+  if (target) return done;
+
+  if (prev == 0) {
+    int awake = 0;
+    for (int i = 0; i < cfg_.n; ++i) {
+      if (cfg_.node_is_faulty(i)) continue;
+      if (next.node[i].state == NodeState::kListen ||
+          next.node[i].state == NodeState::kColdstart) {
+        ++awake;
+      }
+    }
+    return awake >= 2 ? 1 : 0;
+  }
+  return static_cast<std::uint8_t>(std::min<int>(prev + 1, bound + 1));
+}
+
+void Cluster::step(const ClusterState& c, EmitUnpacked emit) const {
+  step_impl(c, -1, emit);
+  // The restart dimension (paper §2.1): while budget remains, any one
+  // correct node may be reset to INIT by a transient fault this step.
+  if (cfg_.transient_restarts > 0 && c.restarts_used < cfg_.transient_restarts) {
+    for (int r = 0; r < cfg_.n; ++r) {
+      if (!cfg_.node_is_faulty(r)) step_impl(c, r, emit);
+    }
+  }
+}
+
+void Cluster::step_impl(const ClusterState& c, int restart_node, EmitUnpacked emit) const {
+  const int n = cfg_.n;
+
+  // Frames delivered to each node in the previous slot.
+  Frame node_in[kMaxNodes][kNumChannels];
+  for (int i = 0; i < n; ++i) {
+    for (int h = 0; h < kNumChannels; ++h) {
+      node_in[i][h] = c.hub[h].delivered(i, cfg_.hub_is_faulty(h));
+    }
+  }
+
+  // Lock status fed back to the faulty node (guardian -> node "feedback").
+  std::uint8_t fn_locks = 0;
+  if (cfg_.faulty_node != ClusterConfig::kNone) {
+    for (int h = 0; h < kNumChannels; ++h) {
+      if (!cfg_.hub_is_faulty(h) && ((c.hub[h].locks >> cfg_.faulty_node) & 1u)) {
+        fn_locks = static_cast<std::uint8_t>(fn_locks | (1u << h));
+      }
+    }
+  }
+  const auto& fpairs = faulty_outputs_.pairs(fn_locks);
+
+  // --- Node phase: precompute each node's options. Correct nodes have at
+  // most two (INIT wake-up nondeterminism); the faulty node has one per
+  // admitted output pair.
+  int nopt[kMaxNodes];
+  NodeVars copt_vars[kMaxNodes][2];
+  Frame copt_out[kMaxNodes][2];
+  const NodeVars faulty_next =
+      cfg_.faulty_node != ClusterConfig::kNone ? faulty_node_vars(cfg_, fn_locks) : NodeVars{};
+  for (int i = 0; i < n; ++i) {
+    if (i == restart_node) {
+      // Transient fault: the node powers up afresh and transmits nothing.
+      nopt[i] = 1;
+      copt_vars[i][0] = NodeVars{};
+      copt_out[i][0] = Frame::quiet();
+    } else if (cfg_.node_is_faulty(i)) {
+      nopt[i] = static_cast<int>(fpairs.size());
+    } else {
+      nopt[i] = node_option_count(cfg_, c.node[i]);
+      TT_ASSERT(nopt[i] <= 2);
+      for (int o = 0; o < nopt[i]; ++o) {
+        const NodeStep st = node_step(cfg_, i, c.node[i], node_in[i], o);
+        copt_vars[i][o] = st.next;
+        copt_out[i][o] = st.out;
+      }
+    }
+  }
+
+  // State-phase option counts for the hubs (INIT wake-up nondeterminism).
+  const int sopt0 = hub_state_option_count(cfg_, 0, c.hub[0]);
+  const int sopt1 = hub_state_option_count(cfg_, 1, c.hub[1]);
+
+  int choice[kMaxNodes] = {};
+  NodeVars next_node[kMaxNodes];
+  Frame outs[kNumChannels][kMaxNodes];  // per-channel view of node outputs
+  while (true) {
+    for (int i = 0; i < n; ++i) {
+      if (cfg_.node_is_faulty(i)) {
+        const auto& pr = fpairs[static_cast<std::size_t>(choice[i])];
+        outs[0][i] = pr.first;
+        outs[1][i] = pr.second;
+        next_node[i] = faulty_next;
+      } else {
+        next_node[i] = copt_vars[i][choice[i]];
+        outs[0][i] = outs[1][i] = copt_out[i][choice[i]];
+      }
+    }
+
+    // --- Hub phase. Relay decisions of correct hubs are pure functions of
+    // node outputs; a faulty hub may additionally replay the correct hub's
+    // same-step interlink output, so correct hubs are computed first.
+    const int ropt0 = hub_relay_option_count(cfg_, 0, c.hub[0], outs[0]);
+    const int ropt1 = hub_relay_option_count(cfg_, 1, c.hub[1], outs[1]);
+    for (int r0 = 0; r0 < ropt0; ++r0) {
+      for (int r1 = 0; r1 < ropt1; ++r1) {
+        RelayDecision d0;
+        RelayDecision d1;
+        if (cfg_.hub_is_faulty(0)) {
+          d1 = hub_relay(cfg_, 1, c.hub[1], outs[1], r1);
+          d0 = faulty_hub_relay(cfg_, c.hub[0], outs[0], d1.interlink, r0);
+        } else if (cfg_.hub_is_faulty(1)) {
+          d0 = hub_relay(cfg_, 0, c.hub[0], outs[0], r0);
+          d1 = faulty_hub_relay(cfg_, c.hub[1], outs[1], d0.interlink, r1);
+        } else {
+          d0 = hub_relay(cfg_, 0, c.hub[0], outs[0], r0);
+          d1 = hub_relay(cfg_, 1, c.hub[1], outs[1], r1);
+        }
+        for (int s0 = 0; s0 < sopt0; ++s0) {
+          for (int s1 = 0; s1 < sopt1; ++s1) {
+            ClusterState t;
+            for (int i = 0; i < n; ++i) t.node[i] = next_node[i];
+            t.hub[0] = cfg_.hub_is_faulty(0)
+                           ? faulty_hub_state_step(cfg_, c.hub[0], d0)
+                           : hub_state_step(cfg_, 0, c.hub[0], d0, d1.interlink, s0);
+            t.hub[1] = cfg_.hub_is_faulty(1)
+                           ? faulty_hub_state_step(cfg_, c.hub[1], d1)
+                           : hub_state_step(cfg_, 1, c.hub[1], d1, d0.interlink, s1);
+            t.startup_time = next_startup_time(t, c.startup_time);
+            t.restarts_used =
+                static_cast<std::uint8_t>(c.restarts_used + (restart_node >= 0 ? 1 : 0));
+            emit(t);
+          }
+        }
+      }
+    }
+
+    int k = 0;
+    while (k < n) {
+      if (++choice[k] < nopt[k]) break;
+      choice[k] = 0;
+      ++k;
+    }
+    if (k == n) break;
+  }
+}
+
+}  // namespace tt::tta

@@ -1,0 +1,94 @@
+// The synchronous cluster model: n nodes x 2 guardians x interlinks,
+// exposed as an mc::TransitionSystem over bit-packed 192-bit states.
+//
+// This is the C++ counterpart of the paper's SAL `system` module (§3.1): at
+// every step all nodes move, both hubs arbitrate and relay, and the hubs
+// exchange interlink data — with all fault-injection nondeterminism
+// enumerated explicitly (exhaustive fault simulation).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "support/function_ref.hpp"
+#include "tta/config.hpp"
+#include "tta/faulty_node.hpp"
+#include "tta/hub.hpp"
+#include "tta/node.hpp"
+
+namespace tt::tta {
+
+/// Fully unpacked cluster state (for model code, properties, and printing).
+struct ClusterState {
+  NodeVars node[kMaxNodes];
+  HubVars hub[2];
+  /// Timeliness counter (only tracked when cfg.timeliness_bound > 0):
+  /// 0 = not started, 1..bound+1 = slots elapsed since ">= 2 correct nodes
+  /// in LISTEN/COLDSTART" (bound+1 saturates: the violation value),
+  /// bound+2 = timeliness target reached (frozen success).
+  std::uint8_t startup_time = 0;
+  /// Transient restarts injected so far (cfg.transient_restarts budget).
+  std::uint8_t restarts_used = 0;
+};
+
+class Cluster {
+ public:
+  static constexpr std::size_t kWords = 3;
+  using State = std::array<std::uint64_t, kWords>;
+  using Emit = FunctionRef<void(const State&)>;
+  using EmitUnpacked = FunctionRef<void(const ClusterState&)>;
+
+  explicit Cluster(ClusterConfig cfg);
+
+  [[nodiscard]] const ClusterConfig& config() const noexcept { return cfg_; }
+
+  /// Emits every initial state: all components in INIT (faulty ones in their
+  /// fault mode); one initial state per frozen faulty-hub pattern (3^n,
+  /// reproducing the SAL model's uninitialized LOCAL arrays, §3.2.2).
+  void initial_states(Emit emit) const;
+
+  /// Enumerates all successors of `s` (DESIGN.md §4 defines the two-phase
+  /// step semantics and every nondeterminism source).
+  void successors(const State& s, Emit emit) const;
+
+  /// Same enumeration over unpacked states (used by the trace printer and
+  /// the interactive examples).
+  void step_unpacked(const ClusterState& c, EmitUnpacked emit) const;
+
+  [[nodiscard]] State pack(const ClusterState& c) const;
+  [[nodiscard]] ClusterState unpack(const State& s) const;
+
+  /// Number of state bits the packed representation uses (the explicit-state
+  /// analogue of the paper's "BDD variables" column in Fig. 6).
+  [[nodiscard]] int state_bits() const noexcept { return state_bits_; }
+
+  /// The common (pattern-free) part of every initial state.
+  [[nodiscard]] ClusterState base_initial_state() const;
+
+  /// Timeliness bookkeeping (exposed for tests).
+  [[nodiscard]] std::uint8_t next_startup_time(const ClusterState& next,
+                                               std::uint8_t prev) const;
+
+ private:
+  void step(const ClusterState& c, EmitUnpacked emit) const;
+  /// One step with an optional transient fault: `restart_node` (a correct
+  /// node index, or -1) is reset to INIT instead of taking its transition.
+  void step_impl(const ClusterState& c, int restart_node, EmitUnpacked emit) const;
+
+  static int pow3(int n) noexcept {
+    int r = 1;
+    for (int i = 0; i < n; ++i) r *= 3;
+    return r;
+  }
+
+  ClusterConfig cfg_;
+  FaultyNodeOutputs faulty_outputs_;
+  int counter_bits_ = 0;
+  int pos_bits_ = 0;
+  int frame_bits_ = 0;
+  int st_bits_ = 0;
+  int restart_bits_ = 0;
+  int state_bits_ = 0;
+};
+
+}  // namespace tt::tta

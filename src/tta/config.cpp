@@ -1,0 +1,47 @@
+#include "tta/config.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/table.hpp"
+
+namespace tt::tta {
+
+int ClusterConfig::max_count() const noexcept {
+  // Large enough for every timed wait in the model: listen timeouts (< 3n),
+  // init windows, and the timeliness counter cap.
+  const int biggest_wait = std::max({3 * n, init_window + 1, hub_init_window + 1,
+                                     timeliness_bound + 2, 2 * n + 1});
+  return biggest_wait;
+}
+
+void ClusterConfig::validate() const {
+  TT_REQUIRE(n >= 2 && n <= 8, "cluster size n must be in [2, 8]");
+  TT_REQUIRE(faulty_node == kNone || (faulty_node >= 0 && faulty_node < n),
+             "faulty_node out of range");
+  TT_REQUIRE(fault_degree >= 1 && fault_degree <= 6, "fault_degree must be in [1, 6]");
+  TT_REQUIRE(faulty_hub == kNone || faulty_hub == 0 || faulty_hub == 1,
+             "faulty_hub must be 0, 1, or kNone");
+  TT_REQUIRE(!(faulty_node != kNone && faulty_hub != kNone),
+             "single-failure hypothesis: at most one faulty component");
+  TT_REQUIRE(init_window >= 1 && init_window <= 64, "init_window must be in [1, 64]");
+  TT_REQUIRE(hub_init_window >= 1 && hub_init_window <= 64,
+             "hub_init_window must be in [1, 64]");
+  TT_REQUIRE(timeliness_bound >= 0 && timeliness_bound <= 255,
+             "timeliness_bound must be in [0, 255]");
+  TT_REQUIRE(transient_restarts >= 0 && transient_restarts <= 3,
+             "transient_restarts must be in [0, 3]");
+}
+
+std::string ClusterConfig::summary() const {
+  std::string s = strfmt("n=%d degree=%d init=%d hub_init=%d", n, fault_degree, init_window,
+                         hub_init_window);
+  if (faulty_node != kNone) s += strfmt(" faulty_node=%d", faulty_node);
+  if (faulty_hub != kNone) s += strfmt(" faulty_hub=%d", faulty_hub);
+  s += feedback ? " feedback=on" : " feedback=off";
+  s += big_bang ? " bigbang=on" : " bigbang=off";
+  if (timeliness_bound > 0) s += strfmt(" bound=%d", timeliness_bound);
+  return s;
+}
+
+}  // namespace tt::tta

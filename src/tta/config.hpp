@@ -1,0 +1,79 @@
+// Cluster configuration: the experiment "dials" of the paper.
+//
+//  * n              — cluster size (paper explores 3..6)
+//  * faulty_node    — index of the Byzantine node, or kNone
+//  * fault_degree   — Fig. 3 dial (1..6); 6 == exhaustive fault simulation
+//  * faulty_hub     — index of the faulty guardian, or kNone
+//  * feedback       — §3.2.1 state-collapse optimization for locked nodes
+//  * big_bang       — §2.3.1 big-bang mechanism (off to reproduce §5.2)
+//  * init_window    — δ_init: nodes may wake at any slot in [0, init_window)
+//  * hub_init_window— δ_init for the delayed guardian (the other powers at 0)
+//  * timeliness_bound — w_sup bound in slots; 0 disables the startup_time
+//    counter (smaller state vector for safety/liveness runs)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tta/types.hpp"
+
+namespace tt::tta {
+
+/// What event freezes the startup_time counter (see DESIGN.md §4).
+///  * kFirstCorrectActive — Lemma 3 / §5.3: w_sup measures the time from
+///    ">= 2 correct nodes in LISTEN/COLDSTART" until ">= 1 correct node
+///    ACTIVE".
+///  * kCorrectHubSynced — Lemma 4 / §5.2: the correct guardian must reach
+///    Tentative-ROUND or ACTIVE within the bound (clique avoidance under a
+///    faulty hub).
+enum class TimelinessTarget : std::uint8_t {
+  kFirstCorrectActive = 0,
+  kCorrectHubSynced = 1,
+};
+
+struct ClusterConfig {
+  static constexpr int kNone = -1;
+
+  int n = 4;
+  int faulty_node = kNone;
+  int fault_degree = 6;
+  int faulty_hub = kNone;
+  bool feedback = true;
+  bool big_bang = true;
+  int init_window = 8;       ///< δ_init for nodes, in slots
+  int hub_init_window = 8;   ///< δ_init for the delayed guardian (hub 0)
+  int timeliness_bound = 0;  ///< 0 = no startup_time tracking
+  TimelinessTarget timeliness_target = TimelinessTarget::kFirstCorrectActive;
+  /// Restart budget (paper §2.1, the *restart problem*): up to this many
+  /// times, any one correct node may be hit by a transient fault that resets
+  /// it to INIT at an arbitrary instant; the lemmas then also cover
+  /// reintegration into the running system. 0 = pure startup model.
+  int transient_restarts = 0;
+
+  /// Slots per TDMA round (every slot has unit duration in the abstraction).
+  [[nodiscard]] int round() const noexcept { return n; }
+
+  /// Listen timeout of node i (slots): tau_listen = 2*round + startup_delay(i),
+  /// which in unit slots is LT_TO[i] = 2n + i (paper SAL source).
+  [[nodiscard]] int listen_timeout(int i) const noexcept { return 2 * n + i; }
+
+  /// Cold-start timeout of node i (slots): CS_TO[i] = n + i.
+  [[nodiscard]] int coldstart_timeout(int i) const noexcept { return n + i; }
+
+  /// Upper bound for every counter in the model (paper maxcount = 20n).
+  [[nodiscard]] int max_count() const noexcept;
+
+  [[nodiscard]] bool node_is_faulty(int i) const noexcept { return i == faulty_node; }
+  [[nodiscard]] bool hub_is_faulty(int h) const noexcept { return h == faulty_hub; }
+  [[nodiscard]] int correct_node_count() const noexcept {
+    return n - (faulty_node == kNone ? 0 : 1);
+  }
+
+  /// Throws std::invalid_argument when parameters are out of range.
+  void validate() const;
+
+  /// One-line human-readable summary for bench tables and logs.
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace tt::tta

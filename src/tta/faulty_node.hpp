@@ -1,0 +1,61 @@
+// Exhaustive fault simulation of a faulty node (paper §3.2.1, Fig. 3).
+//
+// At every slot a faulty node may emit, independently per channel, any output
+// admitted by the fault degree δ:
+//
+//   rank 1  quiet            rank 4  noise
+//   rank 2  cs-frame (good)  rank 5  cs-frame (bad: masquerade as any other id)
+//   rank 3  i-frame  (good)  rank 6  i-frame  (bad: ill-formed)
+//
+// A channel pair (a, b) is admitted iff max(rank a, rank b) <= δ — exactly
+// the 6x6 matrix of Fig. 3. "Good" i-frames may claim any TDMA position
+// (the node is free to lie plausibly); "bad" cs-frames may claim any other
+// node's identity. Degree 6 therefore yields (2n+3)^2 choices per slot:
+// this is what the paper calls *exhaustive fault simulation*.
+//
+// The *feedback* optimization (§3.2.1): once guardian h has locked the node's
+// port, the node's output on channel h can no longer influence anything, so
+// the model collapses it to quiet and records the lock in the state
+// (kFaultyLock0/1/01). This prunes clutter states without removing behaviour.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "tta/config.hpp"
+#include "tta/node.hpp"
+#include "tta/types.hpp"
+
+namespace tt::tta {
+
+/// Precomputed per-step output alternatives of the faulty node, one list per
+/// lock status (bit 0: locked by hub 0, bit 1: locked by hub 1).
+class FaultyNodeOutputs {
+ public:
+  FaultyNodeOutputs() = default;
+  FaultyNodeOutputs(const ClusterConfig& cfg);  // NOLINT: built from config only
+
+  /// All admitted (channel0, channel1) output pairs for the given lock bits.
+  /// Without feedback, lock bits are ignored (the full list is returned),
+  /// reproducing the paper's feedback-off state blow-up.
+  [[nodiscard]] const std::vector<std::pair<Frame, Frame>>& pairs(std::uint8_t locks) const {
+    return pairs_[feedback_ ? (locks & 3u) : 0u];
+  }
+
+  /// Per-channel frames admitted at degree δ for a node `id` (test hook;
+  /// also documents the Fig. 3 ranking).
+  [[nodiscard]] static std::vector<Frame> channel_options(int n, int id, int degree);
+
+  /// Fig. 3 rank of a single frame as emitted by node `id`.
+  [[nodiscard]] static FaultRank rank_of(const Frame& f, int id);
+
+ private:
+  std::vector<std::pair<Frame, Frame>> pairs_[4];
+  bool feedback_ = true;
+};
+
+/// Successor variables of the faulty node: with feedback the state records
+/// the current lock status; without feedback it stays kFaulty forever.
+[[nodiscard]] NodeVars faulty_node_vars(const ClusterConfig& cfg, std::uint8_t locks);
+
+}  // namespace tt::tta

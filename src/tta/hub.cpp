@@ -1,0 +1,344 @@
+#include "tta/hub.hpp"
+
+#include "support/assert.hpp"
+
+namespace tt::tta {
+
+namespace {
+
+/// Ports observed for fault detection: everything provably faulty locks
+/// ("if a central guardian detects a faulty node it will block all further
+/// attempts of this node to access the communication channel", §2.3.2).
+/// Provable means:
+///  * noise or an ill-formed frame (correct senders always produce valid
+///    CRCs),
+///  * a well-formed cs-frame carrying a foreign identity (masquerade),
+///  * an i-frame claiming a foreign slot: a node transmits i-frames only in
+///    its own slot, so the time field must equal the sender's identity just
+///    like in a cs-frame. Without this rule a faulty node could pair a
+///    well-formed i-frame with every correct cs-frame forever and starve the
+///    startup (the guardian would relay noise each time but never exclude
+///    the attacker).
+std::uint8_t scan_locks(const ClusterConfig& cfg, const HubVars& v,
+                        const Frame node_out[kMaxNodes]) {
+  std::uint8_t locks = 0;
+  for (int i = 0; i < cfg.n; ++i) {
+    if ((v.locks >> i) & 1u) continue;
+    const Frame& f = node_out[i];
+    if (f.is_quiet()) continue;
+    const bool provably_faulty = f.kind == MsgKind::kNoise || !f.ok || f.time != i;
+    if (provably_faulty) locks = static_cast<std::uint8_t>(locks | (1u << i));
+  }
+  return locks;
+}
+
+/// Ports whose transmissions the hub arbitrates this step (startup /
+/// protected states). In PROTECTED, port i is only enabled in the slot
+/// matching node i's cold-start timeout pattern: "every node is forced to
+/// stay to its timeout pattern" (§2.3.2).
+///
+/// Alignment: the SILENCE and tentative rounds last the *remaining* round
+/// (n-1 slots) after the cs/collision slot, so PROTECTED's offsets 0..n-1
+/// line up with the cold-start clocks that were reset by that event (the
+/// senders at counter 1, big-bang receivers at counter 2 one slot later).
+/// Node i's retransmission then arrives exactly at offset CS_TO[i] - n = i,
+/// so port i is open iff counter - 1 == i. A faulty node is confined to its
+/// own slot, where a cleanly relayed cs cannot collide — this is what
+/// terminates adversarial collision loops (Lemma 2 depends on it; see
+/// DESIGN.md §4).
+int eligible_ports(const ClusterConfig& cfg, const HubVars& v, const Frame node_out[kMaxNodes],
+                   int out[kMaxNodes]) {
+  int count = 0;
+  for (int i = 0; i < cfg.n; ++i) {
+    if ((v.locks >> i) & 1u) continue;
+    if (node_out[i].is_quiet()) continue;
+    if (v.state == HubState::kProtected && v.counter - 1 != i) continue;
+    out[count++] = i;
+  }
+  return count;
+}
+
+bool ports_open(HubState s) noexcept {
+  return s == HubState::kStartup || s == HubState::kProtected || s == HubState::kTentative ||
+         s == HubState::kActive;
+}
+
+void canonicalize(const ClusterConfig& cfg, HubVars& v) {
+  v.out = v.out.canonical();
+  for (auto& f : v.out_per_port) f = f.canonical();
+  switch (v.state) {
+    case HubState::kStartup:
+    case HubState::kActive:
+      v.counter = 0;
+      break;
+    default:
+      break;
+  }
+  if (v.state != HubState::kTentative && v.state != HubState::kActive) v.slot_pos = 0;
+  (void)cfg;
+}
+
+}  // namespace
+
+int hub_relay_option_count(const ClusterConfig& cfg, int h, const HubVars& v,
+                           const Frame node_out[kMaxNodes]) {
+  if (cfg.hub_is_faulty(h)) {
+    // Options: no source (0), interlink source (1), one per active port.
+    int active = 0;
+    for (int i = 0; i < cfg.n; ++i) {
+      if (!node_out[i].is_quiet()) ++active;
+    }
+    return active + 2;
+  }
+  switch (v.state) {
+    case HubState::kStartup:
+    case HubState::kProtected: {
+      int ports[kMaxNodes];
+      const int count = eligible_ports(cfg, v, node_out, ports);
+      return count > 0 ? count : 1;
+    }
+    default:
+      return 1;
+  }
+}
+
+RelayDecision hub_relay(const ClusterConfig& cfg, int h, const HubVars& v,
+                        const Frame node_out[kMaxNodes], int option) {
+  TT_ASSERT(!cfg.hub_is_faulty(h));
+  RelayDecision d;
+  switch (v.state) {
+    case HubState::kInit:
+    case HubState::kListen:
+    case HubState::kSilence:
+    case HubState::kFaulty:
+      return d;  // channel blocked: deliver quiet, mirror quiet
+
+    case HubState::kStartup:
+    case HubState::kProtected: {
+      d.new_locks = scan_locks(cfg, v, node_out);
+      int ports[kMaxNodes];
+      const int count = eligible_ports(cfg, v, node_out, ports);
+      if (count == 0) return d;
+      TT_ASSERT(option >= 0 && option < count);
+      const int sel = ports[option];
+      d.selected_port = sel;
+      const Frame& f = node_out[sel];
+      // Semantic analysis (paper: the guardian "waits until it receives a
+      // valid frame"): a well-formed cs- or i-frame carrying the sender's
+      // own identity is relayed; everything else from an open port reaches
+      // the nodes as noise. A valid i-frame announces an already-running
+      // schedule this guardian missed; it starts a tentative round that only
+      // the successive slots can confirm (a single faulty node cannot
+      // sustain a full fake schedule). i-frames are acceptable in STARTUP
+      // only: the PROTECTED pattern slots arbitrate cold-start
+      // retransmissions, and admitting i-frames there would let a faulty
+      // node phase-shift every protected round from its own slot by pairing
+      // a cs on one channel with an i-frame on the other.
+      const bool valid =
+          f.time == sel && (f.is_cs() || (f.is_i() && v.state == HubState::kStartup));
+      d.to_ports = valid ? f : Frame::noise();
+      d.interlink = d.to_ports;
+      return d;
+    }
+
+    case HubState::kTentative:
+    case HubState::kActive: {
+      d.new_locks = scan_locks(cfg, v, node_out);
+      const std::uint8_t s = hub_expected_slot(cfg, v);
+      const Frame& f = node_out[s];
+      const bool locked = ((v.locks >> s) & 1u) != 0;
+      if (!locked && f.is_i() && f.time == s) {
+        d.to_ports = f;
+        d.selected_port = s;
+        d.interlink = f;
+      }
+      return d;
+    }
+  }
+  return d;
+}
+
+RelayDecision faulty_hub_relay(const ClusterConfig& cfg, const HubVars& v,
+                               const Frame node_out[kMaxNodes], const Frame& interlink_in,
+                               int option) {
+  RelayDecision d;
+  int ports[kMaxNodes];
+  int active = 0;
+  for (int i = 0; i < cfg.n; ++i) {
+    if (!node_out[i].is_quiet()) ports[active++] = i;
+  }
+  TT_ASSERT(option >= 0 && option < active + 2);
+
+  Frame src = Frame::quiet();
+  if (option == 1) {
+    src = interlink_in;  // replay the other channel's traffic
+  } else if (option >= 2) {
+    src = node_out[ports[option - 2]];
+    d.selected_port = ports[option - 2];
+  }
+  // The fault hypothesis (§2.2) holds by construction: `src` is always a
+  // same-step reception, so no well-formed frame is fabricated or delayed.
+  for (int j = 0; j < cfg.n; ++j) {
+    switch (v.port_mode(j)) {
+      case HubPortMode::kRelay: d.per_port[j] = src; break;
+      case HubPortMode::kNoise: d.per_port[j] = src.is_quiet() ? Frame::quiet() : Frame::noise(); break;
+      case HubPortMode::kQuiet: d.per_port[j] = Frame::quiet(); break;
+    }
+  }
+  d.interlink = src;  // the SAL faulty hub always mirrors its selection
+  return d;
+}
+
+int hub_init_window_for(const ClusterConfig& cfg, int h) noexcept {
+  const int delayed_hub = cfg.faulty_hub == 0 ? 1 : 0;
+  return (h == delayed_hub) ? cfg.hub_init_window : 1;
+}
+
+int hub_state_option_count(const ClusterConfig& cfg, int h, const HubVars& v) {
+  if (v.state != HubState::kInit) return 1;
+  return v.counter < hub_init_window_for(cfg, h) ? 2 : 1;
+}
+
+HubVars hub_state_step(const ClusterConfig& cfg, int h, const HubVars& v,
+                       const RelayDecision& d, const Frame& interlink_in, int option) {
+  TT_ASSERT(!cfg.hub_is_faulty(h));
+  HubVars nv = v;
+  nv.out = d.to_ports;
+  if (ports_open(v.state)) nv.locks = static_cast<std::uint8_t>(v.locks | d.new_locks);
+
+  const int n = cfg.n;
+  switch (v.state) {
+    case HubState::kInit: {
+      // Exactly one guardian is powered late (paper §5.4); the other leaves
+      // INIT at its first step. The delayed one is always a correct hub.
+      const bool must_wake = v.counter >= hub_init_window_for(cfg, h);
+      if (!must_wake && option == 1) {
+        nv.counter = static_cast<std::uint8_t>(v.counter + 1);
+      } else {
+        nv.state = HubState::kListen;
+        nv.counter = 1;
+      }
+      break;
+    }
+
+    case HubState::kListen: {
+      // Integration is only possible through the interlink here: data relayed
+      // by the other guardian is known to originate from a correct sender.
+      if (interlink_in.is_i()) {
+        nv.state = HubState::kActive;
+        nv.slot_pos = interlink_in.time;  // transition 2.3
+      } else if (interlink_in.is_cs()) {
+        nv.state = HubState::kTentative;  // transition 2.2
+        nv.slot_pos = interlink_in.time;
+        nv.counter = 1;
+      } else if (v.counter >= 2 * n) {
+        nv.state = HubState::kStartup;  // transition 2.1
+        nv.counter = 0;
+      } else {
+        nv.counter = static_cast<std::uint8_t>(v.counter + 1);
+      }
+      break;
+    }
+
+    case HubState::kStartup:
+    case HubState::kProtected: {
+      const bool own_cs = d.to_ports.is_cs();
+      const bool il_cs = interlink_in.is_cs();
+      if (own_cs && il_cs && interlink_in.time != d.to_ports.time) {
+        nv.state = HubState::kSilence;  // logical collision: transitions 3.2 / 6.2
+        nv.counter = 1;
+      } else if (own_cs) {
+        nv.state = HubState::kTentative;  // transitions 3.1 / 6.1
+        nv.slot_pos = d.to_ports.time;
+        nv.counter = 1;
+      } else if (il_cs) {
+        // The other channel arbitrated a cold start we did not see ourselves.
+        nv.state = HubState::kTentative;
+        nv.slot_pos = interlink_in.time;
+        nv.counter = 1;
+      } else if (d.to_ports.is_i()) {
+        // A valid i-frame on an open port: a schedule is already running.
+        // Follow it tentatively; only the successive slots confirm it.
+        nv.state = HubState::kTentative;
+        nv.slot_pos = d.to_ports.time;
+        nv.counter = 1;
+      } else if (v.state == HubState::kProtected) {
+        if (v.counter >= n) {
+          nv.state = HubState::kStartup;  // transition 6.3
+          nv.counter = 0;
+        } else {
+          nv.counter = static_cast<std::uint8_t>(v.counter + 1);
+        }
+      }
+      break;
+    }
+
+    case HubState::kTentative: {
+      // The cs slot was the first frame of the round, so the tentative round
+      // covers the *remaining* n-1 slots; then PROTECTED starts, phase-locked
+      // to the cold-start clocks (see eligible_ports).
+      nv.slot_pos = hub_expected_slot(cfg, v);
+      // Confirmation through the interlink must name the expected slot: the
+      // other channel may be relaying a *different* (older/newer) schedule,
+      // and adopting a confirmation for the wrong slot would leave this
+      // guardian permanently offset from the running TDMA round.
+      const bool confirmed =
+          d.to_ports.is_i() ||
+          (interlink_in.is_i() && interlink_in.time == nv.slot_pos);
+      if (confirmed) {
+        nv.state = HubState::kActive;  // transition 5.2
+        nv.counter = 0;
+      } else if (v.counter >= n - 1) {
+        nv.state = HubState::kProtected;  // transition 5.1
+        nv.counter = 1;
+      } else {
+        nv.counter = static_cast<std::uint8_t>(v.counter + 1);
+      }
+      break;
+    }
+
+    case HubState::kSilence: {
+      // The own channel stays blocked for the remaining round, but the
+      // guardian keeps watching the interlink: a cold start arbitrated by
+      // the other channel during this round must not leave it behind
+      // (otherwise a faulty hub could rush the nodes into synchronous
+      // operation inside this blind window — Lemma 4 depends on this).
+      if (interlink_in.is_cs()) {
+        nv.state = HubState::kTentative;
+        nv.slot_pos = interlink_in.time;
+        nv.counter = 1;
+      } else if (v.counter >= n - 1) {
+        nv.state = HubState::kProtected;  // transition 4.1
+        nv.counter = 1;
+      } else {
+        nv.counter = static_cast<std::uint8_t>(v.counter + 1);
+      }
+      break;
+    }
+
+    case HubState::kActive: {
+      nv.slot_pos = hub_expected_slot(cfg, v);
+      break;
+    }
+
+    case HubState::kFaulty:
+      TT_ASSERT(false && "correct hub cannot be in kFaulty");
+      break;
+  }
+  canonicalize(cfg, nv);
+  return nv;
+}
+
+HubVars faulty_hub_state_step(const ClusterConfig& cfg, const HubVars& v,
+                              const RelayDecision& d) {
+  HubVars nv = v;  // pattern is frozen; counters stay canonical
+  nv.state = HubState::kFaulty;
+  nv.counter = 0;
+  nv.slot_pos = 0;
+  nv.locks = 0;
+  nv.out = Frame::quiet();
+  for (int j = 0; j < cfg.n; ++j) nv.out_per_port[j] = d.per_port[j].canonical();
+  return nv;
+}
+
+}  // namespace tt::tta

@@ -1,0 +1,129 @@
+// The central-guardian startup automaton (paper Fig. 2(b), §2.3.2) and the
+// faulty-hub failure model (§3.2.2).
+//
+// Each global step splits into a *relay phase* and a *state phase*
+// (DESIGN.md §4):
+//
+//  relay phase  — the hub sees the frames its nodes transmit *this* slot and
+//                 decides, as a pure function of (previous hub state, node
+//                 outputs, a nondeterministic port selection), what it
+//                 delivers to its ports and mirrors onto the interlink. This
+//                 models cut-through relaying within one slot.
+//  state phase  — the hub advances its automaton using its own relay
+//                 decision plus the *other* hub's same-step interlink output
+//                 (collision detection across channels).
+//
+// Delivered frames become hub state (`out` / `out_per_port`) and reach the
+// nodes at the next step.
+//
+// Semantic filtering: during startup a relayed frame must be a well-formed
+// cs-frame carrying the sender's own identity; anything else from an open
+// port is relayed as noise. Provably faulty transmissions (noise, ill-formed
+// frames, masquerading cs-frames) lock the port (paper: "If a central
+// guardian detects a faulty node it will block all further attempts").
+//
+// A faulty hub forwards the frame of a nondeterministically selected active
+// port to an arbitrary (but frozen, as in the SAL model) partition of its
+// ports — each port receives the frame, noise, or quiet — while always
+// mirroring the selected frame onto the interlink; it can neither create
+// well-formed frames nor delay them (fault hypothesis §2.2).
+#pragma once
+
+#include <cstdint>
+
+#include "tta/config.hpp"
+#include "tta/types.hpp"
+
+namespace tt::tta {
+
+constexpr int kMaxNodes = 8;
+
+/// Faulty-hub per-port delivery pattern entries (the SAL model's frozen
+/// `partitioning` / `send_noise` boolean arrays combined).
+enum class HubPortMode : std::uint8_t {
+  kRelay = 0,  ///< forward the selected frame
+  kNoise = 1,  ///< replace by noise
+  kQuiet = 2,  ///< drop
+};
+
+/// Private state of one hub.
+///
+/// Canonicalization: `slot_pos` is 0 outside TENTATIVE/ACTIVE; `counter` is 0
+/// in STARTUP/ACTIVE/FAULTY; a faulty hub keeps counter/slot_pos/locks at 0;
+/// a correct hub keeps `pattern`=0 and `out_per_port` all-quiet (it
+/// broadcasts `out`).
+struct HubVars {
+  HubState state = HubState::kInit;
+  std::uint8_t counter = 1;
+  std::uint8_t slot_pos = 0;
+  std::uint8_t locks = 0;  ///< bitmask: port i blocked
+  Frame out;               ///< broadcast delivered to every port (correct hub)
+  Frame out_per_port[kMaxNodes];  ///< per-port deliveries (faulty hub)
+  std::uint16_t pattern = 0;      ///< 2 bits per port: HubPortMode (faulty hub)
+
+  [[nodiscard]] bool operator==(const HubVars&) const = default;
+
+  [[nodiscard]] HubPortMode port_mode(int port) const noexcept {
+    return static_cast<HubPortMode>((pattern >> (2 * port)) & 3u);
+  }
+  void set_port_mode(int port, HubPortMode m) noexcept {
+    pattern = static_cast<std::uint16_t>((pattern & ~(3u << (2 * port))) |
+                                         (static_cast<unsigned>(m) << (2 * port)));
+  }
+  /// Frame delivered to `port` this step (handles both hub kinds).
+  [[nodiscard]] const Frame& delivered(int port, bool faulty) const noexcept {
+    return faulty ? out_per_port[port] : out;
+  }
+};
+
+/// Relay-phase outcome.
+struct RelayDecision {
+  Frame to_ports;                  ///< broadcast (correct hub)
+  Frame per_port[kMaxNodes];       ///< per-port deliveries (faulty hub)
+  Frame interlink;                 ///< frame mirrored to the other channel
+  int selected_port = -1;          ///< port whose frame was (semantically) relayed
+  std::uint8_t new_locks = 0;      ///< ports detected faulty this step
+};
+
+/// Number of nondeterministic relay options for hub `h` this step.
+/// `node_out[i]` is the frame node i transmits on this hub's channel.
+[[nodiscard]] int hub_relay_option_count(const ClusterConfig& cfg, int h, const HubVars& v,
+                                         const Frame node_out[kMaxNodes]);
+
+/// Executes relay option `option` for a *correct* hub.
+[[nodiscard]] RelayDecision hub_relay(const ClusterConfig& cfg, int h, const HubVars& v,
+                                      const Frame node_out[kMaxNodes], int option);
+
+/// Executes relay option `option` for the *faulty* hub. `interlink_in` is the
+/// correct hub's same-step interlink output (the only same-step input a
+/// faulty hub can replay; computed first by the cluster step).
+[[nodiscard]] RelayDecision faulty_hub_relay(const ClusterConfig& cfg, const HubVars& v,
+                                             const Frame node_out[kMaxNodes],
+                                             const Frame& interlink_in, int option);
+
+/// δ_init window of hub `h`: only the delayed guardian (always a correct
+/// one) gets the configured window; the other powers on at its first step.
+[[nodiscard]] int hub_init_window_for(const ClusterConfig& cfg, int h) noexcept;
+
+/// Number of state-phase options for hub `h` (INIT wake-up nondeterminism;
+/// 1 elsewhere).
+[[nodiscard]] int hub_state_option_count(const ClusterConfig& cfg, int h, const HubVars& v);
+
+/// State-phase update for a correct hub. `d` is its own relay decision,
+/// `interlink_in` the other hub's same-step interlink output.
+[[nodiscard]] HubVars hub_state_step(const ClusterConfig& cfg, int h, const HubVars& v,
+                                     const RelayDecision& d, const Frame& interlink_in,
+                                     int option);
+
+/// State-phase update for the faulty hub (stores deliveries; nothing else).
+[[nodiscard]] HubVars faulty_hub_state_step(const ClusterConfig& cfg, const HubVars& v,
+                                            const RelayDecision& d);
+
+/// TDMA position the hub expects for the slot being processed (tentative /
+/// active schedule enforcement).
+[[nodiscard]] inline std::uint8_t hub_expected_slot(const ClusterConfig& cfg,
+                                                    const HubVars& v) noexcept {
+  return static_cast<std::uint8_t>((v.slot_pos + 1) % cfg.n);
+}
+
+}  // namespace tt::tta

@@ -1,0 +1,182 @@
+#include "tta/node.hpp"
+
+#include "support/assert.hpp"
+
+namespace tt::tta {
+
+namespace {
+
+/// Enters ACTIVE at TDMA position `pos` (the position of the *current* slot).
+/// If the node's own slot starts right now it transmits its i-frame at once.
+NodeStep enter_active(const ClusterConfig& cfg, int id, std::uint8_t pos) {
+  NodeStep step;
+  step.next.state = NodeState::kActive;
+  step.next.counter = 0;
+  step.next.pos = pos;
+  step.next.big_bang = false;
+  step.out = (pos == id) ? Frame::i(static_cast<std::uint8_t>(id)) : Frame::quiet();
+  (void)cfg;
+  return step;
+}
+
+}  // namespace
+
+NodeReception classify_reception(const Frame& ch0, const Frame& ch1) {
+  NodeReception r;
+  const bool usable0 = ch0.is_cs() || ch0.is_i();
+  const bool usable1 = ch1.is_cs() || ch1.is_i();
+  if (usable0 && usable1 && (ch0.kind != ch1.kind || ch0.time != ch1.time)) {
+    // An i-frame on one channel against a cs-frame on the other is NOT an
+    // ambiguous collision: the i-frame provably originates from a node in
+    // synchronous operation (guardians cannot fabricate well-formed frames),
+    // so integration wins. Without this rule a faulty guardian could pair
+    // every relayed i-frame with a replayed cs-frame and keep a cold-starting
+    // node "colliding" forever. Same-kind mismatches stay ambiguous.
+    if (ch0.is_i() != ch1.is_i()) {
+      const Frame& winner = ch0.is_i() ? ch0 : ch1;
+      r.i_frame = true;
+      r.time = winner.time;
+      return r;
+    }
+    r.collision = true;
+    return r;
+  }
+  const Frame& f = usable0 ? ch0 : ch1;
+  if (!usable0 && !usable1) return r;
+  r.time = f.time;
+  if (f.is_i()) {
+    r.i_frame = true;
+  } else {
+    r.cs_frame = true;
+  }
+  return r;
+}
+
+int node_option_count(const ClusterConfig& cfg, const NodeVars& v) {
+  if (v.state == NodeState::kInit && v.counter < cfg.init_window) return 2;  // stay or wake
+  return 1;
+}
+
+NodeStep node_step(const ClusterConfig& cfg, int id, const NodeVars& v,
+                   const Frame in[kNumChannels], int option) {
+  TT_ASSERT(id >= 0 && id < cfg.n);
+  const int n = cfg.n;
+  NodeStep step;
+  step.next = v;
+  step.out = Frame::quiet();
+
+  switch (v.state) {
+    case NodeState::kInit: {
+      // Option 0: wake up (transition 1.1). Option 1: let time advance.
+      const bool must_wake = v.counter >= cfg.init_window;
+      const bool wake = must_wake || option == 0;
+      TT_ASSERT(option == 0 || !must_wake);
+      if (wake) {
+        step.next.state = NodeState::kListen;
+        step.next.counter = 1;
+        step.next.big_bang = true;
+      } else {
+        step.next.counter = static_cast<std::uint8_t>(v.counter + 1);
+      }
+      return step;
+    }
+
+    case NodeState::kListen: {
+      const NodeReception r = classify_reception(in[0], in[1]);
+      if (r.i_frame) {
+        // Transition 2.2: integrate into the running set. The i-frame named
+        // the position of the previous slot, so the current slot is time+1.
+        return enter_active(cfg, id, static_cast<std::uint8_t>((r.time + 1) % n));
+      }
+      if (r.cs_frame || r.collision) {
+        if (cfg.big_bang && v.big_bang) {
+          // Transition 2.1 (big-bang consumption): enter COLDSTART with the
+          // clock at 2 (one slot — the cs transmission — has elapsed) but do
+          // NOT adopt the frame contents: it may be half of a collision.
+          step.next.state = NodeState::kColdstart;
+          step.next.counter = 2;
+          step.next.big_bang = false;
+          step.next.pos = 0;
+          return step;
+        }
+        if (!cfg.big_bang && r.cs_frame) {
+          // Design-exploration variant (§5.2): without the big-bang
+          // mechanism a node synchronizes on the first cs-frame directly.
+          return enter_active(cfg, id, static_cast<std::uint8_t>((r.time + 1) % n));
+        }
+        // Collision without a usable single frame: fall through to COLDSTART
+        // like a big-bang (nothing to synchronize on).
+        step.next.state = NodeState::kColdstart;
+        step.next.counter = 2;
+        step.next.big_bang = false;
+        step.next.pos = 0;
+        return step;
+      }
+      if (v.counter >= cfg.listen_timeout(id)) {
+        // Transition 2.1 (timeout): start the cold-start phase and transmit
+        // our own cs-frame during this slot. The big-bang stays armed: this
+        // node has not received any cs-frame yet, and the first one it does
+        // receive (now in COLDSTART) may still be half of a collision.
+        step.next.state = NodeState::kColdstart;
+        step.next.counter = 1;
+        step.next.pos = 0;
+        step.out = Frame::cs(static_cast<std::uint8_t>(id));
+        return step;
+      }
+      step.next.counter = static_cast<std::uint8_t>(v.counter + 1);
+      return step;
+    }
+
+    case NodeState::kColdstart: {
+      const NodeReception r = classify_reception(in[0], in[1]);
+      // "waits for reception of another cs-frame or i-frame": our own echo
+      // (a cs-frame carrying our id) does not count, nor does a collision.
+      if (r.i_frame) {
+        return enter_active(cfg, id, static_cast<std::uint8_t>((r.time + 1) % n));
+      }
+      if (cfg.big_bang && v.big_bang && ((r.cs_frame && r.time != id) || r.collision)) {
+        // The big-bang discards the FIRST cs-frame a node receives wherever
+        // it is received: a node that timed out of LISTEN silently still
+        // cannot tell whether this frame is half of a collision (or, with a
+        // faulty hub, a selectively delivered fragment of one). Reset the
+        // local clock to the frame's cold-start phase without adopting its
+        // contents — exactly the LISTEN-state big-bang treatment.
+        step.next.counter = 2;
+        step.next.big_bang = false;
+        return step;
+      }
+      if (r.cs_frame && r.time != id) {
+        // Transition 3.2: synchronize on the sender's suggested state.
+        return enter_active(cfg, id, static_cast<std::uint8_t>((r.time + 1) % n));
+      }
+      if (v.counter >= cfg.coldstart_timeout(id)) {
+        // Transition 3.1: retransmit our cs-frame.
+        step.next.counter = 1;
+        step.out = Frame::cs(static_cast<std::uint8_t>(id));
+        return step;
+      }
+      step.next.counter = static_cast<std::uint8_t>(v.counter + 1);
+      return step;
+    }
+
+    case NodeState::kActive: {
+      // Steady-state TDMA: advance the position; transmit in the own slot.
+      const auto pos = static_cast<std::uint8_t>((v.pos + 1) % n);
+      step.next.pos = pos;
+      step.next.counter = 0;
+      if (pos == id) step.out = Frame::i(pos);
+      return step;
+    }
+
+    case NodeState::kFaulty:
+    case NodeState::kFaultyLock0:
+    case NodeState::kFaultyLock1:
+    case NodeState::kFaultyLock01:
+      TT_ASSERT(false && "faulty nodes are stepped by faulty_node_step");
+      return step;
+  }
+  TT_ASSERT(false && "unreachable");
+  return step;
+}
+
+}  // namespace tt::tta

@@ -1,0 +1,62 @@
+// The node startup automaton (paper Fig. 2(a), §2.3.1).
+//
+// A node's observable behaviour per slot is a function of its private
+// variables and the two frames its guardians delivered in the previous slot.
+// The only nondeterminism in a *correct* node is the wake-up time: while in
+// INIT it may stay or proceed, and must proceed when the counter reaches the
+// configured δ_init window (this encodes the SAL model's frozen
+// `startupdelay` variable without storing it — see DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+
+#include "tta/config.hpp"
+#include "tta/types.hpp"
+
+namespace tt::tta {
+
+/// Private state of one node. Fields are canonicalized per state so packed
+/// states never differ in dead variables:
+///  * `pos` is 0 unless ACTIVE (it is the TDMA position of the current slot),
+///  * `counter` is 0 in ACTIVE and in the faulty family,
+///  * `big_bang` ("big bang not yet consumed") is false outside INIT/LISTEN.
+struct NodeVars {
+  NodeState state = NodeState::kInit;
+  std::uint8_t counter = 1;
+  std::uint8_t pos = 0;
+  bool big_bang = true;
+
+  [[nodiscard]] constexpr bool operator==(const NodeVars&) const = default;
+};
+
+/// Result of one node step: the successor variables plus the frame the node
+/// transmits during the current slot (identical on both channels — only
+/// faulty nodes can send asymmetrically).
+struct NodeStep {
+  NodeVars next;
+  Frame out;
+};
+
+/// What a node extracted from the two delivered frames after the
+/// logical-collision rules of §2.3.1 (the SAL transition-2.1 precondition).
+struct NodeReception {
+  bool i_frame = false;     ///< unambiguous well-formed i-frame
+  bool cs_frame = false;    ///< unambiguous well-formed cs-frame
+  bool collision = false;   ///< conflicting frames on the two channels
+  std::uint8_t time = 0;    ///< frame contents when i_frame or cs_frame
+};
+
+/// Classifies delivered frames. A frame is usable when well-formed (`ok`);
+/// frames on the two channels conflict when both are usable but differ in
+/// kind or time — the "logical collision" the startup algorithm must resolve.
+[[nodiscard]] NodeReception classify_reception(const Frame& ch0, const Frame& ch1);
+
+/// Number of nondeterministic options for a correct node this step (>= 1).
+[[nodiscard]] int node_option_count(const ClusterConfig& cfg, const NodeVars& v);
+
+/// Executes option `option` (0-based) of a correct node `id`.
+/// `in` holds the frames delivered by hub 0 and hub 1 in the previous slot.
+[[nodiscard]] NodeStep node_step(const ClusterConfig& cfg, int id, const NodeVars& v,
+                                 const Frame in[kNumChannels], int option);
+
+}  // namespace tt::tta

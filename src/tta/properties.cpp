@@ -1,0 +1,50 @@
+#include "tta/properties.hpp"
+
+namespace tt::tta {
+
+bool holds_safety(const ClusterConfig& cfg, const ClusterState& c) {
+  int pos = -1;
+  for (int i = 0; i < cfg.n; ++i) {
+    if (cfg.node_is_faulty(i) || c.node[i].state != NodeState::kActive) continue;
+    if (pos < 0) {
+      pos = c.node[i].pos;
+    } else if (c.node[i].pos != pos) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool all_correct_active(const ClusterConfig& cfg, const ClusterState& c) {
+  for (int i = 0; i < cfg.n; ++i) {
+    if (cfg.node_is_faulty(i)) continue;
+    if (c.node[i].state != NodeState::kActive) return false;
+  }
+  return true;
+}
+
+bool holds_timeliness(const ClusterConfig& cfg, const ClusterState& c) {
+  if (cfg.timeliness_bound == 0) return true;
+  return c.startup_time != static_cast<std::uint8_t>(cfg.timeliness_bound + 1);
+}
+
+bool holds_hub_agreement(const ClusterConfig& cfg, const ClusterState& c) {
+  for (int h = 0; h < kNumChannels; ++h) {
+    if (cfg.hub_is_faulty(h) || c.hub[h].state != HubState::kActive) continue;
+    for (int i = 0; i < cfg.n; ++i) {
+      if (cfg.node_is_faulty(i) || c.node[i].state != NodeState::kActive) continue;
+      if (c.node[i].pos != c.hub[h].slot_pos) return false;
+    }
+  }
+  return true;
+}
+
+int count_correct_active(const ClusterConfig& cfg, const ClusterState& c) {
+  int count = 0;
+  for (int i = 0; i < cfg.n; ++i) {
+    if (!cfg.node_is_faulty(i) && c.node[i].state == NodeState::kActive) ++count;
+  }
+  return count;
+}
+
+}  // namespace tt::tta

@@ -1,0 +1,34 @@
+// The correctness properties of paper §4, as predicates on cluster states.
+//
+//  Lemma 1 (safety)      G  any two correct ACTIVE nodes agree on slot time
+//  Lemma 2 (liveness)    F  all correct nodes ACTIVE        (goal predicate)
+//  Lemma 3 (timeliness)  G  startup_time <= bound           (target: node)
+//  Lemma 4 (safety_2)    G  startup_time <= bound           (target: hub)
+//
+// Lemmas 3 and 4 share the invariant; they differ in the configured
+// TimelinessTarget that drives the startup_time counter (config.hpp).
+#pragma once
+
+#include "tta/cluster.hpp"
+#include "tta/config.hpp"
+
+namespace tt::tta {
+
+/// Lemma 1: agreement on the TDMA position among correct active nodes.
+[[nodiscard]] bool holds_safety(const ClusterConfig& cfg, const ClusterState& c);
+
+/// Goal of Lemma 2: every correct node has reached ACTIVE.
+[[nodiscard]] bool all_correct_active(const ClusterConfig& cfg, const ClusterState& c);
+
+/// Invariant of Lemmas 3/4: the startup_time counter never exceeds the bound
+/// (value bound+1 is the saturated violation value).
+[[nodiscard]] bool holds_timeliness(const ClusterConfig& cfg, const ClusterState& c);
+
+/// Extension invariant: active correct nodes also agree with an ACTIVE
+/// correct guardian's schedule position (node/guardian consistency).
+[[nodiscard]] bool holds_hub_agreement(const ClusterConfig& cfg, const ClusterState& c);
+
+/// Diagnostic: number of correct nodes currently ACTIVE.
+[[nodiscard]] int count_correct_active(const ClusterConfig& cfg, const ClusterState& c);
+
+}  // namespace tt::tta

@@ -1,0 +1,74 @@
+#include "tta/trace_printer.hpp"
+
+#include "support/table.hpp"
+
+namespace tt::tta {
+
+std::string describe(const Frame& f) {
+  switch (f.kind) {
+    case MsgKind::kQuiet: return "-";
+    case MsgKind::kNoise: return "noise";
+    case MsgKind::kCs: return strfmt("cs(%d)%s", f.time, f.ok ? "" : "!");
+    case MsgKind::kI: return strfmt("i(%d)%s", f.time, f.ok ? "" : "!");
+  }
+  return "?";
+}
+
+std::string describe(const ClusterConfig& cfg, const ClusterState& c) {
+  std::string out;
+  for (int i = 0; i < cfg.n; ++i) {
+    const NodeVars& v = c.node[i];
+    out += strfmt("n%d:%s", i, to_string(v.state));
+    if (v.state == NodeState::kListen || v.state == NodeState::kColdstart ||
+        v.state == NodeState::kInit) {
+      out += strfmt("/%d", v.counter);
+    }
+    if (v.state == NodeState::kActive) out += strfmt("@%d", v.pos);
+    out += "  ";
+  }
+  for (int h = 0; h < kNumChannels; ++h) {
+    const HubVars& v = c.hub[h];
+    const bool faulty = cfg.hub_is_faulty(h);
+    out += strfmt("| G%d:%s", h, to_string(v.state));
+    if (!faulty) {
+      if (v.state == HubState::kInit || v.state == HubState::kListen ||
+          v.state == HubState::kTentative || v.state == HubState::kSilence ||
+          v.state == HubState::kProtected) {
+        out += strfmt("/%d", v.counter);
+      }
+      if (v.state == HubState::kTentative || v.state == HubState::kActive) {
+        out += strfmt("@%d", v.slot_pos);
+      }
+      if (v.locks != 0) {
+        out += " lock{";
+        for (int i = 0; i < cfg.n; ++i) {
+          if ((v.locks >> i) & 1u) out += strfmt("%d", i);
+        }
+        out += "}";
+      }
+      out += strfmt(" out=%s", describe(v.out).c_str());
+    } else {
+      out += " out=[";
+      for (int i = 0; i < cfg.n; ++i) {
+        if (i > 0) out += " ";
+        out += describe(v.out_per_port[i]);
+      }
+      out += "]";
+    }
+    out += " ";
+  }
+  if (cfg.timeliness_bound > 0) out += strfmt("| st=%d", c.startup_time);
+  return out;
+}
+
+std::string describe_trace(const Cluster& cluster, std::span<const Cluster::State> trace) {
+  std::string out;
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    out += strfmt("t=%3zu  ", t);
+    out += describe(cluster.config(), cluster.unpack(trace[t]));
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace tt::tta

@@ -1,0 +1,24 @@
+// Human-readable rendering of cluster states and counterexample traces.
+//
+// The paper's §5.2 counterexample is a six-step narrative; the examples and
+// the big-bang bench print our model's traces in the same spirit.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "tta/cluster.hpp"
+
+namespace tt::tta {
+
+/// One-line rendering of a frame, e.g. "cs(2)", "i(0)", "noise", "-".
+[[nodiscard]] std::string describe(const Frame& f);
+
+/// One-line rendering of a full cluster state.
+[[nodiscard]] std::string describe(const ClusterConfig& cfg, const ClusterState& c);
+
+/// Multi-line rendering of a packed-state trace, one step per line.
+[[nodiscard]] std::string describe_trace(const Cluster& cluster,
+                                         std::span<const Cluster::State> trace);
+
+}  // namespace tt::tta

@@ -1,0 +1,76 @@
+// Tests for the restart/reintegration extension (paper §2.1: "the restart
+// problem is to reestablish synchronization after transient faults").
+#include <gtest/gtest.h>
+
+#include "core/verifier.hpp"
+#include "mc/reachability.hpp"
+#include "tta/properties.hpp"
+
+namespace tt::core {
+namespace {
+
+tta::ClusterConfig restart_cfg() {
+  tta::ClusterConfig cfg;
+  cfg.n = 3;
+  cfg.init_window = 2;
+  cfg.hub_init_window = 2;
+  cfg.transient_restarts = 1;
+  return cfg;
+}
+
+TEST(Restart, SafetyHoldsAcrossTransientRestarts) {
+  auto r = verify(restart_cfg(), Lemma::kSafety);
+  EXPECT_TRUE(r.holds) << r.verdict_text;
+  EXPECT_TRUE(r.exhausted);
+}
+
+TEST(Restart, ReintegrationHoldsFaultFree) {
+  // AG AF(all correct active): after the transient fault knocks a node back
+  // to INIT, the running set always pulls it back in.
+  auto r = verify(restart_cfg(), Lemma::kReintegration);
+  EXPECT_TRUE(r.holds) << r.verdict_text;
+  EXPECT_TRUE(r.exhausted);
+}
+
+TEST(Restart, ReintegrationEqualsLivenessWithoutBudget) {
+  // With no restart budget the reachable goal-free structure is the same,
+  // so both lemmas must agree (and hold).
+  auto cfg = restart_cfg();
+  cfg.transient_restarts = 0;
+  EXPECT_TRUE(verify(cfg, Lemma::kLiveness).holds);
+  EXPECT_TRUE(verify(cfg, Lemma::kReintegration).holds);
+}
+
+TEST(Restart, StateSpaceGrowsWithBudget) {
+  auto cfg = restart_cfg();
+  cfg.transient_restarts = 0;
+  const auto without = verify(cfg, Lemma::kSafety);
+  cfg.transient_restarts = 1;
+  const auto with = verify(cfg, Lemma::kSafety);
+  EXPECT_GT(with.stats.states, without.stats.states);
+}
+
+TEST(Restart, BudgetIsEnforcedInTheModel) {
+  // Walk the full reachable set and check restarts_used never exceeds the
+  // configured budget.
+  auto cfg = prepare_config(restart_cfg(), Lemma::kSafety);
+  const tta::Cluster cluster(cfg);
+  auto r = verify(cfg, Lemma::kSafety);
+  ASSERT_TRUE(r.holds);
+  // Indirect check via a dedicated invariant run.
+  auto budget_r = mc::check_invariant(cluster, [&](const tta::Cluster::State& s) {
+    return cluster.unpack(s).restarts_used <= cfg.transient_restarts;
+  });
+  EXPECT_EQ(budget_r.verdict, mc::Verdict::kHolds);
+}
+
+TEST(Restart, ReintegrationWithFaultyNodeLowDegree) {
+  auto cfg = restart_cfg();
+  cfg.faulty_node = 0;
+  cfg.fault_degree = 2;
+  auto r = verify(cfg, Lemma::kReintegration);
+  EXPECT_TRUE(r.holds) << r.verdict_text;
+}
+
+}  // namespace
+}  // namespace tt::core

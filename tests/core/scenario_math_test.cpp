@@ -1,0 +1,46 @@
+#include "core/scenario_math.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tt::core {
+namespace {
+
+TEST(ScenarioMath, PaperParameterHelpers) {
+  // Fig. 5 columns: delta_init 24/32/40 and wcsup 16/23/30 for n = 3/4/5.
+  EXPECT_EQ(paper_delta_init(3), 24);
+  EXPECT_EQ(paper_delta_init(4), 32);
+  EXPECT_EQ(paper_delta_init(5), 40);
+  EXPECT_EQ(paper_wcsup_slots(3), 16);
+  EXPECT_EQ(paper_wcsup_slots(4), 23);
+  EXPECT_EQ(paper_wcsup_slots(5), 30);
+}
+
+TEST(ScenarioMath, Figure5StartupScenarioColumn) {
+  // |S_sup| = delta_init^(n+1): "3.3e5, 3.3e7, 4.1e9".
+  EXPECT_EQ(paper_scenarios(3).startup_scenarios.to_decimal(), "331776");
+  EXPECT_EQ(paper_scenarios(4).startup_scenarios.to_decimal(), "33554432");
+  EXPECT_EQ(paper_scenarios(5).startup_scenarios.to_decimal(), "4096000000");
+}
+
+TEST(ScenarioMath, Figure5FaultScenarioColumn) {
+  // |S_f.n.| = (6^2)^wcsup: ~8e24, ~6e35, ~4.9e46.
+  EXPECT_EQ(paper_scenarios(3).fault_scenarios.to_scientific(1), "8e24");
+  EXPECT_EQ(paper_scenarios(4).fault_scenarios.to_scientific(1), "6e35");
+  EXPECT_EQ(paper_scenarios(5).fault_scenarios.to_scientific(2), "4.9e46");
+}
+
+TEST(ScenarioMath, GeneralFormula) {
+  const auto s = count_scenarios(/*n=*/2, /*delta_init=*/3, /*delta_failure=*/2,
+                                 /*wcsup=*/4);
+  EXPECT_EQ(s.startup_scenarios, BigUint(27));      // 3^3
+  EXPECT_EQ(s.fault_scenarios, BigUint(256));       // (2^2)^4
+}
+
+TEST(ScenarioMath, RejectsNonPositiveParameters) {
+  EXPECT_THROW(count_scenarios(0, 1, 1, 1), std::invalid_argument);
+  EXPECT_THROW(count_scenarios(1, 0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(count_scenarios(1, 1, 1, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tt::core

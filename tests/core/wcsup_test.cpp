@@ -1,0 +1,49 @@
+#include "core/wcsup.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tt::core {
+namespace {
+
+TEST(Wcsup, FindsMinimalPassingBoundFaultFree) {
+  tta::ClusterConfig cfg;
+  cfg.n = 3;
+  cfg.init_window = 2;
+  cfg.hub_init_window = 2;
+  auto r = find_worst_case_startup(cfg, Lemma::kTimeliness, 1, 80);
+  ASSERT_GT(r.minimal_bound, 1);
+  // Every bound below the minimum must have failed, in order.
+  ASSERT_EQ(static_cast<int>(r.failing_bounds.size()), r.minimal_bound - 1);
+  for (std::size_t i = 0; i < r.failing_bounds.size(); ++i) {
+    EXPECT_EQ(r.failing_bounds[i], static_cast<int>(i) + 1);
+  }
+  EXPECT_FALSE(r.worst_trace.empty());
+
+  // Minimality cross-check: bound-1 fails, bound holds.
+  cfg.timeliness_bound = r.minimal_bound;
+  EXPECT_TRUE(verify(cfg, Lemma::kTimeliness).holds);
+  cfg.timeliness_bound = r.minimal_bound - 1;
+  EXPECT_FALSE(verify(cfg, Lemma::kTimeliness).holds);
+}
+
+TEST(Wcsup, RejectsNonDeadlineLemma) {
+  tta::ClusterConfig cfg;
+  cfg.n = 3;
+  EXPECT_THROW((void)find_worst_case_startup(cfg, Lemma::kSafety, 1, 10),
+               std::invalid_argument);
+  EXPECT_THROW((void)find_worst_case_startup(cfg, Lemma::kTimeliness, 5, 4),
+               std::invalid_argument);
+}
+
+TEST(Wcsup, ReportsNotFoundWhenRangeTooSmall) {
+  tta::ClusterConfig cfg;
+  cfg.n = 3;
+  cfg.init_window = 2;
+  cfg.hub_init_window = 2;
+  auto r = find_worst_case_startup(cfg, Lemma::kTimeliness, 1, 2);
+  EXPECT_EQ(r.minimal_bound, -1);
+  EXPECT_EQ(r.failing_bounds.size(), 2u);
+}
+
+}  // namespace
+}  // namespace tt::core

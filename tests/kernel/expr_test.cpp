@@ -1,0 +1,61 @@
+#include "kernel/expr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tt::kernel {
+namespace {
+
+TEST(ExprPool, EvaluatesArithmetic) {
+  ExprPool p;
+  const std::vector<int> vals = {5, 2};
+  EXPECT_EQ(p.eval(p.constant(7), vals), 7);
+  EXPECT_EQ(p.eval(p.var(0), vals), 5);
+  EXPECT_EQ(p.eval(p.add_mod(p.var(0), 1, 6), vals), 0);
+  EXPECT_EQ(p.eval(p.add_mod(p.var(1), 3, 4), vals), 1);
+  EXPECT_EQ(p.eval(p.add_mod(p.var(1), -3, 4), vals), 3);  // negative offsets wrap
+}
+
+TEST(ExprPool, EvaluatesComparisons) {
+  ExprPool p;
+  const std::vector<int> vals = {5, 2};
+  EXPECT_EQ(p.eval(p.eq_const(p.var(0), 5), vals), 1);
+  EXPECT_EQ(p.eval(p.eq_const(p.var(0), 4), vals), 0);
+  EXPECT_EQ(p.eval(p.lt_const(p.var(1), 3), vals), 1);
+  EXPECT_EQ(p.eval(p.ge_const(p.var(1), 3), vals), 0);
+  EXPECT_EQ(p.eval(p.eq(p.var(0), p.var(1)), vals), 0);
+  EXPECT_EQ(p.eval(p.eq(p.var(0), p.constant(5)), vals), 1);
+}
+
+TEST(ExprPool, EvaluatesBooleans) {
+  ExprPool p;
+  const std::vector<int> vals = {1, 0};
+  const ExprId t = p.eq_const(p.var(0), 1);
+  const ExprId f = p.eq_const(p.var(1), 1);
+  EXPECT_EQ(p.eval(p.land(t, t), vals), 1);
+  EXPECT_EQ(p.eval(p.land(t, f), vals), 0);
+  EXPECT_EQ(p.eval(p.lor(f, t), vals), 1);
+  EXPECT_EQ(p.eval(p.lor(f, f), vals), 0);
+  EXPECT_EQ(p.eval(p.lnot(f), vals), 1);
+}
+
+TEST(ExprPool, EvaluatesIte) {
+  ExprPool p;
+  const std::vector<int> vals = {1, 7, 9};
+  const ExprId cond = p.eq_const(p.var(0), 1);
+  EXPECT_EQ(p.eval(p.ite(cond, p.var(1), p.var(2)), vals), 7);
+  EXPECT_EQ(p.eval(p.ite(p.lnot(cond), p.var(1), p.var(2)), vals), 9);
+}
+
+TEST(ExprPool, AllAnyConventions) {
+  ExprPool p;
+  const std::vector<int> vals = {0};
+  EXPECT_EQ(p.eval(p.all({}), vals), 1);   // empty conjunction is true
+  EXPECT_EQ(p.eval(p.any({}), vals), 0);   // empty disjunction is false
+  const ExprId t = p.eq_const(p.var(0), 0);
+  const ExprId f = p.eq_const(p.var(0), 1);
+  EXPECT_EQ(p.eval(p.all({t, t, f}), vals), 0);
+  EXPECT_EQ(p.eval(p.any({f, f, t}), vals), 1);
+}
+
+}  // namespace
+}  // namespace tt::kernel

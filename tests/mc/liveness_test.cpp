@@ -1,0 +1,125 @@
+#include "mc/liveness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "toy_system.hpp"
+
+namespace tt::mc {
+namespace {
+
+using mc_test::ToySystem;
+
+auto goal_is(std::uint64_t g) {
+  return [g](const ToySystem::State& s) { return s[0] == g; };
+}
+
+TEST(Liveness, HoldsWhenEveryPathReachesGoal) {
+  // 0 -> {1, 2} -> 3 (goal, self-loop)
+  ToySystem ts({0}, {{1, 2}, {3}, {3}, {3}});
+  auto r = check_eventually(ts, goal_is(3));
+  EXPECT_EQ(r.verdict, LivenessVerdict::kHolds);
+}
+
+TEST(Liveness, DetectsGoalFreeCycle) {
+  // 0 -> 1 -> 2 -> 1 (cycle), goal 9 unreachable on that loop.
+  ToySystem ts({0}, {{1}, {2}, {1}});
+  auto r = check_eventually(ts, goal_is(9));
+  ASSERT_EQ(r.verdict, LivenessVerdict::kCycle);
+  // Lasso: stem 0, cycle 1 -> 2 -> back to 1.
+  ASSERT_GE(r.trace.size(), 3u);
+  EXPECT_EQ(r.trace[0][0], 0u);
+  EXPECT_EQ(r.trace[r.loop_start][0], 1u);
+  EXPECT_EQ(r.trace.back()[0], 2u);
+}
+
+TEST(Liveness, CycleThroughGoalStateIsFine) {
+  // 0 -> 1(goal) -> 0: the only cycle passes through the goal, so every
+  // infinite behaviour hits the goal infinitely often.
+  ToySystem ts({0}, {{1}, {0}});
+  auto r = check_eventually(ts, goal_is(1));
+  EXPECT_EQ(r.verdict, LivenessVerdict::kHolds);
+}
+
+TEST(Liveness, SelfLoopBeforeGoalViolates) {
+  // 0 can loop on itself forever instead of moving to goal 1.
+  ToySystem ts({0}, {{0, 1}, {1}});
+  auto r = check_eventually(ts, goal_is(1));
+  ASSERT_EQ(r.verdict, LivenessVerdict::kCycle);
+  EXPECT_EQ(r.loop_start, 0u);
+}
+
+TEST(Liveness, DeadlockInGoalFreeRegionViolates) {
+  // 0 -> 1, and 1 has no successors at all.
+  ToySystem ts({0}, {{1}, {}});
+  auto r = check_eventually(ts, goal_is(9));
+  ASSERT_EQ(r.verdict, LivenessVerdict::kDeadlock);
+  ASSERT_EQ(r.trace.size(), 2u);
+  EXPECT_EQ(r.trace.back()[0], 1u);
+}
+
+TEST(Liveness, InitialGoalStateHolds) {
+  ToySystem ts({3}, {{0}, {0}, {0}, {0}});
+  auto r = check_eventually(ts, goal_is(3));
+  EXPECT_EQ(r.verdict, LivenessVerdict::kHolds);
+  EXPECT_EQ(r.stats.states, 0u);  // goal-free region never entered
+}
+
+TEST(Liveness, MultipleRootsOneViolating) {
+  // Root 0 reaches goal; root 4 spins in a goal-free cycle 4 -> 5 -> 4.
+  ToySystem ts({0, 4}, {{1}, {1}, {}, {}, {5}, {4}});
+  auto r = check_eventually(ts, goal_is(1));
+  EXPECT_EQ(r.verdict, LivenessVerdict::kCycle);
+}
+
+TEST(AlwaysEventually, DistinguishesRecoveryFromOneShot) {
+  // 0 -> 1(goal) -> 2 -> 2: F(1) holds (every initial behaviour passes 1),
+  // but AG AF(1) fails: after the goal, the run can loop in 2 forever.
+  ToySystem ts({0}, {{1}, {2}, {2}});
+  EXPECT_EQ(check_eventually(ts, goal_is(1)).verdict, LivenessVerdict::kHolds);
+  auto r = check_always_eventually(ts, goal_is(1));
+  EXPECT_EQ(r.verdict, LivenessVerdict::kCycle);
+}
+
+TEST(AlwaysEventually, HoldsForAbsorbingGoal) {
+  // Goal state 2 loops through the goal forever: recovery guaranteed.
+  ToySystem ts({0}, {{1, 2}, {2}, {2}});
+  EXPECT_EQ(check_always_eventually(ts, goal_is(2)).verdict, LivenessVerdict::kHolds);
+}
+
+TEST(AlwaysEventually, HoldsWhenEveryCyclePassesGoal) {
+  // 0 -> 1(goal) -> 0: the only cycle includes the goal.
+  ToySystem ts({0}, {{1}, {0}});
+  EXPECT_EQ(check_always_eventually(ts, goal_is(1)).verdict, LivenessVerdict::kHolds);
+}
+
+TEST(AlwaysEventually, FindsDeadlockAfterGoal) {
+  // 0 -> 1(goal) -> 2, and 2 has no successors.
+  ToySystem ts({0}, {{1}, {2}, {}});
+  auto r = check_always_eventually(ts, goal_is(1));
+  EXPECT_EQ(r.verdict, LivenessVerdict::kDeadlock);
+}
+
+TEST(AlwaysEventually, ReportsLimit) {
+  std::vector<std::vector<std::uint64_t>> adj;
+  for (std::uint64_t i = 0; i < 100; ++i) adj.push_back({i + 1});
+  adj.push_back({100});
+  ToySystem ts({0}, adj);
+  SearchLimits limits;
+  limits.max_states = 5;
+  EXPECT_EQ(check_always_eventually(ts, goal_is(100), limits).verdict,
+            LivenessVerdict::kLimit);
+}
+
+TEST(Liveness, StateLimitReported) {
+  std::vector<std::vector<std::uint64_t>> adj;
+  for (std::uint64_t i = 0; i < 1000; ++i) adj.push_back({i + 1});
+  adj.push_back({1000});
+  ToySystem ts({0}, adj);
+  SearchLimits limits;
+  limits.max_states = 10;
+  auto r = check_eventually(ts, goal_is(2000), limits);
+  EXPECT_EQ(r.verdict, LivenessVerdict::kLimit);
+}
+
+}  // namespace
+}  // namespace tt::mc

@@ -1,0 +1,88 @@
+#include "mc/reachability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "toy_system.hpp"
+
+namespace tt::mc {
+namespace {
+
+using mc_test::ToySystem;
+
+TEST(Reachability, InvariantHoldsOnChain) {
+  // 0 -> 1 -> 2 -> 3 (self-loop at 3)
+  ToySystem ts({0}, {{1}, {2}, {3}, {3}});
+  auto r = check_invariant(ts, [](const ToySystem::State& s) { return s[0] <= 3; });
+  EXPECT_EQ(r.verdict, Verdict::kHolds);
+  EXPECT_EQ(r.stats.states, 4u);
+  EXPECT_EQ(r.trace.size(), 0u);
+}
+
+TEST(Reachability, ShortestCounterexample) {
+  // Diamond: 0 -> {1, 2}; 1 -> 3; 2 -> 4 -> 3; "bad" state is 3.
+  ToySystem ts({0}, {{1, 2}, {3}, {4}, {3}, {3}});
+  auto r = check_invariant(ts, [](const ToySystem::State& s) { return s[0] != 3; });
+  ASSERT_EQ(r.verdict, Verdict::kViolated);
+  // BFS must find the 2-edge path 0 -> 1 -> 3, not the 3-edge one.
+  ASSERT_EQ(r.trace.size(), 3u);
+  EXPECT_EQ(r.trace[0][0], 0u);
+  EXPECT_EQ(r.trace[1][0], 1u);
+  EXPECT_EQ(r.trace[2][0], 3u);
+}
+
+TEST(Reachability, ViolationInInitialState) {
+  ToySystem ts({5}, {{}, {}, {}, {}, {}, {5}});
+  auto r = check_invariant(ts, [](const ToySystem::State& s) { return s[0] != 5; });
+  ASSERT_EQ(r.verdict, Verdict::kViolated);
+  ASSERT_EQ(r.trace.size(), 1u);
+  EXPECT_EQ(r.trace[0][0], 5u);
+}
+
+TEST(Reachability, DepthLimitReportsLimit) {
+  // Long chain; the bad state sits beyond the depth limit.
+  std::vector<std::vector<std::uint64_t>> adj;
+  for (std::uint64_t i = 0; i < 100; ++i) adj.push_back({i + 1});
+  adj.push_back({100});
+  ToySystem ts({0}, adj);
+  SearchLimits limits;
+  limits.max_depth = 10;
+  auto r = check_invariant(
+      ts, [](const ToySystem::State& s) { return s[0] != 100; }, limits);
+  EXPECT_EQ(r.verdict, Verdict::kLimit);
+  EXPECT_LE(r.stats.states, 13u);
+}
+
+TEST(Reachability, BoundedSearchFindsShallowBug) {
+  // The bounded-model-checking usage: violation at depth 3, bound 5.
+  std::vector<std::vector<std::uint64_t>> adj{{1}, {2}, {3}, {3}};
+  ToySystem ts({0}, adj);
+  SearchLimits limits;
+  limits.max_depth = 5;
+  auto r = check_invariant(
+      ts, [](const ToySystem::State& s) { return s[0] != 3; }, limits);
+  EXPECT_EQ(r.verdict, Verdict::kViolated);
+  EXPECT_EQ(r.trace.size(), 4u);
+}
+
+TEST(Reachability, CountReachable) {
+  ToySystem ts({0}, {{1, 2}, {3}, {3}, {0}});
+  auto stats = count_reachable(ts);
+  EXPECT_EQ(stats.states, 4u);
+  EXPECT_EQ(stats.transitions, 5u);
+}
+
+TEST(Reachability, MultipleInitialStates) {
+  ToySystem ts({0, 2}, {{1}, {1}, {3}, {3}});
+  auto r = check_invariant(ts, [](const ToySystem::State&) { return true; });
+  EXPECT_EQ(r.verdict, Verdict::kHolds);
+  EXPECT_EQ(r.stats.states, 4u);
+}
+
+TEST(Reachability, StatsDepthIsBfsEccentricity) {
+  ToySystem ts({0}, {{1}, {2}, {3}, {3}});
+  auto r = check_invariant(ts, [](const ToySystem::State&) { return true; });
+  EXPECT_EQ(r.stats.depth, 3);
+}
+
+}  // namespace
+}  // namespace tt::mc

@@ -1,0 +1,60 @@
+#include "mc/simulate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "toy_system.hpp"
+
+namespace tt::mc {
+namespace {
+
+using mc_test::ToySystem;
+
+TEST(Simulate, WalksRequestedSteps) {
+  ToySystem ts({0}, {{1}, {2}, {0}});
+  Rng rng(5);
+  auto r = simulate(ts, 10, rng);
+  EXPECT_FALSE(r.deadlocked);
+  ASSERT_EQ(r.trace.size(), 11u);
+  for (std::size_t i = 0; i + 1 < r.trace.size(); ++i) {
+    EXPECT_EQ(r.trace[i + 1][0], (r.trace[i][0] + 1) % 3);
+  }
+}
+
+TEST(Simulate, StopsAtDeadlock) {
+  ToySystem ts({0}, {{1}, {}});
+  Rng rng(5);
+  auto r = simulate(ts, 10, rng);
+  EXPECT_TRUE(r.deadlocked);
+  EXPECT_EQ(r.trace.size(), 2u);
+}
+
+TEST(Simulate, UntilPredicate) {
+  ToySystem ts({0}, {{1}, {2}, {3}, {3}});
+  Rng rng(5);
+  auto r = simulate_until(
+      ts, [](const ToySystem::State& s) { return s[0] == 2; }, 100, rng);
+  EXPECT_EQ(r.trace.back()[0], 2u);
+  EXPECT_EQ(r.trace.size(), 3u);
+}
+
+TEST(Simulate, UntilRespectsMaxSteps) {
+  ToySystem ts({0}, {{0}});
+  Rng rng(5);
+  auto r = simulate_until(
+      ts, [](const ToySystem::State&) { return false; }, 7, rng);
+  EXPECT_EQ(r.trace.size(), 8u);
+}
+
+TEST(Simulate, BranchingCoversAllSuccessorsEventually) {
+  ToySystem ts({0}, {{1, 2, 3}, {0}, {0}, {0}});
+  Rng rng(11);
+  bool seen[4] = {};
+  auto r = simulate(ts, 500, rng);
+  for (const auto& s : r.trace) seen[s[0]] = true;
+  EXPECT_TRUE(seen[1]);
+  EXPECT_TRUE(seen[2]);
+  EXPECT_TRUE(seen[3]);
+}
+
+}  // namespace
+}  // namespace tt::mc

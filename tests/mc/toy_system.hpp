@@ -1,0 +1,36 @@
+// A tiny explicit-graph TransitionSystem used to unit-test the engines
+// independently of the TTA model.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "support/function_ref.hpp"
+
+namespace tt::mc_test {
+
+class ToySystem {
+ public:
+  static constexpr std::size_t kWords = 1;
+  using State = std::array<std::uint64_t, 1>;
+
+  ToySystem(std::vector<std::uint64_t> initial, std::vector<std::vector<std::uint64_t>> adj)
+      : initial_(std::move(initial)), adj_(std::move(adj)) {}
+
+  template <class F>
+  void initial_states(F&& emit) const {
+    for (auto v : initial_) emit(State{v});
+  }
+
+  template <class F>
+  void successors(const State& s, F&& emit) const {
+    for (auto v : adj_[s[0]]) emit(State{v});
+  }
+
+ private:
+  std::vector<std::uint64_t> initial_;
+  std::vector<std::vector<std::uint64_t>> adj_;
+};
+
+}  // namespace tt::mc_test

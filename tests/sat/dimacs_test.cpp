@@ -1,0 +1,42 @@
+#include "sat/dimacs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tt::sat {
+namespace {
+
+TEST(Dimacs, ParsesValidInput) {
+  const auto cnf = parse_dimacs("c comment line\np cnf 3 2\n1 -2 0\n2 3 0\n");
+  EXPECT_EQ(cnf.num_vars, 3);
+  ASSERT_EQ(cnf.clauses.size(), 2u);
+  EXPECT_EQ(cnf.clauses[0], (std::vector<int>{1, -2}));
+  EXPECT_EQ(cnf.clauses[1], (std::vector<int>{2, 3}));
+}
+
+TEST(Dimacs, RejectsMalformedInput) {
+  EXPECT_THROW(parse_dimacs("1 2 0\n"), std::invalid_argument);        // no header
+  EXPECT_THROW(parse_dimacs("p cnf 2 1\n1 3 0\n"), std::invalid_argument);  // var range
+  EXPECT_THROW(parse_dimacs("p cnf 2 1\n1 2\n"), std::invalid_argument);    // no terminator
+  EXPECT_THROW(parse_dimacs("p cnf x y\n"), std::invalid_argument);
+}
+
+TEST(Dimacs, RoundTrip) {
+  Cnf cnf;
+  cnf.num_vars = 4;
+  cnf.clauses = {{1, -2, 3}, {-4}, {2}};
+  const auto parsed = parse_dimacs(to_dimacs(cnf));
+  EXPECT_EQ(parsed.num_vars, cnf.num_vars);
+  EXPECT_EQ(parsed.clauses, cnf.clauses);
+}
+
+TEST(Dimacs, LoadsIntoSolver) {
+  const auto cnf = parse_dimacs("p cnf 2 2\n1 0\n-1 2 0\n");
+  Solver solver;
+  load(cnf, solver);
+  ASSERT_EQ(solver.solve(), Result::kSat);
+  EXPECT_TRUE(solver.value(0));
+  EXPECT_TRUE(solver.value(1));
+}
+
+}  // namespace
+}  // namespace tt::sat

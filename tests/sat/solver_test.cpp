@@ -1,0 +1,193 @@
+#include "sat/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace tt::sat {
+namespace {
+
+Lit pos(int v) { return Lit::make(v, false); }
+Lit neg(int v) { return Lit::make(v, true); }
+
+TEST(Solver, TrivialSatAndUnsat) {
+  {
+    Solver s;
+    const int a = s.new_var();
+    s.add_clause({pos(a)});
+    ASSERT_EQ(s.solve(), Result::kSat);
+    EXPECT_TRUE(s.value(a));
+  }
+  {
+    Solver s;
+    const int a = s.new_var();
+    s.add_clause({pos(a)});
+    s.add_clause({neg(a)});
+    EXPECT_EQ(s.solve(), Result::kUnsat);
+  }
+  {
+    Solver s;
+    s.add_clause({});  // empty clause
+    EXPECT_EQ(s.solve(), Result::kUnsat);
+  }
+}
+
+TEST(Solver, UnitPropagationChains) {
+  Solver s;
+  const int a = s.new_var();
+  const int b = s.new_var();
+  const int c = s.new_var();
+  s.add_clause({pos(a)});
+  s.add_clause({neg(a), pos(b)});
+  s.add_clause({neg(b), pos(c)});
+  ASSERT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.value(a));
+  EXPECT_TRUE(s.value(b));
+  EXPECT_TRUE(s.value(c));
+}
+
+TEST(Solver, PigeonHole3Into2IsUnsat) {
+  // PHP(3,2): 3 pigeons, 2 holes. Classic small UNSAT requiring real search.
+  Solver s;
+  int x[3][2];
+  for (auto& row : x) {
+    for (int& v : row) v = s.new_var();
+  }
+  for (int p = 0; p < 3; ++p) s.add_clause({pos(x[p][0]), pos(x[p][1])});
+  for (int h = 0; h < 2; ++h) {
+    for (int p1 = 0; p1 < 3; ++p1) {
+      for (int p2 = p1 + 1; p2 < 3; ++p2) {
+        s.add_clause({neg(x[p1][h]), neg(x[p2][h])});
+      }
+    }
+  }
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(Solver, PigeonHole5Into4IsUnsat) {
+  Solver s;
+  constexpr int P = 5;
+  constexpr int H = 4;
+  int x[P][H];
+  for (auto& row : x) {
+    for (int& v : row) v = s.new_var();
+  }
+  for (int p = 0; p < P; ++p) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < H; ++h) clause.push_back(pos(x[p][h]));
+    s.add_clause(clause);
+  }
+  for (int h = 0; h < H; ++h) {
+    for (int p1 = 0; p1 < P; ++p1) {
+      for (int p2 = p1 + 1; p2 < P; ++p2) {
+        s.add_clause({neg(x[p1][h]), neg(x[p2][h])});
+      }
+    }
+  }
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+  EXPECT_GT(s.stats().conflicts, 0u);
+}
+
+TEST(Solver, TautologicalClauseIgnored) {
+  Solver s;
+  const int a = s.new_var();
+  const int b = s.new_var();
+  s.add_clause({pos(a), neg(a)});  // tautology: no constraint
+  s.add_clause({pos(b)});
+  ASSERT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.value(b));
+}
+
+/// Brute-force reference: checks satisfiability by enumeration.
+bool brute_force_sat(int nvars, const std::vector<std::vector<int>>& clauses) {
+  for (int m = 0; m < (1 << nvars); ++m) {
+    bool all = true;
+    for (const auto& clause : clauses) {
+      bool any = false;
+      for (int lit : clause) {
+        const int v = std::abs(lit) - 1;
+        const bool val = ((m >> v) & 1) != 0;
+        if ((lit > 0) == val) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+TEST(Solver, RandomInstancesAgreeWithBruteForce) {
+  // Random 3-SAT near the phase transition, cross-checked against
+  // enumeration. Property-style soundness test for the CDCL loop.
+  Rng rng(2026);
+  for (int iter = 0; iter < 300; ++iter) {
+    const int nvars = 5 + static_cast<int>(rng.below(6));       // 5..10
+    const int nclauses = static_cast<int>(4.2 * nvars) + static_cast<int>(rng.below(5));
+    std::vector<std::vector<int>> clauses;
+    for (int c = 0; c < nclauses; ++c) {
+      std::vector<int> clause;
+      for (int k = 0; k < 3; ++k) {
+        const int v = 1 + static_cast<int>(rng.below(static_cast<std::uint32_t>(nvars)));
+        clause.push_back(rng.below(2) != 0 ? v : -v);
+      }
+      clauses.push_back(clause);
+    }
+    Solver s;
+    for (int v = 0; v < nvars; ++v) (void)s.new_var();
+    for (const auto& clause : clauses) {
+      std::vector<Lit> lits;
+      for (int lit : clause) lits.push_back(Lit::make(std::abs(lit) - 1, lit < 0));
+      s.add_clause(lits);
+    }
+    const bool expected = brute_force_sat(nvars, clauses);
+    const Result got = s.solve();
+    ASSERT_EQ(got == Result::kSat, expected) << "iteration " << iter;
+    if (got == Result::kSat) {
+      // Verify the model actually satisfies every clause.
+      for (const auto& clause : clauses) {
+        bool any = false;
+        for (int lit : clause) {
+          if ((lit > 0) == s.value(std::abs(lit) - 1)) {
+            any = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(any) << "model does not satisfy a clause";
+      }
+    }
+  }
+}
+
+TEST(Solver, LargeChainedXorUnsat) {
+  // x1 ^ x2 ^ ... ^ xn = 0 and = 1 encoded via chain variables: UNSAT.
+  // Exercises learned-clause handling and restarts on a bigger instance.
+  Solver s;
+  constexpr int N = 24;
+  std::vector<int> x;
+  for (int i = 0; i < N; ++i) x.push_back(s.new_var());
+  // chain c_i = x_0 ^ ... ^ x_i
+  std::vector<int> c;
+  c.push_back(x[0]);
+  for (int i = 1; i < N; ++i) {
+    const int ci = s.new_var();
+    const int prev = c.back();
+    // ci <-> prev XOR x[i]
+    s.add_clause({neg(ci), pos(prev), pos(x[i])});
+    s.add_clause({neg(ci), neg(prev), neg(x[i])});
+    s.add_clause({pos(ci), neg(prev), pos(x[i])});
+    s.add_clause({pos(ci), pos(prev), neg(x[i])});
+    c.push_back(ci);
+  }
+  s.add_clause({pos(c.back())});
+  s.add_clause({neg(c.back())});
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+}  // namespace
+}  // namespace tt::sat

@@ -1,0 +1,95 @@
+#include "support/biguint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "support/rng.hpp"
+
+namespace tt {
+namespace {
+
+TEST(BigUint, ZeroBasics) {
+  BigUint z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.to_decimal(), "0");
+  EXPECT_EQ(z.to_double(), 0.0);
+  EXPECT_EQ(z + z, BigUint(0));
+  EXPECT_EQ(z * BigUint(12345), BigUint(0));
+}
+
+TEST(BigUint, SmallArithmeticMatchesU64) {
+  Rng rng(42);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t a = rng.next() >> 33;  // keep products within u64
+    const std::uint64_t b = rng.next() >> 33;
+    EXPECT_EQ((BigUint(a) + BigUint(b)).to_decimal(), std::to_string(a + b));
+    EXPECT_EQ((BigUint(a) * BigUint(b)).to_decimal(), std::to_string(a * b));
+  }
+}
+
+TEST(BigUint, CarryPropagation) {
+  const BigUint max32(0xffffffffULL);
+  EXPECT_EQ((max32 + BigUint(1)).to_decimal(), "4294967296");
+  const BigUint max64(0xffffffffffffffffULL);
+  EXPECT_EQ((max64 + BigUint(1)).to_decimal(), "18446744073709551616");
+}
+
+TEST(BigUint, PowMatchesKnownValues) {
+  EXPECT_EQ(BigUint::pow(BigUint(2), 10).to_decimal(), "1024");
+  EXPECT_EQ(BigUint::pow(BigUint(10), 20).to_decimal(), "100000000000000000000");
+  EXPECT_EQ(BigUint::pow(BigUint(7), 0).to_decimal(), "1");
+  EXPECT_EQ(BigUint::pow(BigUint(0), 5).to_decimal(), "0");
+  EXPECT_EQ(BigUint::pow(BigUint(0), 0).to_decimal(), "1");  // convention
+}
+
+TEST(BigUint, PaperFigure5Values) {
+  // |S_sup| = delta_init^(n+1): 24^4, 32^5, 40^6 — paper prints "3.3e5,
+  // 3.3e7, 4.1e9" (truncating 3.3554e7; we round half-up, hence 3.4e7).
+  EXPECT_EQ(BigUint::pow(BigUint(24), 4).to_scientific(2), "3.3e5");
+  EXPECT_EQ(BigUint::pow(BigUint(32), 5).to_scientific(2), "3.4e7");
+  EXPECT_EQ(BigUint::pow(BigUint(40), 6).to_scientific(2), "4.1e9");
+  // |S_f.n.| = (6^2)^wcsup: 36^16 ~ 8e24, 36^23 ~ 6e35, 36^30 ~ 4.9e46.
+  EXPECT_EQ(BigUint::pow(BigUint(36), 16).to_scientific(1), "8e24");
+  EXPECT_EQ(BigUint::pow(BigUint(36), 30).to_scientific(2), "4.9e46");
+}
+
+TEST(BigUint, FromDecimalRoundTrip) {
+  const std::string digits = "123456789012345678901234567890123456789";
+  EXPECT_EQ(BigUint::from_decimal(digits).to_decimal(), digits);
+  EXPECT_THROW(BigUint::from_decimal("12a3"), std::invalid_argument);
+  EXPECT_THROW(BigUint::from_decimal(""), std::invalid_argument);
+}
+
+TEST(BigUint, Ordering) {
+  EXPECT_LT(BigUint(5), BigUint(7));
+  EXPECT_GT(BigUint::pow(BigUint(2), 100), BigUint::pow(BigUint(2), 99));
+  EXPECT_EQ(BigUint(123), BigUint::from_decimal("123"));
+}
+
+TEST(BigUint, DecimalDigits) {
+  EXPECT_EQ(BigUint(0).decimal_digits(), 1);
+  EXPECT_EQ(BigUint(9).decimal_digits(), 1);
+  EXPECT_EQ(BigUint(10).decimal_digits(), 2);
+  EXPECT_EQ(BigUint::pow(BigUint(10), 40).decimal_digits(), 41);
+}
+
+TEST(BigUint, ToDoubleApproximation) {
+  const double d = BigUint::pow(BigUint(36), 30).to_double();
+  EXPECT_NEAR(d, 4.87e46, 0.05e46);
+}
+
+TEST(BigUint, MulCommutesAndAssociates) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const BigUint a(rng.next());
+    const BigUint b(rng.next());
+    const BigUint c(rng.next());
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+  }
+}
+
+}  // namespace
+}  // namespace tt

@@ -1,0 +1,74 @@
+#include "support/bitpack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace tt {
+namespace {
+
+TEST(BitsFor, KnownValues) {
+  EXPECT_EQ(bits_for(1), 1);  // domain {0}
+  EXPECT_EQ(bits_for(2), 1);
+  EXPECT_EQ(bits_for(3), 2);
+  EXPECT_EQ(bits_for(4), 2);
+  EXPECT_EQ(bits_for(5), 3);
+  EXPECT_EQ(bits_for(256), 8);
+  EXPECT_EQ(bits_for(257), 9);
+}
+
+TEST(BitPack, RoundTripAcrossWordBoundaries) {
+  Rng rng(1);
+  for (int iter = 0; iter < 500; ++iter) {
+    // Random field widths summing to <= 192 bits.
+    std::vector<int> widths;
+    std::vector<std::uint64_t> values;
+    int total = 0;
+    while (true) {
+      const int w = 1 + static_cast<int>(rng.below(37));
+      if (total + w > 192) break;
+      total += w;
+      widths.push_back(w);
+      values.push_back(w == 64 ? rng.next() : (rng.next() & ((1ULL << w) - 1)));
+    }
+    std::array<std::uint64_t, 3> words{};
+    BitWriter writer(words.data(), 3);
+    for (std::size_t i = 0; i < widths.size(); ++i) writer.put(values[i], widths[i]);
+    ASSERT_EQ(writer.bits_written(), total);
+
+    BitReader reader(words.data(), 3);
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      EXPECT_EQ(reader.get(widths[i]), values[i]) << "field " << i << " width " << widths[i];
+    }
+    ASSERT_EQ(reader.bits_read(), total);
+  }
+}
+
+TEST(BitPack, FullWidth64) {
+  std::array<std::uint64_t, 3> words{};
+  BitWriter w(words.data(), 3);
+  w.put(0x123456789abcdef0ULL, 64);
+  w.put(0xfedcba9876543210ULL, 64);
+  w.put(0x5aa5, 16);
+  BitReader r(words.data(), 3);
+  EXPECT_EQ(r.get(64), 0x123456789abcdef0ULL);
+  EXPECT_EQ(r.get(64), 0xfedcba9876543210ULL);
+  EXPECT_EQ(r.get(16), 0x5aa5u);
+}
+
+TEST(BitPack, MisalignedSpill) {
+  // A 60-bit field then a 40-bit field spills across the first boundary.
+  std::array<std::uint64_t, 2> words{};
+  BitWriter w(words.data(), 2);
+  w.put((1ULL << 60) - 3, 60);
+  w.put((1ULL << 40) - 7, 40);
+  BitReader r(words.data(), 2);
+  EXPECT_EQ(r.get(60), (1ULL << 60) - 3);
+  EXPECT_EQ(r.get(40), (1ULL << 40) - 7);
+}
+
+}  // namespace
+}  // namespace tt

@@ -1,0 +1,45 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tt {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInRangeAndCoversIt) {
+  Rng rng(55);
+  bool seen[10] = {};
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint32_t v = rng.below(10);
+    ASSERT_LT(v, 10u);
+    seen[v] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Rng, UnitInHalfOpenInterval) {
+  Rng rng(77);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.unit();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace tt

@@ -1,0 +1,66 @@
+#include "support/state_index_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "support/rng.hpp"
+
+namespace tt {
+namespace {
+
+using Map2 = StateIndexMap<2>;
+
+Map2::State make_state(std::uint64_t a, std::uint64_t b) { return {a, b}; }
+
+TEST(StateIndexMap, InsertAssignsDenseIndicesInOrder) {
+  Map2 map;
+  auto [i0, fresh0] = map.insert(make_state(1, 2));
+  auto [i1, fresh1] = map.insert(make_state(3, 4));
+  auto [i2, fresh2] = map.insert(make_state(1, 2));
+  EXPECT_TRUE(fresh0);
+  EXPECT_TRUE(fresh1);
+  EXPECT_FALSE(fresh2);
+  EXPECT_EQ(i0, 0u);
+  EXPECT_EQ(i1, 1u);
+  EXPECT_EQ(i2, 0u);
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(map.at(1), make_state(3, 4));
+}
+
+TEST(StateIndexMap, FindAbsentReturnsEmpty) {
+  Map2 map;
+  EXPECT_EQ(map.find(make_state(9, 9)), Map2::kEmpty);
+  map.insert(make_state(9, 9));
+  EXPECT_EQ(map.find(make_state(9, 9)), 0u);
+  EXPECT_EQ(map.find(make_state(9, 8)), Map2::kEmpty);
+}
+
+TEST(StateIndexMap, GrowthPreservesContentsAgainstReference) {
+  Map2 map(64);  // force several growth cycles
+  std::unordered_set<std::uint64_t> reference;
+  Rng rng(99);
+  for (int i = 0; i < 200000; ++i) {
+    const std::uint64_t key = rng.next() % 50000;  // plenty of duplicates
+    const auto s = make_state(key, key ^ 0xabcdef);
+    const bool fresh_ref = reference.insert(key).second;
+    const auto [idx, fresh] = map.insert(s);
+    EXPECT_EQ(fresh, fresh_ref);
+    EXPECT_EQ(map.at(idx), s);
+  }
+  EXPECT_EQ(map.size(), reference.size());
+  for (std::uint64_t key : reference) {
+    EXPECT_NE(map.find(make_state(key, key ^ 0xabcdef)), Map2::kEmpty);
+  }
+}
+
+TEST(StateIndexMap, MemoryAccounting) {
+  Map2 map;
+  const std::size_t before = map.memory_bytes();
+  for (std::uint64_t i = 0; i < 10000; ++i) map.insert(make_state(i, i));
+  EXPECT_GT(map.memory_bytes(), before);
+  EXPECT_GE(map.memory_bytes(), 10000 * sizeof(Map2::State));
+}
+
+}  // namespace
+}  // namespace tt

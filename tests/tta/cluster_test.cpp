@@ -1,0 +1,223 @@
+#include "tta/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mc/simulate.hpp"
+#include "support/rng.hpp"
+#include "tta/properties.hpp"
+
+namespace tt::tta {
+namespace {
+
+ClusterConfig small_cfg() {
+  ClusterConfig cfg;
+  cfg.n = 3;
+  cfg.init_window = 2;
+  cfg.hub_init_window = 2;
+  return cfg;
+}
+
+TEST(Cluster, PackUnpackRoundTripOnRandomReachableStates) {
+  const Cluster cluster(small_cfg());
+  Rng rng(3);
+  auto r = mc::simulate(cluster, 200, rng);
+  ASSERT_FALSE(r.trace.empty());
+  for (const auto& packed : r.trace) {
+    const ClusterState c = cluster.unpack(packed);
+    EXPECT_EQ(cluster.pack(c), packed);
+  }
+}
+
+TEST(Cluster, StateBitsWithinCapacity) {
+  for (int n : {3, 4, 5, 6}) {
+    ClusterConfig cfg;
+    cfg.n = n;
+    cfg.faulty_node = 0;
+    cfg.timeliness_bound = 40;
+    const Cluster cluster(cfg);
+    EXPECT_LE(cluster.state_bits(), 192);
+    EXPECT_GT(cluster.state_bits(), 0);
+  }
+}
+
+TEST(Cluster, SingleInitialStateWithoutFaultyHub) {
+  const Cluster cluster(small_cfg());
+  int count = 0;
+  cluster.initial_states([&](const Cluster::State&) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Cluster, OneInitialStatePerFaultyHubPattern) {
+  auto cfg = small_cfg();
+  cfg.faulty_hub = 0;
+  const Cluster cluster(cfg);
+  std::vector<Cluster::State> inits;
+  cluster.initial_states([&](const Cluster::State& s) { inits.push_back(s); });
+  EXPECT_EQ(inits.size(), 27u);  // 3^n patterns
+  // All distinct.
+  for (std::size_t i = 0; i < inits.size(); ++i) {
+    for (std::size_t j = i + 1; j < inits.size(); ++j) EXPECT_NE(inits[i], inits[j]);
+  }
+}
+
+TEST(Cluster, EveryStateHasASuccessor) {
+  // Deadlock-freedom: guarded commands are total by construction. Spot-check
+  // along random walks.
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const Cluster cluster(small_cfg());
+    Rng rng(seed);
+    auto r = mc::simulate(cluster, 150, rng);
+    EXPECT_FALSE(r.deadlocked);
+  }
+}
+
+TEST(Cluster, FaultFreeRunReachesSynchronousOperation) {
+  // Every maximal run of a fault-free cluster must reach "all nodes active";
+  // random walks are all maximal prefixes, so they must get there within a
+  // few rounds.
+  const Cluster cluster(small_cfg());
+  const auto& cfg = cluster.config();
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    auto r = mc::simulate_until(
+        cluster,
+        [&](const Cluster::State& s) { return all_correct_active(cfg, cluster.unpack(s)); },
+        300, rng);
+    EXPECT_FALSE(r.deadlocked);
+    EXPECT_TRUE(all_correct_active(cfg, cluster.unpack(r.trace.back())))
+        << "seed " << seed << " did not converge in 300 slots";
+  }
+}
+
+TEST(Cluster, ActiveNodesStayAgreedOnceSynchronous) {
+  // After convergence, run on and check Lemma-1 agreement at every step.
+  const Cluster cluster(small_cfg());
+  const auto& cfg = cluster.config();
+  Rng rng(17);
+  auto r = mc::simulate(cluster, 400, rng);
+  bool synced = false;
+  for (const auto& packed : r.trace) {
+    const ClusterState c = cluster.unpack(packed);
+    if (all_correct_active(cfg, c)) synced = true;
+    if (synced) {
+      EXPECT_TRUE(all_correct_active(cfg, c));  // no fall-out
+      EXPECT_TRUE(holds_safety(cfg, c));
+    }
+  }
+  EXPECT_TRUE(synced);
+}
+
+TEST(Cluster, StartupTimeCounterLifecycle) {
+  ClusterConfig cfg = small_cfg();
+  cfg.timeliness_bound = 10;
+  const Cluster cluster(cfg);
+
+  ClusterState c = cluster.base_initial_state();
+  // Nobody listening yet: stays 0.
+  EXPECT_EQ(cluster.next_startup_time(c, 0), 0);
+  // Two nodes in LISTEN: starts at 1.
+  c.node[0].state = NodeState::kListen;
+  c.node[1].state = NodeState::kListen;
+  EXPECT_EQ(cluster.next_startup_time(c, 0), 1);
+  // Counting up.
+  EXPECT_EQ(cluster.next_startup_time(c, 5), 6);
+  // Saturates at bound+1 (the violation value).
+  EXPECT_EQ(cluster.next_startup_time(c, 11), 11);
+  // Target reached: frozen at bound+2.
+  c.node[2].state = NodeState::kActive;
+  EXPECT_EQ(cluster.next_startup_time(c, 5), 12);
+  EXPECT_EQ(cluster.next_startup_time(c, 12), 12);
+}
+
+TEST(Cluster, StartupTimeHubTarget) {
+  ClusterConfig cfg = small_cfg();
+  cfg.faulty_hub = 0;
+  cfg.timeliness_bound = 10;
+  cfg.timeliness_target = TimelinessTarget::kCorrectHubSynced;
+  const Cluster cluster(cfg);
+
+  ClusterState c = cluster.base_initial_state();
+  c.node[0].state = NodeState::kListen;
+  c.node[1].state = NodeState::kListen;
+  EXPECT_EQ(cluster.next_startup_time(c, 0), 1);
+  // A node going active does NOT freeze the hub-target counter.
+  c.node[2].state = NodeState::kActive;
+  EXPECT_EQ(cluster.next_startup_time(c, 3), 4);
+  // The correct hub (hub 1) reaching TENTATIVE freezes it.
+  c.hub[1].state = HubState::kTentative;
+  EXPECT_EQ(cluster.next_startup_time(c, 3), 12);
+}
+
+TEST(Cluster, SuccessorCountMatchesChoiceStructureAtInit) {
+  // From the initial state: each of the 3 nodes has 2 options (stay/wake),
+  // the delayed hub has 2, the other 1; relays are all blocked (INIT), so
+  // the successor multiset has 2^3 * 2 = 16 entries.
+  const Cluster cluster(small_cfg());
+  Cluster::State init{};
+  cluster.initial_states([&](const Cluster::State& s) { init = s; });
+  int count = 0;
+  cluster.successors(init, [&](const Cluster::State&) { ++count; });
+  EXPECT_EQ(count, 16);
+}
+
+TEST(Cluster, PackUnpackRoundTripWithFaultyHub) {
+  auto cfg = small_cfg();
+  cfg.faulty_hub = 0;
+  cfg.timeliness_bound = 12;
+  cfg.timeliness_target = TimelinessTarget::kCorrectHubSynced;
+  const Cluster cluster(cfg);
+  Rng rng(8);
+  auto r = mc::simulate(cluster, 150, rng);
+  ASSERT_FALSE(r.trace.empty());
+  for (const auto& packed : r.trace) {
+    EXPECT_EQ(cluster.pack(cluster.unpack(packed)), packed);
+  }
+}
+
+TEST(Cluster, PackUnpackRoundTripWithFaultyNodeAndRestarts) {
+  auto cfg = small_cfg();
+  cfg.faulty_node = 1;
+  cfg.fault_degree = 6;
+  cfg.transient_restarts = 1;
+  const Cluster cluster(cfg);
+  Rng rng(9);
+  auto r = mc::simulate(cluster, 150, rng);
+  for (const auto& packed : r.trace) {
+    EXPECT_EQ(cluster.pack(cluster.unpack(packed)), packed);
+  }
+}
+
+TEST(Cluster, DelayedHubIsNeverTheFaultyOne) {
+  // Exactly one guardian is powered late and it must be a correct one
+  // (paper §5.4: n nodes plus ONE guardian share the wake-up window).
+  for (int fh : {0, 1}) {
+    ClusterConfig cfg = small_cfg();
+    cfg.faulty_hub = fh;
+    EXPECT_EQ(hub_init_window_for(cfg, fh == 0 ? 1 : 0), cfg.hub_init_window);
+    EXPECT_EQ(hub_init_window_for(cfg, fh), 1);
+  }
+  ClusterConfig cfg = small_cfg();  // no faulty hub: hub 0 is the delayed one
+  EXPECT_EQ(hub_init_window_for(cfg, 0), cfg.hub_init_window);
+  EXPECT_EQ(hub_init_window_for(cfg, 1), 1);
+}
+
+TEST(Cluster, RejectsOversizedConfiguration) {
+  ClusterConfig cfg;
+  cfg.n = 8;
+  cfg.faulty_hub = 0;
+  cfg.timeliness_bound = 200;
+  cfg.init_window = 64;
+  // 8 nodes with a faulty hub and a wide counter may exceed 192 bits; if it
+  // does, the constructor must refuse rather than truncate.
+  try {
+    const Cluster cluster(cfg);
+    EXPECT_LE(cluster.state_bits(), 192);
+  } catch (const std::invalid_argument&) {
+    SUCCEED();
+  }
+}
+
+}  // namespace
+}  // namespace tt::tta

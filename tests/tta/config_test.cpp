@@ -1,0 +1,88 @@
+#include "tta/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tt::tta {
+namespace {
+
+TEST(ClusterConfig, PaperTimeoutFormulas) {
+  ClusterConfig cfg;
+  cfg.n = 4;
+  // LT_TO[j] = 2n + j, CS_TO[j] = n + j (paper SAL source).
+  EXPECT_EQ(cfg.listen_timeout(0), 8);
+  EXPECT_EQ(cfg.listen_timeout(3), 11);
+  EXPECT_EQ(cfg.coldstart_timeout(0), 4);
+  EXPECT_EQ(cfg.coldstart_timeout(3), 7);
+}
+
+TEST(ClusterConfig, TimeoutUniquenessAndOrder) {
+  // The collision-resolution argument (§2.3.1) needs:
+  //  (1) all cold-start timeouts distinct,
+  //  (2) every listen timeout strictly greater than every cold-start timeout.
+  for (int n = 2; n <= 8; ++n) {
+    ClusterConfig cfg;
+    cfg.n = n;
+    std::set<int> cs;
+    for (int i = 0; i < n; ++i) cs.insert(cfg.coldstart_timeout(i));
+    EXPECT_EQ(static_cast<int>(cs.size()), n);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        EXPECT_GT(cfg.listen_timeout(i), cfg.coldstart_timeout(j))
+            << "n=" << n << " i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(ClusterConfig, ValidateRejectsBadParameters) {
+  ClusterConfig cfg;
+  cfg.n = 1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.n = 4;
+  cfg.faulty_node = 4;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.faulty_node = 0;
+  cfg.fault_degree = 7;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.fault_degree = 6;
+  cfg.faulty_hub = 1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);  // single-failure hypothesis
+  cfg.faulty_node = ClusterConfig::kNone;
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.init_window = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ClusterConfig, MaxCountCoversEveryWait) {
+  ClusterConfig cfg;
+  cfg.n = 6;
+  cfg.init_window = 48;
+  cfg.timeliness_bound = 37;
+  const int mc = cfg.max_count();
+  EXPECT_GE(mc, cfg.listen_timeout(5));
+  EXPECT_GE(mc, cfg.init_window);
+  EXPECT_GE(mc, cfg.timeliness_bound + 1);
+  EXPECT_GE(mc, 2 * cfg.n);  // hub listen phase
+}
+
+TEST(ClusterConfig, SummaryMentionsKeyDials) {
+  ClusterConfig cfg;
+  cfg.faulty_node = 2;
+  cfg.big_bang = false;
+  const std::string s = cfg.summary();
+  EXPECT_NE(s.find("faulty_node=2"), std::string::npos);
+  EXPECT_NE(s.find("bigbang=off"), std::string::npos);
+}
+
+TEST(ClusterConfig, CorrectNodeCount) {
+  ClusterConfig cfg;
+  cfg.n = 5;
+  EXPECT_EQ(cfg.correct_node_count(), 5);
+  cfg.faulty_node = 3;
+  EXPECT_EQ(cfg.correct_node_count(), 4);
+}
+
+}  // namespace
+}  // namespace tt::tta

@@ -1,0 +1,447 @@
+#include "tta/hub.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tt::tta {
+namespace {
+
+ClusterConfig cfg4() {
+  ClusterConfig cfg;
+  cfg.n = 4;
+  cfg.hub_init_window = 2;
+  return cfg;
+}
+
+struct Outs {
+  Frame f[kMaxNodes];
+  Outs() = default;
+  Outs& set(int i, Frame fr) {
+    f[i] = fr;
+    return *this;
+  }
+};
+
+HubVars hub_in(HubState s, std::uint8_t counter = 1, std::uint8_t slot = 0) {
+  HubVars v;
+  v.state = s;
+  v.counter = counter;
+  v.slot_pos = slot;
+  return v;
+}
+
+TEST(HubRelay, BlockedStatesDeliverQuiet) {
+  const auto cfg = cfg4();
+  Outs o;
+  o.set(0, Frame::cs(0));
+  for (HubState s : {HubState::kInit, HubState::kListen, HubState::kSilence}) {
+    const HubVars v = hub_in(s);
+    EXPECT_EQ(hub_relay_option_count(cfg, 0, v, o.f), 1);
+    const RelayDecision d = hub_relay(cfg, 0, v, o.f, 0);
+    EXPECT_TRUE(d.to_ports.is_quiet());
+    EXPECT_TRUE(d.interlink.is_quiet());
+    EXPECT_EQ(d.new_locks, 0);
+  }
+}
+
+TEST(HubRelayStartup, RelaysValidCsAndMirrorsInterlink) {
+  const auto cfg = cfg4();
+  const HubVars v = hub_in(HubState::kStartup, 0);
+  Outs o;
+  o.set(2, Frame::cs(2));
+  EXPECT_EQ(hub_relay_option_count(cfg, 0, v, o.f), 1);
+  const RelayDecision d = hub_relay(cfg, 0, v, o.f, 0);
+  EXPECT_EQ(d.to_ports, Frame::cs(2));
+  EXPECT_EQ(d.interlink, Frame::cs(2));
+  EXPECT_EQ(d.selected_port, 2);
+  EXPECT_EQ(d.new_locks, 0);
+}
+
+TEST(HubRelayStartup, ValidIFrameIsRelayedAsScheduleAnnouncement) {
+  const auto cfg = cfg4();
+  const HubVars v = hub_in(HubState::kStartup, 0);
+  // An i-frame carrying the sender's own slot is "a valid frame on one of
+  // its ports": it announces a running schedule this guardian missed.
+  Outs o;
+  o.set(1, Frame::i(1));
+  RelayDecision d = hub_relay(cfg, 0, v, o.f, 0);
+  EXPECT_EQ(d.to_ports, Frame::i(1));
+  EXPECT_EQ(d.new_locks, 0);
+}
+
+TEST(HubRelayStartup, ForeignSlotIFrameLocks) {
+  const auto cfg = cfg4();
+  const HubVars v = hub_in(HubState::kStartup, 0);
+  // Nodes transmit i-frames only in their own slot; a foreign time field is
+  // as provably faulty as a masquerading cs-frame.
+  Outs o;
+  o.set(1, Frame::i(3));
+  RelayDecision d = hub_relay(cfg, 0, v, o.f, 0);
+  EXPECT_EQ(d.to_ports, Frame::noise());
+  EXPECT_EQ(d.new_locks, 1u << 1);
+}
+
+TEST(HubState, StartupFollowsValidIFrameIntoTentative) {
+  const auto cfg = cfg4();
+  const HubVars v = hub_in(HubState::kStartup, 0);
+  RelayDecision d;
+  d.to_ports = Frame::i(2);
+  d.selected_port = 2;
+  d.interlink = Frame::i(2);
+  HubVars nv = hub_state_step(cfg, 0, v, d, Frame::quiet(), 0);
+  EXPECT_EQ(nv.state, HubState::kTentative);
+  EXPECT_EQ(nv.slot_pos, 2);
+  EXPECT_EQ(nv.counter, 1);
+}
+
+TEST(HubRelayStartup, MasqueradingCsLocksPort) {
+  const auto cfg = cfg4();
+  const HubVars v = hub_in(HubState::kStartup, 0);
+  Outs o;
+  o.set(1, Frame::cs(3));  // node 1 claims to be node 3
+  const RelayDecision d = hub_relay(cfg, 0, v, o.f, 0);
+  EXPECT_EQ(d.to_ports, Frame::noise());
+  EXPECT_EQ(d.new_locks, 1u << 1);
+}
+
+TEST(HubRelayStartup, NoiseAndIllFormedLock) {
+  const auto cfg = cfg4();
+  const HubVars v = hub_in(HubState::kStartup, 0);
+  Outs o;
+  o.set(0, Frame::noise()).set(2, Frame::i_bad());
+  const RelayDecision d = hub_relay(cfg, 0, v, o.f, 0);
+  EXPECT_EQ(d.new_locks, (1u << 0) | (1u << 2));
+}
+
+TEST(HubRelayStartup, ArbitratesAmongSimultaneousSenders) {
+  const auto cfg = cfg4();
+  const HubVars v = hub_in(HubState::kStartup, 0);
+  Outs o;
+  o.set(1, Frame::cs(1)).set(3, Frame::cs(3));
+  EXPECT_EQ(hub_relay_option_count(cfg, 0, v, o.f), 2);
+  const RelayDecision d0 = hub_relay(cfg, 0, v, o.f, 0);
+  const RelayDecision d1 = hub_relay(cfg, 0, v, o.f, 1);
+  EXPECT_EQ(d0.to_ports, Frame::cs(1));
+  EXPECT_EQ(d1.to_ports, Frame::cs(3));
+}
+
+TEST(HubRelayStartup, LockedPortIsIgnored) {
+  const auto cfg = cfg4();
+  HubVars v = hub_in(HubState::kStartup, 0);
+  v.locks = 1u << 2;
+  Outs o;
+  o.set(2, Frame::cs(2));
+  EXPECT_EQ(hub_relay_option_count(cfg, 0, v, o.f), 1);
+  const RelayDecision d = hub_relay(cfg, 0, v, o.f, 0);
+  EXPECT_TRUE(d.to_ports.is_quiet());
+  EXPECT_EQ(d.selected_port, -1);
+}
+
+TEST(HubRelayProtected, PortsGatedByColdstartPattern) {
+  const auto cfg = cfg4();
+  // Only port i with counter - 1 == i is open (the CS_TO[i] = n+i pattern;
+  // see eligible_ports in hub.cpp for the alignment argument).
+  Outs o;
+  o.set(1, Frame::cs(1)).set(2, Frame::cs(2));
+  HubVars v = hub_in(HubState::kProtected, /*counter=*/2);  // offset 1: port 1 open
+  EXPECT_EQ(hub_relay_option_count(cfg, 0, v, o.f), 1);
+  RelayDecision d = hub_relay(cfg, 0, v, o.f, 0);
+  EXPECT_EQ(d.to_ports, Frame::cs(1));
+  v.counter = 3;  // offset 2: port 2 open, port 1 blocked
+  d = hub_relay(cfg, 0, v, o.f, 0);
+  EXPECT_EQ(d.to_ports, Frame::cs(2));
+  v.counter = 4;  // offset 3: nobody transmitting is open
+  d = hub_relay(cfg, 0, v, o.f, 0);
+  EXPECT_TRUE(d.to_ports.is_quiet());
+  v.counter = 1;  // offset 0: port 0's slot
+  o = Outs{};
+  o.set(0, Frame::cs(0));
+  d = hub_relay(cfg, 0, v, o.f, 0);
+  EXPECT_EQ(d.to_ports, Frame::cs(0));
+}
+
+TEST(HubRelayTentativeActive, EnforcesSchedule) {
+  const auto cfg = cfg4();
+  // slot_pos = 1, so the expected sender this step is node 2.
+  HubVars v = hub_in(HubState::kTentative, 1, /*slot=*/1);
+  Outs o;
+  o.set(2, Frame::i(2));
+  RelayDecision d = hub_relay(cfg, 0, v, o.f, 0);
+  EXPECT_EQ(d.to_ports, Frame::i(2));
+  EXPECT_EQ(d.interlink, Frame::i(2));
+
+  // Wrong claimed position: blocked.
+  o = Outs{};
+  o.set(2, Frame::i(3));
+  d = hub_relay(cfg, 0, v, o.f, 0);
+  EXPECT_TRUE(d.to_ports.is_quiet());
+
+  // Out-of-slot sender: blocked (but not locked — an i-frame alone is not
+  // proof of fault).
+  o = Outs{};
+  o.set(3, Frame::i(3));
+  d = hub_relay(cfg, 0, v, o.f, 0);
+  EXPECT_TRUE(d.to_ports.is_quiet());
+  EXPECT_EQ(d.new_locks, 0);
+}
+
+TEST(HubState, InitWakeupNondeterminism) {
+  const auto cfg = cfg4();  // hub_init_window = 2; hub 0 is the delayed one
+  HubVars v = hub_in(HubState::kInit, 1);
+  EXPECT_EQ(hub_state_option_count(cfg, 0, v), 2);
+  EXPECT_EQ(hub_state_option_count(cfg, 1, v), 1);  // non-delayed hub
+  const RelayDecision d{};
+  HubVars stay = hub_state_step(cfg, 0, v, d, Frame::quiet(), 1);
+  EXPECT_EQ(stay.state, HubState::kInit);
+  EXPECT_EQ(stay.counter, 2);
+  HubVars wake = hub_state_step(cfg, 0, v, d, Frame::quiet(), 0);
+  EXPECT_EQ(wake.state, HubState::kListen);
+  EXPECT_EQ(wake.counter, 1);
+  // At the window boundary, both options wake.
+  v.counter = 2;
+  EXPECT_EQ(hub_state_option_count(cfg, 0, v), 1);
+  wake = hub_state_step(cfg, 0, v, d, Frame::quiet(), 0);
+  EXPECT_EQ(wake.state, HubState::kListen);
+}
+
+TEST(HubState, ListenIntegratesViaInterlinkOnly) {
+  const auto cfg = cfg4();
+  HubVars v = hub_in(HubState::kListen, 3);
+  const RelayDecision d{};
+  // i-frame on the interlink: straight to ACTIVE (transition 2.3).
+  HubVars nv = hub_state_step(cfg, 0, v, d, Frame::i(2), 0);
+  EXPECT_EQ(nv.state, HubState::kActive);
+  EXPECT_EQ(nv.slot_pos, 2);
+  // cs-frame on the interlink: tentative round (transition 2.2).
+  nv = hub_state_step(cfg, 0, v, d, Frame::cs(1), 0);
+  EXPECT_EQ(nv.state, HubState::kTentative);
+  EXPECT_EQ(nv.slot_pos, 1);
+  EXPECT_EQ(nv.counter, 1);
+}
+
+TEST(HubState, ListenTimesOutAfterTwoRounds) {
+  const auto cfg = cfg4();
+  HubVars v = hub_in(HubState::kListen, static_cast<std::uint8_t>(2 * cfg.n));
+  const RelayDecision d{};
+  HubVars nv = hub_state_step(cfg, 0, v, d, Frame::quiet(), 0);
+  EXPECT_EQ(nv.state, HubState::kStartup);  // transition 2.1
+}
+
+TEST(HubState, StartupCsStartsTentativeRound) {
+  const auto cfg = cfg4();
+  const HubVars v = hub_in(HubState::kStartup, 0);
+  RelayDecision d;
+  d.to_ports = Frame::cs(2);
+  d.interlink = Frame::cs(2);
+  d.selected_port = 2;
+  // Interlink agrees: transition 3.1.
+  HubVars nv = hub_state_step(cfg, 0, v, d, Frame::cs(2), 0);
+  EXPECT_EQ(nv.state, HubState::kTentative);
+  EXPECT_EQ(nv.slot_pos, 2);
+  // Interlink silent: also 3.1.
+  nv = hub_state_step(cfg, 0, v, d, Frame::quiet(), 0);
+  EXPECT_EQ(nv.state, HubState::kTentative);
+  // Interlink disagrees: logical collision, transition 3.2 to SILENCE.
+  nv = hub_state_step(cfg, 0, v, d, Frame::cs(3), 0);
+  EXPECT_EQ(nv.state, HubState::kSilence);
+  EXPECT_EQ(nv.counter, 1);
+}
+
+TEST(HubState, StartupFollowsInterlinkCs) {
+  const auto cfg = cfg4();
+  const HubVars v = hub_in(HubState::kStartup, 0);
+  const RelayDecision d{};  // own channel quiet
+  HubVars nv = hub_state_step(cfg, 0, v, d, Frame::cs(3), 0);
+  EXPECT_EQ(nv.state, HubState::kTentative);
+  EXPECT_EQ(nv.slot_pos, 3);
+}
+
+TEST(HubState, StartupIgnoresInterlinkIFrames) {
+  // Integration on i-frames happens in LISTEN only; a guardian that reached
+  // STARTUP must go through a cold-start sequence (this is what makes the
+  // §5.2 clique counterexample reproducible — see DESIGN.md).
+  const auto cfg = cfg4();
+  const HubVars v = hub_in(HubState::kStartup, 0);
+  const RelayDecision d{};
+  HubVars nv = hub_state_step(cfg, 0, v, d, Frame::i(2), 0);
+  EXPECT_EQ(nv.state, HubState::kStartup);
+}
+
+TEST(HubState, TentativeConfirmedByIFrame) {
+  const auto cfg = cfg4();
+  HubVars v = hub_in(HubState::kTentative, 1, /*slot=*/2);
+  RelayDecision d;
+  d.to_ports = Frame::i(3);
+  d.selected_port = 3;
+  HubVars nv = hub_state_step(cfg, 0, v, d, Frame::quiet(), 0);
+  EXPECT_EQ(nv.state, HubState::kActive);  // transition 5.2
+  EXPECT_EQ(nv.slot_pos, 3);
+}
+
+TEST(HubState, TentativeExpiresToProtectedAfterRemainingRound) {
+  const auto cfg = cfg4();
+  // The cs slot counts as the round's first frame, so tentative covers the
+  // remaining n-1 slots (counters 1..n-1), then PROTECTED.
+  HubVars v = hub_in(HubState::kTentative, static_cast<std::uint8_t>(cfg.n - 1), 2);
+  const RelayDecision d{};
+  HubVars nv = hub_state_step(cfg, 0, v, d, Frame::quiet(), 0);
+  EXPECT_EQ(nv.state, HubState::kProtected);  // transition 5.1
+  EXPECT_EQ(nv.counter, 1);
+}
+
+TEST(HubState, SilenceBlocksRemainingRoundThenProtected) {
+  const auto cfg = cfg4();
+  HubVars v = hub_in(HubState::kSilence, 1);
+  const RelayDecision d{};
+  for (int i = 1; i < cfg.n - 1; ++i) {
+    v = hub_state_step(cfg, 0, v, d, Frame::quiet(), 0);
+    EXPECT_EQ(v.state, HubState::kSilence);
+  }
+  v = hub_state_step(cfg, 0, v, d, Frame::quiet(), 0);
+  EXPECT_EQ(v.state, HubState::kProtected);  // transition 4.1
+}
+
+TEST(HubState, SilenceStillWatchesInterlinkForColdStarts) {
+  // The silence round blocks the own channel but not the guardian's ears: a
+  // cold start arbitrated by the other channel pulls it into the tentative
+  // round (otherwise a faulty hub could synchronize the nodes inside this
+  // blind window and leave the correct guardian behind).
+  const auto cfg = cfg4();
+  HubVars v = hub_in(HubState::kSilence, 1);
+  const RelayDecision d{};
+  HubVars nv = hub_state_step(cfg, 0, v, d, Frame::cs(2), 0);
+  EXPECT_EQ(nv.state, HubState::kTentative);
+  EXPECT_EQ(nv.slot_pos, 2);
+  // i-frames on the interlink do NOT integrate here (that is LISTEN's job).
+  nv = hub_state_step(cfg, 0, v, d, Frame::i(2), 0);
+  EXPECT_EQ(nv.state, HubState::kSilence);
+}
+
+TEST(HubState, ProtectedExpiresBackToStartup) {
+  const auto cfg = cfg4();
+  HubVars v = hub_in(HubState::kProtected, static_cast<std::uint8_t>(cfg.n));
+  const RelayDecision d{};
+  HubVars nv = hub_state_step(cfg, 0, v, d, Frame::quiet(), 0);
+  EXPECT_EQ(nv.state, HubState::kStartup);  // transition 6.3
+}
+
+TEST(HubState, ActiveAdvancesSchedule) {
+  const auto cfg = cfg4();
+  HubVars v = hub_in(HubState::kActive, 0, 3);
+  const RelayDecision d{};
+  HubVars nv = hub_state_step(cfg, 0, v, d, Frame::quiet(), 0);
+  EXPECT_EQ(nv.state, HubState::kActive);
+  EXPECT_EQ(nv.slot_pos, 0);  // wrapped
+}
+
+TEST(HubState, LocksAccumulate) {
+  const auto cfg = cfg4();
+  HubVars v = hub_in(HubState::kStartup, 0);
+  v.locks = 1u << 0;
+  RelayDecision d;
+  d.new_locks = 1u << 2;
+  HubVars nv = hub_state_step(cfg, 0, v, d, Frame::quiet(), 0);
+  EXPECT_EQ(nv.locks, (1u << 0) | (1u << 2));
+}
+
+TEST(HubState, ListenPrefersIFrameOverCs) {
+  // If the interlink carries an i-frame, the system is running: integrate
+  // directly (2.3) — checked before the cs path (2.2).
+  const auto cfg = cfg4();
+  const HubVars v = hub_in(HubState::kListen, 2);
+  const RelayDecision d{};
+  HubVars nv = hub_state_step(cfg, 0, v, d, Frame::i(3), 0);
+  EXPECT_EQ(nv.state, HubState::kActive);
+  EXPECT_EQ(nv.slot_pos, 3);
+}
+
+TEST(HubState, TentativeInterlinkConfirmMustNameExpectedSlot) {
+  const auto cfg = cfg4();
+  // slot_pos 1: the expected slot this step is 2.
+  HubVars v = hub_in(HubState::kTentative, 1, /*slot=*/1);
+  const RelayDecision d{};
+  // Interlink i-frame for a DIFFERENT slot: no confirmation (it may belong
+  // to an offset ghost schedule on the other channel).
+  HubVars nv = hub_state_step(cfg, 0, v, d, Frame::i(0), 0);
+  EXPECT_EQ(nv.state, HubState::kTentative);
+  // Matching slot confirms.
+  nv = hub_state_step(cfg, 0, v, d, Frame::i(2), 0);
+  EXPECT_EQ(nv.state, HubState::kActive);
+  EXPECT_EQ(nv.slot_pos, 2);
+}
+
+TEST(HubRelayProtected, IFramesAreNotAdmitted) {
+  // The protected pattern slots arbitrate cold-start retransmissions only;
+  // an i-frame there is filtered to noise (see hub_relay).
+  const auto cfg = cfg4();
+  HubVars v = hub_in(HubState::kProtected, /*counter=*/2);  // port 1 open
+  Outs o;
+  o.set(1, Frame::i(1));
+  const RelayDecision d = hub_relay(cfg, 0, v, o.f, 0);
+  EXPECT_EQ(d.to_ports, Frame::noise());
+  EXPECT_EQ(d.new_locks, 0);  // own-slot i-frame is not provably faulty
+}
+
+TEST(HubRelayActive, RelaysOnlyTheScheduledSender) {
+  const auto cfg = cfg4();
+  HubVars v = hub_in(HubState::kActive, 0, /*slot=*/0);  // expects slot 1
+  Outs o;
+  o.set(1, Frame::i(1)).set(3, Frame::cs(3));
+  const RelayDecision d = hub_relay(cfg, 0, v, o.f, 0);
+  EXPECT_EQ(d.to_ports, Frame::i(1));
+  // The out-of-slot cs carries the sender's own id: blocked but not locked.
+  EXPECT_EQ(d.new_locks, 0);
+}
+
+TEST(FaultyHubRelay, PatternControlsDeliveries) {
+  auto cfg = cfg4();
+  cfg.faulty_hub = 0;
+  HubVars v;
+  v.state = HubState::kFaulty;
+  v.set_port_mode(0, HubPortMode::kRelay);
+  v.set_port_mode(1, HubPortMode::kNoise);
+  v.set_port_mode(2, HubPortMode::kQuiet);
+  v.set_port_mode(3, HubPortMode::kRelay);
+  Outs o;
+  o.set(2, Frame::cs(2));
+  // Options: none, interlink, one active port.
+  EXPECT_EQ(hub_relay_option_count(cfg, 0, v, o.f), 3);
+  const RelayDecision d = faulty_hub_relay(cfg, v, o.f, Frame::quiet(), 2);
+  EXPECT_EQ(d.per_port[0], Frame::cs(2));
+  EXPECT_EQ(d.per_port[1], Frame::noise());
+  EXPECT_TRUE(d.per_port[2].is_quiet());
+  EXPECT_EQ(d.per_port[3], Frame::cs(2));
+  EXPECT_EQ(d.interlink, Frame::cs(2));  // always mirrored
+}
+
+TEST(FaultyHubRelay, CanReplayInterlinkButNotFabricate) {
+  auto cfg = cfg4();
+  cfg.faulty_hub = 1;
+  HubVars v;
+  v.state = HubState::kFaulty;
+  for (int i = 0; i < cfg.n; ++i) v.set_port_mode(i, HubPortMode::kRelay);
+  Outs o;  // all ports quiet
+  const RelayDecision none = faulty_hub_relay(cfg, v, o.f, Frame::i(1), 0);
+  for (int i = 0; i < cfg.n; ++i) EXPECT_TRUE(none.per_port[i].is_quiet());
+  const RelayDecision replay = faulty_hub_relay(cfg, v, o.f, Frame::i(1), 1);
+  for (int i = 0; i < cfg.n; ++i) EXPECT_EQ(replay.per_port[i], Frame::i(1));
+}
+
+TEST(FaultyHubState, StoresDeliveriesOnly) {
+  auto cfg = cfg4();
+  cfg.faulty_hub = 0;
+  HubVars v;
+  v.state = HubState::kFaulty;
+  v.set_port_mode(1, HubPortMode::kNoise);
+  RelayDecision d;
+  d.per_port[0] = Frame::cs(2);
+  d.per_port[1] = Frame::noise();
+  const HubVars nv = faulty_hub_state_step(cfg, v, d);
+  EXPECT_EQ(nv.state, HubState::kFaulty);
+  EXPECT_EQ(nv.out_per_port[0], Frame::cs(2));
+  EXPECT_EQ(nv.out_per_port[1], Frame::noise());
+  EXPECT_EQ(nv.pattern, v.pattern);  // frozen
+  EXPECT_EQ(nv.locks, 0);
+}
+
+}  // namespace
+}  // namespace tt::tta

@@ -1,0 +1,344 @@
+#include "tta/node.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tt::tta {
+namespace {
+
+ClusterConfig cfg4() {
+  ClusterConfig cfg;
+  cfg.n = 4;
+  cfg.init_window = 3;
+  return cfg;
+}
+
+const Frame kQuietIn[kNumChannels] = {Frame::quiet(), Frame::quiet()};
+
+TEST(ClassifyReception, SingleChannelFrames) {
+  auto r = classify_reception(Frame::cs(2), Frame::quiet());
+  EXPECT_TRUE(r.cs_frame);
+  EXPECT_FALSE(r.i_frame);
+  EXPECT_FALSE(r.collision);
+  EXPECT_EQ(r.time, 2);
+
+  r = classify_reception(Frame::quiet(), Frame::i(3));
+  EXPECT_TRUE(r.i_frame);
+  EXPECT_EQ(r.time, 3);
+}
+
+TEST(ClassifyReception, AgreeingChannels) {
+  auto r = classify_reception(Frame::cs(1), Frame::cs(1));
+  EXPECT_TRUE(r.cs_frame);
+  EXPECT_FALSE(r.collision);
+}
+
+TEST(ClassifyReception, LogicalCollision) {
+  // Different cs-frames on the two channels: the §2.3 "logical collision".
+  auto r = classify_reception(Frame::cs(1), Frame::cs(2));
+  EXPECT_TRUE(r.collision);
+  // Conflicting i-frames are equally ambiguous.
+  r = classify_reception(Frame::i(1), Frame::i(3));
+  EXPECT_TRUE(r.collision);
+}
+
+TEST(ClassifyReception, IFrameBeatsCsFrame) {
+  // An i-frame provably comes from a synchronous node; a conflicting cs on
+  // the other channel does not make it ambiguous (see classify_reception).
+  auto r = classify_reception(Frame::cs(1), Frame::i(2));
+  EXPECT_TRUE(r.i_frame);
+  EXPECT_FALSE(r.collision);
+  EXPECT_EQ(r.time, 2);
+  r = classify_reception(Frame::i(0), Frame::cs(0));
+  EXPECT_TRUE(r.i_frame);
+  EXPECT_EQ(r.time, 0);
+}
+
+TEST(ClassifyReception, NoiseAndIllFormedIgnored) {
+  auto r = classify_reception(Frame::noise(), Frame::quiet());
+  EXPECT_FALSE(r.cs_frame);
+  EXPECT_FALSE(r.i_frame);
+  EXPECT_FALSE(r.collision);
+  // An ill-formed i-frame neither integrates nor collides.
+  r = classify_reception(Frame::i_bad(), Frame::cs(2));
+  EXPECT_TRUE(r.cs_frame);
+  EXPECT_FALSE(r.collision);
+  EXPECT_EQ(r.time, 2);
+}
+
+TEST(NodeInit, StayOrWakeUntilWindow) {
+  const auto cfg = cfg4();
+  NodeVars v;  // INIT, counter 1
+  EXPECT_EQ(node_option_count(cfg, v), 2);
+  // Option 1: stay.
+  auto stay = node_step(cfg, 0, v, kQuietIn, 1);
+  EXPECT_EQ(stay.next.state, NodeState::kInit);
+  EXPECT_EQ(stay.next.counter, 2);
+  // Option 0: wake -> LISTEN with counter 1 and the big bang armed.
+  auto wake = node_step(cfg, 0, v, kQuietIn, 0);
+  EXPECT_EQ(wake.next.state, NodeState::kListen);
+  EXPECT_EQ(wake.next.counter, 1);
+  EXPECT_TRUE(wake.next.big_bang);
+  EXPECT_TRUE(wake.out.is_quiet());
+}
+
+TEST(NodeInit, MustWakeAtWindowEnd) {
+  const auto cfg = cfg4();
+  NodeVars v;
+  v.counter = 3;  // == init_window
+  EXPECT_EQ(node_option_count(cfg, v), 1);
+  auto st = node_step(cfg, 0, v, kQuietIn, 0);
+  EXPECT_EQ(st.next.state, NodeState::kListen);
+}
+
+TEST(NodeListen, TimeoutSendsColdstartFrame) {
+  const auto cfg = cfg4();
+  NodeVars v;
+  v.state = NodeState::kListen;
+  v.counter = static_cast<std::uint8_t>(cfg.listen_timeout(2));  // node 2: 2n+2 = 10
+  auto st = node_step(cfg, 2, v, kQuietIn, 0);
+  EXPECT_EQ(st.next.state, NodeState::kColdstart);
+  EXPECT_EQ(st.next.counter, 1);
+  EXPECT_EQ(st.out.kind, MsgKind::kCs);
+  EXPECT_EQ(st.out.time, 2);
+  // No frame was ever received, so the big bang stays armed into COLDSTART.
+  EXPECT_TRUE(st.next.big_bang);
+}
+
+TEST(NodeListen, CountsWhileSilent) {
+  const auto cfg = cfg4();
+  NodeVars v;
+  v.state = NodeState::kListen;
+  v.counter = 4;
+  auto st = node_step(cfg, 2, v, kQuietIn, 0);
+  EXPECT_EQ(st.next.state, NodeState::kListen);
+  EXPECT_EQ(st.next.counter, 5);
+  EXPECT_TRUE(st.out.is_quiet());
+}
+
+TEST(NodeListen, BigBangConsumesFirstCsFrame) {
+  const auto cfg = cfg4();
+  NodeVars v;
+  v.state = NodeState::kListen;
+  v.counter = 5;
+  v.big_bang = true;
+  const Frame in[kNumChannels] = {Frame::cs(1), Frame::quiet()};
+  auto st = node_step(cfg, 2, v, in, 0);
+  // Big-bang: enter COLDSTART at clock 2 WITHOUT adopting the contents.
+  EXPECT_EQ(st.next.state, NodeState::kColdstart);
+  EXPECT_EQ(st.next.counter, 2);
+  EXPECT_FALSE(st.next.big_bang);
+  EXPECT_TRUE(st.out.is_quiet());
+}
+
+TEST(NodeListen, WithoutBigBangSyncsOnFirstCs) {
+  auto cfg = cfg4();
+  cfg.big_bang = false;  // §5.2 design-exploration variant
+  NodeVars v;
+  v.state = NodeState::kListen;
+  v.counter = 5;
+  const Frame in[kNumChannels] = {Frame::cs(1), Frame::quiet()};
+  auto st = node_step(cfg, 2, v, in, 0);
+  EXPECT_EQ(st.next.state, NodeState::kActive);
+  EXPECT_EQ(st.next.pos, 2);  // cs named slot 1, so the current slot is 2
+  EXPECT_EQ(st.out.kind, MsgKind::kI);  // pos == id: transmit immediately
+}
+
+TEST(NodeListen, CollisionActsLikeBigBang) {
+  const auto cfg = cfg4();
+  NodeVars v;
+  v.state = NodeState::kListen;
+  v.counter = 5;
+  const Frame in[kNumChannels] = {Frame::cs(1), Frame::cs(3)};
+  auto st = node_step(cfg, 0, v, in, 0);
+  EXPECT_EQ(st.next.state, NodeState::kColdstart);
+  EXPECT_EQ(st.next.counter, 2);
+}
+
+TEST(NodeListen, IntegratesOnIFrame) {
+  const auto cfg = cfg4();
+  NodeVars v;
+  v.state = NodeState::kListen;
+  v.counter = 3;
+  const Frame in[kNumChannels] = {Frame::i(2), Frame::i(2)};
+  auto st = node_step(cfg, 0, v, in, 0);
+  EXPECT_EQ(st.next.state, NodeState::kActive);
+  EXPECT_EQ(st.next.pos, 3);
+  EXPECT_TRUE(st.out.is_quiet());  // slot 3 belongs to node 3
+}
+
+TEST(NodeColdstart, FirstCsIsBigBangEvenHere) {
+  // A node that reached COLDSTART through its listen timeout has not
+  // consumed the big bang yet: the first cs-frame it receives resets the
+  // clock but is not adopted (it may be half of a collision).
+  const auto cfg = cfg4();
+  NodeVars v;
+  v.state = NodeState::kColdstart;
+  v.counter = 3;
+  v.big_bang = true;
+  const Frame in[kNumChannels] = {Frame::cs(1), Frame::quiet()};
+  auto st = node_step(cfg, 2, v, in, 0);
+  EXPECT_EQ(st.next.state, NodeState::kColdstart);
+  EXPECT_EQ(st.next.counter, 2);
+  EXPECT_FALSE(st.next.big_bang);
+}
+
+TEST(NodeColdstart, SyncsOnForeignCs) {
+  const auto cfg = cfg4();
+  NodeVars v;
+  v.state = NodeState::kColdstart;
+  v.counter = 3;
+  v.big_bang = false;  // big bang already consumed
+  const Frame in[kNumChannels] = {Frame::cs(1), Frame::quiet()};
+  auto st = node_step(cfg, 2, v, in, 0);
+  EXPECT_EQ(st.next.state, NodeState::kActive);
+  EXPECT_EQ(st.next.pos, 2);  // slot after the sender's
+  EXPECT_EQ(st.out.kind, MsgKind::kI);
+}
+
+TEST(NodeColdstart, IgnoresOwnEcho) {
+  const auto cfg = cfg4();
+  NodeVars v;
+  v.state = NodeState::kColdstart;
+  v.counter = 3;
+  v.big_bang = false;
+  // A cs carrying our own id: our echo (or a masquerade) — not "another"
+  // cs-frame, so we keep waiting.
+  const Frame in[kNumChannels] = {Frame::cs(2), Frame::cs(2)};
+  auto st = node_step(cfg, 2, v, in, 0);
+  EXPECT_EQ(st.next.state, NodeState::kColdstart);
+  EXPECT_EQ(st.next.counter, 4);
+}
+
+TEST(NodeColdstart, OwnEchoDoesNotConsumeBigBang) {
+  const auto cfg = cfg4();
+  NodeVars v;
+  v.state = NodeState::kColdstart;
+  v.counter = 3;
+  v.big_bang = true;
+  const Frame in[kNumChannels] = {Frame::cs(2), Frame::cs(2)};
+  auto st = node_step(cfg, 2, v, in, 0);
+  EXPECT_EQ(st.next.state, NodeState::kColdstart);
+  EXPECT_EQ(st.next.counter, 4);
+  EXPECT_TRUE(st.next.big_bang);
+}
+
+TEST(NodeColdstart, TimeoutRetransmits) {
+  const auto cfg = cfg4();
+  NodeVars v;
+  v.state = NodeState::kColdstart;
+  v.counter = static_cast<std::uint8_t>(cfg.coldstart_timeout(1));  // 5
+  auto st = node_step(cfg, 1, v, kQuietIn, 0);
+  EXPECT_EQ(st.next.state, NodeState::kColdstart);
+  EXPECT_EQ(st.next.counter, 1);
+  EXPECT_EQ(st.out.kind, MsgKind::kCs);
+  EXPECT_EQ(st.out.time, 1);
+}
+
+TEST(NodeColdstart, CollisionDoesNotSync) {
+  const auto cfg = cfg4();
+  NodeVars v;
+  v.state = NodeState::kColdstart;
+  v.counter = 2;
+  v.big_bang = false;
+  const Frame in[kNumChannels] = {Frame::cs(0), Frame::cs(3)};
+  auto st = node_step(cfg, 1, v, in, 0);
+  EXPECT_EQ(st.next.state, NodeState::kColdstart);
+  EXPECT_EQ(st.next.counter, 3);
+}
+
+TEST(NodeColdstart, CollisionConsumesArmedBigBang) {
+  const auto cfg = cfg4();
+  NodeVars v;
+  v.state = NodeState::kColdstart;
+  v.counter = 5;
+  v.big_bang = true;
+  const Frame in[kNumChannels] = {Frame::cs(0), Frame::cs(3)};
+  auto st = node_step(cfg, 1, v, in, 0);
+  EXPECT_EQ(st.next.state, NodeState::kColdstart);
+  EXPECT_EQ(st.next.counter, 2);  // clock re-phased to the observed event
+  EXPECT_FALSE(st.next.big_bang);
+}
+
+TEST(NodeActive, RunsTdmaSchedule) {
+  const auto cfg = cfg4();
+  NodeVars v;
+  v.state = NodeState::kActive;
+  v.pos = 1;
+  // Step: position advances to 2; node 2 owns that slot.
+  auto st = node_step(cfg, 2, v, kQuietIn, 0);
+  EXPECT_EQ(st.next.pos, 2);
+  EXPECT_EQ(st.out.kind, MsgKind::kI);
+  EXPECT_EQ(st.out.time, 2);
+  // Next step: position 3, quiet for node 2.
+  st = node_step(cfg, 2, st.next, kQuietIn, 0);
+  EXPECT_EQ(st.next.pos, 3);
+  EXPECT_TRUE(st.out.is_quiet());
+  // Wraps around modulo n.
+  st = node_step(cfg, 2, st.next, kQuietIn, 0);
+  EXPECT_EQ(st.next.pos, 0);
+}
+
+TEST(NodeListen, NoiseDoesNotResetOrConsumeAnything) {
+  const auto cfg = cfg4();
+  NodeVars v;
+  v.state = NodeState::kListen;
+  v.counter = 4;
+  const Frame in[kNumChannels] = {Frame::noise(), Frame::noise()};
+  auto st = node_step(cfg, 1, v, in, 0);
+  EXPECT_EQ(st.next.state, NodeState::kListen);
+  EXPECT_EQ(st.next.counter, 5);
+  EXPECT_TRUE(st.next.big_bang);
+}
+
+TEST(NodeListen, IllFormedFrameTreatedAsNoise) {
+  const auto cfg = cfg4();
+  NodeVars v;
+  v.state = NodeState::kListen;
+  v.counter = 4;
+  const Frame in[kNumChannels] = {Frame::i_bad(), Frame::quiet()};
+  auto st = node_step(cfg, 1, v, in, 0);
+  EXPECT_EQ(st.next.state, NodeState::kListen);
+  EXPECT_TRUE(st.next.big_bang);
+}
+
+TEST(NodeActive, IgnoresAllInputs) {
+  const auto cfg = cfg4();
+  NodeVars v;
+  v.state = NodeState::kActive;
+  v.pos = 0;
+  // Even a cs-frame cannot dislodge an active node from its schedule.
+  const Frame in[kNumChannels] = {Frame::cs(3), Frame::i(2)};
+  auto st = node_step(cfg, 1, v, in, 0);
+  EXPECT_EQ(st.next.state, NodeState::kActive);
+  EXPECT_EQ(st.next.pos, 1);
+  EXPECT_EQ(st.out.kind, MsgKind::kI);  // slot 1 is its own
+}
+
+TEST(NodeListen, IntegrationAdoptsScheduleWrap) {
+  const auto cfg = cfg4();
+  NodeVars v;
+  v.state = NodeState::kListen;
+  v.counter = 2;
+  // i-frame naming the last slot: the current slot wraps to 0.
+  const Frame in[kNumChannels] = {Frame::i(3), Frame::quiet()};
+  auto st = node_step(cfg, 0, v, in, 0);
+  EXPECT_EQ(st.next.state, NodeState::kActive);
+  EXPECT_EQ(st.next.pos, 0);
+  EXPECT_EQ(st.out.kind, MsgKind::kI);  // slot 0 belongs to node 0
+}
+
+TEST(NodeColdstart, IFrameSyncsEvenWithOwnId) {
+  // An i-frame naming our own slot means the set is running and our slot is
+  // current: integrate and take position (time+1).
+  const auto cfg = cfg4();
+  NodeVars v;
+  v.state = NodeState::kColdstart;
+  v.counter = 2;
+  const Frame in[kNumChannels] = {Frame::i(2), Frame::quiet()};
+  auto st = node_step(cfg, 2, v, in, 0);
+  EXPECT_EQ(st.next.state, NodeState::kActive);
+  EXPECT_EQ(st.next.pos, 3);
+}
+
+}  // namespace
+}  // namespace tt::tta

@@ -1,0 +1,137 @@
+#include "tta/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tta/trace_printer.hpp"
+
+namespace tt::tta {
+namespace {
+
+ClusterConfig cfg4() {
+  ClusterConfig cfg;
+  cfg.n = 4;
+  return cfg;
+}
+
+ClusterState all_active(const ClusterConfig& cfg, std::uint8_t pos) {
+  ClusterState c;
+  for (int i = 0; i < cfg.n; ++i) {
+    c.node[i].state = NodeState::kActive;
+    c.node[i].pos = pos;
+    c.node[i].counter = 0;
+    c.node[i].big_bang = false;
+  }
+  return c;
+}
+
+TEST(Properties, SafetyHoldsOnAgreement) {
+  const auto cfg = cfg4();
+  EXPECT_TRUE(holds_safety(cfg, all_active(cfg, 2)));
+}
+
+TEST(Properties, SafetyViolatedOnDisagreement) {
+  const auto cfg = cfg4();
+  ClusterState c = all_active(cfg, 2);
+  c.node[3].pos = 3;
+  EXPECT_FALSE(holds_safety(cfg, c));
+}
+
+TEST(Properties, SafetyIgnoresFaultyNode) {
+  auto cfg = cfg4();
+  cfg.faulty_node = 3;
+  ClusterState c = all_active(cfg, 2);
+  c.node[3].pos = 3;  // the faulty node's position is irrelevant
+  EXPECT_TRUE(holds_safety(cfg, c));
+}
+
+TEST(Properties, SafetyVacuousWithOneActiveNode) {
+  const auto cfg = cfg4();
+  ClusterState c;
+  c.node[1].state = NodeState::kActive;
+  c.node[1].pos = 0;
+  EXPECT_TRUE(holds_safety(cfg, c));
+}
+
+TEST(Properties, AllCorrectActive) {
+  auto cfg = cfg4();
+  EXPECT_TRUE(all_correct_active(cfg, all_active(cfg, 1)));
+  ClusterState c = all_active(cfg, 1);
+  c.node[2].state = NodeState::kColdstart;
+  EXPECT_FALSE(all_correct_active(cfg, c));
+  cfg.faulty_node = 2;
+  EXPECT_TRUE(all_correct_active(cfg, c));  // faulty node exempt
+}
+
+TEST(Properties, TimelinessChecksSaturationValue) {
+  auto cfg = cfg4();
+  cfg.timeliness_bound = 9;
+  ClusterState c;
+  c.startup_time = 9;
+  EXPECT_TRUE(holds_timeliness(cfg, c));
+  c.startup_time = 10;  // bound+1: the violation value
+  EXPECT_FALSE(holds_timeliness(cfg, c));
+  c.startup_time = 11;  // bound+2: frozen success
+  EXPECT_TRUE(holds_timeliness(cfg, c));
+  cfg.timeliness_bound = 0;  // tracking disabled
+  c.startup_time = 10;
+  EXPECT_TRUE(holds_timeliness(cfg, c));
+}
+
+TEST(Properties, HubAgreement) {
+  const auto cfg = cfg4();
+  ClusterState c = all_active(cfg, 2);
+  c.hub[0].state = HubState::kActive;
+  c.hub[0].slot_pos = 2;
+  EXPECT_TRUE(holds_hub_agreement(cfg, c));
+  c.hub[0].slot_pos = 3;
+  EXPECT_FALSE(holds_hub_agreement(cfg, c));
+  // Non-active hubs don't participate.
+  c.hub[0].state = HubState::kProtected;
+  EXPECT_TRUE(holds_hub_agreement(cfg, c));
+}
+
+TEST(Properties, CountCorrectActive) {
+  auto cfg = cfg4();
+  cfg.faulty_node = 0;
+  ClusterState c = all_active(cfg, 1);
+  EXPECT_EQ(count_correct_active(cfg, c), 3);
+  c.node[1].state = NodeState::kListen;
+  EXPECT_EQ(count_correct_active(cfg, c), 2);
+}
+
+TEST(TracePrinter, DescribesFrames) {
+  EXPECT_EQ(describe(Frame::quiet()), "-");
+  EXPECT_EQ(describe(Frame::noise()), "noise");
+  EXPECT_EQ(describe(Frame::cs(2)), "cs(2)");
+  EXPECT_EQ(describe(Frame::i(0)), "i(0)");
+  EXPECT_EQ(describe(Frame::i_bad()), "i(0)!");
+}
+
+TEST(TracePrinter, DescribesClusterState) {
+  const auto cfg = cfg4();
+  ClusterState c = all_active(cfg, 2);
+  c.hub[0].state = HubState::kTentative;
+  c.hub[0].slot_pos = 2;
+  c.hub[0].counter = 3;
+  c.hub[1].locks = 0b0101;
+  const std::string s = describe(cfg, c);
+  EXPECT_NE(s.find("n0:ACTIVE@2"), std::string::npos);
+  EXPECT_NE(s.find("G0:hub_tentative/3@2"), std::string::npos);
+  EXPECT_NE(s.find("lock{02}"), std::string::npos);
+}
+
+TEST(TracePrinter, DescribesTrace) {
+  ClusterConfig cfg;
+  cfg.n = 3;
+  const Cluster cluster(cfg);
+  Cluster::State init{};
+  cluster.initial_states([&](const Cluster::State& s) { init = s; });
+  const Cluster::State trace[] = {init, init};
+  const std::string s = describe_trace(cluster, trace);
+  EXPECT_NE(s.find("t=  0"), std::string::npos);
+  EXPECT_NE(s.find("t=  1"), std::string::npos);
+  EXPECT_NE(s.find("n0:INIT"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tt::tta

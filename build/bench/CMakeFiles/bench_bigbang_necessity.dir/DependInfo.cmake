@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_bigbang_necessity.cpp" "bench/CMakeFiles/bench_bigbang_necessity.dir/bench_bigbang_necessity.cpp.o" "gcc" "bench/CMakeFiles/bench_bigbang_necessity.dir/bench_bigbang_necessity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tta/CMakeFiles/tt_tta.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

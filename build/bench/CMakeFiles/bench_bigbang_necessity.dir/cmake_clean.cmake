@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bigbang_necessity.dir/bench_bigbang_necessity.cpp.o"
+  "CMakeFiles/bench_bigbang_necessity.dir/bench_bigbang_necessity.cpp.o.d"
+  "bench_bigbang_necessity"
+  "bench_bigbang_necessity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bigbang_necessity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

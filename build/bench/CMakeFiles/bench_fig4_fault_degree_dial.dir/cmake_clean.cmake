@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_fault_degree_dial.dir/bench_fig4_fault_degree_dial.cpp.o"
+  "CMakeFiles/bench_fig4_fault_degree_dial.dir/bench_fig4_fault_degree_dial.cpp.o.d"
+  "bench_fig4_fault_degree_dial"
+  "bench_fig4_fault_degree_dial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_fault_degree_dial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prelim_engines.dir/bench_prelim_engines.cpp.o"
+  "CMakeFiles/bench_prelim_engines.dir/bench_prelim_engines.cpp.o.d"
+  "bench_prelim_engines"
+  "bench_prelim_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prelim_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

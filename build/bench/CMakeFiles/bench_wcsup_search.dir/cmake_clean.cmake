@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wcsup_search.dir/bench_wcsup_search.cpp.o"
+  "CMakeFiles/bench_wcsup_search.dir/bench_wcsup_search.cpp.o.d"
+  "bench_wcsup_search"
+  "bench_wcsup_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wcsup_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigbang_counterexample.dir/bigbang_counterexample.cpp.o"
+  "CMakeFiles/bigbang_counterexample.dir/bigbang_counterexample.cpp.o.d"
+  "bigbang_counterexample"
+  "bigbang_counterexample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigbang_counterexample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

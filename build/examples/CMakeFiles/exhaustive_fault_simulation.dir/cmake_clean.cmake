@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exhaustive_fault_simulation.dir/exhaustive_fault_simulation.cpp.o"
+  "CMakeFiles/exhaustive_fault_simulation.dir/exhaustive_fault_simulation.cpp.o.d"
+  "exhaustive_fault_simulation"
+  "exhaustive_fault_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exhaustive_fault_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worst_case_startup.dir/worst_case_startup.cpp.o"
+  "CMakeFiles/worst_case_startup.dir/worst_case_startup.cpp.o.d"
+  "worst_case_startup"
+  "worst_case_startup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worst_case_startup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tt_bdd.dir/bdd.cpp.o"
+  "CMakeFiles/tt_bdd.dir/bdd.cpp.o.d"
+  "CMakeFiles/tt_bdd.dir/symbolic.cpp.o"
+  "CMakeFiles/tt_bdd.dir/symbolic.cpp.o.d"
+  "libtt_bdd.a"
+  "libtt_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tt_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tt_bmc.dir/encoder.cpp.o"
+  "CMakeFiles/tt_bmc.dir/encoder.cpp.o.d"
+  "libtt_bmc.a"
+  "libtt_bmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tt_bmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

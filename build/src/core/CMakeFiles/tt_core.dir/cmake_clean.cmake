@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tt_core.dir/scenario_math.cpp.o"
+  "CMakeFiles/tt_core.dir/scenario_math.cpp.o.d"
+  "CMakeFiles/tt_core.dir/verifier.cpp.o"
+  "CMakeFiles/tt_core.dir/verifier.cpp.o.d"
+  "CMakeFiles/tt_core.dir/wcsup.cpp.o"
+  "CMakeFiles/tt_core.dir/wcsup.cpp.o.d"
+  "libtt_core.a"
+  "libtt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/expr.cpp" "src/kernel/CMakeFiles/tt_kernel.dir/expr.cpp.o" "gcc" "src/kernel/CMakeFiles/tt_kernel.dir/expr.cpp.o.d"
+  "/root/repo/src/kernel/packed_system.cpp" "src/kernel/CMakeFiles/tt_kernel.dir/packed_system.cpp.o" "gcc" "src/kernel/CMakeFiles/tt_kernel.dir/packed_system.cpp.o.d"
+  "/root/repo/src/kernel/system.cpp" "src/kernel/CMakeFiles/tt_kernel.dir/system.cpp.o" "gcc" "src/kernel/CMakeFiles/tt_kernel.dir/system.cpp.o.d"
+  "/root/repo/src/kernel/ttalite.cpp" "src/kernel/CMakeFiles/tt_kernel.dir/ttalite.cpp.o" "gcc" "src/kernel/CMakeFiles/tt_kernel.dir/ttalite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/tt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

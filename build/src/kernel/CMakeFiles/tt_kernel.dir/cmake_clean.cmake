@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tt_kernel.dir/expr.cpp.o"
+  "CMakeFiles/tt_kernel.dir/expr.cpp.o.d"
+  "CMakeFiles/tt_kernel.dir/packed_system.cpp.o"
+  "CMakeFiles/tt_kernel.dir/packed_system.cpp.o.d"
+  "CMakeFiles/tt_kernel.dir/system.cpp.o"
+  "CMakeFiles/tt_kernel.dir/system.cpp.o.d"
+  "CMakeFiles/tt_kernel.dir/ttalite.cpp.o"
+  "CMakeFiles/tt_kernel.dir/ttalite.cpp.o.d"
+  "libtt_kernel.a"
+  "libtt_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tt_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tt_sat.dir/dimacs.cpp.o"
+  "CMakeFiles/tt_sat.dir/dimacs.cpp.o.d"
+  "CMakeFiles/tt_sat.dir/solver.cpp.o"
+  "CMakeFiles/tt_sat.dir/solver.cpp.o.d"
+  "libtt_sat.a"
+  "libtt_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tt_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tt_support.dir/biguint.cpp.o"
+  "CMakeFiles/tt_support.dir/biguint.cpp.o.d"
+  "CMakeFiles/tt_support.dir/table.cpp.o"
+  "CMakeFiles/tt_support.dir/table.cpp.o.d"
+  "libtt_support.a"
+  "libtt_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tt_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

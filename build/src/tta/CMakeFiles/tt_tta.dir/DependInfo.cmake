@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tta/cluster.cpp" "src/tta/CMakeFiles/tt_tta.dir/cluster.cpp.o" "gcc" "src/tta/CMakeFiles/tt_tta.dir/cluster.cpp.o.d"
+  "/root/repo/src/tta/config.cpp" "src/tta/CMakeFiles/tt_tta.dir/config.cpp.o" "gcc" "src/tta/CMakeFiles/tt_tta.dir/config.cpp.o.d"
+  "/root/repo/src/tta/faulty_node.cpp" "src/tta/CMakeFiles/tt_tta.dir/faulty_node.cpp.o" "gcc" "src/tta/CMakeFiles/tt_tta.dir/faulty_node.cpp.o.d"
+  "/root/repo/src/tta/hub.cpp" "src/tta/CMakeFiles/tt_tta.dir/hub.cpp.o" "gcc" "src/tta/CMakeFiles/tt_tta.dir/hub.cpp.o.d"
+  "/root/repo/src/tta/node.cpp" "src/tta/CMakeFiles/tt_tta.dir/node.cpp.o" "gcc" "src/tta/CMakeFiles/tt_tta.dir/node.cpp.o.d"
+  "/root/repo/src/tta/properties.cpp" "src/tta/CMakeFiles/tt_tta.dir/properties.cpp.o" "gcc" "src/tta/CMakeFiles/tt_tta.dir/properties.cpp.o.d"
+  "/root/repo/src/tta/trace_printer.cpp" "src/tta/CMakeFiles/tt_tta.dir/trace_printer.cpp.o" "gcc" "src/tta/CMakeFiles/tt_tta.dir/trace_printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/tt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tt_tta.dir/cluster.cpp.o"
+  "CMakeFiles/tt_tta.dir/cluster.cpp.o.d"
+  "CMakeFiles/tt_tta.dir/config.cpp.o"
+  "CMakeFiles/tt_tta.dir/config.cpp.o.d"
+  "CMakeFiles/tt_tta.dir/faulty_node.cpp.o"
+  "CMakeFiles/tt_tta.dir/faulty_node.cpp.o.d"
+  "CMakeFiles/tt_tta.dir/hub.cpp.o"
+  "CMakeFiles/tt_tta.dir/hub.cpp.o.d"
+  "CMakeFiles/tt_tta.dir/node.cpp.o"
+  "CMakeFiles/tt_tta.dir/node.cpp.o.d"
+  "CMakeFiles/tt_tta.dir/properties.cpp.o"
+  "CMakeFiles/tt_tta.dir/properties.cpp.o.d"
+  "CMakeFiles/tt_tta.dir/trace_printer.cpp.o"
+  "CMakeFiles/tt_tta.dir/trace_printer.cpp.o.d"
+  "libtt_tta.a"
+  "libtt_tta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tt_tta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

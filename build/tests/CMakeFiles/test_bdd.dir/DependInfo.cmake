@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bdd/bdd_test.cpp" "tests/CMakeFiles/test_bdd.dir/bdd/bdd_test.cpp.o" "gcc" "tests/CMakeFiles/test_bdd.dir/bdd/bdd_test.cpp.o.d"
+  "/root/repo/tests/bdd/symbolic_test.cpp" "tests/CMakeFiles/test_bdd.dir/bdd/symbolic_test.cpp.o" "gcc" "tests/CMakeFiles/test_bdd.dir/bdd/symbolic_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tta/CMakeFiles/tt_tta.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tt_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/tt_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/tt_kernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

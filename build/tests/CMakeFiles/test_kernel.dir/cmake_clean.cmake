@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel.dir/kernel/expr_test.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/expr_test.cpp.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/system_test.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/system_test.cpp.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/ttalite_test.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/ttalite_test.cpp.o.d"
+  "test_kernel"
+  "test_kernel.pdb"
+  "test_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mc.dir/mc/liveness_test.cpp.o"
+  "CMakeFiles/test_mc.dir/mc/liveness_test.cpp.o.d"
+  "CMakeFiles/test_mc.dir/mc/reachability_test.cpp.o"
+  "CMakeFiles/test_mc.dir/mc/reachability_test.cpp.o.d"
+  "CMakeFiles/test_mc.dir/mc/simulate_test.cpp.o"
+  "CMakeFiles/test_mc.dir/mc/simulate_test.cpp.o.d"
+  "test_mc"
+  "test_mc.pdb"
+  "test_mc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tta/cluster_test.cpp" "tests/CMakeFiles/test_tta.dir/tta/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/test_tta.dir/tta/cluster_test.cpp.o.d"
+  "/root/repo/tests/tta/config_test.cpp" "tests/CMakeFiles/test_tta.dir/tta/config_test.cpp.o" "gcc" "tests/CMakeFiles/test_tta.dir/tta/config_test.cpp.o.d"
+  "/root/repo/tests/tta/faulty_node_test.cpp" "tests/CMakeFiles/test_tta.dir/tta/faulty_node_test.cpp.o" "gcc" "tests/CMakeFiles/test_tta.dir/tta/faulty_node_test.cpp.o.d"
+  "/root/repo/tests/tta/hub_test.cpp" "tests/CMakeFiles/test_tta.dir/tta/hub_test.cpp.o" "gcc" "tests/CMakeFiles/test_tta.dir/tta/hub_test.cpp.o.d"
+  "/root/repo/tests/tta/node_test.cpp" "tests/CMakeFiles/test_tta.dir/tta/node_test.cpp.o" "gcc" "tests/CMakeFiles/test_tta.dir/tta/node_test.cpp.o.d"
+  "/root/repo/tests/tta/properties_test.cpp" "tests/CMakeFiles/test_tta.dir/tta/properties_test.cpp.o" "gcc" "tests/CMakeFiles/test_tta.dir/tta/properties_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tta/CMakeFiles/tt_tta.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tta.dir/tta/cluster_test.cpp.o"
+  "CMakeFiles/test_tta.dir/tta/cluster_test.cpp.o.d"
+  "CMakeFiles/test_tta.dir/tta/config_test.cpp.o"
+  "CMakeFiles/test_tta.dir/tta/config_test.cpp.o.d"
+  "CMakeFiles/test_tta.dir/tta/faulty_node_test.cpp.o"
+  "CMakeFiles/test_tta.dir/tta/faulty_node_test.cpp.o.d"
+  "CMakeFiles/test_tta.dir/tta/hub_test.cpp.o"
+  "CMakeFiles/test_tta.dir/tta/hub_test.cpp.o.d"
+  "CMakeFiles/test_tta.dir/tta/node_test.cpp.o"
+  "CMakeFiles/test_tta.dir/tta/node_test.cpp.o.d"
+  "CMakeFiles/test_tta.dir/tta/properties_test.cpp.o"
+  "CMakeFiles/test_tta.dir/tta/properties_test.cpp.o.d"
+  "test_tta"
+  "test_tta.pdb"
+  "test_tta[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

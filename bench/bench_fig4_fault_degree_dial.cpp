@@ -16,6 +16,7 @@
 #include <cstdio>
 
 #include "core/verifier.hpp"
+#include "support/bench_report.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -55,11 +56,12 @@ BENCHMARK(BM_Fig4)
     ->Unit(benchmark::kMillisecond)
     ->MinTime(0.01);
 
-void print_table() {
+void print_table(tt::BenchReport& report) {
   const double paper[3][3] = {{44.11, 196.05, 77.14},
                               {166.34, 892.15, 615.03},
                               {251.12, 1324.54, 921.92}};
   const int degrees[3] = {1, 3, 5};
+  const char* slugs[3] = {"safety", "liveness", "timeliness"};
 
   std::printf("\n=== Figure 4: fault-degree dial, n = 4, faulty node (feedback on) ===\n");
   tt::TextTable t({"degree", "lemma", "eval", "measured s", "states", "paper s (SAL 2004)"});
@@ -69,6 +71,16 @@ void print_table() {
       auto cfg = fig4_config(degrees[d]);
       if (lemma == tt::core::Lemma::kTimeliness) cfg.timeliness_bound = 6 * cfg.n;
       auto r = tt::core::verify(cfg, lemma);
+      tt::BenchRecord rec;
+      rec.experiment = tt::strfmt("fig4/%s/deg%d", slugs[l], degrees[d]);
+      rec.engine = r.engine_used == tt::mc::EngineKind::kParallel ? "par" : "seq";
+      rec.threads = r.stats.threads;
+      rec.states = r.stats.states;
+      rec.transitions = r.stats.transitions;
+      rec.seconds = r.stats.seconds;
+      rec.exhausted = r.stats.exhausted;
+      rec.verdict = r.holds ? "holds" : "VIOLATED";
+      report.add(rec);
       t.add_row({std::to_string(degrees[d]), tt::core::to_string(lemma),
                  r.holds ? "true" : "FALSE", tt::strfmt("%.2f", r.stats.seconds),
                  std::to_string(r.stats.states), tt::strfmt("%.2f", paper[d][l])});
@@ -84,6 +96,9 @@ void print_table() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  print_table();
+  tt::BenchReport report("bench_fig4_fault_degree_dial");
+  print_table(report);
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("machine-readable results: %s\n", path.c_str());
   return 0;
 }

@@ -8,6 +8,7 @@
 
 #include "core/scenario_math.hpp"
 #include "mc/reachability.hpp"
+#include "support/bench_report.hpp"
 #include "support/table.hpp"
 #include "tta/cluster.hpp"
 
@@ -37,7 +38,7 @@ void BM_CountReachable(benchmark::State& state) {
 }
 BENCHMARK(BM_CountReachable)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
 
-void print_table() {
+void print_table(tt::BenchReport& report) {
   std::printf("\n=== Figure 5: number of scenarios (paper parameters, exact) ===\n");
   tt::TextTable t({"nodes", "d_init", "|S_sup|", "paper", "d_fail", "wcsup", "|S_f.n.|",
                    "paper"});
@@ -61,8 +62,19 @@ void print_table() {
     cfg.hub_init_window = 2;
     const tt::tta::Cluster cluster(cfg);
     auto stats = tt::mc::count_reachable(cluster);
-    m.add_row({std::to_string(n), std::to_string(stats.states),
+    // A limit-stopped count would silently understate the state space; the
+    // exhausted flag makes that impossible to miss.
+    m.add_row({std::to_string(n),
+               std::to_string(stats.states) + (stats.exhausted ? "" : " (truncated!)"),
                std::to_string(stats.transitions), std::to_string(cluster.state_bits())});
+    tt::BenchRecord rec;
+    rec.experiment = tt::strfmt("fig5/count_reachable/n%d", n);
+    rec.engine = "seq";
+    rec.states = stats.states;
+    rec.transitions = stats.transitions;
+    rec.seconds = stats.seconds;
+    rec.exhausted = stats.exhausted;
+    report.add(rec);
   }
   std::printf("%s\n", m.render().c_str());
 }
@@ -72,6 +84,9 @@ void print_table() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  print_table();
+  tt::BenchReport report("bench_fig5_scenario_counts");
+  print_table(report);
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("machine-readable results: %s\n", path.c_str());
   return 0;
 }

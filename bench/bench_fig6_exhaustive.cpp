@@ -14,6 +14,7 @@
 
 #include "core/scenario_math.hpp"
 #include "core/verifier.hpp"
+#include "support/bench_report.hpp"
 #include "support/table.hpp"
 #include "tta/cluster.hpp"
 
@@ -81,7 +82,66 @@ struct PaperRow {
   int bdd_vars;
 };
 
-void print_table() {
+const char* lemma_slug(tt::core::Lemma lemma) {
+  switch (lemma) {
+    case tt::core::Lemma::kSafety: return "safety";
+    case tt::core::Lemma::kLiveness: return "liveness";
+    case tt::core::Lemma::kTimeliness: return "timeliness";
+    default: return "safety2";
+  }
+}
+
+tt::BenchRecord record_of(const std::string& experiment,
+                          const tt::core::VerificationResult& r) {
+  tt::BenchRecord rec;
+  rec.experiment = experiment;
+  rec.engine = r.engine_used == tt::mc::EngineKind::kParallel ? "par" : "seq";
+  rec.threads = r.stats.threads;
+  rec.states = r.stats.states;
+  rec.transitions = r.stats.transitions;
+  rec.seconds = r.stats.seconds;
+  rec.exhausted = r.stats.exhausted;
+  rec.verdict = r.holds ? "holds" : "VIOLATED";
+  return rec;
+}
+
+// The engine-comparison experiment: the exhaustive n = 4, degree-6 safety run
+// (feedback on) with the sequential BFS engine vs the parallel frontier
+// engine at 1, 2 and 4 threads. Verdict and state count must be identical;
+// the JSON records carry states/sec for the perf trajectory.
+void engine_comparison(tt::BenchReport& report) {
+  std::printf("\n=== engine comparison: safety, n = 4, degree 6, feedback on ===\n");
+  tt::TextTable t({"engine", "threads", "eval", "states", "transitions", "seconds",
+                   "states/sec"});
+  auto cfg = fig6_node_config(4);
+
+  tt::core::VerifyOptions seq_opts;
+  seq_opts.engine = tt::mc::EngineKind::kSequential;
+  const auto seq = tt::core::verify(cfg, tt::core::Lemma::kSafety, seq_opts);
+  report.add(record_of("fig6/engine_compare/safety_n4", seq));
+  t.add_row({"seq", "1", seq.holds ? "true" : "FALSE", std::to_string(seq.stats.states),
+             std::to_string(seq.stats.transitions), tt::strfmt("%.2f", seq.stats.seconds),
+             tt::strfmt("%.0f", seq.stats.states_per_sec())});
+
+  for (int threads : {1, 2, 4}) {
+    tt::core::VerifyOptions par_opts;
+    par_opts.engine = tt::mc::EngineKind::kParallel;
+    par_opts.threads = threads;
+    const auto par = tt::core::verify(cfg, tt::core::Lemma::kSafety, par_opts);
+    report.add(record_of("fig6/engine_compare/safety_n4", par));
+    const bool agrees = par.holds == seq.holds && par.stats.states == seq.stats.states;
+    t.add_row({"par", std::to_string(threads), par.holds ? "true" : "FALSE",
+               std::to_string(par.stats.states), std::to_string(par.stats.transitions),
+               tt::strfmt("%.2f", par.stats.seconds),
+               tt::strfmt("%.0f", par.stats.states_per_sec())});
+    if (!agrees) std::printf("!! engine disagreement at %d threads\n", threads);
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("(identical verdict and state count required at every thread count;\n"
+              " speedup scales with available cores.)\n");
+}
+
+void print_table(tt::BenchReport& report) {
   // Paper Fig. 6 (a)-(d): cpu seconds and BDD variables for n = 3, 4, 5.
   const PaperRow paper_safety[3] = {{62.45, 248}, {259.53, 316}, {920.74, 422}};
   const PaperRow paper_liveness[3] = {{228.03, 250}, {1242.73, 318}, {41264.08, 424}};
@@ -107,6 +167,7 @@ void print_table() {
       auto cfg = e.hub ? fig6_hub_config(n) : fig6_node_config(n);
       if (e.lemma == tt::core::Lemma::kTimeliness) cfg.timeliness_bound = 8 * n;
       auto r = tt::core::verify(cfg, e.lemma);
+      report.add(record_of(tt::strfmt("fig6/%s/n%d", lemma_slug(e.lemma), n), r));
       const tt::tta::Cluster cluster(tt::core::prepare_config(cfg, e.lemma));
       t.add_row({tt::core::to_string(e.lemma), std::to_string(n),
                  r.holds ? "true" : "FALSE", tt::strfmt("%.2f", r.stats.seconds),
@@ -127,6 +188,10 @@ void print_table() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  print_table();
+  tt::BenchReport report("bench_fig6_exhaustive");
+  print_table(report);
+  engine_comparison(report);
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("machine-readable results: %s\n", path.c_str());
   return 0;
 }

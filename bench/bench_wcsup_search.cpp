@@ -14,6 +14,7 @@
 
 #include "core/scenario_math.hpp"
 #include "core/wcsup.hpp"
+#include "support/bench_report.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -49,7 +50,7 @@ BENCHMARK(BM_WcsupSweep)
     ->Unit(benchmark::kMillisecond)
     ->MinTime(0.01);
 
-void print_table() {
+void print_table(tt::BenchReport& report) {
   std::printf("\n=== §5.3: worst-case startup time w_sup (slots) ===\n");
   tt::TextTable t({"n", "faulty node", "degree", "measured w_sup", "paper 7n-5", "sweep s"});
   for (int n = 3; n <= 5; ++n) {
@@ -61,6 +62,12 @@ void print_table() {
       t.add_row({std::to_string(n), faulty ? "yes" : "no", std::to_string(degree),
                  std::to_string(bound), std::to_string(tt::core::paper_wcsup_slots(n)),
                  tt::strfmt("%.2f", secs)});
+      tt::BenchRecord rec;
+      rec.experiment = tt::strfmt("wcsup/n%d/%s", n, faulty ? "faulty" : "fault_free");
+      rec.engine = "sweep";
+      rec.seconds = secs;
+      rec.verdict = tt::strfmt("w_sup=%d", bound);
+      report.add(rec);
     }
   }
   std::printf("%s", t.render().c_str());
@@ -74,6 +81,9 @@ void print_table() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  print_table();
+  tt::BenchReport report("bench_wcsup_search");
+  print_table(report);
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("machine-readable results: %s\n", path.c_str());
   return 0;
 }

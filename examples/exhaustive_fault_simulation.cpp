@@ -15,6 +15,9 @@
 //     --restarts <k>        transient-restart budget (§2.1)
 //     --no-feedback         disable the feedback optimization
 //     --no-bigbang          disable the big-bang mechanism (§5.2)
+//     --engine <kind>       auto|seq|par exploration engine (default auto)
+//     --threads <k>         worker threads for the parallel engine
+//                           (default: TTSTART_THREADS env, else all cores)
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -39,6 +42,7 @@ int main(int argc, char** argv) {
   cfg.init_window = 4;
   cfg.hub_init_window = 4;
   core::Lemma lemma = core::Lemma::kSafety;
+  core::VerifyOptions opts;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -66,6 +70,20 @@ int main(int argc, char** argv) {
       cfg.feedback = false;
     } else if (arg == "--no-bigbang") {
       cfg.big_bang = false;
+    } else if (arg == "--threads") {
+      if (!next_int(opts.threads)) return usage();
+    } else if (arg == "--engine") {
+      if (i + 1 >= argc) return usage();
+      const std::string name = argv[++i];
+      if (name == "auto") {
+        opts.engine = mc::EngineKind::kAuto;
+      } else if (name == "seq") {
+        opts.engine = mc::EngineKind::kSequential;
+      } else if (name == "par") {
+        opts.engine = mc::EngineKind::kParallel;
+      } else {
+        return usage();
+      }
     } else if (arg == "--lemma") {
       if (i + 1 >= argc) return usage();
       const std::string name = argv[++i];
@@ -92,11 +110,15 @@ int main(int argc, char** argv) {
   std::printf("configuration: %s\n", cfg.summary().c_str());
   std::printf("lemma: %s\n", core::to_string(lemma));
 
-  const auto result = core::verify(cfg, lemma);
+  const auto result = core::verify(cfg, lemma, opts);
   std::printf("verdict: %s  (states=%zu transitions=%zu depth=%d time=%.2fs mem=%.1fMB)\n",
               result.verdict_text.c_str(), result.stats.states, result.stats.transitions,
               result.stats.depth, result.stats.seconds,
               static_cast<double>(result.stats.memory_bytes) / 1e6);
+  std::printf("engine: %s  threads=%d  states/sec=%.0f%s\n",
+              mc::to_string(result.engine_used), result.stats.threads,
+              result.stats.states_per_sec(),
+              result.stats.exhausted ? "" : "  [search truncated by limits]");
 
   if (!result.holds && !result.trace.empty()) {
     const tta::Cluster cluster(core::prepare_config(cfg, lemma));

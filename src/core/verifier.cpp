@@ -1,6 +1,7 @@
 #include "core/verifier.hpp"
 
 #include "mc/liveness.hpp"
+#include "mc/parallel_reachability.hpp"
 #include "mc/reachability.hpp"
 #include "support/assert.hpp"
 #include "tta/properties.hpp"
@@ -32,21 +33,24 @@ tta::ClusterConfig prepare_config(tta::ClusterConfig cfg, Lemma lemma) {
 }
 
 VerificationResult verify(const tta::ClusterConfig& raw_cfg, Lemma lemma,
-                          const mc::SearchLimits& limits) {
+                          const VerifyOptions& opts) {
   const tta::ClusterConfig cfg = prepare_config(raw_cfg, lemma);
   const tta::Cluster cluster(cfg);
   VerificationResult out;
 
-  if (lemma == Lemma::kLiveness || lemma == Lemma::kReintegration) {
+  if (!is_invariant_lemma(lemma)) {
+    // Lasso liveness is a DFS over the goal-free subgraph — always
+    // sequential, whatever the requested engine.
+    out.engine_used = mc::EngineKind::kSequential;
     auto goal = [&](const tta::Cluster::State& s) {
       return tta::all_correct_active(cfg, cluster.unpack(s));
     };
     auto r = lemma == Lemma::kLiveness
-                 ? mc::check_eventually(cluster, goal, limits)
-                 : mc::check_always_eventually(cluster, goal, limits);
+                 ? mc::check_eventually(cluster, goal, opts.limits)
+                 : mc::check_always_eventually(cluster, goal, opts.limits);
     out.holds = r.verdict == mc::LivenessVerdict::kHolds;
     out.exhausted = r.verdict != mc::LivenessVerdict::kLimit;
-    out.stats = r.stats;
+    out.stats = std::move(r.stats);
     out.trace = std::move(r.trace);
     out.loop_start = r.loop_start;
     out.verdict_text = to_string(r.verdict);
@@ -66,10 +70,17 @@ VerificationResult verify(const tta::ClusterConfig& raw_cfg, Lemma lemma,
     TT_ASSERT(false && "unreachable");
     return true;
   };
-  auto r = mc::check_invariant(cluster, invariant, limits);
+
+  const mc::EngineKind kind = opts.engine == mc::EngineKind::kAuto
+                                  ? mc::EngineKind::kParallel
+                                  : opts.engine;
+  out.engine_used = kind;
+  mc::EngineOptions eopts(opts.limits);
+  eopts.threads = opts.threads;
+  auto r = mc::check_invariant_with(kind, cluster, invariant, eopts);
   out.holds = r.verdict == mc::Verdict::kHolds;
   out.exhausted = r.verdict != mc::Verdict::kLimit;
-  out.stats = r.stats;
+  out.stats = std::move(r.stats);
   out.trace = std::move(r.trace);
   out.verdict_text = to_string(r.verdict);
   return out;

@@ -1,11 +1,18 @@
 // The exhaustive-fault-simulation facade: one call = one model-checking run
 // of one lemma against one cluster configuration, mirroring how the paper's
 // experiments are organized (a lemma x configuration grid, Figs. 4 and 6).
+//
+// Engine selection: invariant lemmas run on the parallel frontier engine by
+// default (mc/parallel_reachability.hpp); the lasso-based liveness lemmas
+// are inherently depth-first and always run sequentially. VerifyOptions
+// overrides the engine and thread count; the TTSTART_THREADS environment
+// variable sets the default thread count (see mc::resolve_threads).
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "mc/engine.hpp"
 #include "mc/run_stats.hpp"
 #include "tta/cluster.hpp"
 #include "tta/config.hpp"
@@ -33,6 +40,24 @@ enum class Lemma {
   return "?";
 }
 
+/// True for the lemmas checked by reachability (BFS engines); false for the
+/// lasso-based liveness lemmas.
+[[nodiscard]] constexpr bool is_invariant_lemma(Lemma l) noexcept {
+  return l != Lemma::kLiveness && l != Lemma::kReintegration;
+}
+
+/// How to run a verification. Implicitly constructible from SearchLimits so
+/// limit-only call sites stay terse.
+struct VerifyOptions {
+  VerifyOptions() = default;
+  VerifyOptions(const mc::SearchLimits& l) : limits(l) {}  // NOLINT: deliberate implicit lift
+
+  mc::SearchLimits limits;
+  /// kAuto = parallel for invariant lemmas, sequential for lasso liveness.
+  mc::EngineKind engine = mc::EngineKind::kAuto;
+  int threads = 0;  ///< 0 = TTSTART_THREADS env, then hardware concurrency
+};
+
 struct VerificationResult {
   bool holds = false;
   bool exhausted = true;  ///< false when a search limit stopped exploration
@@ -40,13 +65,15 @@ struct VerificationResult {
   std::vector<tta::Cluster::State> trace;  ///< counterexample when !holds
   std::size_t loop_start = 0;              ///< lasso entry for liveness cycles
   std::string verdict_text;
+  /// Engine that actually ran (kAuto resolved; liveness forces kSequential).
+  mc::EngineKind engine_used = mc::EngineKind::kSequential;
 };
 
 /// Runs one lemma against one configuration. For kTimeliness/kSafety2 the
 /// configuration must carry a positive timeliness_bound (and the matching
 /// TimelinessTarget); `prepare_config` sets these up.
 [[nodiscard]] VerificationResult verify(const tta::ClusterConfig& cfg, Lemma lemma,
-                                        const mc::SearchLimits& limits = {});
+                                        const VerifyOptions& opts = {});
 
 /// Normalizes a configuration for a lemma: picks the timeliness target and
 /// asserts bound preconditions. Returns the adjusted copy.

@@ -6,7 +6,7 @@
 namespace tt::core {
 
 WcsupResult find_worst_case_startup(tta::ClusterConfig cfg, Lemma lemma, int start_bound,
-                                    int max_bound, const mc::SearchLimits& limits) {
+                                    int max_bound, const VerifyOptions& opts) {
   TT_REQUIRE(lemma == Lemma::kTimeliness || lemma == Lemma::kSafety2,
              "wcsup sweeps only deadline lemmas");
   TT_REQUIRE(start_bound >= 1 && start_bound <= max_bound, "bad sweep range");
@@ -17,7 +17,7 @@ WcsupResult find_worst_case_startup(tta::ClusterConfig cfg, Lemma lemma, int sta
   // passing bound is the minimum.
   for (int bound = start_bound; bound <= max_bound; ++bound) {
     cfg.timeliness_bound = bound;
-    VerificationResult r = verify(cfg, lemma, limits);
+    VerificationResult r = verify(cfg, lemma, opts);
     out.last_stats = r.stats;
     if (r.holds && r.exhausted) {
       out.minimal_bound = bound;

@@ -26,9 +26,11 @@ struct WcsupResult {
 
 /// Sweeps the timeliness bound in [start_bound, max_bound]; `lemma` selects
 /// the counter semantics (kTimeliness for §5.3, kSafety2 for §5.2-style hub
-/// deadlines).
+/// deadlines). Each probe is one verify() run, so `opts` selects the engine
+/// and thread count for the whole sweep (both lemmas are invariants — the
+/// parallel frontier engine is the default).
 [[nodiscard]] WcsupResult find_worst_case_startup(tta::ClusterConfig cfg, Lemma lemma,
                                                   int start_bound, int max_bound,
-                                                  const mc::SearchLimits& limits = {});
+                                                  const VerifyOptions& opts = {});
 
 }  // namespace tt::core

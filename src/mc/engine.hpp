@@ -1,0 +1,68 @@
+// The engine layer: which exploration engine runs a property, with how many
+// threads, under which limits. Shared by the sequential BFS/DFS engines
+// (reachability.hpp, liveness.hpp) and the parallel frontier engine
+// (parallel_reachability.hpp); core/verifier plumbs these options through the
+// lemma facade.
+#pragma once
+
+#include <cstdlib>
+#include <functional>
+#include <thread>
+
+#include "mc/run_stats.hpp"
+
+namespace tt::mc {
+
+/// Which exploration engine to use. kAuto picks per property class:
+/// parallel frontier BFS for invariant lemmas, sequential lasso DFS for
+/// liveness (cycle detection is inherently depth-first).
+enum class EngineKind {
+  kAuto,
+  kSequential,
+  kParallel,
+};
+
+[[nodiscard]] constexpr const char* to_string(EngineKind k) noexcept {
+  switch (k) {
+    case EngineKind::kAuto: return "auto";
+    case EngineKind::kSequential: return "seq";
+    case EngineKind::kParallel: return "par";
+  }
+  return "?";
+}
+
+/// Per-level progress snapshot handed to EngineOptions::progress.
+struct LevelProgress {
+  int depth = 0;             ///< level just completed
+  std::size_t states = 0;    ///< states interned so far
+  std::size_t transitions = 0;
+  std::size_t frontier = 0;  ///< size of the next frontier
+  double seconds = 0.0;      ///< elapsed wall-clock
+};
+
+/// Options common to every exploration engine.
+struct EngineOptions {
+  EngineOptions() = default;
+  EngineOptions(const SearchLimits& l) : limits(l) {}  // NOLINT: deliberate implicit lift
+
+  /// Worker threads. 0 = resolve from the TTSTART_THREADS environment
+  /// variable, falling back to std::thread::hardware_concurrency().
+  int threads = 0;
+  SearchLimits limits;
+  /// Called once per completed BFS level (from the coordinating thread).
+  /// Leave empty for no progress reporting.
+  std::function<void(const LevelProgress&)> progress;
+};
+
+/// Resolves a requested thread count: explicit > TTSTART_THREADS > hardware.
+[[nodiscard]] inline int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("TTSTART_THREADS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+}  // namespace tt::mc

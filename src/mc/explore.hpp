@@ -1,0 +1,75 @@
+// Shared explicit-state exploration scaffolding: the visit bookkeeping
+// (intern, parent link, queue position) and counterexample reconstruction
+// used by the sequential invariant engine, the liveness engine's
+// reachable-set materialization, and the parallel frontier engine. One
+// implementation instead of three keeps trace semantics (initial state ..
+// violating state, parent-minimal) identical across engines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mc/run_stats.hpp"
+#include "support/state_index_map.hpp"
+
+namespace tt::mc::detail {
+
+/// Sequential BFS working set: interned states, optional parent links and
+/// the dense-id queue. `visit` is the single entry point engines feed states
+/// through (initial and successor alike).
+template <std::size_t W>
+struct BfsCore {
+  using State = std::array<std::uint64_t, W>;
+  static constexpr std::uint32_t kNoParent = StateIndexMap<W>::kEmpty;
+
+  explicit BfsCore(bool track_parents = true, const SearchLimits& limits = {})
+      : parents(track_parents) {
+    // A bounded run pre-sizes the store so the cap is hit before the
+    // allocator is (and no rehash happens mid-search).
+    if (limits.states_bounded()) {
+      seen.reserve(limits.max_states + limits.max_states / 8 + 1);
+    }
+  }
+
+  /// Interns `s` with BFS parent `from`; enqueues when fresh.
+  /// Returns {dense id, fresh}.
+  std::pair<std::uint32_t, bool> visit(const State& s, std::uint32_t from) {
+    auto [idx, fresh] = seen.insert(s);
+    if (fresh) {
+      if (parents) parent.push_back(from);
+      queue.push_back(idx);
+    }
+    return {idx, fresh};
+  }
+
+  /// Reconstructs initial..`bad` by walking parent links.
+  [[nodiscard]] std::vector<State> trace_to(std::uint32_t bad) const {
+    std::vector<State> rev;
+    for (std::uint32_t at = bad; at != kNoParent; at = parent[at]) rev.push_back(seen.at(at));
+    return {rev.rbegin(), rev.rend()};
+  }
+
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return seen.memory_bytes() + parent.capacity() * sizeof(std::uint32_t) +
+           queue.capacity() * sizeof(std::uint32_t);
+  }
+
+  StateIndexMap<W> seen;
+  std::vector<std::uint32_t> parent;  // dense id -> predecessor id (if `parents`)
+  std::vector<std::uint32_t> queue;   // dense ids in BFS order
+  bool parents = true;
+};
+
+/// Parent-walking trace reconstruction over engine-specific id spaces (the
+/// parallel engine's ids are (shard, local) pairs, so it supplies its own
+/// accessors). `state_of(id)` yields the packed state, `parent_of(id)` the
+/// predecessor id or `none`.
+template <class State, class StateOf, class ParentOf>
+[[nodiscard]] std::vector<State> reconstruct_trace(std::uint32_t bad, std::uint32_t none,
+                                                   StateOf&& state_of, ParentOf&& parent_of) {
+  std::vector<State> rev;
+  for (std::uint32_t at = bad; at != none; at = parent_of(at)) rev.push_back(state_of(at));
+  return {rev.rbegin(), rev.rend()};
+}
+
+}  // namespace tt::mc::detail

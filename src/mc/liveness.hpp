@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "mc/explore.hpp"
 #include "mc/run_stats.hpp"
 #include "mc/transition_system.hpp"
 #include "support/state_index_map.hpp"
@@ -159,6 +160,7 @@ template <class TS, class Pred, class RootFn>
   result.stats.states = seen.size();
   result.stats.memory_bytes = seen.memory_bytes() + color.capacity();
   result.stats.seconds = timer.seconds();
+  result.stats.exhausted = result.verdict != LivenessVerdict::kLimit;
   return result;
 }
 
@@ -183,31 +185,29 @@ template <TransitionSystem TS, class Pred>
                                                          const SearchLimits& limits = {}) {
   using State = typename TS::State;
   // Materialize the reachable set first; its states are the lasso roots.
+  // Reuses the shared BFS scaffolding (explore.hpp) without parent links.
   std::vector<State> reachable;
   bool truncated = false;
   {
-    StateIndexMap<TS::kWords> seen;
-    std::vector<std::uint32_t> queue;
-    auto visit = [&](const State& s) {
-      auto [idx, fresh] = seen.insert(s);
-      if (fresh) queue.push_back(idx);
-    };
+    detail::BfsCore<TS::kWords> bfs(/*track_parents=*/false, limits);
+    auto visit = [&](const State& s) { bfs.visit(s, detail::BfsCore<TS::kWords>::kNoParent); };
     ts.initial_states(visit);
-    for (std::size_t head = 0; head < queue.size(); ++head) {
-      if (seen.size() > limits.max_states) {
+    for (std::size_t head = 0; head < bfs.queue.size(); ++head) {
+      if (bfs.seen.size() > limits.max_states) {
         truncated = true;
         break;
       }
-      const State s = seen.at(queue[head]);
+      const State s = bfs.seen.at(bfs.queue[head]);
       ts.successors(s, visit);
     }
-    reachable.reserve(seen.size());
-    for (std::uint32_t i = 0; i < seen.size(); ++i) reachable.push_back(seen.at(i));
+    reachable.reserve(bfs.seen.size());
+    for (std::uint32_t i = 0; i < bfs.seen.size(); ++i) reachable.push_back(bfs.seen.at(i));
   }
   if (truncated) {
     LivenessResult<TS> limited;
     limited.verdict = LivenessVerdict::kLimit;
     limited.stats.states = reachable.size();
+    limited.stats.exhausted = false;
     return limited;
   }
   auto result = detail::lasso_search(

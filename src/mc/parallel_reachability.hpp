@@ -1,0 +1,296 @@
+// Level-synchronous parallel BFS over a TransitionSystem — the parallel
+// frontier engine behind the invariant lemmas.
+//
+// Each BFS level runs in two phases over a fixed chunking of the frontier:
+//
+//   expand: worker threads claim 256-state chunks (atomic counter), enumerate
+//           successors, prefilter against the sharded store (lock-free find —
+//           the store is frozen during this phase) and route candidate
+//           (state, parent) pairs into per-chunk, per-shard buffers.
+//   drain:  worker threads claim whole shards; the owner of shard s walks the
+//           chunk buffers *in chunk order* and interns every candidate
+//           (lock-striped insert), assigns parent links and collects fresh
+//           ids. Shard ownership is exclusive, so the per-shard insertion
+//           order — and with it every dense id, parent link and the next
+//           frontier (per-shard fresh lists concatenated in shard order) —
+//           depends only on the chunk geometry, never on thread scheduling.
+//
+// Determinism guarantee: chunk size and shard count are fixed constants, so a
+// run with 1, 2 or 4 threads (or any other count) interns the same states
+// under the same ids, picks the same minimal-(depth, id) violation and
+// reconstructs the *identical* counterexample trace. Traces are BFS-minimal,
+// like the sequential engine's.
+//
+// Requirements on the model: TS::successors and the property predicate must
+// be safe to call concurrently on a const system (all bundled models are
+// immutable after construction).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "mc/engine.hpp"
+#include "mc/explore.hpp"
+#include "mc/reachability.hpp"
+#include "mc/run_stats.hpp"
+#include "mc/transition_system.hpp"
+#include "support/sharded_state_index_map.hpp"
+#include "support/timer.hpp"
+
+namespace tt::mc {
+
+/// Parallel G(holds) check; the frontier-parallel counterpart of
+/// check_invariant. Verdicts agree with the sequential engine; on violation
+/// the trace is shortest (BFS) and identical for every thread count. Search
+/// limits are enforced at level granularity (the sequential engine checks
+/// mid-level), so limit-stopped runs may intern slightly more states.
+template <TransitionSystem TS, class Pred>
+[[nodiscard]] InvariantResult<TS> check_invariant_parallel(const TS& ts, Pred&& holds,
+                                                           const EngineOptions& opts = {}) {
+  using State = typename TS::State;
+  using Map = ShardedStateIndexMap<TS::kWords>;
+  constexpr std::uint32_t kNone = Map::kEmpty;
+  // Fixed constants: the frontier partition must not depend on the thread
+  // count or the determinism guarantee breaks.
+  constexpr unsigned kShards = 16;
+  constexpr std::size_t kChunk = 256;
+
+  const int threads = resolve_threads(opts.threads);
+  const SearchLimits& limits = opts.limits;
+  const bool serial = threads == 1;
+
+  Timer timer;
+  InvariantResult<TS> result;
+  result.stats.threads = threads;
+
+  Map seen(kShards);
+  if (limits.states_bounded()) {
+    seen.reserve(limits.max_states + limits.max_states / 8 + kShards);
+  }
+
+  std::array<std::vector<std::uint32_t>, kShards> parent;  // local id -> parent global id
+  std::array<std::vector<std::uint32_t>, kShards> fresh;   // ids interned this level
+  std::array<std::uint32_t, kShards> shard_bad;            // min violating id per shard
+
+  struct Cand {
+    State s;
+    std::uint32_t parent;
+  };
+  struct ChunkOut {
+    std::array<std::vector<Cand>, kShards> bucket;
+  };
+  struct ThreadCtx {
+    std::size_t transitions = 0;
+    std::vector<std::unique_ptr<ChunkOut>> pool;
+    std::size_t pool_used = 0;
+    ChunkOut* acquire() {
+      if (pool_used == pool.size()) pool.push_back(std::make_unique<ChunkOut>());
+      return pool[pool_used++].get();
+    }
+  };
+  std::vector<ThreadCtx> ctx(static_cast<std::size_t>(threads));
+
+  std::vector<std::uint32_t> frontier;
+  std::vector<ChunkOut*> chunk_out;
+  std::atomic<std::size_t> next_chunk{0};
+  std::atomic<unsigned> next_shard{0};
+  std::size_t nchunks = 0;
+
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  auto record_error = [&] {
+    std::lock_guard<std::mutex> lock(err_mu);
+    if (!first_error) first_error = std::current_exception();
+  };
+
+  bool violated = false;
+  bool limit_hit = false;
+  std::uint32_t bad_id = kNone;
+  int depth = 0;
+
+  auto expand_work = [&](ThreadCtx& c) {
+    try {
+      std::size_t ci;
+      while ((ci = next_chunk.fetch_add(1, std::memory_order_relaxed)) < nchunks) {
+        ChunkOut* out = c.acquire();
+        for (auto& b : out->bucket) b.clear();
+        const std::size_t begin = ci * kChunk;
+        const std::size_t end = std::min(begin + kChunk, frontier.size());
+        for (std::size_t p = begin; p < end; ++p) {
+          const std::uint32_t from = frontier[p];
+          const State s = seen.at(from);
+          ts.successors(s, [&](const State& t) {
+            ++c.transitions;
+            if (seen.find(t) != kNone) return;  // interned in a previous level
+            out->bucket[seen.shard_of(t)].push_back(Cand{t, from});
+          });
+        }
+        chunk_out[ci] = out;
+      }
+    } catch (...) {
+      record_error();
+    }
+  };
+
+  auto drain_work = [&](ThreadCtx&) {
+    try {
+      unsigned sh;
+      while ((sh = next_shard.fetch_add(1, std::memory_order_relaxed)) < kShards) {
+        auto& fr = fresh[sh];
+        fr.clear();
+        std::uint32_t bad = kNone;
+        for (std::size_t ci = 0; ci < nchunks; ++ci) {
+          for (const Cand& cd : chunk_out[ci]->bucket[sh]) {
+            const auto [id, is_new] = serial ? seen.insert_serial(cd.s) : seen.insert(cd.s);
+            if (!is_new) continue;  // duplicate within this level
+            parent[sh].push_back(cd.parent);
+            fr.push_back(id);
+            if (bad == kNone && !holds(cd.s)) bad = id;  // ids grow within a shard
+          }
+        }
+        shard_bad[sh] = bad;
+      }
+    } catch (...) {
+      record_error();
+    }
+  };
+
+  auto setup_level = [&] {
+    nchunks = (frontier.size() + kChunk - 1) / kChunk;
+    chunk_out.assign(nchunks, nullptr);
+    next_chunk.store(0, std::memory_order_relaxed);
+    next_shard.store(0, std::memory_order_relaxed);
+    for (auto& c : ctx) c.pool_used = 0;
+  };
+
+  /// Sequential inter-level step; returns true when exploration must stop.
+  auto finish_level = [&]() -> bool {
+    for (auto& c : ctx) {
+      result.stats.transitions += c.transitions;
+      c.transitions = 0;
+    }
+    if (first_error) return true;
+    for (unsigned sh = 0; sh < kShards; ++sh) {
+      if (shard_bad[sh] != kNone && (bad_id == kNone || shard_bad[sh] < bad_id)) {
+        bad_id = shard_bad[sh];
+      }
+    }
+    if (bad_id != kNone) {
+      violated = true;
+      return true;
+    }
+    frontier.clear();
+    for (unsigned sh = 0; sh < kShards; ++sh) {
+      frontier.insert(frontier.end(), fresh[sh].begin(), fresh[sh].end());
+    }
+    if (frontier.empty()) return true;  // reachable set exhausted
+    result.stats.frontier_sizes.push_back(frontier.size());
+    if (opts.progress) {
+      opts.progress(LevelProgress{depth + 1, seen.size(), result.stats.transitions,
+                                  frontier.size(), timer.seconds()});
+    }
+    if (seen.size() > limits.max_states) {
+      limit_hit = true;
+      return true;
+    }
+    ++depth;
+    if (depth > limits.max_depth) {
+      limit_hit = true;
+      return true;
+    }
+    setup_level();
+    return false;
+  };
+
+  // Interning the initial states is serial: their ids and parent links must
+  // not depend on enumeration timing.
+  ts.initial_states([&](const State& s) {
+    const auto [id, is_new] = seen.insert_serial(s);
+    if (!is_new) return;
+    parent[seen.shard_of_id(id)].push_back(kNone);
+    frontier.push_back(id);
+    if ((bad_id == kNone || id < bad_id) && !holds(s)) bad_id = id;
+  });
+  result.stats.frontier_sizes.push_back(frontier.size());
+  violated = bad_id != kNone;
+
+  if (!violated && !frontier.empty() && seen.size() <= limits.max_states) {
+    setup_level();
+    if (serial) {
+      do {
+        expand_work(ctx[0]);
+        drain_work(ctx[0]);
+      } while (!finish_level());
+    } else {
+      std::barrier sync(threads);
+      std::atomic<bool> stop{false};
+      auto worker = [&](int tid) {
+        ThreadCtx& c = ctx[static_cast<std::size_t>(tid)];
+        while (true) {
+          sync.arrive_and_wait();  // level ready / stop decided by thread 0
+          if (stop.load(std::memory_order_relaxed)) break;
+          expand_work(c);
+          sync.arrive_and_wait();  // expansion complete, store quiescent
+          drain_work(c);
+          sync.arrive_and_wait();  // drain complete
+          if (tid == 0 && finish_level()) stop.store(true, std::memory_order_relaxed);
+        }
+      };
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<std::size_t>(threads - 1));
+      for (int t = 1; t < threads; ++t) pool.emplace_back(worker, t);
+      worker(0);
+      for (auto& th : pool) th.join();
+    }
+  } else if (!violated && seen.size() > limits.max_states && !frontier.empty()) {
+    limit_hit = true;
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  result.stats.states = seen.size();
+  result.stats.depth = depth;
+  result.stats.memory_bytes = seen.memory_bytes() + frontier.capacity() * sizeof(std::uint32_t);
+  for (const auto& p : parent) result.stats.memory_bytes += p.capacity() * sizeof(std::uint32_t);
+  result.stats.seconds = timer.seconds();
+  if (violated) {
+    result.verdict = Verdict::kViolated;
+    result.trace = detail::reconstruct_trace<State>(
+        bad_id, kNone, [&](std::uint32_t id) { return seen.at(id); },
+        [&](std::uint32_t id) { return parent[seen.shard_of_id(id)][seen.local_of_id(id)]; });
+  } else {
+    result.verdict = limit_hit ? Verdict::kLimit : Verdict::kHolds;
+  }
+  result.stats.exhausted = result.verdict != Verdict::kLimit;
+  return result;
+}
+
+/// Parallel reachable-state count; see count_reachable. Check
+/// RunStats::exhausted before trusting the count.
+template <TransitionSystem TS>
+[[nodiscard]] RunStats count_reachable_parallel(const TS& ts, const EngineOptions& opts = {}) {
+  auto r = check_invariant_parallel(ts, [](const typename TS::State&) { return true; }, opts);
+  return r.stats;
+}
+
+/// Engine-dispatching invariant check: kAuto resolves to the parallel
+/// frontier engine (invariants are its home turf); kSequential forces the
+/// single-threaded BFS.
+template <TransitionSystem TS, class Pred>
+[[nodiscard]] InvariantResult<TS> check_invariant_with(EngineKind kind, const TS& ts,
+                                                       Pred&& holds,
+                                                       const EngineOptions& opts = {}) {
+  if (kind == EngineKind::kSequential) {
+    return check_invariant(ts, std::forward<Pred>(holds), opts.limits);
+  }
+  return check_invariant_parallel(ts, std::forward<Pred>(holds), opts);
+}
+
+}  // namespace tt::mc

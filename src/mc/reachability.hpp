@@ -1,4 +1,4 @@
-// Invariant checking by breadth-first reachability.
+// Invariant checking by breadth-first reachability (sequential engine).
 //
 // This is the explicit-state analogue of SAL's symbolic `sal-smc` invariant
 // runs (paper Fig. 4 and Fig. 6(a,c,d)). BFS gives shortest counterexamples,
@@ -8,12 +8,15 @@
 //
 // Parent links are kept per interned state so a violating trace can be
 // reconstructed; memory cost is 4 bytes/state on top of the packed state.
+// The visit/trace scaffolding lives in explore.hpp, shared with the liveness
+// engine and the parallel frontier engine (parallel_reachability.hpp).
 #pragma once
 
 #include <cstdint>
 #include <utility>
 #include <vector>
 
+#include "mc/explore.hpp"
 #include "mc/run_stats.hpp"
 #include "mc/transition_system.hpp"
 #include "support/state_index_map.hpp"
@@ -55,46 +58,35 @@ template <TransitionSystem TS, class Pred>
   using State = typename TS::State;
   Timer timer;
   InvariantResult<TS> result;
-  StateIndexMap<TS::kWords> seen;
-  std::vector<std::uint32_t> parent;
-  std::vector<std::uint32_t> queue;  // dense indices in BFS order
-
-  auto build_trace = [&](std::uint32_t bad) {
-    std::vector<State> rev;
-    for (std::uint32_t at = bad; at != StateIndexMap<TS::kWords>::kEmpty; at = parent[at]) {
-      rev.push_back(seen.at(at));
-    }
-    result.trace.assign(rev.rbegin(), rev.rend());
-  };
+  detail::BfsCore<TS::kWords> bfs(/*track_parents=*/true, limits);
 
   bool violated = false;
   std::uint32_t bad_idx = 0;
   auto visit = [&](const State& s, std::uint32_t from) {
     if (violated) return;
-    auto [idx, fresh] = seen.insert(s);
-    if (!fresh) return;
-    parent.push_back(from);
-    queue.push_back(idx);
-    if (!holds(s)) {
+    auto [idx, fresh] = bfs.visit(s, from);
+    if (fresh && !holds(s)) {
       violated = true;
       bad_idx = idx;
     }
   };
 
-  ts.initial_states([&](const State& s) { visit(s, StateIndexMap<TS::kWords>::kEmpty); });
+  ts.initial_states([&](const State& s) { visit(s, detail::BfsCore<TS::kWords>::kNoParent); });
+  result.stats.frontier_sizes.push_back(bfs.queue.size());
 
   std::size_t head = 0;
-  std::size_t level_end = queue.size();  // end of current BFS level
+  std::size_t level_end = bfs.queue.size();  // end of current BFS level
   int depth = 0;
-  while (head < queue.size() && !violated) {
+  while (head < bfs.queue.size() && !violated) {
     if (head == level_end) {
       ++depth;
-      level_end = queue.size();
+      result.stats.frontier_sizes.push_back(bfs.queue.size() - level_end);
+      level_end = bfs.queue.size();
       if (depth > limits.max_depth) break;
     }
-    if (seen.size() > limits.max_states) break;
-    const State s = seen.at(queue[head]);
-    const auto from = queue[head];
+    if (bfs.seen.size() > limits.max_states) break;
+    const State s = bfs.seen.at(bfs.queue[head]);
+    const auto from = bfs.queue[head];
     ++head;
     ts.successors(s, [&](const State& t) {
       ++result.stats.transitions;
@@ -102,23 +94,26 @@ template <TransitionSystem TS, class Pred>
     });
   }
 
-  result.stats.states = seen.size();
+  result.stats.states = bfs.seen.size();
   result.stats.depth = depth;
-  result.stats.memory_bytes = seen.memory_bytes() + parent.capacity() * 4 + queue.capacity() * 4;
+  result.stats.memory_bytes = bfs.memory_bytes();
   result.stats.seconds = timer.seconds();
   if (violated) {
     result.verdict = Verdict::kViolated;
-    build_trace(bad_idx);
-  } else if (head < queue.size()) {
+    result.trace = bfs.trace_to(bad_idx);
+  } else if (head < bfs.queue.size()) {
     result.verdict = Verdict::kLimit;
   } else {
     result.verdict = Verdict::kHolds;
   }
+  result.stats.exhausted = result.verdict != Verdict::kLimit;
   return result;
 }
 
 /// Exhaustively counts reachable states (the paper's `sal-smc --count`
-/// analogue used for Fig. 5's reachable-state column).
+/// analogue used for Fig. 5's reachable-state column). Check
+/// RunStats::exhausted before reporting the count: a limit-stopped run
+/// undercounts (the verdict-level signal Fig. 5 consumers must not drop).
 template <TransitionSystem TS>
 [[nodiscard]] RunStats count_reachable(const TS& ts, const SearchLimits& limits = {}) {
   auto r = check_invariant(ts, [](const typename TS::State&) { return true; }, limits);

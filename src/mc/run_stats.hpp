@@ -1,9 +1,11 @@
 // Statistics every engine run reports; benches render these into the
-// paper-vs-measured tables (cpu time and state counts mirror Fig. 4/6).
+// paper-vs-measured tables (cpu time and state counts mirror Fig. 4/6) and
+// into the machine-readable BENCH_results.json.
 #pragma once
 
 #include <cstddef>
 #include <limits>
+#include <vector>
 
 namespace tt::mc {
 
@@ -13,12 +15,28 @@ struct RunStats {
   int depth = 0;                 ///< max BFS depth / DFS stack depth reached
   double seconds = 0.0;          ///< wall-clock time of the run
   std::size_t memory_bytes = 0;  ///< state store footprint
+  /// False when a search limit stopped exploration before the frontier
+  /// emptied — a state/transition count from such a run undercounts and must
+  /// never be reported as exhaustive (Fig. 5 reachable-state columns).
+  bool exhausted = true;
+  int threads = 1;  ///< worker threads the engine ran with
+  /// Per-BFS-level frontier sizes (index = depth). Filled by the frontier
+  /// engines; empty for DFS-based liveness runs.
+  std::vector<std::size_t> frontier_sizes;
+
+  [[nodiscard]] double states_per_sec() const noexcept {
+    return seconds > 0.0 ? static_cast<double>(states) / seconds : 0.0;
+  }
 };
 
 /// Resource bounds for a search; engines stop with Verdict::kLimit when hit.
 struct SearchLimits {
   std::size_t max_states = std::numeric_limits<std::size_t>::max();
   int max_depth = std::numeric_limits<int>::max();  ///< BFS level / path length
+
+  [[nodiscard]] bool states_bounded() const noexcept {
+    return max_states != std::numeric_limits<std::size_t>::max();
+  }
 };
 
 }  // namespace tt::mc

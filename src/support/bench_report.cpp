@@ -1,0 +1,102 @@
+#include "support/bench_report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace tt {
+
+namespace {
+
+std::string report_path() {
+  if (const char* env = std::getenv("TTSTART_BENCH_JSON"); env != nullptr && *env != '\0') {
+    return env;
+  }
+  return "BENCH_results.json";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned char>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string render_record(const std::string& bench, const BenchRecord& r) {
+  const double sps = r.seconds > 0.0 ? static_cast<double>(r.states) / r.seconds : 0.0;
+  std::ostringstream line;
+  line << "    {\"bench\": \"" << json_escape(bench) << "\", \"experiment\": \""
+       << json_escape(r.experiment) << "\", \"engine\": \"" << json_escape(r.engine)
+       << "\", \"threads\": " << r.threads << ", \"states\": " << r.states
+       << ", \"transitions\": " << r.transitions << ", \"seconds\": " << r.seconds
+       << ", \"states_per_sec\": " << sps << ", \"exhausted\": "
+       << (r.exhausted ? "true" : "false") << ", \"verdict\": \"" << json_escape(r.verdict)
+       << "\"}";
+  return line.str();
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string bench_name) : bench_name_(std::move(bench_name)) {}
+
+BenchReport::~BenchReport() {
+  if (!written_) write();
+}
+
+void BenchReport::add(BenchRecord record) { records_.push_back(std::move(record)); }
+
+std::string BenchReport::write() {
+  written_ = true;
+  const std::string path = report_path();
+
+  // Keep record lines written by *other* benches (one record per line, the
+  // format this writer emits), so repeated bench runs accumulate.
+  std::vector<std::string> kept;
+  {
+    std::ifstream in(path);
+    const std::string own_key = "{\"bench\": \"" + json_escape(bench_name_) + "\"";
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto brace = line.find('{');
+      if (brace == std::string::npos || line.compare(brace, 10, "{\"bench\": ") != 0) continue;
+      if (line.compare(brace, own_key.size(), own_key) == 0) continue;
+      std::string rec = line.substr(brace);
+      if (!rec.empty() && rec.back() == ',') rec.pop_back();
+      kept.push_back(std::move(rec));
+    }
+  }
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "ttstart: cannot write %s\n", path.c_str());
+    return {};
+  }
+  out << "{\n  \"schema\": \"ttstart-bench-v1\",\n  \"results\": [\n";
+  bool first = true;
+  for (const std::string& rec : kept) {
+    out << (first ? "    " : ",\n    ") << rec;
+    first = false;
+  }
+  for (const BenchRecord& r : records_) {
+    out << (first ? "" : ",\n") << render_record(bench_name_, r);
+    first = false;
+  }
+  out << "\n  ]\n}\n";
+  std::printf("[bench report: %zu record(s) -> %s]\n", records_.size(), path.c_str());
+  return path;
+}
+
+}  // namespace tt

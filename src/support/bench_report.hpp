@@ -1,0 +1,48 @@
+// Machine-readable bench output: every bench binary appends its measurements
+// to BENCH_results.json (one JSON object with a flat "results" array, one
+// record per line) next to the human-readable tables. Re-running a bench
+// replaces that bench's records and keeps everyone else's, so the file
+// accumulates the full experiment sweep and seeds the perf trajectory.
+//
+// Override the path with the TTSTART_BENCH_JSON environment variable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tt {
+
+struct BenchRecord {
+  std::string experiment;  ///< e.g. "fig6/safety/n4"
+  std::string engine;      ///< "seq", "par", "bdd", "sat", ...
+  int threads = 1;
+  std::size_t states = 0;
+  std::size_t transitions = 0;
+  double seconds = 0.0;
+  bool exhausted = true;
+  std::string verdict;  ///< "holds", "VIOLATED", ... (optional)
+};
+
+class BenchReport {
+ public:
+  /// `bench_name` identifies this binary's records in the merged file.
+  explicit BenchReport(std::string bench_name);
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+  /// Writes on destruction (best effort — errors are reported to stderr).
+  ~BenchReport();
+
+  void add(BenchRecord record);
+
+  /// Merges this bench's records into the report file and returns the path
+  /// written (empty on failure). Called automatically by the destructor.
+  std::string write();
+
+ private:
+  std::string bench_name_;
+  std::vector<BenchRecord> records_;
+  bool written_ = false;
+};
+
+}  // namespace tt

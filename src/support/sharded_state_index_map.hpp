@@ -1,0 +1,200 @@
+// ShardedStateIndexMap: the concurrent sibling of StateIndexMap.
+//
+// The state store is hash-partitioned into S lock-striped shards (S a power
+// of two, fixed at construction). Each shard is an independent open-addressed
+// probe table plus state arena, guarded by its own mutex, so inserts to
+// different shards never contend and inserts to the same shard serialize on
+// one cheap lock. A global dense id encodes the (shard, local) pair as
+//
+//     id = (local << log2(S)) | shard
+//
+// which keeps ids 32-bit, makes at()/parent-link addressing O(1), and gives a
+// deterministic total order on ids that the parallel BFS uses to pick the
+// minimal (depth, id) violation.
+//
+// Thread-safety contract:
+//   * insert()        — safe from any number of threads concurrently.
+//   * insert_serial() — single-threaded fast path (no lock); a map with one
+//                       shard and serial inserts costs the same as the plain
+//                       StateIndexMap.
+//   * find()/at()     — lock-free reads; safe concurrently with each other
+//                       and, for find(), with inserts to *other* shards. A
+//                       find concurrent with an insert to the same shard is a
+//                       data race — the level-synchronous engines guarantee
+//                       quiescence (reads only between write phases).
+//   * size()/memory_bytes() — like find(): quiescent phases only.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/hash.hpp"
+#include "support/state_index_map.hpp"
+
+namespace tt {
+
+template <std::size_t W>
+class ShardedStateIndexMap {
+ public:
+  using State = std::array<std::uint64_t, W>;
+  static constexpr std::uint32_t kEmpty = 0xffffffffu;
+  static constexpr unsigned kMaxShards = 256;
+
+  explicit ShardedStateIndexMap(unsigned shard_count = 1,
+                                std::size_t initial_capacity = 1 << 12) {
+    TT_REQUIRE(shard_count >= 1 && shard_count <= kMaxShards, "bad shard count");
+    unsigned shards = 1;
+    shard_bits_ = 0;
+    while (shards < shard_count) {
+      shards <<= 1;
+      ++shard_bits_;
+    }
+    shard_mask_ = shards - 1;
+    // Ids never reach 0xffffffff: cap each shard one short of its local space.
+    local_limit_ = (shard_bits_ == 32) ? 0 : ((1ull << (32 - shard_bits_)) - 1);
+    shards_ = std::make_unique<Shard[]>(shards);
+    const std::size_t per_shard = initial_capacity / shards + 64;
+    for (unsigned s = 0; s <= shard_mask_; ++s) shards_[s].init(per_shard);
+  }
+
+  [[nodiscard]] unsigned shard_count() const noexcept { return shard_mask_ + 1; }
+
+  /// Which shard `s` hashes to. Uses high hash bits, disjoint from the
+  /// low bits that pick the probe slot inside the shard.
+  [[nodiscard]] unsigned shard_of(const State& s) const noexcept {
+    return static_cast<unsigned>(hash_words(s) >> 40) & shard_mask_;
+  }
+
+  [[nodiscard]] unsigned shard_of_id(std::uint32_t id) const noexcept {
+    return id & shard_mask_;
+  }
+  [[nodiscard]] std::uint32_t local_of_id(std::uint32_t id) const noexcept {
+    return id >> shard_bits_;
+  }
+
+  /// Interns `s`; thread-safe (locks the target shard). Returns {id, fresh}.
+  std::pair<std::uint32_t, bool> insert(const State& s) {
+    const std::uint64_t h = hash_words(s);
+    Shard& sh = shards_[static_cast<unsigned>(h >> 40) & shard_mask_];
+    std::lock_guard<std::mutex> lock(sh.mu);
+    return insert_into(sh, static_cast<unsigned>(h >> 40) & shard_mask_, h, s);
+  }
+
+  /// Interns `s` without locking — the single-threaded fast path.
+  std::pair<std::uint32_t, bool> insert_serial(const State& s) {
+    const std::uint64_t h = hash_words(s);
+    const unsigned idx = static_cast<unsigned>(h >> 40) & shard_mask_;
+    return insert_into(shards_[idx], idx, h, s);
+  }
+
+  /// Lock-free lookup; requires no concurrent insert to this shard.
+  [[nodiscard]] std::uint32_t find(const State& s) const {
+    const std::uint64_t h = hash_words(s);
+    const Shard& sh = shards_[static_cast<unsigned>(h >> 40) & shard_mask_];
+    std::size_t slot = h & sh.mask;
+    while (true) {
+      const std::uint32_t local = sh.table[slot];
+      if (local == kEmpty) return kEmpty;
+      if (sh.arena[local] == s) {
+        return (local << shard_bits_) | (static_cast<unsigned>(h >> 40) & shard_mask_);
+      }
+      slot = (slot + 1) & sh.mask;
+    }
+  }
+
+  [[nodiscard]] const State& at(std::uint32_t id) const {
+    return shards_[id & shard_mask_].arena[id >> shard_bits_];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    std::size_t total = 0;
+    for (unsigned s = 0; s <= shard_mask_; ++s) total += shards_[s].arena.size();
+    return total;
+  }
+
+  [[nodiscard]] std::size_t shard_size(unsigned shard) const noexcept {
+    return shards_[shard].arena.size();
+  }
+
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    std::size_t total = 0;
+    for (unsigned s = 0; s <= shard_mask_; ++s) {
+      total += shards_[s].arena.capacity() * sizeof(State) +
+               shards_[s].table.capacity() * sizeof(std::uint32_t);
+    }
+    return total;
+  }
+
+  /// Pre-sizes every shard for `total_states` states overall (assumes the
+  /// hash spreads evenly; a 25% per-shard margin absorbs skew). Not
+  /// thread-safe; call before exploration starts.
+  void reserve(std::size_t total_states) {
+    const std::size_t per_shard = total_states / shard_count() + total_states / (4 * shard_count()) + 64;
+    for (unsigned s = 0; s <= shard_mask_; ++s) {
+      Shard& sh = shards_[s];
+      sh.arena.reserve(per_shard < local_limit_ ? per_shard : local_limit_);
+      std::size_t cap = sh.table.size();
+      while ((per_shard + 1) * 10 >= cap * 7) cap <<= 1;
+      if (cap != sh.table.size()) rehash(sh, cap);
+    }
+  }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::vector<State> arena;
+    std::vector<std::uint32_t> table;  // local ids, open addressing
+    std::size_t mask = 0;
+
+    void init(std::size_t initial_capacity) {
+      std::size_t cap = 64;
+      while (cap < initial_capacity) cap <<= 1;
+      table.assign(cap, kEmpty);
+      mask = cap - 1;
+    }
+  };
+
+  std::pair<std::uint32_t, bool> insert_into(Shard& sh, unsigned shard_idx,
+                                             std::uint64_t h, const State& s) {
+    if ((sh.arena.size() + 1) * 10 >= sh.table.size() * 7) rehash(sh, sh.table.size() * 2);
+    std::size_t slot = h & sh.mask;
+    while (true) {
+      const std::uint32_t local = sh.table[slot];
+      if (local == kEmpty) {
+        if (sh.arena.size() >= local_limit_) {
+          throw StateCapacityError("ShardedStateIndexMap: shard dense-id space exhausted");
+        }
+        const auto fresh_local = static_cast<std::uint32_t>(sh.arena.size());
+        sh.arena.push_back(s);
+        sh.table[slot] = fresh_local;
+        return {(fresh_local << shard_bits_) | shard_idx, true};
+      }
+      if (sh.arena[local] == s) return {(local << shard_bits_) | shard_idx, false};
+      slot = (slot + 1) & sh.mask;
+    }
+  }
+
+  static void rehash(Shard& sh, std::size_t new_cap) {
+    std::vector<std::uint32_t> bigger(new_cap, kEmpty);
+    const std::size_t mask = bigger.size() - 1;
+    for (std::uint32_t local = 0; local < sh.arena.size(); ++local) {
+      std::size_t slot = hash_words(sh.arena[local]) & mask;
+      while (bigger[slot] != kEmpty) slot = (slot + 1) & mask;
+      bigger[slot] = local;
+    }
+    sh.table = std::move(bigger);
+    sh.mask = mask;
+  }
+
+  std::unique_ptr<Shard[]> shards_;
+  unsigned shard_bits_ = 0;
+  unsigned shard_mask_ = 0;
+  std::uint64_t local_limit_ = 0;
+};
+
+}  // namespace tt

@@ -9,16 +9,29 @@
 // table of u32 slots; states live contiguously in an arena vector. This keeps
 // the per-state overhead at sizeof(state) + 4-8 bytes and makes the probe
 // sequence cache-friendly.
+//
+// Capacity: dense indices are 32-bit with 0xffffffff reserved as the empty
+// marker, so a map holds at most 2^32 - 1 states. Exceeding that (or the
+// `max_states` cap passed at construction) throws StateCapacityError rather
+// than corrupting the table; engines with a finite SearchLimits::max_states
+// call reserve() up front so the cap is hit before memory is exhausted.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
-#include "support/assert.hpp"
 #include "support/hash.hpp"
 
 namespace tt {
+
+/// Thrown when a state store would exceed its dense-id space (2^32 - 1
+/// states) or an explicitly configured cap.
+class StateCapacityError : public std::length_error {
+ public:
+  using std::length_error::length_error;
+};
 
 template <std::size_t W>
 class StateIndexMap {
@@ -26,7 +39,12 @@ class StateIndexMap {
   using State = std::array<std::uint64_t, W>;
   static constexpr std::uint32_t kEmpty = 0xffffffffu;
 
-  explicit StateIndexMap(std::size_t initial_capacity = 1 << 16) {
+  /// `max_states` caps the number of interned states; insert() throws
+  /// StateCapacityError beyond it. The default is the dense-id space limit.
+  /// Lower caps serve memory-bounded runs and make the overflow path testable.
+  explicit StateIndexMap(std::size_t initial_capacity = 1 << 16,
+                         std::uint32_t max_states = kEmpty)
+      : max_states_(max_states) {
     std::size_t cap = 64;
     while (cap < initial_capacity) cap <<= 1;
     table_.assign(cap, kEmpty);
@@ -40,8 +58,10 @@ class StateIndexMap {
     while (true) {
       const std::uint32_t idx = table_[slot];
       if (idx == kEmpty) {
+        if (arena_.size() >= max_states_) {
+          throw StateCapacityError("StateIndexMap: dense state-id space exhausted");
+        }
         const auto dense = static_cast<std::uint32_t>(arena_.size());
-        TT_ASSERT(dense != kEmpty);
         arena_.push_back(s);
         table_[slot] = dense;
         return {dense, true};
@@ -62,15 +82,30 @@ class StateIndexMap {
     }
   }
 
+  /// Pre-sizes arena and probe table for `n` states so a bounded run never
+  /// rehashes mid-search. Engines call this when SearchLimits::max_states is
+  /// finite.
+  void reserve(std::size_t n) {
+    if (n > max_states_) n = max_states_;
+    arena_.reserve(n);
+    // Same load-factor headroom as the insert-time growth trigger (0.7).
+    std::size_t cap = table_.size();
+    while ((n + 1) * 10 >= cap * 7) cap <<= 1;
+    if (cap != table_.size()) rehash(cap);
+  }
+
   [[nodiscard]] const State& at(std::uint32_t idx) const { return arena_[idx]; }
   [[nodiscard]] std::size_t size() const noexcept { return arena_.size(); }
+  [[nodiscard]] std::uint32_t max_states() const noexcept { return max_states_; }
   [[nodiscard]] std::size_t memory_bytes() const noexcept {
     return arena_.capacity() * sizeof(State) + table_.capacity() * sizeof(std::uint32_t);
   }
 
  private:
-  void grow() {
-    std::vector<std::uint32_t> bigger(table_.size() * 2, kEmpty);
+  void grow() { rehash(table_.size() * 2); }
+
+  void rehash(std::size_t new_cap) {
+    std::vector<std::uint32_t> bigger(new_cap, kEmpty);
     const std::size_t mask = bigger.size() - 1;
     for (std::uint32_t idx = 0; idx < arena_.size(); ++idx) {
       std::size_t slot = hash_words(arena_[idx]) & mask;
@@ -84,6 +119,7 @@ class StateIndexMap {
   std::vector<State> arena_;
   std::vector<std::uint32_t> table_;
   std::size_t mask_ = 0;
+  std::uint32_t max_states_ = kEmpty;
 };
 
 }  // namespace tt

@@ -1,0 +1,193 @@
+#include "mc/parallel_reachability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mc/reachability.hpp"
+#include "toy_system.hpp"
+
+namespace tt::mc {
+namespace {
+
+using mc_test::ToySystem;
+
+EngineOptions with_threads(int t) {
+  EngineOptions o;
+  o.threads = t;
+  return o;
+}
+
+TEST(ParallelReachability, InvariantHoldsOnChain) {
+  ToySystem ts({0}, {{1}, {2}, {3}, {3}});
+  for (int t : {1, 2, 4}) {
+    auto r = check_invariant_parallel(
+        ts, [](const ToySystem::State& s) { return s[0] <= 3; }, with_threads(t));
+    EXPECT_EQ(r.verdict, Verdict::kHolds) << "threads=" << t;
+    EXPECT_EQ(r.stats.states, 4u);
+    EXPECT_EQ(r.stats.depth, 3);
+    EXPECT_TRUE(r.stats.exhausted);
+    EXPECT_EQ(r.stats.threads, t);
+  }
+}
+
+TEST(ParallelReachability, ShortestCounterexample) {
+  // Diamond: BFS must report the 2-edge path to the bad state, not the
+  // 3-edge one, at every thread count.
+  ToySystem ts({0}, {{1, 2}, {3}, {4}, {3}, {3}});
+  for (int t : {1, 2, 4}) {
+    auto r = check_invariant_parallel(
+        ts, [](const ToySystem::State& s) { return s[0] != 3; }, with_threads(t));
+    ASSERT_EQ(r.verdict, Verdict::kViolated) << "threads=" << t;
+    ASSERT_EQ(r.trace.size(), 3u);
+    EXPECT_EQ(r.trace.front()[0], 0u);
+    EXPECT_EQ(r.trace.back()[0], 3u);
+  }
+}
+
+TEST(ParallelReachability, ViolationInInitialState) {
+  ToySystem ts({5}, {{}, {}, {}, {}, {}, {5}});
+  auto r = check_invariant_parallel(
+      ts, [](const ToySystem::State& s) { return s[0] != 5; }, with_threads(4));
+  ASSERT_EQ(r.verdict, Verdict::kViolated);
+  ASSERT_EQ(r.trace.size(), 1u);
+  EXPECT_EQ(r.trace[0][0], 5u);
+  EXPECT_EQ(r.stats.depth, 0);
+}
+
+TEST(ParallelReachability, DepthLimitReportsLimit) {
+  std::vector<std::vector<std::uint64_t>> adj;
+  for (std::uint64_t i = 0; i < 100; ++i) adj.push_back({i + 1});
+  adj.push_back({100});
+  ToySystem ts({0}, adj);
+  SearchLimits limits;
+  limits.max_depth = 10;
+  for (int t : {1, 2}) {
+    EngineOptions opts(limits);
+    opts.threads = t;
+    auto r = check_invariant_parallel(
+        ts, [](const ToySystem::State& s) { return s[0] != 100; }, opts);
+    EXPECT_EQ(r.verdict, Verdict::kLimit) << "threads=" << t;
+    EXPECT_FALSE(r.stats.exhausted);
+    EXPECT_EQ(r.stats.depth, 11);  // same bookkeeping as the sequential engine
+    EXPECT_EQ(r.stats.states, 12u);
+  }
+}
+
+TEST(ParallelReachability, StateLimitReportsLimit) {
+  std::vector<std::vector<std::uint64_t>> adj;
+  for (std::uint64_t i = 0; i < 1000; ++i) adj.push_back({i + 1});
+  adj.push_back({1000});
+  ToySystem ts({0}, adj);
+  SearchLimits limits;
+  limits.max_states = 50;
+  auto r = count_reachable_parallel(ts, EngineOptions(limits));
+  EXPECT_FALSE(r.exhausted);
+  EXPECT_GT(r.states, 50u);  // level-granular check overshoots by <= one level
+}
+
+TEST(ParallelReachability, CountReachableMatchesSequential) {
+  ToySystem ts({0}, {{1, 2}, {3}, {3}, {0}});
+  auto seq = count_reachable(ts);
+  for (int t : {1, 2, 4}) {
+    auto par = count_reachable_parallel(ts, with_threads(t));
+    EXPECT_EQ(par.states, seq.states);
+    EXPECT_EQ(par.transitions, seq.transitions);
+    EXPECT_EQ(par.depth, seq.depth);
+    EXPECT_TRUE(par.exhausted);
+  }
+}
+
+TEST(ParallelReachability, AgreesWithSequentialOnRandomGraphs) {
+  // Pseudo-random sparse digraphs; compare verdict / states / trace length.
+  std::uint64_t seed = 42;
+  auto next = [&seed] {
+    seed ^= seed << 13;
+    seed ^= seed >> 7;
+    seed ^= seed << 17;
+    return seed;
+  };
+  for (int round = 0; round < 20; ++round) {
+    const std::uint64_t n = 200 + next() % 300;
+    std::vector<std::vector<std::uint64_t>> adj(n);
+    for (std::uint64_t v = 0; v < n; ++v) {
+      const int degree = static_cast<int>(next() % 4);
+      for (int e = 0; e < degree; ++e) adj[v].push_back(next() % n);
+    }
+    ToySystem ts({0}, adj);
+    const std::uint64_t bad = next() % n;
+    auto pred = [bad](const ToySystem::State& s) { return s[0] != bad; };
+    auto seq = check_invariant(ts, pred);
+    for (int t : {1, 2, 4}) {
+      auto par = check_invariant_parallel(ts, pred, with_threads(t));
+      ASSERT_EQ(par.verdict, seq.verdict) << "round=" << round << " threads=" << t;
+      ASSERT_EQ(par.trace.size(), seq.trace.size()) << "round=" << round;
+      if (seq.verdict == Verdict::kHolds) {
+        ASSERT_EQ(par.stats.states, seq.stats.states) << "round=" << round;
+        ASSERT_EQ(par.stats.transitions, seq.stats.transitions);
+        ASSERT_EQ(par.stats.depth, seq.stats.depth);
+        ASSERT_EQ(par.stats.frontier_sizes, seq.stats.frontier_sizes);
+      }
+    }
+  }
+}
+
+TEST(ParallelReachability, IdenticalTracesAcrossThreadCounts) {
+  // The determinism guarantee: not just equal-length — byte-identical traces
+  // for 1, 2, 4 and 8 threads.
+  std::vector<std::vector<std::uint64_t>> adj(500);
+  for (std::uint64_t v = 0; v < 500; ++v) {
+    adj[v] = {(v * 7 + 1) % 500, (v * 13 + 3) % 500, (v + 1) % 500};
+  }
+  ToySystem ts({0}, adj);
+  auto pred = [](const ToySystem::State& s) { return s[0] != 321; };
+  auto base = check_invariant_parallel(ts, pred, with_threads(1));
+  ASSERT_EQ(base.verdict, Verdict::kViolated);
+  for (int t : {2, 4, 8}) {
+    auto r = check_invariant_parallel(ts, pred, with_threads(t));
+    EXPECT_EQ(r.verdict, base.verdict);
+    EXPECT_EQ(r.trace, base.trace) << "threads=" << t;
+    EXPECT_EQ(r.stats.states, base.stats.states);
+    EXPECT_EQ(r.stats.frontier_sizes, base.stats.frontier_sizes);
+  }
+}
+
+TEST(ParallelReachability, ProgressCallbackSeesEveryLevel) {
+  ToySystem ts({0}, {{1}, {2}, {3}, {4}, {4}});
+  EngineOptions opts;
+  opts.threads = 2;
+  std::vector<int> depths;
+  opts.progress = [&](const LevelProgress& p) { depths.push_back(p.depth); };
+  auto r = check_invariant_parallel(ts, [](const ToySystem::State&) { return true; }, opts);
+  EXPECT_EQ(r.verdict, Verdict::kHolds);
+  EXPECT_EQ(depths, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(ParallelReachability, FrontierSizesRecorded) {
+  // 0 -> {1,2} -> {3,4} pattern: levels of size 1, 2, 2.
+  ToySystem ts({0}, {{1, 2}, {3}, {4}, {3}, {4}});
+  auto seq = check_invariant(ts, [](const ToySystem::State&) { return true; });
+  auto par = check_invariant_parallel(ts, [](const ToySystem::State&) { return true; },
+                                      with_threads(2));
+  const std::vector<std::size_t> expect{1, 2, 2};
+  EXPECT_EQ(seq.stats.frontier_sizes, expect);
+  EXPECT_EQ(par.stats.frontier_sizes, expect);
+}
+
+TEST(ParallelReachability, SequentialCountReachableSignalsTruncation) {
+  // Satellite regression: a limit-stopped count must carry exhausted=false.
+  std::vector<std::vector<std::uint64_t>> adj;
+  for (std::uint64_t i = 0; i < 100; ++i) adj.push_back({i + 1});
+  adj.push_back({100});
+  ToySystem ts({0}, adj);
+  SearchLimits limits;
+  limits.max_states = 10;
+  auto truncated = count_reachable(ts, limits);
+  EXPECT_FALSE(truncated.exhausted);
+  auto full = count_reachable(ts);
+  EXPECT_TRUE(full.exhausted);
+  EXPECT_EQ(full.states, 101u);
+}
+
+}  // namespace
+}  // namespace tt::mc

@@ -1,0 +1,140 @@
+#include "support/sharded_state_index_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace tt {
+namespace {
+
+using Map2 = ShardedStateIndexMap<2>;
+
+Map2::State make_state(std::uint64_t a, std::uint64_t b) { return {a, b}; }
+
+TEST(ShardedStateIndexMap, ShardCountRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(ShardedStateIndexMap<1>(1).shard_count(), 1u);
+  EXPECT_EQ(ShardedStateIndexMap<1>(3).shard_count(), 4u);
+  EXPECT_EQ(ShardedStateIndexMap<1>(16).shard_count(), 16u);
+}
+
+TEST(ShardedStateIndexMap, IdEncodesShardAndLocal) {
+  Map2 map(16);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const auto s = make_state(i, i * 31);
+    const auto [id, fresh] = map.insert_serial(s);
+    ASSERT_TRUE(fresh);
+    EXPECT_EQ(map.shard_of_id(id), map.shard_of(s));
+    EXPECT_LT(map.local_of_id(id), map.shard_size(map.shard_of_id(id)));
+    EXPECT_EQ(map.at(id), s);
+    EXPECT_EQ(map.find(s), id);
+  }
+  EXPECT_EQ(map.size(), 1000u);
+}
+
+TEST(ShardedStateIndexMap, MatchesReferenceAcrossGrowth) {
+  Map2 map(8, 64);  // tiny initial capacity forces per-shard growth cycles
+  std::unordered_set<std::uint64_t> reference;
+  Rng rng(1234);
+  for (int i = 0; i < 200000; ++i) {
+    const std::uint64_t key = rng.next() % 50000;
+    const auto s = make_state(key, key ^ 0xabcdef);
+    const bool fresh_ref = reference.insert(key).second;
+    const auto [id, fresh] = map.insert(s);
+    ASSERT_EQ(fresh, fresh_ref);
+    ASSERT_EQ(map.at(id), s);
+  }
+  EXPECT_EQ(map.size(), reference.size());
+  for (std::uint64_t key : reference) {
+    EXPECT_NE(map.find(make_state(key, key ^ 0xabcdef)), Map2::kEmpty);
+  }
+}
+
+TEST(ShardedStateIndexMap, SerialAndLockedInsertAgree) {
+  Map2 locked(16);
+  Map2 serial(16);
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    const auto s = make_state(i * 7, i);
+    EXPECT_EQ(locked.insert(s).first, serial.insert_serial(s).first);
+  }
+  EXPECT_EQ(locked.size(), serial.size());
+}
+
+TEST(ShardedStateIndexMap, DeterministicIdsAcrossRuns) {
+  std::vector<std::uint32_t> ids[2];
+  for (auto& run : ids) {
+    Map2 map(16);
+    for (std::uint64_t i = 0; i < 3000; ++i) {
+      run.push_back(map.insert_serial(make_state(i, ~i)).first);
+    }
+  }
+  EXPECT_EQ(ids[0], ids[1]);
+}
+
+TEST(ShardedStateIndexMap, ReservePreventsMidRunRehashEffects) {
+  Map2 map(8);
+  map.reserve(100000);
+  const std::size_t before = map.memory_bytes();
+  for (std::uint64_t i = 0; i < 100000; ++i) map.insert_serial(make_state(i, i + 1));
+  EXPECT_EQ(map.size(), 100000u);
+  // Arena growth may still reallocate, but the probe tables were pre-sized.
+  EXPECT_GE(map.memory_bytes(), before);
+  for (std::uint64_t i = 0; i < 100000; i += 997) {
+    EXPECT_NE(map.find(make_state(i, i + 1)), Map2::kEmpty);
+  }
+}
+
+// The TSan target: 8 threads hammer insert() with heavily overlapping state
+// sets, so the same shard (and the same state) is contended from many
+// threads at once. Run under -fsanitize=thread in CI.
+TEST(ShardedStateIndexMap, ConcurrentInsertStress) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kUniverse = 20000;  // every thread inserts all of it
+  Map2 map(16);
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&map, t] {
+      Rng rng(7 * t + 1);
+      for (int i = 0; i < 60000; ++i) {
+        const std::uint64_t key = rng.next() % kUniverse;
+        const auto s = make_state(key, key * 1315423911ull);
+        const auto [id, fresh] = map.insert(s);
+        // The returned id must be stable and point at the inserted state,
+        // whichever thread won the race to intern it.
+        if (map.at(id) != s) {
+          ADD_FAILURE() << "id " << id << " does not round-trip";
+          return;
+        }
+        (void)fresh;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(map.size(), kUniverse);
+  std::unordered_set<std::uint32_t> ids;
+  for (std::uint64_t key = 0; key < kUniverse; ++key) {
+    const auto s = make_state(key, key * 1315423911ull);
+    const std::uint32_t id = map.find(s);
+    ASSERT_NE(id, Map2::kEmpty);
+    EXPECT_EQ(map.at(id), s);
+    EXPECT_TRUE(ids.insert(id).second) << "duplicate id " << id;
+  }
+}
+
+TEST(ShardedStateIndexMap, MemoryAccountingCoversAllShards) {
+  Map2 map(16);
+  const std::size_t before = map.memory_bytes();
+  for (std::uint64_t i = 0; i < 10000; ++i) map.insert_serial(make_state(i, i));
+  EXPECT_GT(map.memory_bytes(), before);
+  EXPECT_GE(map.memory_bytes(), 10000 * sizeof(Map2::State));
+}
+
+}  // namespace
+}  // namespace tt

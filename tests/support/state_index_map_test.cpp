@@ -54,6 +54,44 @@ TEST(StateIndexMap, GrowthPreservesContentsAgainstReference) {
   }
 }
 
+TEST(StateIndexMap, ReservePresizesForBoundedRuns) {
+  Map2 map(64);
+  map.reserve(50000);
+  const std::size_t table_bytes_before = map.memory_bytes();
+  for (std::uint64_t i = 0; i < 50000; ++i) {
+    const auto [idx, fresh] = map.insert(make_state(i, i * 3));
+    ASSERT_TRUE(fresh);
+    ASSERT_EQ(idx, i);
+  }
+  // The probe table was pre-sized: no rehash means the footprint only grew
+  // by (possible) arena reallocation, and all lookups still resolve.
+  EXPECT_GE(map.memory_bytes(), table_bytes_before);
+  EXPECT_EQ(map.find(make_state(49999, 49999 * 3)), 49999u);
+}
+
+TEST(StateIndexMap, InsertBeyondCapThrowsStateCapacityError) {
+  // The dense-id overflow path at 2^32-1 states is unreachable in a unit
+  // test; the configurable cap exercises the same checked branch.
+  Map2 map(64, /*max_states=*/4);
+  for (std::uint64_t i = 0; i < 4; ++i) map.insert(make_state(i, i));
+  EXPECT_EQ(map.size(), 4u);
+  // Duplicates of interned states are still fine at the cap.
+  EXPECT_FALSE(map.insert(make_state(0, 0)).second);
+  EXPECT_THROW(map.insert(make_state(99, 99)), StateCapacityError);
+  // The failed insert must not have corrupted the table.
+  EXPECT_EQ(map.size(), 4u);
+  EXPECT_EQ(map.find(make_state(2, 2)), 2u);
+  EXPECT_EQ(map.find(make_state(99, 99)), Map2::kEmpty);
+}
+
+TEST(StateIndexMap, ReserveRespectsCap) {
+  Map2 map(64, /*max_states=*/100);
+  map.reserve(1 << 20);  // silently clamped to the cap
+  EXPECT_EQ(map.max_states(), 100u);
+  for (std::uint64_t i = 0; i < 100; ++i) map.insert(make_state(i, i));
+  EXPECT_THROW(map.insert(make_state(1000, 1000)), StateCapacityError);
+}
+
 TEST(StateIndexMap, MemoryAccounting) {
   Map2 map;
   const std::size_t before = map.memory_bytes();

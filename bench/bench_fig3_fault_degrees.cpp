@@ -5,7 +5,9 @@
 
 #include <cstdio>
 
+#include "support/bench_report.hpp"
 #include "support/table.hpp"
+#include "support/timer.hpp"
 #include "tta/faulty_node.hpp"
 
 namespace {
@@ -27,7 +29,7 @@ void BM_FaultPairEnumeration(benchmark::State& state) {
 }
 BENCHMARK(BM_FaultPairEnumeration)->DenseRange(1, 6);
 
-void print_table() {
+void print_table(tt::BenchReport& report) {
   std::printf("\n=== Figure 3: fault-degree dial (n = 4, faulty node 1) ===\n");
   std::printf("matrix rule: pair (a, b) admitted iff max(rank a, rank b) <= degree\n");
   tt::TextTable t({"degree", "per-channel kinds", "channel options", "output pairs"});
@@ -42,10 +44,21 @@ void print_table() {
     cfg.n = 4;
     cfg.faulty_node = 1;
     cfg.fault_degree = d;
+    tt::Timer timer;
     const tt::tta::FaultyNodeOutputs outputs(cfg);
+    const double build_seconds = timer.seconds();
     const auto opts = tt::tta::FaultyNodeOutputs::channel_options(cfg.n, 1, d);
     t.add_row({std::to_string(d), kinds[d - 1], std::to_string(opts.size()),
                std::to_string(outputs.pairs(0).size())});
+    // The "transitions" column carries the admitted output-pair count — the
+    // per-step fault-injection branching factor the dial controls.
+    tt::BenchRecord rec;
+    rec.experiment = "fig3/degree" + std::to_string(d);
+    rec.engine = "dial";
+    rec.transitions = outputs.pairs(0).size();
+    rec.seconds = build_seconds;
+    rec.verdict = "pairs=" + std::to_string(outputs.pairs(0).size());
+    report.add(rec);
   }
   std::printf("%s", t.render().c_str());
   std::printf("(paper counts kinds, 6x6 = 36 combinations; ours also enumerates the\n"
@@ -57,6 +70,9 @@ void print_table() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  print_table();
+  tt::BenchReport report("bench_fig3_fault_degrees");
+  print_table(report);
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("machine-readable results: %s\n", path.c_str());
   return 0;
 }

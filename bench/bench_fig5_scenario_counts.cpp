@@ -74,6 +74,7 @@ void print_table(tt::BenchReport& report) {
     rec.transitions = stats.transitions;
     rec.seconds = stats.seconds;
     rec.exhausted = stats.exhausted;
+    rec.verdict = stats.exhausted ? "count" : "count(truncated)";
     report.add(rec);
   }
   std::printf("%s\n", m.render().c_str());

@@ -10,7 +10,11 @@
 // liveness is the most expensive lemma.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "core/scenario_math.hpp"
 #include "core/verifier.hpp"
@@ -19,6 +23,14 @@
 #include "tta/cluster.hpp"
 
 namespace {
+
+// TTSTART_BENCH_QUICK=1 trims the sweep to the sizes CI can afford (the
+// bench-smoke job): n <= 4 and no n = 5 hub run, keeping every experiment
+// slug exercised so the JSON schema check still covers the full shape.
+bool quick_mode() {
+  const char* env = std::getenv("TTSTART_BENCH_QUICK");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
 
 tt::tta::ClusterConfig fig6_node_config(int n) {
   tt::tta::ClusterConfig cfg;
@@ -105,32 +117,40 @@ tt::BenchRecord record_of(const std::string& experiment,
   return rec;
 }
 
-// The engine-comparison experiment: the exhaustive n = 4, degree-6 safety run
+// The engine-comparison experiment: the exhaustive degree-6 safety run
 // (feedback on) with the sequential BFS engine vs the parallel frontier
-// engine at 1, 2 and 4 threads. Verdict and state count must be identical;
-// the JSON records carry states/sec for the perf trajectory.
-void engine_comparison(tt::BenchReport& report) {
-  std::printf("\n=== engine comparison: safety, n = 4, degree 6, feedback on ===\n");
+// engine at 1, 2, 4 and hardware-concurrency threads (deduplicated — on a
+// 4-core machine the hw point coincides with 4). Verdict and state count
+// must be identical; the JSON records carry states/sec for the perf
+// trajectory, with `threads` taken from the engine's resolved count.
+void engine_comparison(tt::BenchReport& report, int n) {
+  std::printf("\n=== engine comparison: safety, n = %d, degree 6, feedback on ===\n", n);
   tt::TextTable t({"engine", "threads", "eval", "states", "transitions", "seconds",
                    "states/sec"});
-  auto cfg = fig6_node_config(4);
+  auto cfg = fig6_node_config(n);
+  const std::string slug = tt::strfmt("fig6/engine_compare/safety_n%d", n);
 
   tt::core::VerifyOptions seq_opts;
   seq_opts.engine = tt::mc::EngineKind::kSequential;
   const auto seq = tt::core::verify(cfg, tt::core::Lemma::kSafety, seq_opts);
-  report.add(record_of("fig6/engine_compare/safety_n4", seq));
+  report.add(record_of(slug, seq));
   t.add_row({"seq", "1", seq.holds ? "true" : "FALSE", std::to_string(seq.stats.states),
              std::to_string(seq.stats.transitions), tt::strfmt("%.2f", seq.stats.seconds),
              tt::strfmt("%.0f", seq.stats.states_per_sec())});
 
-  for (int threads : {1, 2, 4}) {
+  std::vector<int> thread_counts = {1, 2, 4};
+  const int hw = tt::mc::resolve_threads(0);
+  if (std::find(thread_counts.begin(), thread_counts.end(), hw) == thread_counts.end()) {
+    thread_counts.push_back(hw);
+  }
+  for (int threads : thread_counts) {
     tt::core::VerifyOptions par_opts;
     par_opts.engine = tt::mc::EngineKind::kParallel;
     par_opts.threads = threads;
     const auto par = tt::core::verify(cfg, tt::core::Lemma::kSafety, par_opts);
-    report.add(record_of("fig6/engine_compare/safety_n4", par));
+    report.add(record_of(slug, par));
     const bool agrees = par.holds == seq.holds && par.stats.states == seq.stats.states;
-    t.add_row({"par", std::to_string(threads), par.holds ? "true" : "FALSE",
+    t.add_row({"par", std::to_string(par.stats.threads), par.holds ? "true" : "FALSE",
                std::to_string(par.stats.states), std::to_string(par.stats.transitions),
                tt::strfmt("%.2f", par.stats.seconds),
                tt::strfmt("%.0f", par.stats.states_per_sec())});
@@ -162,8 +182,9 @@ void print_table(tt::BenchReport& report) {
       {tt::core::Lemma::kTimeliness, paper_timeliness, false},
       {tt::core::Lemma::kSafety2, paper_safety2, true},
   };
+  const int max_n = quick_mode() ? 4 : 5;
   for (const Entry& e : entries) {
-    for (int n = 3; n <= 5; ++n) {
+    for (int n = 3; n <= max_n; ++n) {
       auto cfg = e.hub ? fig6_hub_config(n) : fig6_node_config(n);
       if (e.lemma == tt::core::Lemma::kTimeliness) cfg.timeliness_bound = 8 * n;
       auto r = tt::core::verify(cfg, e.lemma);
@@ -190,7 +211,8 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   tt::BenchReport report("bench_fig6_exhaustive");
   print_table(report);
-  engine_comparison(report);
+  engine_comparison(report, 4);
+  if (!quick_mode()) engine_comparison(report, 5);
   const std::string path = report.write();
   if (!path.empty()) std::printf("machine-readable results: %s\n", path.c_str());
   return 0;

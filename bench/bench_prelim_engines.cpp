@@ -17,15 +17,22 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "bdd/symbolic.hpp"
 #include "bmc/encoder.hpp"
 #include "kernel/packed_system.hpp"
 #include "kernel/ttalite.hpp"
 #include "mc/reachability.hpp"
+#include "support/bench_report.hpp"
 #include "support/table.hpp"
 
 namespace {
+
+bool quick_mode() {
+  const char* env = std::getenv("TTSTART_BENCH_QUICK");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
 
 tt::kernel::TtaLiteConfig prelim_cfg(int n, int degree) {
   tt::kernel::TtaLiteConfig cfg;
@@ -69,10 +76,11 @@ void BM_SatBmcCounterexample(benchmark::State& state) {
 }
 BENCHMARK(BM_SatBmcCounterexample)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
 
-void print_table() {
+void print_table(tt::BenchReport& report) {
   std::printf("\n=== §3 preliminary study: engines on the TTA-lite ([12]) model ===\n");
   tt::TextTable t({"n", "degree", "engine", "verdict", "states", "time s"});
-  for (int n = 3; n <= 5; ++n) {
+  const int max_n = quick_mode() ? 4 : 5;
+  for (int n = 3; n <= max_n; ++n) {
     // Fail-silent runs carry the safety lemma; degree-3 runs show the model
     // at the paper's preliminary scale (tens of thousands of states).
     tt::kernel::TtaLite model(prelim_cfg(n, 3));
@@ -81,12 +89,31 @@ void print_table() {
     auto explicit_r = tt::mc::count_reachable(ps);
     t.add_row({std::to_string(n), "3", "explicit BFS", "count",
                std::to_string(explicit_r.states), tt::strfmt("%.3f", explicit_r.seconds)});
+    {
+      tt::BenchRecord rec;
+      rec.experiment = tt::strfmt("prelim/deg3/n%d", n);
+      rec.engine = "seq";
+      rec.states = explicit_r.states;
+      rec.transitions = explicit_r.transitions;
+      rec.seconds = explicit_r.seconds;
+      rec.verdict = "count";
+      report.add(rec);
+    }
 
     tt::kernel::TtaLite model2(prelim_cfg(n, 3));
     tt::bdd::SymbolicEngine engine(model2.system());
     auto sym = engine.count_reachable();
     t.add_row({std::to_string(n), "3", "symbolic BDD", "count",
                tt::strfmt("%.0f", sym.reachable_states), tt::strfmt("%.3f", sym.seconds)});
+    {
+      tt::BenchRecord rec;
+      rec.experiment = tt::strfmt("prelim/deg3/n%d", n);
+      rec.engine = "bdd";
+      rec.states = static_cast<std::size_t>(sym.reachable_states);
+      rec.seconds = sym.seconds;
+      rec.verdict = "count";
+      report.add(rec);
+    }
 
     tt::kernel::TtaLite model_safe(prelim_cfg(n, 1));
     const tt::kernel::PackedSystem ps_safe(model_safe.system());
@@ -98,12 +125,32 @@ void print_table() {
                safety_r.verdict == tt::mc::Verdict::kHolds ? "holds" : "VIOLATED",
                std::to_string(safety_r.stats.states),
                tt::strfmt("%.3f", safety_r.stats.seconds)});
+    {
+      tt::BenchRecord rec;
+      rec.experiment = tt::strfmt("prelim/safety_deg1/n%d", n);
+      rec.engine = "seq";
+      rec.states = safety_r.stats.states;
+      rec.transitions = safety_r.stats.transitions;
+      rec.seconds = safety_r.stats.seconds;
+      rec.exhausted = safety_r.stats.exhausted;
+      rec.verdict = safety_r.verdict == tt::mc::Verdict::kHolds ? "holds" : "VIOLATED";
+      report.add(rec);
+    }
 
     tt::kernel::TtaLite model3(prelim_cfg(n, 2));
     auto bmc = tt::bmc::check_invariant_bounded(model3.system(), model3.safety_expr(), 30);
     t.add_row({std::to_string(n), "2", "SAT BMC",
                bmc.violation_found ? tt::strfmt("VIOLATED@%d", bmc.depth) : "no cex",
                "-", tt::strfmt("%.3f", bmc.seconds)});
+    {
+      tt::BenchRecord rec;
+      rec.experiment = tt::strfmt("prelim/bmc_deg2/n%d", n);
+      rec.engine = "sat";
+      rec.seconds = bmc.seconds;
+      rec.verdict =
+          bmc.violation_found ? tt::strfmt("VIOLATED@%d", bmc.depth) : std::string("no cex");
+      report.add(rec);
+    }
   }
   std::printf("%s", t.render().c_str());
   std::printf(
@@ -118,6 +165,9 @@ void print_table() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  print_table();
+  tt::BenchReport report("bench_prelim_engines");
+  print_table(report);
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("machine-readable results: %s\n", path.c_str());
   return 0;
 }

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Validate a ttstart-bench-v1 report file (BENCH_results.json).
+
+Checks the envelope, the per-record field set and types, and basic value
+sanity (non-negative counts/times, verdict non-empty, threads >= 1). With
+--require, additionally fails unless every named bench contributed at least
+one record — the CI bench-smoke job uses this to catch a bench binary that
+silently stopped reporting.
+
+Exit code 0 on success, 1 on any violation (all violations are listed).
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_FIELDS = {
+    "bench": str,
+    "experiment": str,
+    "engine": str,
+    "threads": int,
+    "states": int,
+    "transitions": int,
+    "seconds": (int, float),
+    "states_per_sec": (int, float),
+    "exhausted": bool,
+    "verdict": str,
+}
+
+SCHEMA = "ttstart-bench-v1"
+
+
+def validate(doc, require):
+    errors = []
+    if not isinstance(doc, dict):
+        return ["top level is not a JSON object"]
+    if doc.get("schema") != SCHEMA:
+        errors.append(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    results = doc.get("results")
+    if not isinstance(results, list):
+        return errors + ["'results' is missing or not an array"]
+    if not results:
+        errors.append("'results' is empty")
+
+    seen_benches = set()
+    for i, rec in enumerate(results):
+        where = f"results[{i}]"
+        if not isinstance(rec, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for field, ftype in REQUIRED_FIELDS.items():
+            if field not in rec:
+                errors.append(f"{where}: missing field '{field}'")
+            elif not isinstance(rec[field], ftype) or (
+                ftype is int and isinstance(rec[field], bool)
+            ):
+                errors.append(
+                    f"{where}: field '{field}' has type "
+                    f"{type(rec[field]).__name__}, expected {ftype}"
+                )
+        unknown = set(rec) - set(REQUIRED_FIELDS)
+        if unknown:
+            errors.append(f"{where}: unknown field(s) {sorted(unknown)}")
+        if isinstance(rec.get("bench"), str):
+            seen_benches.add(rec["bench"])
+            exp = rec.get("experiment")
+            if isinstance(rec.get("threads"), int) and rec["threads"] < 1:
+                errors.append(f"{where} ({exp}): threads < 1")
+            for field in ("states", "transitions", "seconds", "states_per_sec"):
+                v = rec.get(field)
+                if isinstance(v, (int, float)) and v < 0:
+                    errors.append(f"{where} ({exp}): {field} < 0")
+            if rec.get("experiment") == "" or rec.get("verdict") == "":
+                errors.append(f"{where}: empty experiment or verdict")
+
+    for bench in require:
+        if bench not in seen_benches:
+            errors.append(f"required bench '{bench}' contributed no records")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="path to BENCH_results.json")
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="BENCH",
+        help="bench name that must have >= 1 record (repeatable)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.report, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{args.report}: {e}", file=sys.stderr)
+        return 1
+
+    errors = validate(doc, args.require)
+    if errors:
+        for e in errors:
+            print(f"{args.report}: {e}", file=sys.stderr)
+        print(f"{len(errors)} violation(s)", file=sys.stderr)
+        return 1
+
+    n = len(doc["results"])
+    benches = len({r["bench"] for r in doc["results"]})
+    print(f"{args.report}: OK — {n} record(s) from {benches} bench(es)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "mc/run_stats.hpp"
+#include "support/recent_cache.hpp"
 #include "support/state_index_map.hpp"
 
 namespace tt::mc::detail {
@@ -34,10 +35,27 @@ struct BfsCore {
   /// Interns `s` with BFS parent `from`; enqueues when fresh.
   /// Returns {dense id, fresh}.
   std::pair<std::uint32_t, bool> visit(const State& s, std::uint32_t from) {
-    auto [idx, fresh] = seen.insert(s);
+    return visit(s, from, hash_words(s));
+  }
+
+  /// Hash-once visit: `h` must equal `hash_words(s)`. Probes the
+  /// recently-seen cache first — a verified hit short-circuits the interning
+  /// table entirely (the dominant case at high fault degrees, where ~115
+  /// transitions per state are duplicates).
+  std::pair<std::uint32_t, bool> visit(const State& s, std::uint32_t from, std::uint64_t h) {
+    const std::uint32_t hint = cache.lookup(h);
+    if (hint != RecentSeenCache::kMiss && seen.at(hint) == s) {
+      ++cache_hits;
+      ++dup_visits;
+      return {hint, false};
+    }
+    auto [idx, fresh] = seen.insert(s, h);
+    cache.remember(h, idx);
     if (fresh) {
       if (parents) parent.push_back(from);
       queue.push_back(idx);
+    } else {
+      ++dup_visits;
     }
     return {idx, fresh};
   }
@@ -51,12 +69,15 @@ struct BfsCore {
 
   [[nodiscard]] std::size_t memory_bytes() const noexcept {
     return seen.memory_bytes() + parent.capacity() * sizeof(std::uint32_t) +
-           queue.capacity() * sizeof(std::uint32_t);
+           queue.capacity() * sizeof(std::uint32_t) + cache.memory_bytes();
   }
 
   StateIndexMap<W> seen;
+  RecentSeenCache cache;
   std::vector<std::uint32_t> parent;  // dense id -> predecessor id (if `parents`)
   std::vector<std::uint32_t> queue;   // dense ids in BFS order
+  std::size_t cache_hits = 0;  ///< duplicates killed by the recently-seen cache
+  std::size_t dup_visits = 0;  ///< visits of already-interned states
   bool parents = true;
 };
 

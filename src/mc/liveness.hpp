@@ -20,6 +20,7 @@
 #include "mc/explore.hpp"
 #include "mc/run_stats.hpp"
 #include "mc/transition_system.hpp"
+#include "support/recent_cache.hpp"
 #include "support/state_index_map.hpp"
 #include "support/timer.hpp"
 
@@ -66,7 +67,25 @@ template <class TS, class Pred, class RootFn>
   Timer timer;
   LivenessResult<TS> result;
   StateIndexMap<TS::kWords> seen;   // interns goal-free states only
+  RecentSeenCache cache;            // duplicate suppression in front of `seen`
   std::vector<std::uint8_t> color;  // parallel to `seen`
+
+  // Hash-once intern shared by root seeding and DFS expansion: one
+  // hash_words per candidate, duplicates short-circuited by the cache.
+  auto intern = [&](const State& s) -> std::pair<std::uint32_t, bool> {
+    ++result.stats.hash_ops;
+    const std::uint64_t h = hash_words(s);
+    const std::uint32_t hint = cache.lookup(h);
+    if (hint != RecentSeenCache::kMiss && seen.at(hint) == s) {
+      ++result.stats.cache_hits;
+      ++result.stats.dup_transitions;
+      return {hint, false};
+    }
+    auto [idx, fresh] = seen.insert(s, h);
+    cache.remember(h, idx);
+    if (!fresh) ++result.stats.dup_transitions;
+    return {idx, fresh};
+  };
 
   struct Frame {
     std::uint32_t idx;
@@ -80,7 +99,7 @@ template <class TS, class Pred, class RootFn>
   bool roots_overflow = false;
   for_each_root([&](const State& s) {
     if (goal(s)) return;  // goal states are never roots of a goal-free lasso
-    auto [idx, fresh] = seen.insert(s);
+    auto [idx, fresh] = intern(s);
     if (fresh) {
       color.push_back(kWhite);
       roots.push_back(idx);
@@ -95,7 +114,7 @@ template <class TS, class Pred, class RootFn>
       ++result.stats.transitions;
       f.has_any_successor = true;
       if (goal(t)) return;  // edge leaves the goal-free region: irrelevant
-      auto [tidx, fresh] = seen.insert(t);
+      auto [tidx, fresh] = intern(t);
       if (fresh) color.push_back(kWhite);
       f.children.push_back(tidx);
     });
@@ -158,7 +177,7 @@ template <class TS, class Pred, class RootFn>
   }
 
   result.stats.states = seen.size();
-  result.stats.memory_bytes = seen.memory_bytes() + color.capacity();
+  result.stats.memory_bytes = seen.memory_bytes() + color.capacity() + cache.memory_bytes();
   result.stats.seconds = timer.seconds();
   result.stats.exhausted = result.verdict != LivenessVerdict::kLimit;
   return result;
@@ -188,9 +207,15 @@ template <TransitionSystem TS, class Pred>
   // Reuses the shared BFS scaffolding (explore.hpp) without parent links.
   std::vector<State> reachable;
   bool truncated = false;
+  std::size_t bfs_hash_ops = 0;
+  std::size_t bfs_cache_hits = 0;
+  std::size_t bfs_dups = 0;
   {
     detail::BfsCore<TS::kWords> bfs(/*track_parents=*/false, limits);
-    auto visit = [&](const State& s) { bfs.visit(s, detail::BfsCore<TS::kWords>::kNoParent); };
+    auto visit = [&](const State& s) {
+      ++bfs_hash_ops;
+      bfs.visit(s, detail::BfsCore<TS::kWords>::kNoParent, hash_words(s));
+    };
     ts.initial_states(visit);
     for (std::size_t head = 0; head < bfs.queue.size(); ++head) {
       if (bfs.seen.size() > limits.max_states) {
@@ -202,6 +227,8 @@ template <TransitionSystem TS, class Pred>
     }
     reachable.reserve(bfs.seen.size());
     for (std::uint32_t i = 0; i < bfs.seen.size(); ++i) reachable.push_back(bfs.seen.at(i));
+    bfs_cache_hits = bfs.cache_hits;
+    bfs_dups = bfs.dup_visits;
   }
   if (truncated) {
     LivenessResult<TS> limited;
@@ -217,6 +244,9 @@ template <TransitionSystem TS, class Pred>
       },
       limits);
   result.stats.states = std::max(result.stats.states, reachable.size());
+  result.stats.hash_ops += bfs_hash_ops;
+  result.stats.cache_hits += bfs_cache_hits;
+  result.stats.dup_transitions += bfs_dups;
   return result;
 }
 

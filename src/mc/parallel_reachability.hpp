@@ -1,25 +1,39 @@
 // Level-synchronous parallel BFS over a TransitionSystem — the parallel
 // frontier engine behind the invariant lemmas.
 //
-// Each BFS level runs in two phases over a fixed chunking of the frontier:
+// Each BFS level runs in two phases over a fixed partition of the frontier:
 //
-//   expand: worker threads claim 256-state chunks (atomic counter), enumerate
-//           successors, prefilter against the sharded store (lock-free find —
-//           the store is frozen during this phase) and route candidate
-//           (state, parent) pairs into per-chunk, per-shard buffers.
+//   expand: worker threads claim chunks of the frontier (atomic counter),
+//           enumerate successors, hash each candidate exactly once, kill
+//           duplicates against a per-thread recently-seen cache and then the
+//           sharded store (lock-free find — the store is frozen during this
+//           phase) and route surviving (state, parent, hash) candidates into
+//           per-chunk, per-shard buffers.
 //   drain:  worker threads claim whole shards; the owner of shard s walks the
 //           chunk buffers *in chunk order* and interns every candidate
-//           (lock-striped insert), assigns parent links and collects fresh
-//           ids. Shard ownership is exclusive, so the per-shard insertion
-//           order — and with it every dense id, parent link and the next
-//           frontier (per-shard fresh lists concatenated in shard order) —
-//           depends only on the chunk geometry, never on thread scheduling.
+//           reusing its expand-phase hash (lock-striped insert), assigns
+//           parent links and collects fresh ids.
 //
-// Determinism guarantee: chunk size and shard count are fixed constants, so a
-// run with 1, 2 or 4 threads (or any other count) interns the same states
-// under the same ids, picks the same minimal-(depth, id) violation and
-// reconstructs the *identical* counterexample trace. Traces are BFS-minimal,
-// like the sequential engine's.
+// Determinism guarantee: walking chunk buffers in chunk order replays, for
+// every shard, exactly the frontier-order candidate sequence — chunk
+// boundaries only decide which thread buffered a candidate, never its
+// position in that sequence. Shard ownership is exclusive, so per-shard
+// insertion order — and with it every dense id, parent link and the next
+// frontier (per-shard fresh lists concatenated in shard order) — is
+// independent of both thread scheduling and chunk geometry. A run with 1, 2
+// or 4 threads (or any other count) therefore interns the same states under
+// the same ids, picks the same minimal-(depth, id) violation and
+// reconstructs the *identical* counterexample trace, even though the chunk
+// size adapts to frontier.size()/threads. The per-thread caches cannot
+// perturb this: they only ever suppress candidates already interned in a
+// previous level, which the frozen-store find would have suppressed anyway.
+// Traces are BFS-minimal, like the sequential engine's.
+//
+// Small frontiers fall back to a serial level run by the coordinating thread
+// alone (no barrier crossings, unlocked inserts) — the two-phase order is
+// preserved, so the fallback is invisible to the determinism guarantee; it
+// only removes the synchronization overhead that made the parallel engine
+// lose to the sequential one on shallow or narrow state spaces.
 //
 // Requirements on the model: TS::successors and the property predicate must
 // be safe to call concurrently on a const system (all bundled models are
@@ -42,6 +56,7 @@
 #include "mc/reachability.hpp"
 #include "mc/run_stats.hpp"
 #include "mc/transition_system.hpp"
+#include "support/recent_cache.hpp"
 #include "support/sharded_state_index_map.hpp"
 #include "support/timer.hpp"
 
@@ -58,14 +73,16 @@ template <TransitionSystem TS, class Pred>
   using State = typename TS::State;
   using Map = ShardedStateIndexMap<TS::kWords>;
   constexpr std::uint32_t kNone = Map::kEmpty;
-  // Fixed constants: the frontier partition must not depend on the thread
-  // count or the determinism guarantee breaks.
+  // The shard count is a fixed constant; chunk geometry may vary freely (see
+  // the determinism argument in the header comment).
   constexpr unsigned kShards = 16;
-  constexpr std::size_t kChunk = 256;
+  constexpr std::size_t kMinChunk = 64;
+  // Below this many frontier states per worker a level runs serially on the
+  // coordinating thread: barrier crossings would cost more than the work.
+  constexpr std::size_t kSerialFrontierPerThread = 128;
 
   const int threads = resolve_threads(opts.threads);
   const SearchLimits& limits = opts.limits;
-  const bool serial = threads == 1;
 
   Timer timer;
   InvariantResult<TS> result;
@@ -83,12 +100,17 @@ template <TransitionSystem TS, class Pred>
   struct Cand {
     State s;
     std::uint32_t parent;
+    std::uint64_t hash;  ///< hash_words(s), computed once in the expand phase
   };
   struct ChunkOut {
     std::array<std::vector<Cand>, kShards> bucket;
   };
   struct ThreadCtx {
     std::size_t transitions = 0;
+    std::size_t hash_ops = 0;
+    std::size_t cache_hits = 0;
+    std::size_t dups = 0;
+    RecentSeenCache cache;
     std::vector<std::unique_ptr<ChunkOut>> pool;
     std::size_t pool_used = 0;
     ChunkOut* acquire() {
@@ -103,6 +125,7 @@ template <TransitionSystem TS, class Pred>
   std::atomic<std::size_t> next_chunk{0};
   std::atomic<unsigned> next_shard{0};
   std::size_t nchunks = 0;
+  std::size_t chunk_size = kMinChunk;
 
   std::mutex err_mu;
   std::exception_ptr first_error;
@@ -122,15 +145,31 @@ template <TransitionSystem TS, class Pred>
       while ((ci = next_chunk.fetch_add(1, std::memory_order_relaxed)) < nchunks) {
         ChunkOut* out = c.acquire();
         for (auto& b : out->bucket) b.clear();
-        const std::size_t begin = ci * kChunk;
-        const std::size_t end = std::min(begin + kChunk, frontier.size());
+        const std::size_t begin = ci * chunk_size;
+        const std::size_t end = std::min(begin + chunk_size, frontier.size());
         for (std::size_t p = begin; p < end; ++p) {
           const std::uint32_t from = frontier[p];
           const State s = seen.at(from);
           ts.successors(s, [&](const State& t) {
             ++c.transitions;
-            if (seen.find(t) != kNone) return;  // interned in a previous level
-            out->bucket[seen.shard_of(t)].push_back(Cand{t, from});
+            // Hash-once contract: the single hash_words call this candidate
+            // ever sees. Cache probe, frozen-store find, and the drain-phase
+            // insert (via Cand::hash) all reuse it.
+            ++c.hash_ops;
+            const std::uint64_t h = hash_words(t);
+            const std::uint32_t hint = c.cache.lookup(h);
+            if (hint != RecentSeenCache::kMiss && seen.at(hint) == t) {
+              ++c.cache_hits;
+              ++c.dups;
+              return;  // interned in a previous level
+            }
+            const std::uint32_t id = seen.find(t, h);
+            if (id != kNone) {
+              c.cache.remember(h, id);
+              ++c.dups;
+              return;  // interned in a previous level
+            }
+            out->bucket[seen.shard_of(h)].push_back(Cand{t, from, h});
           });
         }
         chunk_out[ci] = out;
@@ -140,7 +179,7 @@ template <TransitionSystem TS, class Pred>
     }
   };
 
-  auto drain_work = [&](ThreadCtx&) {
+  auto drain_work = [&](ThreadCtx& c, bool locked) {
     try {
       unsigned sh;
       while ((sh = next_shard.fetch_add(1, std::memory_order_relaxed)) < kShards) {
@@ -149,8 +188,13 @@ template <TransitionSystem TS, class Pred>
         std::uint32_t bad = kNone;
         for (std::size_t ci = 0; ci < nchunks; ++ci) {
           for (const Cand& cd : chunk_out[ci]->bucket[sh]) {
-            const auto [id, is_new] = serial ? seen.insert_serial(cd.s) : seen.insert(cd.s);
-            if (!is_new) continue;  // duplicate within this level
+            const auto [id, is_new] =
+                locked ? seen.insert(cd.s, cd.hash) : seen.insert_serial(cd.s, cd.hash);
+            if (!is_new) {
+              ++c.dups;  // duplicate within this level
+              continue;
+            }
+            c.cache.remember(cd.hash, id);
             parent[sh].push_back(cd.parent);
             fr.push_back(id);
             if (bad == kNone && !holds(cd.s)) bad = id;  // ids grow within a shard
@@ -164,7 +208,12 @@ template <TransitionSystem TS, class Pred>
   };
 
   auto setup_level = [&] {
-    nchunks = (frontier.size() + kChunk - 1) / kChunk;
+    // Chunks sized from the frontier and thread count: a handful of chunks
+    // per worker balances load without the fixed-size-256 bookkeeping that
+    // dominated small levels. Determinism is chunk-geometry independent.
+    chunk_size = std::max<std::size_t>(
+        kMinChunk, frontier.size() / (static_cast<std::size_t>(threads) * 4));
+    nchunks = (frontier.size() + chunk_size - 1) / chunk_size;
     chunk_out.assign(nchunks, nullptr);
     next_chunk.store(0, std::memory_order_relaxed);
     next_shard.store(0, std::memory_order_relaxed);
@@ -213,7 +262,8 @@ template <TransitionSystem TS, class Pred>
   // Interning the initial states is serial: their ids and parent links must
   // not depend on enumeration timing.
   ts.initial_states([&](const State& s) {
-    const auto [id, is_new] = seen.insert_serial(s);
+    ++ctx[0].hash_ops;
+    const auto [id, is_new] = seen.insert_serial(s, hash_words(s));
     if (!is_new) return;
     parent[seen.shard_of_id(id)].push_back(kNone);
     frontier.push_back(id);
@@ -224,10 +274,12 @@ template <TransitionSystem TS, class Pred>
 
   if (!violated && !frontier.empty() && seen.size() <= limits.max_states) {
     setup_level();
-    if (serial) {
+    const std::size_t serial_below =
+        threads > 1 ? kSerialFrontierPerThread * static_cast<std::size_t>(threads) : 0;
+    if (threads == 1) {
       do {
         expand_work(ctx[0]);
-        drain_work(ctx[0]);
+        drain_work(ctx[0], /*locked=*/false);
       } while (!finish_level());
     } else {
       std::barrier sync(threads);
@@ -235,19 +287,36 @@ template <TransitionSystem TS, class Pred>
       auto worker = [&](int tid) {
         ThreadCtx& c = ctx[static_cast<std::size_t>(tid)];
         while (true) {
-          sync.arrive_and_wait();  // level ready / stop decided by thread 0
+          sync.arrive_and_wait();  // parallel level ready / stop decided
           if (stop.load(std::memory_order_relaxed)) break;
           expand_work(c);
           sync.arrive_and_wait();  // expansion complete, store quiescent
-          drain_work(c);
+          drain_work(c, /*locked=*/true);
           sync.arrive_and_wait();  // drain complete
-          if (tid == 0 && finish_level()) stop.store(true, std::memory_order_relaxed);
         }
       };
       std::vector<std::thread> pool;
       pool.reserve(static_cast<std::size_t>(threads - 1));
       for (int t = 1; t < threads; ++t) pool.emplace_back(worker, t);
-      worker(0);
+      // Coordinator (this thread): small levels run serially without waking
+      // the workers, which stay parked at the top barrier.
+      bool done = false;
+      while (!done) {
+        if (frontier.size() < serial_below) {
+          expand_work(ctx[0]);
+          drain_work(ctx[0], /*locked=*/false);
+          done = finish_level();
+        } else {
+          sync.arrive_and_wait();  // release workers into this level
+          expand_work(ctx[0]);
+          sync.arrive_and_wait();
+          drain_work(ctx[0], /*locked=*/true);
+          sync.arrive_and_wait();
+          done = finish_level();
+        }
+      }
+      stop.store(true, std::memory_order_relaxed);
+      sync.arrive_and_wait();  // release workers to observe stop
       for (auto& th : pool) th.join();
     }
   } else if (!violated && seen.size() > limits.max_states && !frontier.empty()) {
@@ -259,6 +328,12 @@ template <TransitionSystem TS, class Pred>
   result.stats.depth = depth;
   result.stats.memory_bytes = seen.memory_bytes() + frontier.capacity() * sizeof(std::uint32_t);
   for (const auto& p : parent) result.stats.memory_bytes += p.capacity() * sizeof(std::uint32_t);
+  for (const auto& c : ctx) {
+    result.stats.hash_ops += c.hash_ops;
+    result.stats.cache_hits += c.cache_hits;
+    result.stats.dup_transitions += c.dups;
+    result.stats.memory_bytes += c.cache.memory_bytes();
+  }
   result.stats.seconds = timer.seconds();
   if (violated) {
     result.verdict = Verdict::kViolated;

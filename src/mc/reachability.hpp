@@ -64,7 +64,10 @@ template <TransitionSystem TS, class Pred>
   std::uint32_t bad_idx = 0;
   auto visit = [&](const State& s, std::uint32_t from) {
     if (violated) return;
-    auto [idx, fresh] = bfs.visit(s, from);
+    // Hash-once contract: this is the only hash_words call a candidate sees;
+    // cache probe, table find and insert all reuse it.
+    ++result.stats.hash_ops;
+    auto [idx, fresh] = bfs.visit(s, from, hash_words(s));
     if (fresh && !holds(s)) {
       violated = true;
       bad_idx = idx;
@@ -97,6 +100,8 @@ template <TransitionSystem TS, class Pred>
   result.stats.states = bfs.seen.size();
   result.stats.depth = depth;
   result.stats.memory_bytes = bfs.memory_bytes();
+  result.stats.cache_hits = bfs.cache_hits;
+  result.stats.dup_transitions = bfs.dup_visits;
   result.stats.seconds = timer.seconds();
   if (violated) {
     result.verdict = Verdict::kViolated;

@@ -20,6 +20,15 @@ struct RunStats {
   /// never be reported as exhaustive (Fig. 5 reachable-state columns).
   bool exhausted = true;
   int threads = 1;  ///< worker threads the engine ran with
+  /// Hot-path instrumentation (the hash-once contract, DESIGN.md §3.2):
+  /// `hash_ops` counts hash_words invocations on the candidate path — exactly
+  /// one per enumerated transition plus one per emitted initial state, which
+  /// a regression test asserts. `dup_transitions` counts candidates that were
+  /// already interned; `cache_hits` counts those killed by the direct-mapped
+  /// recently-seen cache before touching the interning table.
+  std::size_t hash_ops = 0;
+  std::size_t dup_transitions = 0;
+  std::size_t cache_hits = 0;
   /// Per-BFS-level frontier sizes (index = depth). Filled by the frontier
   /// engines; empty for DFS-based liveness runs.
   std::vector<std::size_t> frontier_sizes;

@@ -31,17 +31,33 @@ class BitWriter {
     for (int i = 0; i < nwords; ++i) words_[i] = 0;
   }
 
+  /// Resumes writing at bit `start_bit` over words that already hold a
+  /// packed prefix. The caller guarantees every bit >= start_bit is zero
+  /// (put() ORs into the words). This is the hot-path constructor for
+  /// prefix-sharing packers that serialize an invariant prefix once and
+  /// append varying suffixes per emission.
+  BitWriter(std::uint64_t* words, int nwords, int start_bit) noexcept
+      : words_(words), nwords_(nwords), pos_(start_bit) {
+    TT_ASSERT(start_bit >= 0 && start_bit <= nwords * 64);
+  }
+
   void put(std::uint64_t value, int width) {
     TT_ASSERT(width > 0 && width <= 64);
     TT_ASSERT(width == 64 || value < (std::uint64_t{1} << width));
-    int word = pos_ >> 6;
+    TT_ASSERT((pos_ >> 6) < nwords_ && (pos_ + width + 63) >> 6 <= nwords_);
+    put_fast(value, width);
+  }
+
+  /// put() without per-call assertions, for packers on the successor hot
+  /// path that serialize millions of fields per second. Callers must check
+  /// bits_written() against the expected layout width after the last field —
+  /// that single assert catches any width/bounds slip the per-call checks
+  /// would have.
+  void put_fast(std::uint64_t value, int width) noexcept {
+    const int word = pos_ >> 6;
     const int off = pos_ & 63;
-    TT_ASSERT(word < nwords_);
     words_[word] |= value << off;
-    if (off + width > 64) {
-      TT_ASSERT(word + 1 < nwords_);
-      words_[word + 1] |= value >> (64 - off);
-    }
+    if (off + width > 64) words_[word + 1] |= value >> (64 - off);
     pos_ += width;
   }
 

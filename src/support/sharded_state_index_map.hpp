@@ -67,7 +67,12 @@ class ShardedStateIndexMap {
   /// Which shard `s` hashes to. Uses high hash bits, disjoint from the
   /// low bits that pick the probe slot inside the shard.
   [[nodiscard]] unsigned shard_of(const State& s) const noexcept {
-    return static_cast<unsigned>(hash_words(s) >> 40) & shard_mask_;
+    return shard_of(hash_words(s));
+  }
+
+  /// Hash-once shard routing; `h` must equal `hash_words(s)`.
+  [[nodiscard]] unsigned shard_of(std::uint64_t h) const noexcept {
+    return static_cast<unsigned>(h >> 40) & shard_mask_;
   }
 
   [[nodiscard]] unsigned shard_of_id(std::uint32_t id) const noexcept {
@@ -78,31 +83,39 @@ class ShardedStateIndexMap {
   }
 
   /// Interns `s`; thread-safe (locks the target shard). Returns {id, fresh}.
-  std::pair<std::uint32_t, bool> insert(const State& s) {
-    const std::uint64_t h = hash_words(s);
-    Shard& sh = shards_[static_cast<unsigned>(h >> 40) & shard_mask_];
+  std::pair<std::uint32_t, bool> insert(const State& s) { return insert(s, hash_words(s)); }
+
+  /// Hash-once thread-safe intern; `h` must equal `hash_words(s)`.
+  std::pair<std::uint32_t, bool> insert(const State& s, std::uint64_t h) {
+    const unsigned idx = shard_of(h);
+    Shard& sh = shards_[idx];
     std::lock_guard<std::mutex> lock(sh.mu);
-    return insert_into(sh, static_cast<unsigned>(h >> 40) & shard_mask_, h, s);
+    return insert_into(sh, idx, h, s);
   }
 
   /// Interns `s` without locking — the single-threaded fast path.
   std::pair<std::uint32_t, bool> insert_serial(const State& s) {
-    const std::uint64_t h = hash_words(s);
-    const unsigned idx = static_cast<unsigned>(h >> 40) & shard_mask_;
+    return insert_serial(s, hash_words(s));
+  }
+
+  /// Hash-once lock-free intern; `h` must equal `hash_words(s)`.
+  std::pair<std::uint32_t, bool> insert_serial(const State& s, std::uint64_t h) {
+    const unsigned idx = shard_of(h);
     return insert_into(shards_[idx], idx, h, s);
   }
 
   /// Lock-free lookup; requires no concurrent insert to this shard.
-  [[nodiscard]] std::uint32_t find(const State& s) const {
-    const std::uint64_t h = hash_words(s);
-    const Shard& sh = shards_[static_cast<unsigned>(h >> 40) & shard_mask_];
+  [[nodiscard]] std::uint32_t find(const State& s) const { return find(s, hash_words(s)); }
+
+  /// Hash-once lock-free lookup; `h` must equal `hash_words(s)`.
+  [[nodiscard]] std::uint32_t find(const State& s, std::uint64_t h) const {
+    const unsigned idx = shard_of(h);
+    const Shard& sh = shards_[idx];
     std::size_t slot = h & sh.mask;
     while (true) {
       const std::uint32_t local = sh.table[slot];
       if (local == kEmpty) return kEmpty;
-      if (sh.arena[local] == s) {
-        return (local << shard_bits_) | (static_cast<unsigned>(h >> 40) & shard_mask_);
-      }
+      if (sh.arena[local] == s) return (local << shard_bits_) | idx;
       slot = (slot + 1) & sh.mask;
     }
   }

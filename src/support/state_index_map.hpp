@@ -52,9 +52,14 @@ class StateIndexMap {
   }
 
   /// Interns `s`. Returns {dense index, true-if-new}.
-  std::pair<std::uint32_t, bool> insert(const State& s) {
+  std::pair<std::uint32_t, bool> insert(const State& s) { return insert(s, hash_words(s)); }
+
+  /// Interns `s` given its precomputed `hash_words(s)` value — the hash-once
+  /// hot path: engines compute the hash exactly once per candidate successor
+  /// and hand it to every store operation.
+  std::pair<std::uint32_t, bool> insert(const State& s, std::uint64_t h) {
     if ((arena_.size() + 1) * 10 >= table_.size() * 7) grow();
-    std::size_t slot = hash_words(s) & mask_;
+    std::size_t slot = h & mask_;
     while (true) {
       const std::uint32_t idx = table_[slot];
       if (idx == kEmpty) {
@@ -72,8 +77,11 @@ class StateIndexMap {
   }
 
   /// Looks up `s`; returns kEmpty when absent.
-  [[nodiscard]] std::uint32_t find(const State& s) const {
-    std::size_t slot = hash_words(s) & mask_;
+  [[nodiscard]] std::uint32_t find(const State& s) const { return find(s, hash_words(s)); }
+
+  /// Hash-once lookup; `h` must equal `hash_words(s)`.
+  [[nodiscard]] std::uint32_t find(const State& s, std::uint64_t h) const {
+    std::size_t slot = h & mask_;
     while (true) {
       const std::uint32_t idx = table_[slot];
       if (idx == kEmpty) return kEmpty;

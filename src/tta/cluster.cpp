@@ -23,6 +23,7 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
 
   int bits = 0;
   bits += cfg_.n * (3 + counter_bits_ + pos_bits_ + 1);
+  node_bits_ = bits;
   for (int h = 0; h < 2; ++h) {
     if (cfg_.hub_is_faulty(h)) {
       bits += 3 + 2 * cfg_.n + cfg_.n * frame_bits_;
@@ -147,62 +148,150 @@ void Cluster::initial_states(Emit emit) const {
   }
 }
 
+namespace {
+
+/// Sink for the generic (unpacked) consumers: materializes a full
+/// ClusterState per emission — the pre-optimization behaviour, kept for the
+/// trace printer and interactive examples.
+struct UnpackSink {
+  const ClusterConfig& cfg;
+  Cluster::EmitUnpacked emit;
+  const NodeVars* nodes = nullptr;
+
+  void combo(const NodeVars* next_nodes) { nodes = next_nodes; }
+
+  void successor(const HubVars& h0, const HubVars& h1, std::uint8_t startup_time,
+                 std::uint8_t restarts_used) {
+    ClusterState t;
+    for (int i = 0; i < cfg.n; ++i) t.node[i] = nodes[i];
+    t.hub[0] = h0;
+    t.hub[1] = h1;
+    t.startup_time = startup_time;
+    t.restarts_used = restarts_used;
+    emit(t);
+  }
+};
+
+}  // namespace
+
 void Cluster::successors(const State& s, Emit emit) const {
+  // Prefix-sharing packer: the node fields occupy a fixed prefix of the bit
+  // layout, and one node-choice combination is shared by every hub-phase
+  // variant (at fault degree 6 the faulty node alone contributes ~(2n+3)^2
+  // combinations, each usually with a single hub variant — but the prefix
+  // serialization still amortizes the 4n per-node puts down to one memcpy of
+  // kWords words per emission).
+  struct PackSink {
+    const Cluster& cl;
+    Emit& emit;
+    State prefix{};
+
+    void combo(const NodeVars* nodes) {
+      BitWriter w(prefix.data(), kWords);
+      for (int i = 0; i < cl.cfg_.n; ++i) {
+        const NodeVars& v = nodes[i];
+        w.put(static_cast<std::uint64_t>(v.state), 3);
+        w.put(v.counter, cl.counter_bits_);
+        w.put(v.pos, cl.pos_bits_);
+        w.put(v.big_bang ? 1 : 0, 1);
+      }
+      TT_ASSERT(w.bits_written() == cl.node_bits_);
+    }
+
+    void successor(const HubVars& h0, const HubVars& h1, std::uint8_t startup_time,
+                   std::uint8_t restarts_used) {
+      State s = prefix;
+      BitWriter w(s.data(), kWords, cl.node_bits_);
+      auto put_frame = [&](const Frame& f) {
+        w.put_fast(static_cast<std::uint64_t>(f.kind), 2);
+        w.put_fast(f.time, cl.pos_bits_);
+        w.put_fast(f.ok ? 1 : 0, 1);
+      };
+      const HubVars* hubs[2] = {&h0, &h1};
+      for (int h = 0; h < 2; ++h) {
+        const HubVars& v = *hubs[h];
+        w.put_fast(static_cast<std::uint64_t>(v.state), 3);
+        if (cl.cfg_.hub_is_faulty(h)) {
+          w.put_fast(v.pattern, 2 * cl.cfg_.n);
+          for (int j = 0; j < cl.cfg_.n; ++j) put_frame(v.out_per_port[j]);
+        } else {
+          w.put_fast(v.counter, cl.counter_bits_);
+          w.put_fast(v.slot_pos, cl.pos_bits_);
+          w.put_fast(v.locks, cl.cfg_.n);
+          put_frame(v.out);
+        }
+      }
+      if (cl.st_bits_ > 0) w.put_fast(startup_time, cl.st_bits_);
+      if (cl.restart_bits_ > 0) w.put_fast(restarts_used, cl.restart_bits_);
+      TT_ASSERT(w.bits_written() == cl.state_bits_);
+      emit(s);
+    }
+  };
+
   const ClusterState c = unpack(s);
-  step(c, [&](const ClusterState& t) { emit(pack(t)); });
+  PackSink sink{*this, emit};
+  step_all(c, sink);
 }
 
 void Cluster::step_unpacked(const ClusterState& c, EmitUnpacked emit) const {
-  step(c, emit);
+  UnpackSink sink{cfg_, emit};
+  step_all(c, sink);
 }
 
-std::uint8_t Cluster::next_startup_time(const ClusterState& next, std::uint8_t prev) const {
+Cluster::StartupPre Cluster::startup_pre(const NodeVars* nodes) const {
+  StartupPre pre;
+  if (cfg_.timeliness_bound == 0) return pre;
+  int awake = 0;
+  for (int i = 0; i < cfg_.n; ++i) {
+    if (cfg_.node_is_faulty(i)) continue;
+    if (nodes[i].state == NodeState::kActive) pre.node_target = true;
+    if (nodes[i].state == NodeState::kListen || nodes[i].state == NodeState::kColdstart) {
+      ++awake;
+    }
+  }
+  pre.awake2 = awake >= 2;
+  return pre;
+}
+
+std::uint8_t Cluster::startup_from(const StartupPre& pre, const HubVars& h0, const HubVars& h1,
+                                   std::uint8_t prev) const {
   const int bound = cfg_.timeliness_bound;
   if (bound == 0) return 0;
   const auto done = static_cast<std::uint8_t>(bound + 2);
   if (prev == done) return done;
 
-  bool target = false;
+  bool target;
   if (cfg_.timeliness_target == TimelinessTarget::kFirstCorrectActive) {
-    for (int i = 0; i < cfg_.n; ++i) {
-      if (!cfg_.node_is_faulty(i) && next.node[i].state == NodeState::kActive) {
-        target = true;
-        break;
-      }
-    }
+    target = pre.node_target;
   } else {
-    const int hc = cfg_.faulty_hub == 0 ? 1 : 0;  // first correct hub
-    target = next.hub[hc].state == HubState::kTentative ||
-             next.hub[hc].state == HubState::kActive;
+    const HubVars& hc = cfg_.faulty_hub == 0 ? h1 : h0;  // first correct hub
+    target = hc.state == HubState::kTentative || hc.state == HubState::kActive;
   }
   if (target) return done;
 
-  if (prev == 0) {
-    int awake = 0;
-    for (int i = 0; i < cfg_.n; ++i) {
-      if (cfg_.node_is_faulty(i)) continue;
-      if (next.node[i].state == NodeState::kListen ||
-          next.node[i].state == NodeState::kColdstart) {
-        ++awake;
-      }
-    }
-    return awake >= 2 ? 1 : 0;
-  }
+  if (prev == 0) return pre.awake2 ? 1 : 0;
   return static_cast<std::uint8_t>(std::min<int>(prev + 1, bound + 1));
 }
 
-void Cluster::step(const ClusterState& c, EmitUnpacked emit) const {
-  step_impl(c, -1, emit);
+std::uint8_t Cluster::next_startup_time(const ClusterState& next, std::uint8_t prev) const {
+  // Delegates to the split hot-path pieces so the two can never diverge.
+  return startup_from(startup_pre(next.node), next.hub[0], next.hub[1], prev);
+}
+
+template <class Sink>
+void Cluster::step_all(const ClusterState& c, Sink& sink) const {
+  step_core(c, -1, sink);
   // The restart dimension (paper §2.1): while budget remains, any one
   // correct node may be reset to INIT by a transient fault this step.
   if (cfg_.transient_restarts > 0 && c.restarts_used < cfg_.transient_restarts) {
     for (int r = 0; r < cfg_.n; ++r) {
-      if (!cfg_.node_is_faulty(r)) step_impl(c, r, emit);
+      if (!cfg_.node_is_faulty(r)) step_core(c, r, sink);
     }
   }
 }
 
-void Cluster::step_impl(const ClusterState& c, int restart_node, EmitUnpacked emit) const {
+template <class Sink>
+void Cluster::step_core(const ClusterState& c, int restart_node, Sink& sink) const {
   const int n = cfg_.n;
 
   // Frames delivered to each node in the previous slot.
@@ -255,21 +344,31 @@ void Cluster::step_impl(const ClusterState& c, int restart_node, EmitUnpacked em
   const int sopt0 = hub_state_option_count(cfg_, 0, c.hub[0]);
   const int sopt1 = hub_state_option_count(cfg_, 1, c.hub[1]);
 
+  const auto restarts_used =
+      static_cast<std::uint8_t>(c.restarts_used + (restart_node >= 0 ? 1 : 0));
+
   int choice[kMaxNodes] = {};
   NodeVars next_node[kMaxNodes];
   Frame outs[kNumChannels][kMaxNodes];  // per-channel view of node outputs
-  while (true) {
-    for (int i = 0; i < n; ++i) {
-      if (cfg_.node_is_faulty(i)) {
-        const auto& pr = fpairs[static_cast<std::size_t>(choice[i])];
-        outs[0][i] = pr.first;
-        outs[1][i] = pr.second;
-        next_node[i] = faulty_next;
-      } else {
-        next_node[i] = copt_vars[i][choice[i]];
-        outs[0][i] = outs[1][i] = copt_out[i][choice[i]];
-      }
+  // Odometer-incremental refresh: only nodes whose choice digit changed are
+  // recomputed — the fastest digit (the faulty node when it is node 0, with
+  // its ~(2n+3)^2 output pairs) is usually the only one that moves.
+  auto refresh = [&](int i) {
+    if (cfg_.node_is_faulty(i)) {
+      const auto& pr = fpairs[static_cast<std::size_t>(choice[i])];
+      outs[0][i] = pr.first;
+      outs[1][i] = pr.second;
+      next_node[i] = faulty_next;
+    } else {
+      next_node[i] = copt_vars[i][choice[i]];
+      outs[0][i] = outs[1][i] = copt_out[i][choice[i]];
     }
+  };
+  for (int i = 0; i < n; ++i) refresh(i);
+
+  while (true) {
+    sink.combo(next_node);
+    const StartupPre pre = startup_pre(next_node);
 
     // --- Hub phase. Relay decisions of correct hubs are pure functions of
     // node outputs; a faulty hub may additionally replay the correct hub's
@@ -290,20 +389,24 @@ void Cluster::step_impl(const ClusterState& c, int restart_node, EmitUnpacked em
           d0 = hub_relay(cfg_, 0, c.hub[0], outs[0], r0);
           d1 = hub_relay(cfg_, 1, c.hub[1], outs[1], r1);
         }
+        // Hub 0's state step depends on s0 only and hub 1's on s1 only, so
+        // each variant is computed once, not once per (s0, s1) pair.
+        HubVars h0v[2];
+        HubVars h1v[2];
+        for (int s0 = 0; s0 < sopt0; ++s0) {
+          h0v[s0] = cfg_.hub_is_faulty(0)
+                        ? faulty_hub_state_step(cfg_, c.hub[0], d0)
+                        : hub_state_step(cfg_, 0, c.hub[0], d0, d1.interlink, s0);
+        }
+        for (int s1 = 0; s1 < sopt1; ++s1) {
+          h1v[s1] = cfg_.hub_is_faulty(1)
+                        ? faulty_hub_state_step(cfg_, c.hub[1], d1)
+                        : hub_state_step(cfg_, 1, c.hub[1], d1, d0.interlink, s1);
+        }
         for (int s0 = 0; s0 < sopt0; ++s0) {
           for (int s1 = 0; s1 < sopt1; ++s1) {
-            ClusterState t;
-            for (int i = 0; i < n; ++i) t.node[i] = next_node[i];
-            t.hub[0] = cfg_.hub_is_faulty(0)
-                           ? faulty_hub_state_step(cfg_, c.hub[0], d0)
-                           : hub_state_step(cfg_, 0, c.hub[0], d0, d1.interlink, s0);
-            t.hub[1] = cfg_.hub_is_faulty(1)
-                           ? faulty_hub_state_step(cfg_, c.hub[1], d1)
-                           : hub_state_step(cfg_, 1, c.hub[1], d1, d0.interlink, s1);
-            t.startup_time = next_startup_time(t, c.startup_time);
-            t.restarts_used =
-                static_cast<std::uint8_t>(c.restarts_used + (restart_node >= 0 ? 1 : 0));
-            emit(t);
+            const std::uint8_t st = startup_from(pre, h0v[s0], h1v[s1], c.startup_time);
+            sink.successor(h0v[s0], h1v[s1], st, restarts_used);
           }
         }
       }
@@ -316,6 +419,7 @@ void Cluster::step_impl(const ClusterState& c, int restart_node, EmitUnpacked em
       ++k;
     }
     if (k == n) break;
+    for (int i = k; i >= 0; --i) refresh(i);
   }
 }
 

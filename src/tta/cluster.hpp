@@ -70,10 +70,29 @@ class Cluster {
                                                std::uint8_t prev) const;
 
  private:
-  void step(const ClusterState& c, EmitUnpacked emit) const;
-  /// One step with an optional transient fault: `restart_node` (a correct
-  /// node index, or -1) is reset to INIT instead of taking its transition.
-  void step_impl(const ClusterState& c, int restart_node, EmitUnpacked emit) const;
+  /// Node-dependent part of the startup-time update, computed once per node
+  /// choice combination (the hub-dependent part varies per emission).
+  struct StartupPre {
+    bool node_target = false;  ///< a correct node is ACTIVE (kFirstCorrectActive)
+    bool awake2 = false;       ///< >= 2 correct nodes in LISTEN/COLDSTART
+  };
+  [[nodiscard]] StartupPre startup_pre(const NodeVars* nodes) const;
+  [[nodiscard]] std::uint8_t startup_from(const StartupPre& pre, const HubVars& h0,
+                                          const HubVars& h1, std::uint8_t prev) const;
+
+  /// The step kernel, generic over how successors leave it. `Sink` sees
+  /// `combo(next_nodes)` whenever the node-choice combination changes, then
+  /// `emit(h0, h1, startup_time, restarts_used)` once per successor of that
+  /// combination — so a packing sink can serialize the node prefix once per
+  /// combination instead of once per successor (the hot-path win: at fault
+  /// degree 6 one combination is shared by all hub-phase variants).
+  template <class Sink>
+  void step_core(const ClusterState& c, int restart_node, Sink& sink) const;
+
+  /// Runs step_core for the fault-free step plus every transient-restart
+  /// variant (paper §2.1 restart dimension).
+  template <class Sink>
+  void step_all(const ClusterState& c, Sink& sink) const;
 
   static int pow3(int n) noexcept {
     int r = 1;
@@ -88,6 +107,7 @@ class Cluster {
   int frame_bits_ = 0;
   int st_bits_ = 0;
   int restart_bits_ = 0;
+  int node_bits_ = 0;  ///< width of the packed per-node prefix (all n nodes)
   int state_bits_ = 0;
 };
 

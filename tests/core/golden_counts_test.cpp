@@ -1,0 +1,138 @@
+// Golden-count regression net for the successor pipeline: the exact
+// reachable-state and transition counts of small fig4/fig5/fig6 bench
+// configurations, pinned for the sequential engine and the parallel engine
+// at 1, 2 and 4 threads. Any change to successor enumeration order, fault
+// enumeration, packing, interning or duplicate suppression that alters the
+// explored graph — rather than merely its cost — trips these exact numbers.
+//
+// The same runs assert the hash-once contract end to end on the real model:
+// stats.hash_ops == transitions + initial-state emissions, i.e. hash_words
+// ran exactly once per candidate and was reused for the cache probe, the
+// find, the shard routing and the insert (DESIGN.md §3.2).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/verifier.hpp"
+#include "mc/reachability.hpp"
+#include "tta/cluster.hpp"
+
+namespace tt::core {
+namespace {
+
+struct GoldenCell {
+  const char* name;
+  Lemma lemma;
+  int n;
+  int degree;
+  std::size_t states;
+  std::size_t transitions;
+};
+
+tta::ClusterConfig fig6_config(int n) {
+  tta::ClusterConfig cfg;
+  cfg.n = n;
+  cfg.faulty_node = 0;
+  cfg.fault_degree = 6;
+  cfg.feedback = true;
+  cfg.init_window = n;
+  cfg.hub_init_window = n;
+  return cfg;
+}
+
+tta::ClusterConfig fig4_config(int degree, Lemma lemma) {
+  tta::ClusterConfig cfg;
+  cfg.n = 4;
+  cfg.faulty_node = 0;
+  cfg.fault_degree = degree;
+  cfg.feedback = true;
+  cfg.init_window = 8;
+  cfg.hub_init_window = 8;
+  if (lemma == Lemma::kTimeliness) cfg.timeliness_bound = 6 * cfg.n;
+  return cfg;
+}
+
+void expect_hash_once(const VerificationResult& r, const std::string& label) {
+  // One hash per enumerated transition plus one per emitted initial state
+  // (these configs have a single initial state: no faulty hub, so no frozen
+  // pattern dimension). frontier_sizes[0] is the interned initial count,
+  // which equals the emitted count because initial states are distinct.
+  ASSERT_FALSE(r.stats.frontier_sizes.empty()) << label;
+  EXPECT_EQ(r.stats.hash_ops, r.stats.transitions + r.stats.frontier_sizes[0]) << label;
+}
+
+class GoldenCounts : public ::testing::TestWithParam<GoldenCell> {};
+
+TEST_P(GoldenCounts, ExactAcrossEnginesAndThreadCounts) {
+  const GoldenCell& cell = GetParam();
+  const tta::ClusterConfig cfg = cell.lemma == Lemma::kSafety && cell.degree == 6
+                                     ? fig6_config(cell.n)
+                                     : fig4_config(cell.degree, cell.lemma);
+
+  VerifyOptions seq_opts;
+  seq_opts.engine = mc::EngineKind::kSequential;
+  const auto seq = verify(cfg, cell.lemma, seq_opts);
+  ASSERT_TRUE(seq.holds) << cell.name << ": " << seq.verdict_text;
+  EXPECT_EQ(seq.stats.states, cell.states) << cell.name;
+  EXPECT_EQ(seq.stats.transitions, cell.transitions) << cell.name;
+
+  if (cell.lemma == Lemma::kLiveness) {
+    // Lasso liveness always runs sequentially; the golden counts above are
+    // the whole check. (Its hash_ops spans the BFS materialization plus the
+    // goal-free DFS, so the BFS-only formula below does not apply.)
+    EXPECT_GT(seq.stats.hash_ops, std::size_t{0}) << cell.name;
+    return;
+  }
+  expect_hash_once(seq, std::string(cell.name) + "/seq");
+
+  for (int threads : {1, 2, 4}) {
+    VerifyOptions par_opts;
+    par_opts.engine = mc::EngineKind::kParallel;
+    par_opts.threads = threads;
+    const auto par = verify(cfg, cell.lemma, par_opts);
+    const std::string label = std::string(cell.name) + "/par@" + std::to_string(threads);
+    ASSERT_TRUE(par.holds) << label << ": " << par.verdict_text;
+    EXPECT_EQ(par.stats.states, cell.states) << label;
+    EXPECT_EQ(par.stats.transitions, cell.transitions) << label;
+    expect_hash_once(par, label);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GoldenCounts,
+    ::testing::Values(
+        GoldenCell{"fig6_safety_n3", Lemma::kSafety, 3, 6, 1276, 45899},
+        GoldenCell{"fig6_safety_n4", Lemma::kSafety, 4, 6, 6592, 482344},
+        GoldenCell{"fig4_safety_deg1", Lemma::kSafety, 4, 1, 18404, 22677},
+        GoldenCell{"fig4_safety_deg3", Lemma::kSafety, 4, 3, 46944, 1238320},
+        GoldenCell{"fig4_liveness_deg1", Lemma::kLiveness, 4, 1, 18400, 22673},
+        GoldenCell{"fig4_liveness_deg3", Lemma::kLiveness, 4, 3, 46350, 1232486},
+        GoldenCell{"fig4_timeliness_deg1", Lemma::kTimeliness, 4, 1, 18514, 22787},
+        GoldenCell{"fig4_timeliness_deg3", Lemma::kTimeliness, 4, 3, 49467, 1262793}),
+    [](const ::testing::TestParamInfo<GoldenCell>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(GoldenCounts, Fig5FaultFreeReachableCounts) {
+  // The fig5 "measured reachable states" column: fault-free model,
+  // two-slot wake-up window.
+  const struct {
+    int n;
+    std::size_t states;
+    std::size_t transitions;
+  } cells[] = {{3, 160, 186}, {4, 368, 421}};
+  for (const auto& cell : cells) {
+    tta::ClusterConfig cfg;
+    cfg.n = cell.n;
+    cfg.init_window = 2;
+    cfg.hub_init_window = 2;
+    const tta::Cluster cluster(cfg);
+    const auto stats = mc::count_reachable(cluster);
+    EXPECT_TRUE(stats.exhausted) << "n=" << cell.n;
+    EXPECT_EQ(stats.states, cell.states) << "n=" << cell.n;
+    EXPECT_EQ(stats.transitions, cell.transitions) << "n=" << cell.n;
+  }
+}
+
+}  // namespace
+}  // namespace tt::core

@@ -1,0 +1,61 @@
+#include "support/recent_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace tt {
+namespace {
+
+TEST(RecentSeenCache, MissesWhenEmpty) {
+  RecentSeenCache cache;
+  EXPECT_EQ(cache.lookup(0), RecentSeenCache::kMiss);
+  EXPECT_EQ(cache.lookup(0x1234567890abcdefULL), RecentSeenCache::kMiss);
+}
+
+TEST(RecentSeenCache, RemembersAndRecalls) {
+  RecentSeenCache cache;
+  cache.remember(42, 7);
+  EXPECT_EQ(cache.lookup(42), 7u);
+}
+
+TEST(RecentSeenCache, DistinguishesFullHashWithinOneSlot) {
+  // Two hashes landing in the same slot (equal low bits) must not be
+  // confused: the stored full hash disambiguates, and the loser of the slot
+  // is simply evicted.
+  RecentSeenCache cache(16);
+  const std::uint64_t a = 0x5;
+  const std::uint64_t b = 0x5 + (std::uint64_t{1} << 32);  // same slot, different hash
+  cache.remember(a, 1);
+  EXPECT_EQ(cache.lookup(a), 1u);
+  EXPECT_EQ(cache.lookup(b), RecentSeenCache::kMiss);
+  cache.remember(b, 2);
+  EXPECT_EQ(cache.lookup(b), 2u);
+  EXPECT_EQ(cache.lookup(a), RecentSeenCache::kMiss);  // evicted
+}
+
+TEST(RecentSeenCache, RoundsCapacityToPowerOfTwo) {
+  RecentSeenCache cache(100);
+  EXPECT_EQ(cache.entries(), 128u);
+  EXPECT_EQ(cache.memory_bytes(), 128u * 16u);
+}
+
+TEST(RecentSeenCache, ClearForgetsEverything) {
+  RecentSeenCache cache(8);
+  for (std::uint64_t h = 0; h < 64; ++h) cache.remember(h, static_cast<std::uint32_t>(h));
+  cache.clear();
+  for (std::uint64_t h = 0; h < 64; ++h) {
+    EXPECT_EQ(cache.lookup(h), RecentSeenCache::kMiss) << h;
+  }
+}
+
+TEST(RecentSeenCache, ZeroHashIsStorable) {
+  // The empty slot sentinel is id == kMiss, not hash == 0: a genuine zero
+  // hash must round-trip.
+  RecentSeenCache cache(8);
+  cache.remember(0, 3);
+  EXPECT_EQ(cache.lookup(0), 3u);
+}
+
+}  // namespace
+}  // namespace tt

@@ -107,22 +107,28 @@ tt::BenchRecord record_of(const std::string& experiment,
                           const tt::core::VerificationResult& r) {
   tt::BenchRecord rec;
   rec.experiment = experiment;
-  rec.engine = r.engine_used == tt::mc::EngineKind::kParallel ? "par" : "seq";
+  rec.engine = tt::mc::to_string(r.engine_used);
   rec.threads = r.stats.threads;
   rec.states = r.stats.states;
   rec.transitions = r.stats.transitions;
   rec.seconds = r.stats.seconds;
   rec.exhausted = r.stats.exhausted;
   rec.verdict = r.holds ? "holds" : "VIOLATED";
+  if (r.engine_used == tt::mc::EngineKind::kSymbolic) {
+    rec.iterations = r.stats.bdd_iterations;
+    rec.peak_live_nodes = static_cast<long long>(r.stats.bdd_peak_live_nodes);
+  }
   return rec;
 }
 
 // The engine-comparison experiment: the exhaustive degree-6 safety run
-// (feedback on) with the sequential BFS engine vs the parallel frontier
-// engine at 1, 2, 4 and hardware-concurrency threads (deduplicated — on a
-// 4-core machine the hw point coincides with 4). Verdict and state count
-// must be identical; the JSON records carry states/sec for the perf
-// trajectory, with `threads` taken from the engine's resolved count.
+// (feedback on) with the sequential BFS engine, the symbolic BDD-set
+// engine, and the parallel frontier engine at 1, 2, 4 and
+// hardware-concurrency threads (deduplicated — on a 4-core machine the hw
+// point coincides with 4). Verdict and state count must be identical; the
+// JSON records carry states/sec for the perf trajectory, with `threads`
+// taken from the engine's resolved count, and the symbolic row adds the
+// v2 iterations/peak_live_nodes columns.
 void engine_comparison(tt::BenchReport& report, int n) {
   std::printf("\n=== engine comparison: safety, n = %d, degree 6, feedback on ===\n", n);
   tt::TextTable t({"engine", "threads", "eval", "states", "transitions", "seconds",
@@ -137,6 +143,17 @@ void engine_comparison(tt::BenchReport& report, int n) {
   t.add_row({"seq", "1", seq.holds ? "true" : "FALSE", std::to_string(seq.stats.states),
              std::to_string(seq.stats.transitions), tt::strfmt("%.2f", seq.stats.seconds),
              tt::strfmt("%.0f", seq.stats.states_per_sec())});
+
+  tt::core::VerifyOptions sym_opts;
+  sym_opts.engine = tt::mc::EngineKind::kSymbolic;
+  const auto sym = tt::core::verify(cfg, tt::core::Lemma::kSafety, sym_opts);
+  report.add(record_of(slug, sym));
+  t.add_row({"sym", "1", sym.holds ? "true" : "FALSE", std::to_string(sym.stats.states),
+             std::to_string(sym.stats.transitions), tt::strfmt("%.2f", sym.stats.seconds),
+             tt::strfmt("%.0f", sym.stats.states_per_sec())});
+  if (sym.holds != seq.holds || sym.stats.states != seq.stats.states) {
+    std::printf("!! symbolic/sequential engine disagreement\n");
+  }
 
   std::vector<int> thread_counts = {1, 2, 4};
   const int hw = tt::mc::resolve_threads(0);

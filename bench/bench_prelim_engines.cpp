@@ -104,14 +104,18 @@ void print_table(tt::BenchReport& report) {
     tt::bdd::SymbolicEngine engine(model2.system());
     auto sym = engine.count_reachable();
     t.add_row({std::to_string(n), "3", "symbolic BDD", "count",
-               tt::strfmt("%.0f", sym.reachable_states), tt::strfmt("%.3f", sym.seconds)});
+               sym.reachable_exact.to_decimal(), tt::strfmt("%.3f", sym.seconds)});
     {
       tt::BenchRecord rec;
       rec.experiment = tt::strfmt("prelim/deg3/n%d", n);
-      rec.engine = "bdd";
-      rec.states = static_cast<std::size_t>(sym.reachable_states);
+      rec.engine = "sym";
+      rec.states = sym.reachable_exact.fits_u64()
+                       ? static_cast<std::size_t>(sym.reachable_exact.to_u64())
+                       : static_cast<std::size_t>(sym.reachable_states);
       rec.seconds = sym.seconds;
       rec.verdict = "count";
+      rec.iterations = sym.iterations;
+      rec.peak_live_nodes = static_cast<long long>(sym.peak_nodes);
       report.add(rec);
     }
 

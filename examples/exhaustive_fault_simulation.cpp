@@ -15,7 +15,7 @@
 //     --restarts <k>        transient-restart budget (§2.1)
 //     --no-feedback         disable the feedback optimization
 //     --no-bigbang          disable the big-bang mechanism (§5.2)
-//     --engine <kind>       auto|seq|par exploration engine (default auto)
+//     --engine <kind>       auto|seq|par|sym exploration engine (default auto)
 //     --threads <k>         worker threads for the parallel engine
 //                           (default: TTSTART_THREADS env, else all cores)
 #include <cstdio>
@@ -74,16 +74,7 @@ int main(int argc, char** argv) {
       if (!next_int(opts.threads)) return usage();
     } else if (arg == "--engine") {
       if (i + 1 >= argc) return usage();
-      const std::string name = argv[++i];
-      if (name == "auto") {
-        opts.engine = mc::EngineKind::kAuto;
-      } else if (name == "seq") {
-        opts.engine = mc::EngineKind::kSequential;
-      } else if (name == "par") {
-        opts.engine = mc::EngineKind::kParallel;
-      } else {
-        return usage();
-      }
+      if (!mc::parse_engine(argv[++i], opts.engine)) return usage();
     } else if (arg == "--lemma") {
       if (i + 1 >= argc) return usage();
       const std::string name = argv[++i];
@@ -119,6 +110,12 @@ int main(int argc, char** argv) {
               mc::to_string(result.engine_used), result.stats.threads,
               result.stats.states_per_sec(),
               result.stats.exhausted ? "" : "  [search truncated by limits]");
+  if (result.engine_used == mc::EngineKind::kSymbolic) {
+    std::printf("bdd: peak_live=%zu gc_runs=%zu unique_hit=%.1f%% op_cache_hit=%.1f%%\n",
+                result.stats.bdd_peak_live_nodes, result.stats.bdd_gc_collections,
+                100.0 * result.stats.bdd_unique_hit_rate,
+                100.0 * result.stats.bdd_op_cache_hit_rate);
+  }
 
   if (!result.holds && !result.trace.empty()) {
     const tta::Cluster cluster(core::prepare_config(cfg, lemma));

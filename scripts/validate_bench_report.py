@@ -1,11 +1,18 @@
 #!/usr/bin/env python3
-"""Validate a ttstart-bench-v1 report file (BENCH_results.json).
+"""Validate a ttstart-bench report file (BENCH_results.json).
+
+Accepts schema v1 and v2. v2 adds two optional per-record fields emitted by
+symbolic-engine runs: `iterations` (image/BFS steps to the fixpoint) and
+`peak_live_nodes` (peak live BDD nodes); both must be non-negative integers
+when present, and are rejected under v1.
 
 Checks the envelope, the per-record field set and types, and basic value
 sanity (non-negative counts/times, verdict non-empty, threads >= 1). With
 --require, additionally fails unless every named bench contributed at least
 one record — the CI bench-smoke job uses this to catch a bench binary that
-silently stopped reporting.
+silently stopped reporting. With --require-engine, fails unless at least one
+record ran on the named engine — CI uses `--require-engine sym` so the
+symbolic leg cannot silently drop out of the comparison.
 
 Exit code 0 on success, 1 on any violation (all violations are listed).
 """
@@ -27,15 +34,23 @@ REQUIRED_FIELDS = {
     "verdict": str,
 }
 
-SCHEMA = "ttstart-bench-v1"
+# v2-only per-record fields; optional, but typed when present.
+OPTIONAL_FIELDS = {
+    "iterations": int,
+    "peak_live_nodes": int,
+}
+
+SCHEMAS = ("ttstart-bench-v1", "ttstart-bench-v2")
 
 
-def validate(doc, require):
+def validate(doc, require, require_engines):
     errors = []
     if not isinstance(doc, dict):
         return ["top level is not a JSON object"]
-    if doc.get("schema") != SCHEMA:
-        errors.append(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    schema = doc.get("schema")
+    if schema not in SCHEMAS:
+        errors.append(f"schema is {schema!r}, expected one of {SCHEMAS!r}")
+    allowed_optional = OPTIONAL_FIELDS if schema == "ttstart-bench-v2" else {}
     results = doc.get("results")
     if not isinstance(results, list):
         return errors + ["'results' is missing or not an array"]
@@ -43,6 +58,7 @@ def validate(doc, require):
         errors.append("'results' is empty")
 
     seen_benches = set()
+    seen_engines = set()
     for i, rec in enumerate(results):
         where = f"results[{i}]"
         if not isinstance(rec, dict):
@@ -58,9 +74,22 @@ def validate(doc, require):
                     f"{where}: field '{field}' has type "
                     f"{type(rec[field]).__name__}, expected {ftype}"
                 )
-        unknown = set(rec) - set(REQUIRED_FIELDS)
+        for field, ftype in allowed_optional.items():
+            if field not in rec:
+                continue
+            v = rec[field]
+            if not isinstance(v, ftype) or isinstance(v, bool):
+                errors.append(
+                    f"{where}: optional field '{field}' has type "
+                    f"{type(v).__name__}, expected {ftype}"
+                )
+            elif v < 0:
+                errors.append(f"{where}: optional field '{field}' < 0")
+        unknown = set(rec) - set(REQUIRED_FIELDS) - set(allowed_optional)
         if unknown:
             errors.append(f"{where}: unknown field(s) {sorted(unknown)}")
+        if isinstance(rec.get("engine"), str):
+            seen_engines.add(rec["engine"])
         if isinstance(rec.get("bench"), str):
             seen_benches.add(rec["bench"])
             exp = rec.get("experiment")
@@ -76,6 +105,9 @@ def validate(doc, require):
     for bench in require:
         if bench not in seen_benches:
             errors.append(f"required bench '{bench}' contributed no records")
+    for engine in require_engines:
+        if engine not in seen_engines:
+            errors.append(f"required engine '{engine}' contributed no records")
     return errors
 
 
@@ -89,6 +121,13 @@ def main():
         metavar="BENCH",
         help="bench name that must have >= 1 record (repeatable)",
     )
+    parser.add_argument(
+        "--require-engine",
+        action="append",
+        default=[],
+        metavar="ENGINE",
+        help="engine name that must have >= 1 record (repeatable)",
+    )
     args = parser.parse_args()
 
     try:
@@ -98,7 +137,7 @@ def main():
         print(f"{args.report}: {e}", file=sys.stderr)
         return 1
 
-    errors = validate(doc, args.require)
+    errors = validate(doc, args.require, args.require_engine)
     if errors:
         for e in errors:
             print(f"{args.report}: {e}", file=sys.stderr)

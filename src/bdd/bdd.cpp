@@ -1,170 +1,580 @@
 #include "bdd/bdd.hpp"
 
-#include <cmath>
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
 
 namespace tt::bdd {
 
 namespace {
 
-constexpr std::uint64_t pack_triple(std::uint32_t a, std::uint32_t b, std::uint32_t c) {
-  // 21 bits per component is plenty below the package's practical node limit.
-  TT_ASSERT(a < (1u << 21) && b < (1u << 21) && c < (1u << 21));
-  return (static_cast<std::uint64_t>(a) << 42) | (static_cast<std::uint64_t>(b) << 21) | c;
+// Operation codes for the persistent cache. 0 marks an invalid entry; rename
+// maps get their own code each so differently-mapped renames never collide.
+constexpr std::uint32_t kOpIte = 1;
+constexpr std::uint32_t kOpAndExists = 2;
+constexpr std::uint32_t kOpExists = 3;
+constexpr std::uint32_t kOpRenameBase = 16;
+
+constexpr std::size_t kMinGcThreshold = std::size_t{1} << 16;
+
+inline std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+inline std::uint64_t triple_hash(std::int32_t var, NodeId lo, NodeId hi) noexcept {
+  return mix64((static_cast<std::uint64_t>(static_cast<std::uint32_t>(var)) *
+                0x9e3779b97f4a7c15ULL) ^
+               ((static_cast<std::uint64_t>(lo) << 32) | hi));
+}
+
+inline std::uint64_t cache_hash(std::uint32_t op, NodeId f, NodeId g, NodeId h) noexcept {
+  return mix64(static_cast<std::uint64_t>(op) * 0x2545f4914f6cdd1dULL ^
+               (static_cast<std::uint64_t>(f) << 31) ^
+               (static_cast<std::uint64_t>(g) << 15) ^ h);
 }
 
 }  // namespace
 
-Manager::Manager(int num_vars) : num_vars_(num_vars) {
+Manager::Manager(int num_vars, int op_cache_log2) : num_vars_(num_vars) {
   TT_REQUIRE(num_vars >= 1 && num_vars < (1 << 20), "variable count out of range");
-  // Terminals: index 0 = false, 1 = true. Their `var` is a sentinel beyond
-  // every real variable so top_var comparisons are uniform.
-  nodes_.push_back({num_vars_, kFalse, kFalse});
-  nodes_.push_back({num_vars_, kTrue, kTrue});
+  TT_REQUIRE(op_cache_log2 >= 4 && op_cache_log2 <= 28, "op cache size out of range");
+
+  // Terminal ONE at arena index 0; its `var` is a sentinel beyond every real
+  // variable so top-variable comparisons are uniform. Pinned forever.
+  node_var_.push_back(num_vars_);
+  node_lo_.push_back(kTrue);
+  node_hi_.push_back(kTrue);
+  extref_.push_back(1);
+  live_nodes_ = 1;
+  peak_live_ = 1;
+
+  table_.assign(std::size_t{1} << 10, kEmptySlot);
+  table_mask_ = table_.size() - 1;
+  cache_.assign(std::size_t{1} << op_cache_log2, CacheEntry{});
+  cache_mask_ = static_cast<std::uint32_t>(cache_.size() - 1);
+  proj_.assign(static_cast<std::size_t>(num_vars_), kEmptySlot);
+  gc_threshold_ = kMinGcThreshold;
+}
+
+ManagerStats Manager::stats() const noexcept {
+  ManagerStats s;
+  s.live_nodes = live_nodes_;
+  s.peak_live_nodes = peak_live_;
+  s.arena_nodes = node_var_.size();
+  s.unique_lookups = unique_lookups_;
+  s.unique_hits = unique_hits_;
+  s.cache_lookups = cache_lookups_;
+  s.cache_hits = cache_hits_;
+  s.gc_runs = gc_runs_;
+  s.memory_bytes = node_var_.size() * (sizeof(std::int32_t) + 2 * sizeof(NodeId) +
+                                       sizeof(std::uint32_t) + sizeof(std::uint8_t)) +
+                   table_.size() * sizeof(std::uint32_t) + cache_.size() * sizeof(CacheEntry);
+  return s;
+}
+
+void Manager::table_insert(std::uint32_t index) noexcept {
+  std::size_t slot = triple_hash(node_var_[index], node_lo_[index], node_hi_[index]) &
+                     table_mask_;
+  while (table_[slot] != kEmptySlot) slot = (slot + 1) & table_mask_;
+  table_[slot] = index;
+  ++table_used_;
+}
+
+void Manager::grow_table(std::size_t min_capacity) {
+  std::size_t cap = table_.size();
+  while (cap < min_capacity) cap <<= 1;
+  table_.assign(cap, kEmptySlot);
+  table_mask_ = cap - 1;
+  table_used_ = 0;
+  // Re-insert every allocated (non-freed) node — dead-but-uncollected nodes
+  // stay findable so make() can resurrect them until the next sweep.
+  for (std::uint32_t i = 1; i < node_var_.size(); ++i) {
+    if (node_var_[i] >= 0) table_insert(i);
+  }
 }
 
 NodeId Manager::make(int var, NodeId lo, NodeId hi) {
   if (lo == hi) return lo;  // reduction rule
-  const std::uint64_t key = pack_triple(static_cast<std::uint32_t>(var), lo, hi);
-  if (const auto it = unique_.find(key); it != unique_.end()) return it->second;
-  nodes_.push_back({var, lo, hi});
-  const auto id = static_cast<NodeId>(nodes_.size() - 1);
-  TT_REQUIRE(id < (1u << 21), "BDD node limit exceeded");
-  unique_.emplace(key, id);
-  return id;
+  // Canonical form: the then-arc is always regular; a complemented then-arc
+  // flips both children and returns a complemented edge.
+  NodeId out_complement = 0;
+  if (is_complement(hi)) {
+    out_complement = 1;
+    lo = negate(lo);
+    hi = negate(hi);
+  }
+
+  ++unique_lookups_;
+  std::size_t slot = triple_hash(var, lo, hi) & table_mask_;
+  while (table_[slot] != kEmptySlot) {
+    const std::uint32_t idx = table_[slot];
+    if (node_var_[idx] == var && node_lo_[idx] == lo && node_hi_[idx] == hi) {
+      ++unique_hits_;
+      return (idx << 1) | out_complement;
+    }
+    slot = (slot + 1) & table_mask_;
+  }
+
+  std::uint32_t idx;
+  if (!free_.empty()) {
+    idx = free_.back();
+    free_.pop_back();
+    node_var_[idx] = var;
+    node_lo_[idx] = lo;
+    node_hi_[idx] = hi;
+    extref_[idx] = 0;
+  } else {
+    idx = static_cast<std::uint32_t>(node_var_.size());
+    TT_REQUIRE(idx < (1u << 31), "BDD arena limit exceeded");
+    node_var_.push_back(var);
+    node_lo_.push_back(lo);
+    node_hi_.push_back(hi);
+    extref_.push_back(0);
+  }
+  ++live_nodes_;
+  peak_live_ = std::max(peak_live_, live_nodes_);
+
+  if ((table_used_ + 1) * 4 > table_.size() * 3) {
+    grow_table(table_.size() * 2);
+    // Growth rehashed everything; find a fresh slot for the new node.
+    slot = triple_hash(var, lo, hi) & table_mask_;
+    while (table_[slot] != kEmptySlot) slot = (slot + 1) & table_mask_;
+  }
+  table_[slot] = idx;
+  ++table_used_;
+  return (idx << 1) | out_complement;
 }
 
 NodeId Manager::var(int v) {
   TT_ASSERT(v >= 0 && v < num_vars_);
-  return make(v, kFalse, kTrue);
+  NodeId& p = proj_[static_cast<std::size_t>(v)];
+  if (p == kEmptySlot) p = make(v, kFalse, kTrue);  // pinned: GC marks proj_
+  return p;
 }
 
-NodeId Manager::nvar(int v) {
-  TT_ASSERT(v >= 0 && v < num_vars_);
-  return make(v, kTrue, kFalse);
+bool Manager::cache_probe(std::uint32_t op, NodeId f, NodeId g, NodeId h,
+                          NodeId& out) noexcept {
+  ++cache_lookups_;
+  const CacheEntry& e = cache_[cache_hash(op, f, g, h) & cache_mask_];
+  if (e.op == op && e.f == f && e.g == g && e.h == h) {
+    ++cache_hits_;
+    out = e.result;
+    return true;
+  }
+  return false;
 }
 
-int Manager::top_var(NodeId f, NodeId g, NodeId h) const {
-  int v = nodes_[f].var;
-  v = std::min(v, nodes_[g].var);
-  v = std::min(v, nodes_[h].var);
-  return v;
-}
-
-NodeId Manager::cofactor(NodeId f, int var, bool positive) const {
-  const Node& n = nodes_[f];
-  if (n.var != var) return f;  // f does not depend on var at this level
-  return positive ? n.hi : n.lo;
+void Manager::cache_store(std::uint32_t op, NodeId f, NodeId g, NodeId h,
+                          NodeId result) noexcept {
+  CacheEntry& e = cache_[cache_hash(op, f, g, h) & cache_mask_];
+  e.op = op;
+  e.f = f;
+  e.g = g;
+  e.h = h;
+  e.result = result;
 }
 
 NodeId Manager::ite(NodeId f, NodeId g, NodeId h) {
-  // Terminal cases.
+  maybe_gc({f, g, h});
+  return ite_rec(f, g, h);
+}
+
+NodeId Manager::ite_rec(NodeId f, NodeId g, NodeId h) {
+  // Terminal and identity rules.
   if (f == kTrue) return g;
   if (f == kFalse) return h;
   if (g == h) return g;
+  if (f == g) g = kTrue;
+  else if (f == negate(g)) g = kFalse;
+  if (f == h) h = kFalse;
+  else if (f == negate(h)) h = kTrue;
   if (g == kTrue && h == kFalse) return f;
+  if (g == kFalse && h == kTrue) return negate(f);
+  if (g == h) return g;
 
-  const std::uint64_t key = pack_triple(f, g, h);
-  if (const auto it = ite_cache_.find(key); it != ite_cache_.end()) return it->second;
+  // Standard-triple canonicalization (Brace/Rudell/Bryant): commutative
+  // forms pick the (var, index)-smallest function as the condition, which
+  // multiplies op-cache hit rates on AND/OR/XOR-heavy workloads.
+  const auto before = [this](NodeId a, NodeId b) noexcept {
+    const int va = var_of(a);
+    const int vb = var_of(b);
+    return va < vb || (va == vb && index_of(a) < index_of(b));
+  };
+  if (g == kTrue) {
+    if (before(h, f)) std::swap(f, h);  // f | h
+  } else if (h == kFalse) {
+    if (before(g, f)) std::swap(f, g);  // f & g
+  } else if (h == kTrue) {
+    if (before(g, f)) {  // !f | g  ==  !g ? !f : 1
+      const NodeId nf = negate(f);
+      f = negate(g);
+      g = nf;
+    }
+  } else if (g == kFalse) {
+    if (before(h, f)) {  // !f & h  ==  !h ? 0 : !f
+      const NodeId nf = negate(f);
+      f = negate(h);
+      h = nf;
+    }
+  } else if (g == negate(h)) {
+    if (before(g, f)) {  // f <-> g commutes
+      const NodeId t = f;
+      f = g;
+      g = t;
+      h = negate(t);
+    }
+  }
+  // Complement canonicalization: condition regular, then-arc regular.
+  if (is_complement(f)) {
+    f = negate(f);
+    std::swap(g, h);
+  }
+  NodeId out_xor = 0;
+  if (is_complement(g)) {
+    out_xor = 1;
+    g = negate(g);
+    h = negate(h);
+  }
+  if (g == kTrue && h == kFalse) return f ^ out_xor;
 
-  const int v = top_var(f, g, h);
-  const NodeId lo = ite(cofactor(f, v, false), cofactor(g, v, false), cofactor(h, v, false));
-  const NodeId hi = ite(cofactor(f, v, true), cofactor(g, v, true), cofactor(h, v, true));
-  const NodeId out = make(v, lo, hi);
-  ite_cache_.emplace(key, out);
-  return out;
+  NodeId out;
+  if (cache_probe(kOpIte, f, g, h, out)) return out ^ out_xor;
+
+  const int v = std::min({var_of(f), var_of(g), var_of(h)});
+  const NodeId lo =
+      ite_rec(cofactor(f, v, false), cofactor(g, v, false), cofactor(h, v, false));
+  const NodeId hi =
+      ite_rec(cofactor(f, v, true), cofactor(g, v, true), cofactor(h, v, true));
+  out = make(v, lo, hi);
+  cache_store(kOpIte, f, g, h, out);
+  return out ^ out_xor;
+}
+
+NodeId Manager::cube(const std::vector<int>& vars) {
+  maybe_gc({});
+  std::vector<int> sorted = vars;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  NodeId acc = kTrue;
+  for (const int v : sorted) {
+    TT_ASSERT(v >= 0 && v < num_vars_);
+    acc = make(v, kFalse, acc);
+  }
+  return acc;
+}
+
+NodeId Manager::exists(NodeId f, NodeId cube) {
+  maybe_gc({f, cube});
+  return exists_rec(f, cube);
 }
 
 NodeId Manager::exists(NodeId f, const std::vector<std::uint8_t>& quantify) {
   TT_ASSERT(quantify.size() == static_cast<std::size_t>(num_vars_));
-  op_cache_.clear();
-  // Recursive existential quantification with an operation-local cache.
-  struct Rec {
-    Manager& m;
-    const std::vector<std::uint8_t>& q;
-    NodeId operator()(NodeId f) {
-      if (f == kFalse || f == kTrue) return f;
-      const std::uint64_t key = pack_triple(f, 0, 0);
-      if (const auto it = m.op_cache_.find(key); it != m.op_cache_.end()) return it->second;
-      const Node n = m.nodes_[f];
-      const NodeId lo = (*this)(n.lo);
-      const NodeId hi = (*this)(n.hi);
-      const NodeId out = q[static_cast<std::size_t>(n.var)] != 0
-                             ? m.lor(lo, hi)
-                             : m.make(n.var, lo, hi);
-      m.op_cache_.emplace(key, out);
-      return out;
-    }
-  };
-  return Rec{*this, quantify}(f);
+  std::vector<int> vars;
+  for (int v = 0; v < num_vars_; ++v) {
+    if (quantify[static_cast<std::size_t>(v)] != 0) vars.push_back(v);
+  }
+  maybe_gc({f});
+  return exists_rec(f, cube(vars));
+}
+
+NodeId Manager::exists_rec(NodeId f, NodeId cube) {
+  if (f == kTrue || f == kFalse) return f;
+  const int v = var_of(f);
+  // Skip quantified variables above f's support (var_of(kTrue) is the
+  // num_vars sentinel, so the loop also terminates the cube).
+  while (var_of(cube) < v) cube = node_hi_[index_of(cube)];
+  if (cube == kTrue) return f;
+
+  NodeId out;
+  if (cache_probe(kOpExists, f, cube, 0, out)) return out;
+
+  const NodeId f0 = cofactor(f, v, false);
+  const NodeId f1 = cofactor(f, v, true);
+  if (var_of(cube) == v) {
+    const NodeId rest = node_hi_[index_of(cube)];
+    const NodeId r0 = exists_rec(f0, rest);
+    out = r0 == kTrue ? kTrue : ite_rec(r0, kTrue, exists_rec(f1, rest));
+  } else {
+    out = make(v, exists_rec(f0, cube), exists_rec(f1, cube));
+  }
+  cache_store(kOpExists, f, cube, 0, out);
+  return out;
+}
+
+NodeId Manager::and_exists(NodeId f, NodeId g, NodeId cube) {
+  maybe_gc({f, g, cube});
+  return and_exists_rec(f, g, cube);
+}
+
+NodeId Manager::and_exists(NodeId f, NodeId g,
+                           const std::vector<std::uint8_t>& quantify) {
+  TT_ASSERT(quantify.size() == static_cast<std::size_t>(num_vars_));
+  std::vector<int> vars;
+  for (int v = 0; v < num_vars_; ++v) {
+    if (quantify[static_cast<std::size_t>(v)] != 0) vars.push_back(v);
+  }
+  maybe_gc({f, g});
+  return and_exists_rec(f, g, cube(vars));
+}
+
+NodeId Manager::and_exists_rec(NodeId f, NodeId g, NodeId cube) {
+  // Terminal rules of the conjunction.
+  if (f == kFalse || g == kFalse) return kFalse;
+  if (f == g) g = kTrue;
+  else if (f == negate(g)) return kFalse;
+  if (f == kTrue) std::swap(f, g);
+  if (g == kTrue && f == kTrue) return kTrue;
+
+  // Advance the quantification schedule past variables above the support.
+  const int top = g == kTrue ? var_of(f) : std::min(var_of(f), var_of(g));
+  while (var_of(cube) < top) cube = node_hi_[index_of(cube)];
+
+  if (g == kTrue) return exists_rec(f, cube);
+  if (cube == kTrue) return ite_rec(f, g, kFalse);  // nothing left to quantify
+  if (index_of(g) < index_of(f)) std::swap(f, g);   // AND commutes
+
+  NodeId out;
+  if (cache_probe(kOpAndExists, f, g, cube, out)) return out;
+
+  const int v = std::min(var_of(f), var_of(g));
+  const NodeId f0 = cofactor(f, v, false);
+  const NodeId f1 = cofactor(f, v, true);
+  const NodeId g0 = cofactor(g, v, false);
+  const NodeId g1 = cofactor(g, v, true);
+  if (var_of(cube) == v) {
+    const NodeId rest = node_hi_[index_of(cube)];
+    // exists v. (f & g) = (f0 & g0) | (f1 & g1) — with the early exit that
+    // makes the relational product cheaper than AND-then-quantify.
+    const NodeId r0 = and_exists_rec(f0, g0, rest);
+    out = r0 == kTrue ? kTrue : ite_rec(r0, kTrue, and_exists_rec(f1, g1, rest));
+  } else {
+    out = make(v, and_exists_rec(f0, g0, cube), and_exists_rec(f1, g1, cube));
+  }
+  cache_store(kOpAndExists, f, g, cube, out);
+  return out;
+}
+
+int Manager::register_rename(const std::vector<int>& map) {
+  TT_ASSERT(map.size() == static_cast<std::size_t>(num_vars_));
+  for (std::size_t i = 0; i < rename_maps_.size(); ++i) {
+    if (rename_maps_[i] == map) return static_cast<int>(i);
+  }
+  TT_REQUIRE(rename_maps_.size() < (kOpRenameBase << 4), "too many rename maps");
+  rename_maps_.push_back(map);
+  return static_cast<int>(rename_maps_.size() - 1);
+}
+
+NodeId Manager::rename(NodeId f, int map_id) {
+  TT_ASSERT(map_id >= 0 && static_cast<std::size_t>(map_id) < rename_maps_.size());
+  maybe_gc({f});
+  return rename_rec(f, rename_maps_[static_cast<std::size_t>(map_id)],
+                    kOpRenameBase + static_cast<std::uint32_t>(map_id));
 }
 
 NodeId Manager::rename(NodeId f, const std::vector<int>& map) {
-  TT_ASSERT(map.size() == static_cast<std::size_t>(num_vars_));
-  op_cache_.clear();
-  struct Rec {
-    Manager& m;
-    const std::vector<int>& map;
-    NodeId operator()(NodeId f) {
-      if (f == kFalse || f == kTrue) return f;
-      const std::uint64_t key = pack_triple(f, 1, 0);
-      if (const auto it = m.op_cache_.find(key); it != m.op_cache_.end()) return it->second;
-      const Node n = m.nodes_[f];
-      const NodeId out = m.make(map[static_cast<std::size_t>(n.var)], (*this)(n.lo),
-                                (*this)(n.hi));
-      m.op_cache_.emplace(key, out);
-      return out;
-    }
-  };
-  return Rec{*this, map}(f);
+  return rename(f, register_rename(map));
 }
 
-double Manager::sat_count(NodeId f) {
-  count_cache_.clear();
-  struct Rec {
-    Manager& m;
-    double operator()(NodeId f) {
-      if (f == kFalse) return 0.0;
-      if (f == kTrue) return 1.0;
-      if (const auto it = m.count_cache_.find(f); it != m.count_cache_.end()) {
-        return it->second;
+NodeId Manager::rename_rec(NodeId f, const std::vector<int>& map, std::uint32_t op) {
+  if (f == kTrue || f == kFalse) return f;
+  // Renaming commutes with negation: recurse on the regular edge so a
+  // function and its complement share one cache entry.
+  const NodeId complement = f & 1u;
+  const NodeId reg = f ^ complement;
+  NodeId out;
+  if (!cache_probe(op, reg, 0, 0, out)) {
+    const std::uint32_t i = index_of(reg);
+    const NodeId lo = rename_rec(node_lo_[i], map, op);
+    const NodeId hi = rename_rec(node_hi_[i], map, op);
+    out = make(map[static_cast<std::size_t>(node_var_[i])], lo, hi);
+    cache_store(op, reg, 0, 0, out);
+  }
+  return out ^ complement;
+}
+
+BigUint Manager::sat_count_exact(NodeId f) {
+  // Cold path: a per-call memo keyed by regular node index. R(i) counts the
+  // satisfying assignments of node i's function over [var(i), num_vars).
+  std::unordered_map<std::uint32_t, BigUint> memo;
+  const auto count = [&](auto&& self, NodeId e, int from_level) -> BigUint {
+    const std::uint32_t i = index_of(e);
+    const int ve = node_var_[i];
+    BigUint base;
+    if (ve == num_vars_) {  // terminal
+      base = is_complement(e) ? BigUint(0) : BigUint(1);
+    } else {
+      BigUint r;
+      if (const auto it = memo.find(i); it != memo.end()) {
+        r = it->second;
+      } else {
+        r = self(self, node_lo_[i], ve + 1) + self(self, node_hi_[i], ve + 1);
+        memo.emplace(i, r);
       }
-      const Node& n = m.nodes_[f];
-      // Scale each branch by the variables skipped between the levels.
-      const double lo = (*this)(n.lo) *
-                        std::pow(2.0, m.nodes_[n.lo].var - n.var - 1);
-      const double hi = (*this)(n.hi) *
-                        std::pow(2.0, m.nodes_[n.hi].var - n.var - 1);
-      const double out = lo + hi;
-      m.count_cache_.emplace(f, out);
-      return out;
+      base = is_complement(e)
+                 ? BigUint::pow2(static_cast<unsigned>(num_vars_ - ve)) - r
+                 : r;
     }
+    if (ve > from_level) base *= BigUint::pow2(static_cast<unsigned>(ve - from_level));
+    return base;
   };
-  // Top-level scaling for variables above the root.
-  return Rec{*this}(f) * std::pow(2.0, nodes_[f].var);
+  return count(count, f, 0);
 }
 
 bool Manager::eval(NodeId f, const std::vector<bool>& assignment) const {
   TT_ASSERT(assignment.size() == static_cast<std::size_t>(num_vars_));
-  while (f != kFalse && f != kTrue) {
-    const Node& n = nodes_[f];
-    f = assignment[static_cast<std::size_t>(n.var)] ? n.hi : n.lo;
+  while (f != kTrue && f != kFalse) {
+    const std::uint32_t i = index_of(f);
+    const NodeId next = assignment[static_cast<std::size_t>(node_var_[i])]
+                            ? node_hi_[i]
+                            : node_lo_[i];
+    f = next ^ (f & 1u);
   }
   return f == kTrue;
+}
+
+bool Manager::eval_bits(NodeId f, const std::uint64_t* words) const {
+  while (f != kTrue && f != kFalse) {
+    const std::uint32_t i = index_of(f);
+    const int v = node_var_[i];
+    const bool bit = ((words[v >> 6] >> (v & 63)) & 1u) != 0;
+    f = (bit ? node_hi_[i] : node_lo_[i]) ^ (f & 1u);
+  }
+  return f == kTrue;
+}
+
+NodeId Manager::minterm_bits(const std::uint64_t* words, int bits) {
+  TT_ASSERT(bits >= 1 && bits <= num_vars_);
+  maybe_gc({});
+  NodeId acc = kTrue;
+  for (int v = bits - 1; v >= 0; --v) {
+    const bool bit = ((words[v >> 6] >> (v & 63)) & 1u) != 0;
+    acc = bit ? make(v, kFalse, acc) : make(v, acc, kFalse);
+  }
+  return acc;
 }
 
 std::vector<bool> Manager::any_sat(NodeId f) const {
   TT_REQUIRE(f != kFalse, "any_sat of the false BDD");
   std::vector<bool> out(static_cast<std::size_t>(num_vars_), false);
   while (f != kTrue) {
-    const Node& n = nodes_[f];
-    if (n.hi != kFalse) {
-      out[static_cast<std::size_t>(n.var)] = true;
-      f = n.hi;
+    const std::uint32_t i = index_of(f);
+    const NodeId hi = node_hi_[i] ^ (f & 1u);
+    if (hi != kFalse) {
+      out[static_cast<std::size_t>(node_var_[i])] = true;
+      f = hi;
     } else {
-      f = n.lo;
+      f = node_lo_[i] ^ (f & 1u);
     }
   }
   return out;
+}
+
+std::vector<std::uint8_t> Manager::support(NodeId f) const {
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(num_vars_), 0);
+  std::vector<std::uint8_t> seen(node_var_.size(), 0);
+  std::vector<std::uint32_t> stack;
+  stack.push_back(index_of(f));
+  seen[index_of(f)] = 1;
+  while (!stack.empty()) {
+    const std::uint32_t i = stack.back();
+    stack.pop_back();
+    if (node_var_[i] == num_vars_) continue;  // terminal
+    out[static_cast<std::size_t>(node_var_[i])] = 1;
+    for (const NodeId child : {node_lo_[i], node_hi_[i]}) {
+      const std::uint32_t c = index_of(child);
+      if (seen[c] == 0) {
+        seen[c] = 1;
+        stack.push_back(c);
+      }
+    }
+  }
+  return out;
+}
+
+void Manager::ref(NodeId f) { ++extref_[index_of(f)]; }
+
+void Manager::deref(NodeId f) {
+  TT_ASSERT(extref_[index_of(f)] > 0);
+  --extref_[index_of(f)];
+}
+
+void Manager::mark_from(NodeId f) noexcept {
+  std::uint32_t i = index_of(f);
+  if (mark_[i] != 0) return;
+  // Iterative DFS; depth is bounded by live nodes, not variable count.
+  std::vector<std::uint32_t> stack;
+  stack.push_back(i);
+  mark_[i] = 1;
+  while (!stack.empty()) {
+    i = stack.back();
+    stack.pop_back();
+    if (node_var_[i] == num_vars_) continue;  // terminal
+    const std::uint32_t lo = index_of(node_lo_[i]);
+    const std::uint32_t hi = index_of(node_hi_[i]);
+    if (mark_[lo] == 0) {
+      mark_[lo] = 1;
+      stack.push_back(lo);
+    }
+    if (mark_[hi] == 0) {
+      mark_[hi] = 1;
+      stack.push_back(hi);
+    }
+  }
+}
+
+std::size_t Manager::gc() {
+  ++gc_runs_;
+  mark_.assign(node_var_.size(), 0);
+  mark_[0] = 1;  // terminal
+  for (const NodeId p : proj_) {
+    if (p != kEmptySlot) mark_from(p);
+  }
+  for (std::uint32_t i = 1; i < extref_.size(); ++i) {
+    if (extref_[i] > 0 && node_var_[i] >= 0) mark_from(i << 1);
+  }
+
+  // Sweep: free-list every allocated-but-unmarked slot (ids stay stable).
+  std::size_t freed = 0;
+  for (std::uint32_t i = 1; i < node_var_.size(); ++i) {
+    if (mark_[i] == 0 && node_var_[i] >= 0) {
+      node_var_[i] = -1;
+      free_.push_back(i);
+      ++freed;
+    }
+  }
+  live_nodes_ -= freed;
+
+  // Rebuild the unique table over survivors and drop the op cache — cached
+  // results may reference swept nodes.
+  std::size_t cap = std::size_t{1} << 10;
+  while (live_nodes_ * 2 > cap) cap <<= 1;
+  table_.assign(cap, kEmptySlot);
+  table_mask_ = cap - 1;
+  table_used_ = 0;
+  for (std::uint32_t i = 1; i < node_var_.size(); ++i) {
+    if (node_var_[i] >= 0) table_insert(i);
+  }
+  std::fill(cache_.begin(), cache_.end(), CacheEntry{});
+  return freed;
+}
+
+void Manager::maybe_gc(std::initializer_list<NodeId> roots) {
+  if (live_nodes_ < gc_threshold_) return;
+  for (const NodeId r : roots) ref(r);
+  const std::size_t freed = gc();
+  for (const NodeId r : roots) deref(r);
+  // Adaptive threshold: back off when the arena is mostly live (a collection
+  // that frees little is pure overhead), otherwise track 2x the live set.
+  if (freed * 4 < live_nodes_) {
+    gc_threshold_ *= 2;
+  } else {
+    gc_threshold_ = std::max(kMinGcThreshold, live_nodes_ * 2);
+  }
 }
 
 }  // namespace tt::bdd

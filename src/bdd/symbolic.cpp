@@ -1,6 +1,7 @@
 #include "bdd/symbolic.hpp"
 
-#include <cmath>
+#include <algorithm>
+#include <limits>
 
 #include "support/bitpack.hpp"
 #include "support/timer.hpp"
@@ -155,11 +156,11 @@ NodeId SymbolicEngine::build_initial() {
   return acc;
 }
 
-NodeId SymbolicEngine::build_transition() {
-  NodeId relation = kTrue;
+void SymbolicEngine::build_partitions() {
+  // One relation conjunct per choice group, never conjoined with the others:
+  // the image threads the frontier through them with and_exists instead.
   for (std::size_t g = 0; g < system_.groups().size(); ++g) {
     const auto& grp = system_.groups()[g];
-    // Variables owned by this group.
     std::vector<kernel::VarId> owned;
     for (std::size_t v = 0; v < system_.vars().size(); ++v) {
       if (system_.vars()[v].group == static_cast<int>(g)) {
@@ -199,15 +200,57 @@ NodeId SymbolicEngine::build_transition() {
       for (const kernel::VarId v : owned) stay = manager_.land(stay, var_unchanged(v));
       group_rel = manager_.lor(group_rel, stay);
     }
-    relation = manager_.land(relation, group_rel);
+    parts_.push_back({group_rel, kTrue});
   }
-  // Variables never assigned by any group are frozen.
+  // Variables never assigned by any group are frozen — one extra partition.
+  NodeId frozen = kTrue;
   for (std::size_t v = 0; v < system_.vars().size(); ++v) {
     if (system_.vars()[v].group == -1) {
-      relation = manager_.land(relation, var_unchanged(static_cast<kernel::VarId>(v)));
+      frozen = manager_.land(frozen, var_unchanged(static_cast<kernel::VarId>(v)));
     }
   }
-  return relation;
+  if (frozen != kTrue || parts_.empty()) parts_.push_back({frozen, kTrue});
+
+  // Early-quantification schedule: each current-state bit is quantified at
+  // the last partition whose support mentions it (bits no partition reads
+  // can leave at the first conjunction).
+  std::vector<int> quantify_at(static_cast<std::size_t>(total_bits_), 0);
+  for (std::size_t p = 0; p < parts_.size(); ++p) {
+    const auto sup = manager_.support(parts_[p].relation);
+    for (int b = 0; b < total_bits_; ++b) {
+      if (sup[static_cast<std::size_t>(2 * b)] != 0) {
+        quantify_at[static_cast<std::size_t>(b)] = static_cast<int>(p);
+      }
+    }
+  }
+  std::vector<std::vector<int>> cube_vars(parts_.size());
+  for (int b = 0; b < total_bits_; ++b) {
+    cube_vars[static_cast<std::size_t>(quantify_at[static_cast<std::size_t>(b)])]
+        .push_back(2 * b);
+  }
+  for (std::size_t p = 0; p < parts_.size(); ++p) {
+    parts_[p].cube = manager_.cube(cube_vars[p]);
+    manager_.ref(parts_[p].relation);
+    manager_.ref(parts_[p].cube);
+  }
+
+  std::vector<int> rename_map(static_cast<std::size_t>(2 * total_bits_), 0);
+  for (int b = 0; b < total_bits_; ++b) {
+    rename_map[static_cast<std::size_t>(2 * b)] = 2 * b;
+    rename_map[static_cast<std::size_t>(2 * b + 1)] = 2 * b;  // next -> current
+  }
+  rename_next_to_cur_ = manager_.register_rename(rename_map);
+  built_ = true;
+}
+
+NodeId SymbolicEngine::image(NodeId frontier) {
+  // Relational product: conjoin-and-quantify per partition. Intermediate
+  // results are GC-safe because every public call roots its own operands.
+  NodeId img = frontier;
+  for (const Partition& p : parts_) {
+    img = manager_.and_exists(img, p.relation, p.cube);
+  }
+  return manager_.rename(img, rename_next_to_cur_);
 }
 
 std::vector<int> SymbolicEngine::decode(const std::vector<bool>& bits) const {
@@ -227,41 +270,59 @@ SymbolicResult SymbolicEngine::check_invariant(kernel::ExprId property) {
   SymbolicResult out;
   out.bdd_vars = 2 * total_bits_;
 
+  // Construction holds intermediates in locals the collector cannot see, so
+  // GC stays off until everything long-lived is built and ref()ed.
+  manager_.set_gc_threshold(std::numeric_limits<std::size_t>::max());
+  if (!built_) build_partitions();
   const NodeId init = build_initial();
-  const NodeId trans = build_transition();
-
-  std::vector<std::uint8_t> quantify_current(static_cast<std::size_t>(2 * total_bits_), 0);
-  std::vector<int> rename_map(static_cast<std::size_t>(2 * total_bits_), 0);
-  for (int b = 0; b < total_bits_; ++b) {
-    quantify_current[static_cast<std::size_t>(2 * b)] = 1;
-    rename_map[static_cast<std::size_t>(2 * b)] = 2 * b;
-    rename_map[static_cast<std::size_t>(2 * b + 1)] = 2 * b;  // next -> current
-  }
+  manager_.ref(init);
+  const NodeId prop = property >= 0 ? encode_bool(property, false) : kTrue;
+  manager_.ref(prop);
+  manager_.set_gc_threshold(std::size_t{1} << 16);
+  (void)manager_.gc();  // drop construction garbage before the fixpoint
 
   NodeId reached = init;
+  manager_.ref(reached);
   NodeId frontier = init;
+  manager_.ref(frontier);
   while (frontier != kFalse) {
     ++out.iterations;
-    const NodeId image_next = manager_.and_exists(frontier, trans, quantify_current);
-    const NodeId image = manager_.rename(image_next, rename_map);
-    frontier = manager_.land(image, manager_.lnot(reached));
-    reached = manager_.lor(reached, frontier);
+    const NodeId img = image(frontier);
+    const NodeId new_frontier = manager_.land(img, manager_.lnot(reached));
+    manager_.ref(new_frontier);
+    manager_.deref(frontier);
+    frontier = new_frontier;
+    const NodeId new_reached = manager_.lor(reached, frontier);
+    manager_.ref(new_reached);
+    manager_.deref(reached);
+    reached = new_reached;
   }
 
-  // Count over current-frame bits only: divide out the absent next bits.
-  out.reachable_states =
-      manager_.sat_count(reached) / std::pow(2.0, total_bits_);
-  out.peak_nodes = manager_.node_count();
+  // `reached` mentions current-frame bits only: divide out the free next bits.
+  out.reachable_exact =
+      manager_.sat_count_exact(reached) >> static_cast<unsigned>(total_bits_);
+  out.reachable_states = out.reachable_exact.to_double();
 
   if (property < 0) {
     out.holds = true;  // counting run: no property to check
   } else {
-    const NodeId bad = manager_.land(reached, manager_.lnot(encode_bool(property, false)));
+    const NodeId bad = manager_.land(reached, manager_.lnot(prop));
     out.holds = bad == kFalse;
     if (!out.holds) {
       out.violating_state = decode(manager_.any_sat(bad));
     }
   }
+
+  const ManagerStats ms = manager_.stats();
+  out.peak_nodes = ms.peak_live_nodes;
+  out.gc_collections = ms.gc_runs;
+  out.unique_hit_rate = ms.unique_hit_rate();
+  out.op_cache_hit_rate = ms.cache_hit_rate();
+
+  manager_.deref(frontier);
+  manager_.deref(reached);
+  manager_.deref(prop);
+  manager_.deref(init);
   out.seconds = timer.seconds();
   return out;
 }

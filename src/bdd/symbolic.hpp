@@ -3,28 +3,40 @@
 //
 // Variables are binary-encoded; current-state bit i sits at BDD level 2i and
 // its next-state partner at 2i+1 (interleaving keeps the transition
-// relation's equality ladders small). The transition relation is the
-// conjunction over choice groups of the disjunction over commands of
-// (guard & assignments & frame), exactly the guarded-command semantics of
-// kernel::System. Reachability is the standard image-computation fixpoint;
-// invariants are checked by intersecting with the negated property, and the
-// reachable-state count (paper Fig. 5's "reachable states") comes from BDD
-// model counting.
+// relation's equality ladders small).
+//
+// The transition relation is kept *partitioned*: one conjunct per choice
+// group (the disjunction over that group's commands of guard & assignments
+// & frame) plus one conjunct freezing unassigned variables. The image step
+// never builds the monolithic relation — it threads the frontier through
+// the partitions with Manager::and_exists, quantifying each current-state
+// bit at the earliest partition after which it no longer occurs (early
+// quantification, the classic conjunctive-partitioning schedule). Reachability
+// is the standard image fixpoint; invariants are checked by intersecting
+// with the negated property, and reachable-state counts (paper Fig. 5's
+// "reachable states") come from exact BDD model counting.
 #pragma once
 
 #include <vector>
 
 #include "bdd/bdd.hpp"
 #include "kernel/system.hpp"
+#include "support/biguint.hpp"
 
 namespace tt::bdd {
 
 struct SymbolicResult {
   bool holds = false;
+  /// Exact reachable-state count (Fig. 5-scale sets exceed 2^53).
+  BigUint reachable_exact;
+  /// Double rendering of reachable_exact (kept for report plumbing).
   double reachable_states = 0.0;
-  int iterations = 0;           ///< image steps to the fixpoint
-  std::size_t peak_nodes = 0;   ///< BDD nodes allocated
-  int bdd_vars = 0;             ///< state bits x 2 (the paper's Fig. 6 column)
+  int iterations = 0;             ///< image steps to the fixpoint
+  std::size_t peak_nodes = 0;     ///< peak live BDD nodes (GC keeps this honest)
+  std::size_t gc_collections = 0; ///< mark-and-sweep runs during the fixpoint
+  double unique_hit_rate = 0.0;   ///< unique-table hit fraction
+  double op_cache_hit_rate = 0.0; ///< persistent op-cache hit fraction
+  int bdd_vars = 0;               ///< state bits x 2 (the paper's Fig. 6 column)
   double seconds = 0.0;
   /// A violating state valuation (empty when the invariant holds).
   std::vector<int> violating_state;
@@ -42,20 +54,31 @@ class SymbolicEngine {
   [[nodiscard]] SymbolicResult count_reachable();
 
  private:
+  /// One conjunct of the partitioned transition relation, with the positive
+  /// cube of current-state bits to quantify right after conjoining it.
+  struct Partition {
+    NodeId relation = kTrue;
+    NodeId cube = kTrue;
+  };
+
   [[nodiscard]] NodeId encode_bool(kernel::ExprId e, bool next_frame);
   [[nodiscard]] NodeId encode_int_eq(kernel::ExprId e, int val, bool next_frame);
   [[nodiscard]] NodeId var_equals(kernel::VarId v, int val, bool next_frame);
   [[nodiscard]] NodeId var_unchanged(kernel::VarId v);
   [[nodiscard]] int expr_domain(kernel::ExprId e) const;
   [[nodiscard]] NodeId build_initial();
-  [[nodiscard]] NodeId build_transition();
+  void build_partitions();
+  [[nodiscard]] NodeId image(NodeId frontier);
   [[nodiscard]] std::vector<int> decode(const std::vector<bool>& bits) const;
 
   const kernel::System& system_;
   Manager manager_;
-  std::vector<int> width_;      ///< bits per system variable
-  std::vector<int> bit_base_;   ///< first bit index per system variable
+  std::vector<int> width_;       ///< bits per system variable
+  std::vector<int> bit_base_;    ///< first bit index per system variable
   int total_bits_ = 0;
+  std::vector<Partition> parts_; ///< pinned via ref() for GC safety
+  int rename_next_to_cur_ = -1;  ///< interned 2i+1 -> 2i map
+  bool built_ = false;
 };
 
 }  // namespace tt::bdd

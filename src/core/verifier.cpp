@@ -3,6 +3,7 @@
 #include "mc/liveness.hpp"
 #include "mc/parallel_reachability.hpp"
 #include "mc/reachability.hpp"
+#include "mc/symbolic_reachability.hpp"
 #include "support/assert.hpp"
 #include "tta/properties.hpp"
 
@@ -75,9 +76,13 @@ VerificationResult verify(const tta::ClusterConfig& raw_cfg, Lemma lemma,
                                   ? mc::EngineKind::kParallel
                                   : opts.engine;
   out.engine_used = kind;
-  mc::EngineOptions eopts(opts.limits);
-  eopts.threads = opts.threads;
-  auto r = mc::check_invariant_with(kind, cluster, invariant, eopts);
+  auto r = kind == mc::EngineKind::kSymbolic
+               ? mc::check_invariant_symbolic(cluster, invariant, opts.limits)
+               : [&] {
+                   mc::EngineOptions eopts(opts.limits);
+                   eopts.threads = opts.threads;
+                   return mc::check_invariant_with(kind, cluster, invariant, eopts);
+                 }();
   out.holds = r.verdict == mc::Verdict::kHolds;
   out.exhausted = r.verdict != mc::Verdict::kLimit;
   out.stats = std::move(r.stats);

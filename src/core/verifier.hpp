@@ -4,9 +4,11 @@
 //
 // Engine selection: invariant lemmas run on the parallel frontier engine by
 // default (mc/parallel_reachability.hpp); the lasso-based liveness lemmas
-// are inherently depth-first and always run sequentially. VerifyOptions
-// overrides the engine and thread count; the TTSTART_THREADS environment
-// variable sets the default thread count (see mc::resolve_threads).
+// are inherently depth-first and always run sequentially. EngineKind
+// kSymbolic routes invariant lemmas to the BDD-set engine
+// (mc/symbolic_reachability.hpp) instead. VerifyOptions overrides the
+// engine and thread count; the TTSTART_THREADS environment variable sets
+// the default thread count (see mc::resolve_threads).
 #pragma once
 
 #include <string>

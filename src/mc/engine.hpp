@@ -7,6 +7,7 @@
 
 #include <cstdlib>
 #include <functional>
+#include <string_view>
 #include <thread>
 
 #include "mc/run_stats.hpp"
@@ -15,11 +16,14 @@ namespace tt::mc {
 
 /// Which exploration engine to use. kAuto picks per property class:
 /// parallel frontier BFS for invariant lemmas, sequential lasso DFS for
-/// liveness (cycle detection is inherently depth-first).
+/// liveness (cycle detection is inherently depth-first). kSymbolic keeps
+/// the reached set as a BDD (mc/symbolic_reachability.hpp) and applies to
+/// invariant lemmas only — liveness falls back to the sequential engine.
 enum class EngineKind {
   kAuto,
   kSequential,
   kParallel,
+  kSymbolic,
 };
 
 [[nodiscard]] constexpr const char* to_string(EngineKind k) noexcept {
@@ -27,8 +31,22 @@ enum class EngineKind {
     case EngineKind::kAuto: return "auto";
     case EngineKind::kSequential: return "seq";
     case EngineKind::kParallel: return "par";
+    case EngineKind::kSymbolic: return "sym";
   }
   return "?";
+}
+
+/// Parses an engine name ("auto", "seq", "par", "sym"); returns false and
+/// leaves `out` untouched on unknown names.
+[[nodiscard]] inline bool parse_engine(std::string_view name, EngineKind& out) noexcept {
+  for (const EngineKind k : {EngineKind::kAuto, EngineKind::kSequential,
+                             EngineKind::kParallel, EngineKind::kSymbolic}) {
+    if (name == to_string(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
 }
 
 /// Per-level progress snapshot handed to EngineOptions::progress.

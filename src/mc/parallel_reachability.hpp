@@ -56,6 +56,7 @@
 #include "mc/reachability.hpp"
 #include "mc/run_stats.hpp"
 #include "mc/transition_system.hpp"
+#include "support/assert.hpp"
 #include "support/recent_cache.hpp"
 #include "support/sharded_state_index_map.hpp"
 #include "support/timer.hpp"
@@ -357,11 +358,14 @@ template <TransitionSystem TS>
 
 /// Engine-dispatching invariant check: kAuto resolves to the parallel
 /// frontier engine (invariants are its home turf); kSequential forces the
-/// single-threaded BFS.
+/// single-threaded BFS. kSymbolic is dispatched by callers that include
+/// mc/symbolic_reachability.hpp (core::verify does); here it is rejected so
+/// a missing dispatch shows up as an assertion, not a silent engine swap.
 template <TransitionSystem TS, class Pred>
 [[nodiscard]] InvariantResult<TS> check_invariant_with(EngineKind kind, const TS& ts,
                                                        Pred&& holds,
                                                        const EngineOptions& opts = {}) {
+  TT_ASSERT(kind != EngineKind::kSymbolic);
   if (kind == EngineKind::kSequential) {
     return check_invariant(ts, std::forward<Pred>(holds), opts.limits);
   }

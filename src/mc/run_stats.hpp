@@ -32,6 +32,15 @@ struct RunStats {
   /// Per-BFS-level frontier sizes (index = depth). Filled by the frontier
   /// engines; empty for DFS-based liveness runs.
   std::vector<std::size_t> frontier_sizes;
+  /// Symbolic-engine instrumentation (all zero for explicit-state runs):
+  /// peak live BDD nodes, mark-and-sweep collections, unique-table and
+  /// persistent op-cache hit fractions, and image/BFS iterations to the
+  /// fixpoint.
+  std::size_t bdd_peak_live_nodes = 0;
+  std::size_t bdd_gc_collections = 0;
+  double bdd_unique_hit_rate = 0.0;
+  double bdd_op_cache_hit_rate = 0.0;
+  int bdd_iterations = 0;
 
   [[nodiscard]] double states_per_sec() const noexcept {
     return seconds > 0.0 ? static_cast<double>(states) / seconds : 0.0;

@@ -44,7 +44,11 @@ std::string render_record(const std::string& bench, const BenchRecord& r) {
        << ", \"transitions\": " << r.transitions << ", \"seconds\": " << r.seconds
        << ", \"states_per_sec\": " << sps << ", \"exhausted\": "
        << (r.exhausted ? "true" : "false") << ", \"verdict\": \"" << json_escape(r.verdict)
-       << "\"}";
+       << "\"";
+  // v2 optional columns, emitted only where meaningful (symbolic runs).
+  if (r.iterations >= 0) line << ", \"iterations\": " << r.iterations;
+  if (r.peak_live_nodes >= 0) line << ", \"peak_live_nodes\": " << r.peak_live_nodes;
+  line << "}";
   return line.str();
 }
 
@@ -84,7 +88,7 @@ std::string BenchReport::write() {
     std::fprintf(stderr, "ttstart: cannot write %s\n", path.c_str());
     return {};
   }
-  out << "{\n  \"schema\": \"ttstart-bench-v1\",\n  \"results\": [\n";
+  out << "{\n  \"schema\": \"ttstart-bench-v2\",\n  \"results\": [\n";
   bool first = true;
   for (const std::string& rec : kept) {
     out << (first ? "    " : ",\n    ") << rec;

@@ -15,13 +15,17 @@ namespace tt {
 
 struct BenchRecord {
   std::string experiment;  ///< e.g. "fig6/safety/n4"
-  std::string engine;      ///< "seq", "par", "bdd", "sat", ...
+  std::string engine;      ///< "seq", "par", "sym", "sat", ...
   int threads = 1;
   std::size_t states = 0;
   std::size_t transitions = 0;
   double seconds = 0.0;
   bool exhausted = true;
   std::string verdict;  ///< "holds", "VIOLATED", ... (optional)
+  /// Symbolic-engine columns (schema v2): fixpoint/BFS iterations and peak
+  /// live BDD nodes. Negative = not applicable, omitted from the JSON.
+  long long iterations = -1;
+  long long peak_live_nodes = -1;
 };
 
 class BenchReport {

@@ -70,6 +70,57 @@ BigUint& BigUint::operator*=(const BigUint& rhs) {
   return *this;
 }
 
+BigUint& BigUint::operator-=(const BigUint& rhs) {
+  TT_REQUIRE(*this >= rhs, "BigUint subtraction would underflow");
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint64_t sub =
+        borrow + (i < rhs.limbs_.size() ? rhs.limbs_[i] : 0u);
+    const std::uint64_t cur = static_cast<std::uint64_t>(limbs_[i]);
+    limbs_[i] = static_cast<std::uint32_t>(cur - sub);
+    borrow = cur < sub ? 1 : 0;
+  }
+  TT_ASSERT(borrow == 0);
+  trim();
+  return *this;
+}
+
+BigUint& BigUint::operator>>=(unsigned bits) {
+  const std::size_t limb_shift = bits / 32;
+  const unsigned bit_shift = bits % 32;
+  if (limb_shift >= limbs_.size()) {
+    limbs_.clear();
+    return *this;
+  }
+  limbs_.erase(limbs_.begin(),
+               limbs_.begin() + static_cast<std::ptrdiff_t>(limb_shift));
+  if (bit_shift != 0) {
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+      limbs_[i] >>= bit_shift;
+      if (i + 1 < limbs_.size()) {
+        limbs_[i] |= limbs_[i + 1] << (32 - bit_shift);
+      }
+    }
+  }
+  trim();
+  return *this;
+}
+
+std::uint64_t BigUint::to_u64() const {
+  TT_REQUIRE(fits_u64(), "BigUint exceeds 64 bits");
+  std::uint64_t v = 0;
+  if (limbs_.size() > 1) v = static_cast<std::uint64_t>(limbs_[1]) << 32;
+  if (!limbs_.empty()) v |= limbs_[0];
+  return v;
+}
+
+BigUint BigUint::pow2(unsigned exponent) {
+  BigUint r;
+  r.limbs_.assign(exponent / 32 + 1, 0);
+  r.limbs_.back() = 1u << (exponent % 32);
+  return r;
+}
+
 BigUint BigUint::pow(const BigUint& base, unsigned exponent) {
   BigUint result(1);
   BigUint b = base;

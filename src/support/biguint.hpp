@@ -1,9 +1,11 @@
 // Arbitrary-precision unsigned integers.
 //
 // Used by core/scenario_math to evaluate the paper's scenario-count formulas
-// (Figure 5) *exactly* — |S_f.n.| for n=5 is ~4.9e46, far beyond u64. Only the
-// operations the formulas need are provided: +, *, pow, comparison, decimal
-// and scientific rendering. Representation: little-endian base-2^32 limbs.
+// (Figure 5) *exactly* — |S_f.n.| for n=5 is ~4.9e46, far beyond u64 — and by
+// bdd::Manager::sat_count_exact, whose complement-edge counting rule
+// (2^k - c) and current-frame projection (>> bits) add subtraction and
+// right-shift to the original +, *, pow, comparison and rendering set.
+// Representation: little-endian base-2^32 limbs.
 #pragma once
 
 #include <cstdint>
@@ -21,15 +23,27 @@ class BigUint {
 
   BigUint& operator+=(const BigUint& rhs);
   BigUint& operator*=(const BigUint& rhs);
+  /// Subtraction; requires lhs >= rhs (asserted).
+  BigUint& operator-=(const BigUint& rhs);
+  /// Right shift by any bit count (drops the shifted-out low bits).
+  BigUint& operator>>=(unsigned bits);
   [[nodiscard]] friend BigUint operator+(BigUint lhs, const BigUint& rhs) { return lhs += rhs; }
   [[nodiscard]] friend BigUint operator*(BigUint lhs, const BigUint& rhs) { return lhs *= rhs; }
+  [[nodiscard]] friend BigUint operator-(BigUint lhs, const BigUint& rhs) { return lhs -= rhs; }
+  [[nodiscard]] friend BigUint operator>>(BigUint lhs, unsigned bits) { return lhs >>= bits; }
 
   [[nodiscard]] static BigUint pow(const BigUint& base, unsigned exponent);
+  /// 2^exponent (the counting weight of `exponent` free variables).
+  [[nodiscard]] static BigUint pow2(unsigned exponent);
 
   [[nodiscard]] bool operator==(const BigUint& rhs) const = default;
   [[nodiscard]] std::strong_ordering operator<=>(const BigUint& rhs) const;
 
   [[nodiscard]] bool is_zero() const noexcept { return limbs_.empty(); }
+  /// True when the value fits in an unsigned 64-bit integer.
+  [[nodiscard]] bool fits_u64() const noexcept { return limbs_.size() <= 2; }
+  /// Exact u64 value; requires fits_u64() (asserted).
+  [[nodiscard]] std::uint64_t to_u64() const;
   /// Approximate double value (inf if > DBL_MAX).
   [[nodiscard]] double to_double() const noexcept;
   /// Exact decimal string.

@@ -1,0 +1,273 @@
+// Stress net for the production BDD manager: randomized operations checked
+// against a bit-parallel truth-table oracle (14 variables = 16384-entry
+// tables), with the GC threshold forced low so mark-and-sweep collections
+// interleave the workload; plus targeted tests for GC safety under live
+// handles, complement-edge canonicity, and op-cache behaviour across
+// collections.
+#include "bdd/bdd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace tt::bdd {
+namespace {
+
+constexpr int kVars = 14;
+constexpr std::size_t kTableWords = (std::size_t{1} << kVars) / 64;
+
+using Table = std::vector<std::uint64_t>;
+
+Table table_of_var(int v) {
+  Table t(kTableWords, 0);
+  for (std::size_t i = 0; i < kTableWords * 64; ++i) {
+    if ((i >> v) & 1u) t[i / 64] |= std::uint64_t{1} << (i % 64);
+  }
+  return t;
+}
+
+/// Evaluates f on every assignment and compares with the oracle table.
+void expect_matches(Manager& m, NodeId f, const Table& t, const char* label) {
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < kTableWords * 64; ++i) {
+    const std::uint64_t assignment = i;  // bit v of i is the value of var v
+    const bool expected = ((t[i / 64] >> (i % 64)) & 1u) != 0;
+    if (m.eval_bits(f, &assignment) != expected) ++mismatches;
+  }
+  EXPECT_EQ(mismatches, 0u) << label;
+}
+
+std::size_t popcount(const Table& t) {
+  std::size_t n = 0;
+  for (const std::uint64_t w : t) n += static_cast<std::size_t>(__builtin_popcountll(w));
+  return n;
+}
+
+TEST(BddStress, RandomizedOpsMatchTruthTableOracleUnderForcedGc) {
+  Manager m(kVars);
+  m.set_gc_threshold(500);  // far below the workload's live size: GC churns
+  Rng rng(20260807);
+
+  struct Fn {
+    NodeId id;
+    Table tt;
+  };
+  std::vector<Fn> pool;
+  for (int v = 0; v < kVars; ++v) {
+    pool.push_back({m.var(v), table_of_var(v)});
+    // Projections are pinned internally; no ref needed.
+  }
+
+  const auto pick = [&]() -> const Fn& {
+    return pool[rng.below(static_cast<std::uint32_t>(pool.size()))];
+  };
+  for (int round = 0; round < 300; ++round) {
+    const Fn& a = pick();
+    const Fn& b = pick();
+    const Fn& c = pick();
+    Fn out;
+    switch (rng.below(5)) {
+      case 0:
+        out.id = m.land(a.id, b.id);
+        out.tt = a.tt;
+        for (std::size_t w = 0; w < kTableWords; ++w) out.tt[w] &= b.tt[w];
+        break;
+      case 1:
+        out.id = m.lor(a.id, b.id);
+        out.tt = a.tt;
+        for (std::size_t w = 0; w < kTableWords; ++w) out.tt[w] |= b.tt[w];
+        break;
+      case 2:
+        out.id = m.lxor(a.id, b.id);
+        out.tt = a.tt;
+        for (std::size_t w = 0; w < kTableWords; ++w) out.tt[w] ^= b.tt[w];
+        break;
+      case 3:
+        out.id = m.lnot(a.id);
+        out.tt = a.tt;
+        for (std::size_t w = 0; w < kTableWords; ++w) out.tt[w] = ~out.tt[w];
+        break;
+      default:
+        out.id = m.ite(a.id, b.id, c.id);
+        out.tt.resize(kTableWords);
+        for (std::size_t w = 0; w < kTableWords; ++w) {
+          out.tt[w] = (a.tt[w] & b.tt[w]) | (~a.tt[w] & c.tt[w]);
+        }
+        break;
+    }
+    m.ref(out.id);
+    pool.push_back(std::move(out));
+    // Retire old non-projection functions so collections find garbage.
+    while (pool.size() > kVars + 24) {
+      const std::size_t victim =
+          kVars + rng.below(static_cast<std::uint32_t>(pool.size() - kVars));
+      m.deref(pool[victim].id);
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+  }
+
+  ASSERT_GT(m.stats().gc_runs, 0u) << "threshold too high: GC never exercised";
+
+  // Every surviving handle still denotes its oracle function, pointwise and
+  // by exact model count.
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    expect_matches(m, pool[i].id, pool[i].tt, "pool survivor");
+    EXPECT_EQ(m.sat_count_exact(pool[i].id), BigUint(popcount(pool[i].tt))) << i;
+  }
+}
+
+TEST(BddStress, ExistsAndRelationalProductMatchOracle) {
+  Manager m(kVars);
+  Rng rng(7);
+  for (int round = 0; round < 40; ++round) {
+    // Two random small functions grown from literals by random connectives.
+    const int v0 = static_cast<int>(rng.below(kVars));
+    NodeId f = m.var(v0);
+    Table ft = table_of_var(v0);
+    NodeId g = kTrue;
+    Table gt(kTableWords, ~std::uint64_t{0});
+    for (int k = 0; k < 4; ++k) {
+      const int v = static_cast<int>(rng.below(kVars));
+      const bool pos = rng.below(2) != 0;
+      const Table vt = table_of_var(v);
+      if (rng.below(2)) {
+        f = pos ? m.lor(f, m.var(v)) : m.land(f, m.nvar(v));
+        for (std::size_t w = 0; w < kTableWords; ++w) {
+          ft[w] = pos ? (ft[w] | vt[w]) : (ft[w] & ~vt[w]);
+        }
+      } else {
+        g = pos ? m.lxor(g, m.var(v)) : m.land(g, m.var(v));
+        for (std::size_t w = 0; w < kTableWords; ++w) {
+          gt[w] = pos ? (gt[w] ^ vt[w]) : (gt[w] & vt[w]);
+        }
+      }
+    }
+
+    // Random quantification cube.
+    std::vector<int> cube_vars;
+    std::vector<std::uint8_t> mask(kVars, 0);
+    for (int v = 0; v < kVars; ++v) {
+      if (rng.below(3) == 0) {
+        cube_vars.push_back(v);
+        mask[static_cast<std::size_t>(v)] = 1;
+      }
+    }
+
+    // Oracle: exists v. t  ==  t[v:=0] | t[v:=1], folded over the cube.
+    auto quantified = [&](Table t) {
+      for (const int v : cube_vars) {
+        Table out(kTableWords, 0);
+        for (std::size_t i = 0; i < kTableWords * 64; ++i) {
+          const std::size_t i0 = i & ~(std::size_t{1} << v);
+          const std::size_t i1 = i0 | (std::size_t{1} << v);
+          const bool bit = (((t[i0 / 64] >> (i0 % 64)) | (t[i1 / 64] >> (i1 % 64))) & 1u) != 0;
+          if (bit) out[i / 64] |= std::uint64_t{1} << (i % 64);
+        }
+        t = std::move(out);
+      }
+      return t;
+    };
+
+    Table fg = ft;
+    for (std::size_t w = 0; w < kTableWords; ++w) fg[w] &= gt[w];
+    expect_matches(m, m.and_exists(f, g, mask), quantified(fg), "and_exists");
+    expect_matches(m, m.exists(f, mask), quantified(ft), "exists");
+
+    // The relational product must equal quantify-after-conjoin.
+    EXPECT_EQ(m.and_exists(f, g, mask), m.exists(m.land(f, g), mask));
+  }
+}
+
+TEST(BddStress, GcPreservesLiveHandlesAndFreesGarbage) {
+  Manager m(10);
+  const NodeId keep = m.lor(m.land(m.var(0), m.var(3)), m.lxor(m.var(5), m.nvar(7)));
+  m.ref(keep);
+  const BigUint keep_count = m.sat_count_exact(keep);
+
+  // Pile up unreferenced garbage.
+  NodeId junk = kFalse;
+  for (int v = 0; v < 10; ++v) {
+    junk = m.lor(junk, m.land(m.var(v), m.nvar((v + 3) % 10)));
+  }
+  const std::size_t before = m.node_count();
+  const std::size_t freed = m.gc();
+  EXPECT_GT(freed, 0u);
+  EXPECT_LT(m.node_count(), before);
+
+  // The protected function is intact: same count, same structure on rebuild.
+  EXPECT_EQ(m.sat_count_exact(keep), keep_count);
+  const NodeId rebuilt =
+      m.lor(m.land(m.var(0), m.var(3)), m.lxor(m.var(5), m.nvar(7)));
+  EXPECT_EQ(rebuilt, keep) << "canonicity lost across collection";
+  m.deref(keep);
+}
+
+TEST(BddStress, DerefMakesNodesCollectable) {
+  Manager m(8);
+  NodeId f = m.land(m.var(0), m.lor(m.var(1), m.nvar(2)));
+  m.ref(f);
+  (void)m.gc();
+  const std::size_t live_with_f = m.node_count();
+  m.deref(f);
+  (void)m.gc();
+  EXPECT_LT(m.node_count(), live_with_f);
+}
+
+TEST(BddStress, ComplementEdgeCanonicity) {
+  Manager m(8);
+  const NodeId f = m.lor(m.land(m.var(0), m.var(1)), m.lxor(m.var(2), m.var(5)));
+
+  // Negation is an edge-bit flip: involutive, free, and allocation-free.
+  EXPECT_EQ(m.lnot(m.lnot(f)), f);
+  const std::size_t arena_before = m.stats().arena_nodes;
+  const NodeId nf = m.lnot(f);
+  EXPECT_EQ(m.stats().arena_nodes, arena_before);
+  EXPECT_NE(nf, f);
+
+  // A function and its complement share every node.
+  EXPECT_EQ(m.land(f, nf), kFalse);
+  EXPECT_EQ(m.lor(f, nf), kTrue);
+  EXPECT_EQ(m.lxor(f, nf), kTrue);
+  EXPECT_EQ(m.lxor(f, f), kFalse);
+
+  // De Morgan holds by construction, not by re-derivation.
+  const NodeId g = m.land(m.var(3), m.nvar(6));
+  EXPECT_EQ(m.lnot(m.land(f, g)), m.lor(m.lnot(f), m.lnot(g)));
+  EXPECT_EQ(m.lnot(m.lor(f, g)), m.land(m.lnot(f), m.lnot(g)));
+
+  // Complement counting rule: |!f| = 2^n - |f|.
+  EXPECT_EQ(m.sat_count_exact(f) + m.sat_count_exact(nf), BigUint::pow2(8));
+}
+
+TEST(BddStress, OpCacheConsistentAcrossCollection) {
+  Manager m(10);
+  const NodeId f = m.lor(m.land(m.var(0), m.var(4)), m.var(9));
+  const NodeId g = m.lxor(m.var(2), m.nvar(7));
+  const NodeId r1 = m.land(f, g);
+  m.ref(f);
+  m.ref(g);
+  m.ref(r1);
+
+  // Collection drops the op cache (its entries may name swept nodes); the
+  // recomputation must still return the identical node id.
+  const std::size_t gc_before = m.stats().gc_runs;
+  (void)m.gc();
+  EXPECT_EQ(m.stats().gc_runs, gc_before + 1);
+  EXPECT_EQ(m.land(f, g), r1);
+
+  // And the cache warms back up: the second identical call hits.
+  const auto lookups_before = m.stats().cache_lookups;
+  const auto hits_before = m.stats().cache_hits;
+  EXPECT_EQ(m.land(f, g), r1);
+  EXPECT_GT(m.stats().cache_lookups, lookups_before);
+  EXPECT_GT(m.stats().cache_hits, hits_before);
+  m.deref(f);
+  m.deref(g);
+  m.deref(r1);
+}
+
+}  // namespace
+}  // namespace tt::bdd

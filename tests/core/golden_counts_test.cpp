@@ -1,9 +1,11 @@
 // Golden-count regression net for the successor pipeline: the exact
 // reachable-state and transition counts of small fig4/fig5/fig6 bench
-// configurations, pinned for the sequential engine and the parallel engine
-// at 1, 2 and 4 threads. Any change to successor enumeration order, fault
-// enumeration, packing, interning or duplicate suppression that alters the
-// explored graph — rather than merely its cost — trips these exact numbers.
+// configurations, pinned for the sequential engine, the parallel engine at
+// 1, 2 and 4 threads, and the symbolic (BDD-set) engine, whose count comes
+// from exact model counting instead of a table size. Any change to
+// successor enumeration order, fault enumeration, packing, interning,
+// duplicate suppression or BDD counting that alters the explored graph —
+// rather than merely its cost — trips these exact numbers.
 //
 // The same runs assert the hash-once contract end to end on the real model:
 // stats.hash_ops == transitions + initial-state emissions, i.e. hash_words
@@ -15,6 +17,7 @@
 
 #include "core/verifier.hpp"
 #include "mc/reachability.hpp"
+#include "mc/symbolic_reachability.hpp"
 #include "tta/cluster.hpp"
 
 namespace tt::core {
@@ -79,8 +82,14 @@ TEST_P(GoldenCounts, ExactAcrossEnginesAndThreadCounts) {
   if (cell.lemma == Lemma::kLiveness) {
     // Lasso liveness always runs sequentially; the golden counts above are
     // the whole check. (Its hash_ops spans the BFS materialization plus the
-    // goal-free DFS, so the BFS-only formula below does not apply.)
+    // goal-free DFS, so the BFS-only formula below does not apply.) A
+    // requested symbolic engine must fall back to the sequential DFS.
     EXPECT_GT(seq.stats.hash_ops, std::size_t{0}) << cell.name;
+    VerifyOptions sym_opts;
+    sym_opts.engine = mc::EngineKind::kSymbolic;
+    const auto sym = verify(cfg, cell.lemma, sym_opts);
+    EXPECT_EQ(sym.engine_used, mc::EngineKind::kSequential) << cell.name;
+    EXPECT_EQ(sym.stats.states, cell.states) << cell.name << "/sym-fallback";
     return;
   }
   expect_hash_once(seq, std::string(cell.name) + "/seq");
@@ -96,6 +105,20 @@ TEST_P(GoldenCounts, ExactAcrossEnginesAndThreadCounts) {
     EXPECT_EQ(par.stats.transitions, cell.transitions) << label;
     expect_hash_once(par, label);
   }
+
+  // The symbolic engine's state count comes from exact BDD model counting
+  // over the compressed reached set — it must agree bit-for-bit with the
+  // interning tables of the explicit engines, and never hash a state.
+  VerifyOptions sym_opts;
+  sym_opts.engine = mc::EngineKind::kSymbolic;
+  const auto sym = verify(cfg, cell.lemma, sym_opts);
+  const std::string label = std::string(cell.name) + "/sym";
+  ASSERT_TRUE(sym.holds) << label << ": " << sym.verdict_text;
+  EXPECT_EQ(sym.engine_used, mc::EngineKind::kSymbolic) << label;
+  EXPECT_EQ(sym.stats.states, cell.states) << label;
+  EXPECT_EQ(sym.stats.transitions, cell.transitions) << label;
+  EXPECT_EQ(sym.stats.hash_ops, std::size_t{0}) << label;
+  EXPECT_GT(sym.stats.bdd_peak_live_nodes, std::size_t{0}) << label;
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -131,6 +154,11 @@ TEST(GoldenCounts, Fig5FaultFreeReachableCounts) {
     EXPECT_TRUE(stats.exhausted) << "n=" << cell.n;
     EXPECT_EQ(stats.states, cell.states) << "n=" << cell.n;
     EXPECT_EQ(stats.transitions, cell.transitions) << "n=" << cell.n;
+
+    const auto sym = mc::count_reachable_symbolic(cluster);
+    EXPECT_TRUE(sym.exhausted) << "n=" << cell.n << "/sym";
+    EXPECT_EQ(sym.states, cell.states) << "n=" << cell.n << "/sym";
+    EXPECT_EQ(sym.transitions, cell.transitions) << "n=" << cell.n << "/sym";
   }
 }
 

@@ -79,6 +79,50 @@ TEST(BigUint, ToDoubleApproximation) {
   EXPECT_NEAR(d, 4.87e46, 0.05e46);
 }
 
+TEST(BigUint, SubtractionInvertsAddition) {
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const BigUint a(rng.next());
+    const BigUint b(rng.next());
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ(a - a, BigUint(0));
+  }
+  // Borrow chains across limbs: 2^96 - 1.
+  EXPECT_EQ(BigUint::pow2(96) - BigUint(1),
+            BigUint::from_decimal("79228162514264337593543950335"));
+}
+
+TEST(BigUint, RightShiftDropsLowBits) {
+  EXPECT_EQ(BigUint(0x12345678u) >> 8, BigUint(0x123456u));
+  EXPECT_EQ(BigUint(1) >> 1, BigUint(0));
+  EXPECT_EQ(BigUint::pow2(200) >> 137, BigUint::pow2(63));
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t v = rng.next();
+    const unsigned s = static_cast<unsigned>(rng.below(64));
+    EXPECT_EQ(BigUint(v) >> s, BigUint(v >> s));
+    // Shifting a left-weighted value back down is exact.
+    EXPECT_EQ((BigUint(v) * BigUint::pow2(77)) >> 77, BigUint(v));
+  }
+}
+
+TEST(BigUint, U64Conversion) {
+  EXPECT_TRUE(BigUint(0).fits_u64());
+  EXPECT_EQ(BigUint(0).to_u64(), 0u);
+  const std::uint64_t max64 = ~std::uint64_t{0};
+  EXPECT_TRUE(BigUint(max64).fits_u64());
+  EXPECT_EQ(BigUint(max64).to_u64(), max64);
+  EXPECT_FALSE((BigUint(max64) + BigUint(1)).fits_u64());
+  EXPECT_FALSE(BigUint::pow2(64).fits_u64());
+  EXPECT_TRUE((BigUint::pow2(64) - BigUint(1)).fits_u64());
+}
+
+TEST(BigUint, Pow2MatchesPow) {
+  for (unsigned e : {0u, 1u, 31u, 32u, 33u, 64u, 100u}) {
+    EXPECT_EQ(BigUint::pow2(e), BigUint::pow(BigUint(2), e)) << e;
+  }
+}
+
 TEST(BigUint, MulCommutesAndAssociates) {
   Rng rng(7);
   for (int i = 0; i < 200; ++i) {

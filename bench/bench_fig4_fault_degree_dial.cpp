@@ -73,13 +73,18 @@ void print_table(tt::BenchReport& report) {
       auto r = tt::core::verify(cfg, lemma);
       tt::BenchRecord rec;
       rec.experiment = tt::strfmt("fig4/%s/deg%d", slugs[l], degrees[d]);
-      rec.engine = r.engine_used == tt::mc::EngineKind::kParallel ? "par" : "seq";
+      rec.engine = tt::mc::to_string(r.engine_used);
       rec.threads = r.stats.threads;
       rec.states = r.stats.states;
       rec.transitions = r.stats.transitions;
       rec.seconds = r.stats.seconds;
       rec.exhausted = r.stats.exhausted;
       rec.verdict = r.holds ? "holds" : "VIOLATED";
+      if (r.engine_used == tt::mc::EngineKind::kParallel &&
+          !tt::core::is_invariant_lemma(lemma)) {
+        rec.trim_rounds = static_cast<long long>(r.stats.trim_rounds);
+        rec.residue_states = static_cast<long long>(r.stats.residue_states);
+      }
       report.add(rec);
       t.add_row({std::to_string(degrees[d]), tt::core::to_string(lemma),
                  r.holds ? "true" : "FALSE", tt::strfmt("%.2f", r.stats.seconds),

@@ -104,7 +104,8 @@ const char* lemma_slug(tt::core::Lemma lemma) {
 }
 
 tt::BenchRecord record_of(const std::string& experiment,
-                          const tt::core::VerificationResult& r) {
+                          const tt::core::VerificationResult& r,
+                          tt::core::Lemma lemma) {
   tt::BenchRecord rec;
   rec.experiment = experiment;
   rec.engine = tt::mc::to_string(r.engine_used);
@@ -117,6 +118,13 @@ tt::BenchRecord record_of(const std::string& experiment,
   if (r.engine_used == tt::mc::EngineKind::kSymbolic) {
     rec.iterations = r.stats.bdd_iterations;
     rec.peak_live_nodes = static_cast<long long>(r.stats.bdd_peak_live_nodes);
+  }
+  // OWCTY columns (schema v3): only the parallel liveness engine runs the
+  // trimming fixpoint, so only those records carry the fields.
+  if (r.engine_used == tt::mc::EngineKind::kParallel &&
+      !tt::core::is_invariant_lemma(lemma)) {
+    rec.trim_rounds = static_cast<long long>(r.stats.trim_rounds);
+    rec.residue_states = static_cast<long long>(r.stats.residue_states);
   }
   return rec;
 }
@@ -139,7 +147,7 @@ void engine_comparison(tt::BenchReport& report, int n) {
   tt::core::VerifyOptions seq_opts;
   seq_opts.engine = tt::mc::EngineKind::kSequential;
   const auto seq = tt::core::verify(cfg, tt::core::Lemma::kSafety, seq_opts);
-  report.add(record_of(slug, seq));
+  report.add(record_of(slug, seq, tt::core::Lemma::kSafety));
   t.add_row({"seq", "1", seq.holds ? "true" : "FALSE", std::to_string(seq.stats.states),
              std::to_string(seq.stats.transitions), tt::strfmt("%.2f", seq.stats.seconds),
              tt::strfmt("%.0f", seq.stats.states_per_sec())});
@@ -147,7 +155,7 @@ void engine_comparison(tt::BenchReport& report, int n) {
   tt::core::VerifyOptions sym_opts;
   sym_opts.engine = tt::mc::EngineKind::kSymbolic;
   const auto sym = tt::core::verify(cfg, tt::core::Lemma::kSafety, sym_opts);
-  report.add(record_of(slug, sym));
+  report.add(record_of(slug, sym, tt::core::Lemma::kSafety));
   t.add_row({"sym", "1", sym.holds ? "true" : "FALSE", std::to_string(sym.stats.states),
              std::to_string(sym.stats.transitions), tt::strfmt("%.2f", sym.stats.seconds),
              tt::strfmt("%.0f", sym.stats.states_per_sec())});
@@ -165,7 +173,7 @@ void engine_comparison(tt::BenchReport& report, int n) {
     par_opts.engine = tt::mc::EngineKind::kParallel;
     par_opts.threads = threads;
     const auto par = tt::core::verify(cfg, tt::core::Lemma::kSafety, par_opts);
-    report.add(record_of(slug, par));
+    report.add(record_of(slug, par, tt::core::Lemma::kSafety));
     const bool agrees = par.holds == seq.holds && par.stats.states == seq.stats.states;
     t.add_row({"par", std::to_string(par.stats.threads), par.holds ? "true" : "FALSE",
                std::to_string(par.stats.states), std::to_string(par.stats.transitions),
@@ -176,6 +184,69 @@ void engine_comparison(tt::BenchReport& report, int n) {
   std::printf("%s", t.render().c_str());
   std::printf("(identical verdict and state count required at every thread count;\n"
               " speedup scales with available cores.)\n");
+}
+
+// The liveness engine-comparison experiment: the exhaustive degree-6
+// liveness run (goal-free cycle detection) with the sequential nested-DFS
+// lasso search, the symbolic EG(!goal) fixpoint, and the parallel OWCTY
+// engine at 1, 2, 4 and hardware-concurrency threads. All engines must
+// agree on the verdict; seq and par additionally agree exactly on the
+// goal-free state/transition counts, and the par rows carry the v3
+// trim_rounds/residue_states columns (residue 0 on these HOLDS cells —
+// every goal-free state trims away). The symbolic row is restricted to
+// n <= 4: its partitioned transition relation scales with goal-free
+// *edges*, and the n = 5 cell has ~8M of them.
+void engine_comparison_liveness(tt::BenchReport& report, int n) {
+  std::printf("\n=== engine comparison: liveness, n = %d, degree 6, feedback on ===\n", n);
+  tt::TextTable t({"engine", "threads", "eval", "states", "transitions", "seconds",
+                   "states/sec", "trim rounds", "residue"});
+  auto cfg = fig6_node_config(n);
+  const std::string slug = tt::strfmt("fig6/engine_compare/liveness_n%d", n);
+  const auto lemma = tt::core::Lemma::kLiveness;
+
+  tt::core::VerifyOptions seq_opts;
+  seq_opts.engine = tt::mc::EngineKind::kSequential;
+  const auto seq = tt::core::verify(cfg, lemma, seq_opts);
+  report.add(record_of(slug, seq, lemma));
+  t.add_row({"seq", "1", seq.holds ? "true" : "FALSE", std::to_string(seq.stats.states),
+             std::to_string(seq.stats.transitions), tt::strfmt("%.2f", seq.stats.seconds),
+             tt::strfmt("%.0f", seq.stats.states_per_sec()), "-", "-"});
+
+  if (n <= 4) {
+    tt::core::VerifyOptions sym_opts;
+    sym_opts.engine = tt::mc::EngineKind::kSymbolic;
+    const auto sym = tt::core::verify(cfg, lemma, sym_opts);
+    report.add(record_of(slug, sym, lemma));
+    t.add_row({"sym", "1", sym.holds ? "true" : "FALSE", std::to_string(sym.stats.states),
+               std::to_string(sym.stats.transitions), tt::strfmt("%.2f", sym.stats.seconds),
+               tt::strfmt("%.0f", sym.stats.states_per_sec()), "-", "-"});
+    if (sym.holds != seq.holds) std::printf("!! symbolic/sequential engine disagreement\n");
+  }
+
+  std::vector<int> thread_counts = {1, 2, 4};
+  const int hw = tt::mc::resolve_threads(0);
+  if (std::find(thread_counts.begin(), thread_counts.end(), hw) == thread_counts.end()) {
+    thread_counts.push_back(hw);
+  }
+  for (int threads : thread_counts) {
+    tt::core::VerifyOptions par_opts;
+    par_opts.engine = tt::mc::EngineKind::kParallel;
+    par_opts.threads = threads;
+    const auto par = tt::core::verify(cfg, lemma, par_opts);
+    report.add(record_of(slug, par, lemma));
+    const bool agrees = par.holds == seq.holds && par.stats.states == seq.stats.states &&
+                        par.stats.transitions == seq.stats.transitions;
+    t.add_row({"par", std::to_string(par.stats.threads), par.holds ? "true" : "FALSE",
+               std::to_string(par.stats.states), std::to_string(par.stats.transitions),
+               tt::strfmt("%.2f", par.stats.seconds),
+               tt::strfmt("%.0f", par.stats.states_per_sec()),
+               std::to_string(par.stats.trim_rounds),
+               std::to_string(par.stats.residue_states)});
+    if (!agrees) std::printf("!! engine disagreement at %d threads\n", threads);
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("(identical verdict required on every engine; seq and par agree exactly\n"
+              " on goal-free state/transition counts; speedup scales with cores.)\n");
 }
 
 void print_table(tt::BenchReport& report) {
@@ -205,7 +276,7 @@ void print_table(tt::BenchReport& report) {
       auto cfg = e.hub ? fig6_hub_config(n) : fig6_node_config(n);
       if (e.lemma == tt::core::Lemma::kTimeliness) cfg.timeliness_bound = 8 * n;
       auto r = tt::core::verify(cfg, e.lemma);
-      report.add(record_of(tt::strfmt("fig6/%s/n%d", lemma_slug(e.lemma), n), r));
+      report.add(record_of(tt::strfmt("fig6/%s/n%d", lemma_slug(e.lemma), n), r, e.lemma));
       const tt::tta::Cluster cluster(tt::core::prepare_config(cfg, e.lemma));
       t.add_row({tt::core::to_string(e.lemma), std::to_string(n),
                  r.holds ? "true" : "FALSE", tt::strfmt("%.2f", r.stats.seconds),
@@ -229,7 +300,11 @@ int main(int argc, char** argv) {
   tt::BenchReport report("bench_fig6_exhaustive");
   print_table(report);
   engine_comparison(report, 4);
-  if (!quick_mode()) engine_comparison(report, 5);
+  engine_comparison_liveness(report, 4);
+  if (!quick_mode()) {
+    engine_comparison(report, 5);
+    engine_comparison_liveness(report, 5);
+  }
   const std::string path = report.write();
   if (!path.empty()) std::printf("machine-readable results: %s\n", path.c_str());
   return 0;

@@ -23,7 +23,9 @@
 #include "bmc/encoder.hpp"
 #include "kernel/packed_system.hpp"
 #include "kernel/ttalite.hpp"
+#include "mc/liveness.hpp"
 #include "mc/reachability.hpp"
+#include "mc/symbolic_liveness.hpp"
 #include "support/bench_report.hpp"
 #include "support/table.hpp"
 
@@ -117,6 +119,49 @@ void print_table(tt::BenchReport& report) {
       rec.iterations = sym.iterations;
       rec.peak_live_nodes = static_cast<long long>(sym.peak_nodes);
       report.add(rec);
+    }
+
+    // Liveness on the same degree-3 model, sequential lasso search versus
+    // the symbolic EG(!goal) fixpoint — the engine pair the tentpole adds.
+    // The goal is Lemma 2's "all correct nodes active"; the engines must
+    // agree on the verdict (no seq fallback for sym liveness any more).
+    auto goal = [&](const tt::kernel::PackedSystem::State& s) {
+      return model.all_correct_active(ps.unpack(s));
+    };
+    const auto live_seq = tt::mc::check_eventually(ps, goal);
+    t.add_row({std::to_string(n), "3", "seq lasso",
+               tt::mc::to_string(live_seq.verdict), std::to_string(live_seq.stats.states),
+               tt::strfmt("%.3f", live_seq.stats.seconds)});
+    {
+      tt::BenchRecord rec;
+      rec.experiment = tt::strfmt("prelim/liveness_deg3/n%d", n);
+      rec.engine = "seq";
+      rec.states = live_seq.stats.states;
+      rec.transitions = live_seq.stats.transitions;
+      rec.seconds = live_seq.stats.seconds;
+      rec.exhausted = live_seq.stats.exhausted;
+      rec.verdict = tt::mc::to_string(live_seq.verdict);
+      report.add(rec);
+    }
+    const auto live_sym = tt::mc::check_eventually_symbolic(ps, goal);
+    t.add_row({std::to_string(n), "3", "sym EG",
+               tt::mc::to_string(live_sym.verdict), std::to_string(live_sym.stats.states),
+               tt::strfmt("%.3f", live_sym.stats.seconds)});
+    {
+      tt::BenchRecord rec;
+      rec.experiment = tt::strfmt("prelim/liveness_deg3/n%d", n);
+      rec.engine = "sym";
+      rec.states = live_sym.stats.states;
+      rec.transitions = live_sym.stats.transitions;
+      rec.seconds = live_sym.stats.seconds;
+      rec.exhausted = live_sym.stats.exhausted;
+      rec.verdict = tt::mc::to_string(live_sym.verdict);
+      rec.iterations = static_cast<long long>(live_sym.stats.bdd_iterations);
+      rec.peak_live_nodes = static_cast<long long>(live_sym.stats.bdd_peak_live_nodes);
+      report.add(rec);
+    }
+    if (live_sym.verdict != live_seq.verdict) {
+      std::printf("!! symbolic/sequential liveness disagreement at n = %d\n", n);
     }
 
     tt::kernel::TtaLite model_safe(prelim_cfg(n, 1));

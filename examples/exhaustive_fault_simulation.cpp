@@ -111,10 +111,18 @@ int main(int argc, char** argv) {
               result.stats.states_per_sec(),
               result.stats.exhausted ? "" : "  [search truncated by limits]");
   if (result.engine_used == mc::EngineKind::kSymbolic) {
-    std::printf("bdd: peak_live=%zu gc_runs=%zu unique_hit=%.1f%% op_cache_hit=%.1f%%\n",
+    std::printf("bdd: peak_live=%zu gc_runs=%zu unique_hit=%.1f%% op_cache_hit=%.1f%%",
                 result.stats.bdd_peak_live_nodes, result.stats.bdd_gc_collections,
                 100.0 * result.stats.bdd_unique_hit_rate,
                 100.0 * result.stats.bdd_op_cache_hit_rate);
+    if (result.stats.bdd_iterations > 0) {
+      std::printf(" eg_iterations=%d", result.stats.bdd_iterations);
+    }
+    std::printf("\n");
+  }
+  if (result.engine_used == mc::EngineKind::kParallel && !core::is_invariant_lemma(lemma)) {
+    std::printf("owcty: trim_rounds=%zu residue_states=%zu\n", result.stats.trim_rounds,
+                result.stats.residue_states);
   }
 
   if (!result.holds && !result.trace.empty()) {

@@ -1,10 +1,13 @@
 #!/usr/bin/env python3
 """Validate a ttstart-bench report file (BENCH_results.json).
 
-Accepts schema v1 and v2. v2 adds two optional per-record fields emitted by
-symbolic-engine runs: `iterations` (image/BFS steps to the fixpoint) and
-`peak_live_nodes` (peak live BDD nodes); both must be non-negative integers
-when present, and are rejected under v1.
+Accepts schema v1, v2 and v3. v2 adds two optional per-record fields emitted
+by symbolic-engine runs: `iterations` (image/BFS steps to the fixpoint) and
+`peak_live_nodes` (peak live BDD nodes). v3 adds two more, emitted by
+parallel OWCTY liveness runs: `trim_rounds` (trimming sweeps to the fixpoint)
+and `residue_states` (goal-free states left alive afterwards). Optional
+fields must be non-negative integers when present and are rejected under
+older schemas.
 
 Checks the envelope, the per-record field set and types, and basic value
 sanity (non-negative counts/times, verdict non-empty, threads >= 1). With
@@ -12,7 +15,11 @@ sanity (non-negative counts/times, verdict non-empty, threads >= 1). With
 one record — the CI bench-smoke job uses this to catch a bench binary that
 silently stopped reporting. With --require-engine, fails unless at least one
 record ran on the named engine — CI uses `--require-engine sym` so the
-symbolic leg cannot silently drop out of the comparison.
+symbolic leg cannot silently drop out of the comparison. With
+--require-engine-for SUBSTR:ENGINE, fails unless at least one record whose
+experiment name contains SUBSTR ran on ENGINE — CI uses
+`--require-engine-for liveness:par` so liveness checking cannot silently
+fall back off the parallel engine.
 
 Exit code 0 on success, 1 on any violation (all violations are listed).
 """
@@ -34,23 +41,34 @@ REQUIRED_FIELDS = {
     "verdict": str,
 }
 
-# v2-only per-record fields; optional, but typed when present.
-OPTIONAL_FIELDS = {
+# Optional per-record fields by the schema version that introduced them;
+# typed when present, rejected under older schemas.
+OPTIONAL_FIELDS_V2 = {
     "iterations": int,
     "peak_live_nodes": int,
 }
+OPTIONAL_FIELDS_V3 = {
+    **OPTIONAL_FIELDS_V2,
+    "trim_rounds": int,
+    "residue_states": int,
+}
 
-SCHEMAS = ("ttstart-bench-v1", "ttstart-bench-v2")
+SCHEMAS = ("ttstart-bench-v1", "ttstart-bench-v2", "ttstart-bench-v3")
 
 
-def validate(doc, require, require_engines):
+def validate(doc, require, require_engines, require_engine_for):
     errors = []
     if not isinstance(doc, dict):
         return ["top level is not a JSON object"]
     schema = doc.get("schema")
     if schema not in SCHEMAS:
         errors.append(f"schema is {schema!r}, expected one of {SCHEMAS!r}")
-    allowed_optional = OPTIONAL_FIELDS if schema == "ttstart-bench-v2" else {}
+    if schema == "ttstart-bench-v3":
+        allowed_optional = OPTIONAL_FIELDS_V3
+    elif schema == "ttstart-bench-v2":
+        allowed_optional = OPTIONAL_FIELDS_V2
+    else:
+        allowed_optional = {}
     results = doc.get("results")
     if not isinstance(results, list):
         return errors + ["'results' is missing or not an array"]
@@ -59,6 +77,7 @@ def validate(doc, require, require_engines):
 
     seen_benches = set()
     seen_engines = set()
+    seen_experiment_engines = set()
     for i, rec in enumerate(results):
         where = f"results[{i}]"
         if not isinstance(rec, dict):
@@ -90,6 +109,8 @@ def validate(doc, require, require_engines):
             errors.append(f"{where}: unknown field(s) {sorted(unknown)}")
         if isinstance(rec.get("engine"), str):
             seen_engines.add(rec["engine"])
+            if isinstance(rec.get("experiment"), str):
+                seen_experiment_engines.add((rec["experiment"], rec["engine"]))
         if isinstance(rec.get("bench"), str):
             seen_benches.add(rec["bench"])
             exp = rec.get("experiment")
@@ -108,6 +129,18 @@ def validate(doc, require, require_engines):
     for engine in require_engines:
         if engine not in seen_engines:
             errors.append(f"required engine '{engine}' contributed no records")
+    for spec in require_engine_for:
+        substr, _, engine = spec.partition(":")
+        if not substr or not engine:
+            errors.append(f"--require-engine-for {spec!r}: expected SUBSTR:ENGINE")
+            continue
+        if not any(
+            substr in exp and eng == engine for exp, eng in seen_experiment_engines
+        ):
+            errors.append(
+                f"no record with {substr!r} in its experiment ran on engine "
+                f"'{engine}'"
+            )
     return errors
 
 
@@ -128,6 +161,14 @@ def main():
         metavar="ENGINE",
         help="engine name that must have >= 1 record (repeatable)",
     )
+    parser.add_argument(
+        "--require-engine-for",
+        action="append",
+        default=[],
+        metavar="SUBSTR:ENGINE",
+        help="require >= 1 record whose experiment contains SUBSTR to have "
+        "run on ENGINE (repeatable)",
+    )
     args = parser.parse_args()
 
     try:
@@ -137,7 +178,9 @@ def main():
         print(f"{args.report}: {e}", file=sys.stderr)
         return 1
 
-    errors = validate(doc, args.require, args.require_engine)
+    errors = validate(
+        doc, args.require, args.require_engine, args.require_engine_for
+    )
     if errors:
         for e in errors:
             print(f"{args.report}: {e}", file=sys.stderr)

@@ -458,6 +458,31 @@ NodeId Manager::minterm_bits(const std::uint64_t* words, int bits) {
   return acc;
 }
 
+NodeId Manager::minterm_even_bits(const std::uint64_t* words, int bits) {
+  TT_ASSERT(bits >= 1 && 2 * bits <= num_vars_);
+  maybe_gc({});
+  NodeId acc = kTrue;
+  for (int b = bits - 1; b >= 0; --b) {
+    const bool bit = ((words[b >> 6] >> (b & 63)) & 1u) != 0;
+    acc = bit ? make(2 * b, kFalse, acc) : make(2 * b, acc, kFalse);
+  }
+  return acc;
+}
+
+NodeId Manager::minterm_pair_bits(const std::uint64_t* cur, const std::uint64_t* next,
+                                  int bits) {
+  TT_ASSERT(bits >= 1 && 2 * bits <= num_vars_);
+  maybe_gc({});
+  NodeId acc = kTrue;
+  for (int b = bits - 1; b >= 0; --b) {
+    const bool nbit = ((next[b >> 6] >> (b & 63)) & 1u) != 0;
+    acc = nbit ? make(2 * b + 1, kFalse, acc) : make(2 * b + 1, acc, kFalse);
+    const bool cbit = ((cur[b >> 6] >> (b & 63)) & 1u) != 0;
+    acc = cbit ? make(2 * b, kFalse, acc) : make(2 * b, acc, kFalse);
+  }
+  return acc;
+}
+
 std::vector<bool> Manager::any_sat(NodeId f) const {
   TT_REQUIRE(f != kFalse, "any_sat of the false BDD");
   std::vector<bool> out(static_cast<std::size_t>(num_vars_), false);

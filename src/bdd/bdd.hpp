@@ -137,6 +137,16 @@ class Manager {
   /// insert path of the BDD-set reachability engine.
   [[nodiscard]] NodeId minterm_bits(const std::uint64_t* words, int bits);
 
+  /// Interleaved-order variants for the liveness engine's current/next
+  /// variable pairing (current bit i = var 2i, next bit i = var 2i+1).
+  /// minterm_even_bits constrains only the even (current) variables — the
+  /// odd ones stay free, so the result is a *set* over current vars;
+  /// minterm_pair_bits constrains both, yielding one transition minterm of
+  /// the relation. Both are raw bottom-up make() chains like minterm_bits.
+  [[nodiscard]] NodeId minterm_even_bits(const std::uint64_t* words, int bits);
+  [[nodiscard]] NodeId minterm_pair_bits(const std::uint64_t* cur, const std::uint64_t* next,
+                                         int bits);
+
   /// Extracts one satisfying assignment (f must not be kFalse); unassigned
   /// variables default to false.
   [[nodiscard]] std::vector<bool> any_sat(NodeId f) const;

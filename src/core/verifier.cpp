@@ -1,8 +1,10 @@
 #include "core/verifier.hpp"
 
 #include "mc/liveness.hpp"
+#include "mc/parallel_liveness.hpp"
 #include "mc/parallel_reachability.hpp"
 #include "mc/reachability.hpp"
+#include "mc/symbolic_liveness.hpp"
 #include "mc/symbolic_reachability.hpp"
 #include "support/assert.hpp"
 #include "tta/properties.hpp"
@@ -40,15 +42,28 @@ VerificationResult verify(const tta::ClusterConfig& raw_cfg, Lemma lemma,
   VerificationResult out;
 
   if (!is_invariant_lemma(lemma)) {
-    // Lasso liveness is a DFS over the goal-free subgraph — always
-    // sequential, whatever the requested engine.
-    out.engine_used = mc::EngineKind::kSequential;
+    // Liveness engines (DESIGN.md §3.4): auto resolves to the parallel
+    // OWCTY trimmer, seq forces the colored-DFS lasso search, sym runs the
+    // backward EG(¬goal) fixpoint — no silent fallback anymore.
+    const mc::EngineKind kind = opts.engine == mc::EngineKind::kAuto
+                                    ? mc::EngineKind::kParallel
+                                    : opts.engine;
+    out.engine_used = kind;
     auto goal = [&](const tta::Cluster::State& s) {
       return tta::all_correct_active(cfg, cluster.unpack(s));
     };
-    auto r = lemma == Lemma::kLiveness
-                 ? mc::check_eventually(cluster, goal, opts.limits)
-                 : mc::check_always_eventually(cluster, goal, opts.limits);
+    const bool recurrent = lemma == Lemma::kReintegration;  // AG AF vs F
+    auto r = [&] {
+      if (kind == mc::EngineKind::kSymbolic) {
+        return recurrent
+                   ? mc::check_always_eventually_symbolic(cluster, goal, opts.limits)
+                   : mc::check_eventually_symbolic(cluster, goal, opts.limits);
+      }
+      mc::EngineOptions eopts(opts.limits);
+      eopts.threads = opts.threads;
+      return recurrent ? mc::check_always_eventually_with(kind, cluster, goal, eopts)
+                       : mc::check_eventually_with(kind, cluster, goal, eopts);
+    }();
     out.holds = r.verdict == mc::LivenessVerdict::kHolds;
     out.exhausted = r.verdict != mc::LivenessVerdict::kLimit;
     out.stats = std::move(r.stats);

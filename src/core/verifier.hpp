@@ -2,13 +2,15 @@
 // of one lemma against one cluster configuration, mirroring how the paper's
 // experiments are organized (a lemma x configuration grid, Figs. 4 and 6).
 //
-// Engine selection: invariant lemmas run on the parallel frontier engine by
-// default (mc/parallel_reachability.hpp); the lasso-based liveness lemmas
-// are inherently depth-first and always run sequentially. EngineKind
-// kSymbolic routes invariant lemmas to the BDD-set engine
-// (mc/symbolic_reachability.hpp) instead. VerifyOptions overrides the
-// engine and thread count; the TTSTART_THREADS environment variable sets
-// the default thread count (see mc::resolve_threads).
+// Engine selection: every lemma runs on the parallel engine by default —
+// frontier BFS for invariants (mc/parallel_reachability.hpp), OWCTY
+// goal-free-cycle trimming for the liveness lemmas
+// (mc/parallel_liveness.hpp). EngineKind kSymbolic routes invariants to the
+// BDD-set engine (mc/symbolic_reachability.hpp) and liveness to the
+// backward EG(¬goal) fixpoint (mc/symbolic_liveness.hpp); kSequential
+// forces the single-threaded BFS / colored-DFS engines. VerifyOptions
+// overrides the engine and thread count; the TTSTART_THREADS environment
+// variable sets the default thread count (see mc::resolve_threads).
 #pragma once
 
 #include <string>
@@ -55,7 +57,7 @@ struct VerifyOptions {
   VerifyOptions(const mc::SearchLimits& l) : limits(l) {}  // NOLINT: deliberate implicit lift
 
   mc::SearchLimits limits;
-  /// kAuto = parallel for invariant lemmas, sequential for lasso liveness.
+  /// kAuto = the parallel engine for every lemma class.
   mc::EngineKind engine = mc::EngineKind::kAuto;
   int threads = 0;  ///< 0 = TTSTART_THREADS env, then hardware concurrency
 };
@@ -67,7 +69,7 @@ struct VerificationResult {
   std::vector<tta::Cluster::State> trace;  ///< counterexample when !holds
   std::size_t loop_start = 0;              ///< lasso entry for liveness cycles
   std::string verdict_text;
-  /// Engine that actually ran (kAuto resolved; liveness forces kSequential).
+  /// Engine that actually ran (kAuto resolved per VerifyOptions::engine).
   mc::EngineKind engine_used = mc::EngineKind::kSequential;
 };
 

@@ -14,11 +14,14 @@
 
 namespace tt::mc {
 
-/// Which exploration engine to use. kAuto picks per property class:
-/// parallel frontier BFS for invariant lemmas, sequential lasso DFS for
-/// liveness (cycle detection is inherently depth-first). kSymbolic keeps
-/// the reached set as a BDD (mc/symbolic_reachability.hpp) and applies to
-/// invariant lemmas only — liveness falls back to the sequential engine.
+/// Which exploration engine to use. kAuto resolves to the parallel engine
+/// for every property class: frontier BFS for invariant lemmas
+/// (parallel_reachability.hpp) and OWCTY goal-free-cycle trimming for the
+/// liveness lemmas (parallel_liveness.hpp). kSequential forces the
+/// single-threaded BFS / colored-DFS lasso search. kSymbolic keeps the
+/// reached set as a BDD — reachability for invariants
+/// (mc/symbolic_reachability.hpp) and a backward EG(¬goal) greatest
+/// fixpoint for liveness (mc/symbolic_liveness.hpp).
 enum class EngineKind {
   kAuto,
   kSequential,

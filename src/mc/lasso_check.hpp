@@ -1,0 +1,108 @@
+// Counterexample replay: re-executes a lasso (or deadlock path) returned by
+// any liveness engine through the model's own successor relation, so a trace
+// is never trusted on the engine's word alone. Used by the replay tests
+// (tests/mc/lasso_replay_test.cpp) and available to tools that print
+// counterexamples.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mc/transition_system.hpp"
+
+namespace tt::mc {
+
+/// Checks that `trace` + `loop_start` is a genuine goal-free lasso of `ts`:
+///   * the trace is nonempty and `loop_start` indexes into it;
+///   * every consecutive pair is an edge of the successor relation;
+///   * the closing edge trace.back() -> trace[loop_start] exists;
+///   * every cycle state (indices >= loop_start) violates `goal`.
+/// With `require_initial_root` the first state must be an initial state —
+/// true for F(goal) lassos; AG AF stems may instead start at any reachable
+/// state (sequential engine) and may pass through goal states, so stem
+/// states are deliberately not goal-checked.
+/// On failure returns false and, when `why` is non-null, describes the first
+/// violated condition.
+template <TransitionSystem TS, class Pred>
+[[nodiscard]] bool validate_lasso(const TS& ts, Pred&& goal,
+                                  const std::vector<typename TS::State>& trace,
+                                  std::size_t loop_start, bool require_initial_root = false,
+                                  std::string* why = nullptr) {
+  using State = typename TS::State;
+  auto fail = [&](std::string msg) {
+    if (why) *why = std::move(msg);
+    return false;
+  };
+  auto at_index = [](const char* what, std::size_t i) {
+    return std::string(what) + " at trace index " + std::to_string(i);
+  };
+  if (trace.empty()) return fail("empty trace");
+  if (loop_start >= trace.size()) return fail("loop_start out of range");
+  if (require_initial_root) {
+    bool is_init = false;
+    ts.initial_states([&](const State& s) {
+      if (s == trace.front()) is_init = true;
+    });
+    if (!is_init) return fail("trace does not start at an initial state");
+  }
+  auto has_edge = [&](const State& from, const State& to) {
+    bool found = false;
+    ts.successors(from, [&](const State& t) {
+      if (t == to) found = true;
+    });
+    return found;
+  };
+  for (std::size_t i = 0; i + 1 < trace.size(); ++i) {
+    if (!has_edge(trace[i], trace[i + 1])) return fail(at_index("missing edge", i));
+  }
+  if (!has_edge(trace.back(), trace[loop_start])) return fail("cycle does not close");
+  for (std::size_t i = loop_start; i < trace.size(); ++i) {
+    if (goal(trace[i])) return fail(at_index("goal state inside the cycle", i));
+  }
+  return true;
+}
+
+/// Deadlock-path replay: every consecutive pair is an edge, the final state
+/// has no successors at all, and no path state satisfies `goal` up to and
+/// including the deadlocked state (F(goal) paths; AG AF deadlock paths may
+/// pass goal states in the stem, so only the final state is goal-checked
+/// when `goal_free_path` is false).
+template <TransitionSystem TS, class Pred>
+[[nodiscard]] bool validate_deadlock_path(const TS& ts, Pred&& goal,
+                                          const std::vector<typename TS::State>& trace,
+                                          bool goal_free_path = true,
+                                          std::string* why = nullptr) {
+  using State = typename TS::State;
+  auto fail = [&](std::string msg) {
+    if (why) *why = std::move(msg);
+    return false;
+  };
+  if (trace.empty()) return fail("empty trace");
+  auto has_edge = [&](const State& from, const State& to) {
+    bool found = false;
+    ts.successors(from, [&](const State& t) {
+      if (t == to) found = true;
+    });
+    return found;
+  };
+  for (std::size_t i = 0; i + 1 < trace.size(); ++i) {
+    if (!has_edge(trace[i], trace[i + 1])) {
+      return fail("missing edge at trace index " + std::to_string(i));
+    }
+  }
+  std::size_t out = 0;
+  ts.successors(trace.back(), [&](const State&) { ++out; });
+  if (out != 0) return fail("final state is not deadlocked");
+  if (goal_free_path) {
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      if (goal(trace[i])) return fail("goal state on the deadlock path");
+    }
+  } else if (goal(trace.back())) {
+    return fail("deadlocked state satisfies the goal");
+  }
+  return true;
+}
+
+}  // namespace tt::mc

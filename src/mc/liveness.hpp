@@ -57,10 +57,13 @@ namespace detail {
 
 /// Shared goal-free-lasso search. Roots are supplied by the caller: the
 /// goal-free initial states for F(goal), every reachable goal-free state for
-/// AG AF(goal).
+/// AG AF(goal). `expected_states` pre-sizes the interning table (callers
+/// that already materialized the reachable set pass its size, so the DFS
+/// never rehashes from default capacity).
 template <class TS, class Pred, class RootFn>
 [[nodiscard]] LivenessResult<TS> lasso_search(const TS& ts, Pred&& goal, RootFn&& for_each_root,
-                                              const SearchLimits& limits) {
+                                              const SearchLimits& limits,
+                                              std::size_t expected_states = 0) {
   using State = typename TS::State;
   enum : std::uint8_t { kWhite = 0, kGrey = 1, kBlack = 2 };
 
@@ -69,6 +72,13 @@ template <class TS, class Pred, class RootFn>
   StateIndexMap<TS::kWords> seen;   // interns goal-free states only
   RecentSeenCache cache;            // duplicate suppression in front of `seen`
   std::vector<std::uint8_t> color;  // parallel to `seen`
+  if (expected_states == 0 && limits.states_bounded()) {
+    expected_states = limits.max_states + limits.max_states / 8 + 1;
+  }
+  if (expected_states > 0) {
+    seen.reserve(expected_states);
+    color.reserve(expected_states);
+  }
 
   // Hash-once intern shared by root seeding and DFS expansion: one
   // hash_words per candidate, duplicates short-circuited by the cache.
@@ -242,7 +252,7 @@ template <TransitionSystem TS, class Pred>
       [&](auto&& visit) {
         for (const State& s : reachable) visit(s);
       },
-      limits);
+      limits, /*expected_states=*/reachable.size());
   result.stats.states = std::max(result.stats.states, reachable.size());
   result.stats.hash_ops += bfs_hash_ops;
   result.stats.cache_hits += bfs_cache_hits;

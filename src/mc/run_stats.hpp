@@ -30,8 +30,15 @@ struct RunStats {
   std::size_t dup_transitions = 0;
   std::size_t cache_hits = 0;
   /// Per-BFS-level frontier sizes (index = depth). Filled by the frontier
-  /// engines; empty for DFS-based liveness runs.
+  /// engines (including the parallel OWCTY liveness engine's materialization
+  /// phase); empty for the sequential DFS-based liveness runs.
   std::vector<std::size_t> frontier_sizes;
+  /// OWCTY liveness instrumentation (parallel engine only; zero elsewhere):
+  /// trimming rounds until the zero-out-degree deletion reached its fixpoint,
+  /// and the residue size at that fixpoint — nonzero residue is exactly a
+  /// goal-free-cycle violation (DESIGN.md §3.4).
+  std::size_t trim_rounds = 0;
+  std::size_t residue_states = 0;
   /// Symbolic-engine instrumentation (all zero for explicit-state runs):
   /// peak live BDD nodes, mark-and-sweep collections, unique-table and
   /// persistent op-cache hit fractions, and image/BFS iterations to the

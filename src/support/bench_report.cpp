@@ -45,9 +45,12 @@ std::string render_record(const std::string& bench, const BenchRecord& r) {
        << ", \"states_per_sec\": " << sps << ", \"exhausted\": "
        << (r.exhausted ? "true" : "false") << ", \"verdict\": \"" << json_escape(r.verdict)
        << "\"";
-  // v2 optional columns, emitted only where meaningful (symbolic runs).
+  // v2/v3 optional columns, emitted only where meaningful (symbolic runs,
+  // parallel OWCTY liveness runs).
   if (r.iterations >= 0) line << ", \"iterations\": " << r.iterations;
   if (r.peak_live_nodes >= 0) line << ", \"peak_live_nodes\": " << r.peak_live_nodes;
+  if (r.trim_rounds >= 0) line << ", \"trim_rounds\": " << r.trim_rounds;
+  if (r.residue_states >= 0) line << ", \"residue_states\": " << r.residue_states;
   line << "}";
   return line.str();
 }
@@ -88,7 +91,7 @@ std::string BenchReport::write() {
     std::fprintf(stderr, "ttstart: cannot write %s\n", path.c_str());
     return {};
   }
-  out << "{\n  \"schema\": \"ttstart-bench-v2\",\n  \"results\": [\n";
+  out << "{\n  \"schema\": \"ttstart-bench-v3\",\n  \"results\": [\n";
   bool first = true;
   for (const std::string& rec : kept) {
     out << (first ? "    " : ",\n    ") << rec;

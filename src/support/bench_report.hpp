@@ -26,6 +26,11 @@ struct BenchRecord {
   /// live BDD nodes. Negative = not applicable, omitted from the JSON.
   long long iterations = -1;
   long long peak_live_nodes = -1;
+  /// Parallel-liveness (OWCTY) columns (schema v3): trimming rounds to the
+  /// fixpoint and goal-free states left alive afterwards. Negative = not
+  /// applicable, omitted from the JSON.
+  long long trim_rounds = -1;
+  long long residue_states = -1;
 };
 
 class BenchReport {

@@ -81,6 +81,12 @@ class ShardedStateIndexMap {
   [[nodiscard]] std::uint32_t local_of_id(std::uint32_t id) const noexcept {
     return id >> shard_bits_;
   }
+  /// Inverse of (shard_of_id, local_of_id): reassembles a global id. Used by
+  /// engines that build dense side arrays (shard-base prefix sums) over a
+  /// frozen map and need to map dense positions back to global ids.
+  [[nodiscard]] std::uint32_t id_of(unsigned shard, std::uint32_t local) const noexcept {
+    return (local << shard_bits_) | shard;
+  }
 
   /// Interns `s`; thread-safe (locks the target shard). Returns {id, fresh}.
   std::pair<std::uint32_t, bool> insert(const State& s) { return insert(s, hash_words(s)); }

@@ -10,6 +10,8 @@
 #include <string>
 
 #include "core/verifier.hpp"
+#include "mc/lasso_check.hpp"
+#include "tta/properties.hpp"
 
 namespace tt::core {
 namespace {
@@ -86,9 +88,10 @@ TEST_P(EngineEquivalenceGrid, ParallelIsDeterministicAcrossThreadCounts) {
 }
 
 // The tier-1 grid of lemma_sweep_test.cpp, crossed with every invariant
-// lemma (liveness lemmas are lasso-based and always sequential). The
-// hub-agreement cells at degree >= 3 are VIOLATED cells, so the suite covers
-// counterexample agreement, not just holds-verdicts.
+// lemma (the liveness lemma classes get their own grid below, on the OWCTY
+// and EG engines). The hub-agreement cells at degree >= 3 are VIOLATED
+// cells, so the suite covers counterexample agreement, not just
+// holds-verdicts.
 INSTANTIATE_TEST_SUITE_P(
     Grid, EngineEquivalenceGrid,
     ::testing::Values(GridCell{3, 1, true, Lemma::kSafety}, GridCell{3, 2, true, Lemma::kSafety},
@@ -130,21 +133,26 @@ TEST(EngineEquivalenceHub, Safety2FaultyHubGrid) {
   }
 }
 
-TEST(EngineEquivalence, LivenessAlwaysRunsSequential) {
+TEST(EngineEquivalence, LivenessHonorsRequestedEngine) {
+  // PR 4 removed the silent fallback: every engine kind now runs liveness
+  // itself (seq = colored DFS, par = OWCTY trimming, sym = EG fixpoint).
   tta::ClusterConfig cfg;
   cfg.n = 3;
   cfg.faulty_node = 0;
   cfg.fault_degree = 2;
   cfg.init_window = 3;
   cfg.hub_init_window = 3;
-  VerifyOptions opts;
-  opts.engine = mc::EngineKind::kParallel;  // request is overridden for lasso DFS
-  const auto r = verify(cfg, Lemma::kLiveness, opts);
-  EXPECT_EQ(r.engine_used, mc::EngineKind::kSequential);
-  EXPECT_TRUE(r.holds) << r.verdict_text;
+  for (const mc::EngineKind kind : {mc::EngineKind::kSequential, mc::EngineKind::kParallel,
+                                    mc::EngineKind::kSymbolic}) {
+    VerifyOptions opts;
+    opts.engine = kind;
+    const auto r = verify(cfg, Lemma::kLiveness, opts);
+    EXPECT_EQ(r.engine_used, kind) << mc::to_string(kind);
+    EXPECT_TRUE(r.holds) << mc::to_string(kind) << ": " << r.verdict_text;
+  }
 }
 
-TEST(EngineEquivalence, AutoPicksParallelForInvariantsSequentialForLiveness) {
+TEST(EngineEquivalence, AutoPicksParallelForEveryLemmaClass) {
   tta::ClusterConfig cfg;
   cfg.n = 3;
   cfg.faulty_node = 0;
@@ -152,8 +160,136 @@ TEST(EngineEquivalence, AutoPicksParallelForInvariantsSequentialForLiveness) {
   cfg.init_window = 3;
   cfg.hub_init_window = 3;
   EXPECT_EQ(verify(cfg, Lemma::kSafety).engine_used, mc::EngineKind::kParallel);
-  EXPECT_EQ(verify(cfg, Lemma::kLiveness).engine_used, mc::EngineKind::kSequential);
+  EXPECT_EQ(verify(cfg, Lemma::kLiveness).engine_used, mc::EngineKind::kParallel);
+  EXPECT_EQ(verify(cfg, Lemma::kReintegration).engine_used, mc::EngineKind::kParallel);
 }
+
+// ---------------------------------------------------------------------------
+// Liveness equivalence: seq (colored DFS), par (OWCTY trimming, 1/2/4
+// threads) and sym (EG fixpoint) must agree on the verdict for every cell;
+// par runs must be bit-identical across thread counts; every returned lasso
+// must replay through the model. Suite name keeps the "EngineEquivalence"
+// stem so the TSan CI job picks it up.
+// ---------------------------------------------------------------------------
+
+struct LivenessCell {
+  int n;
+  int degree;  ///< 0 = faulty-hub cell (the §5.2 VIOLATED configuration)
+  Lemma lemma;
+};
+
+std::string liveness_cell_name(const ::testing::TestParamInfo<LivenessCell>& info) {
+  return std::string(to_string(info.param.lemma)) + "_n" + std::to_string(info.param.n) +
+         (info.param.degree == 0 ? "_hub" : "_deg" + std::to_string(info.param.degree));
+}
+
+tta::ClusterConfig liveness_cell_config(const LivenessCell& cell) {
+  tta::ClusterConfig cfg;
+  cfg.n = cell.n;
+  cfg.init_window = 3;
+  if (cell.degree == 0) {
+    cfg.faulty_hub = 0;
+    cfg.hub_init_window = 1;
+  } else {
+    cfg.faulty_node = 0;
+    cfg.fault_degree = cell.degree;
+    cfg.hub_init_window = 3;
+  }
+  if (cell.lemma == Lemma::kReintegration) cfg.transient_restarts = 1;
+  return cfg;
+}
+
+VerificationResult run_liveness(const LivenessCell& cell, mc::EngineKind engine, int threads) {
+  VerifyOptions opts;
+  opts.engine = engine;
+  opts.threads = threads;
+  return verify(liveness_cell_config(cell), cell.lemma, opts);
+}
+
+class EngineEquivalenceLiveness : public ::testing::TestWithParam<LivenessCell> {};
+
+TEST_P(EngineEquivalenceLiveness, SeqParSymAgreeAndParIsDeterministic) {
+  const LivenessCell cell = GetParam();
+  const auto seq = run_liveness(cell, mc::EngineKind::kSequential, 1);
+  ASSERT_EQ(seq.engine_used, mc::EngineKind::kSequential);
+  ASSERT_TRUE(seq.exhausted);
+
+  const auto base = run_liveness(cell, mc::EngineKind::kParallel, 1);
+  for (int threads : {1, 2, 4}) {
+    const auto par = run_liveness(cell, mc::EngineKind::kParallel, threads);
+    ASSERT_EQ(par.engine_used, mc::EngineKind::kParallel);
+    EXPECT_EQ(par.stats.threads, threads);
+    EXPECT_EQ(par.holds, seq.holds) << "threads=" << threads << ": " << par.verdict_text
+                                    << " vs " << seq.verdict_text;
+    EXPECT_EQ(par.verdict_text, seq.verdict_text) << "threads=" << threads;
+    EXPECT_EQ(par.exhausted, seq.exhausted) << "threads=" << threads;
+    // Bit-identical lasso (trace AND loop entry) at every thread count.
+    EXPECT_EQ(par.trace, base.trace) << "threads=" << threads;
+    EXPECT_EQ(par.loop_start, base.loop_start) << "threads=" << threads;
+    EXPECT_EQ(par.stats.trim_rounds, base.stats.trim_rounds) << "threads=" << threads;
+    EXPECT_EQ(par.stats.residue_states, base.stats.residue_states) << "threads=" << threads;
+    if (seq.holds && cell.lemma == Lemma::kLiveness) {
+      // Exhaustive F(goal) holds-runs sweep the same goal-free region once:
+      // state, transition and hash counts match the sequential DFS exactly.
+      EXPECT_EQ(par.stats.states, seq.stats.states) << "threads=" << threads;
+      EXPECT_EQ(par.stats.transitions, seq.stats.transitions) << "threads=" << threads;
+      EXPECT_EQ(par.stats.hash_ops, seq.stats.hash_ops) << "threads=" << threads;
+    }
+  }
+
+  const auto sym = run_liveness(cell, mc::EngineKind::kSymbolic, 1);
+  ASSERT_EQ(sym.engine_used, mc::EngineKind::kSymbolic);
+  EXPECT_EQ(sym.holds, seq.holds) << sym.verdict_text << " vs " << seq.verdict_text;
+  EXPECT_EQ(sym.verdict_text, seq.verdict_text);
+  EXPECT_EQ(sym.stats.hash_ops, 0u);  // BDD membership, no hashing
+  if (!seq.holds) {
+    EXPECT_GT(sym.stats.bdd_iterations, 0);
+  }
+  if (seq.holds && cell.lemma == Lemma::kLiveness) {
+    EXPECT_EQ(sym.stats.states, seq.stats.states);
+    EXPECT_EQ(sym.stats.transitions, seq.stats.transitions);
+  }
+}
+
+TEST_P(EngineEquivalenceLiveness, CounterexamplesReplayThroughTheModel) {
+  const LivenessCell cell = GetParam();
+  const tta::ClusterConfig cfg = prepare_config(liveness_cell_config(cell), cell.lemma);
+  const tta::Cluster cluster(cfg);
+  auto goal = [&](const tta::Cluster::State& s) {
+    return tta::all_correct_active(cfg, cluster.unpack(s));
+  };
+
+  const auto seq = run_liveness(cell, mc::EngineKind::kSequential, 1);
+  if (seq.holds) {
+    GTEST_SKIP() << "holds-cell: no counterexample to replay";
+  }
+  std::string why;
+  // Seq AG AF lassos are rooted at an arbitrary reachable state; everything
+  // else stems from an initial state.
+  ASSERT_TRUE(mc::validate_lasso(cluster, goal, seq.trace, seq.loop_start,
+                                 /*require_initial_root=*/cell.lemma == Lemma::kLiveness,
+                                 &why))
+      << "seq: " << why;
+  for (int threads : {1, 2, 4}) {
+    const auto par = run_liveness(cell, mc::EngineKind::kParallel, threads);
+    ASSERT_TRUE(mc::validate_lasso(cluster, goal, par.trace, par.loop_start,
+                                   /*require_initial_root=*/true, &why))
+        << "par threads=" << threads << ": " << why;
+  }
+  const auto sym = run_liveness(cell, mc::EngineKind::kSymbolic, 1);
+  ASSERT_TRUE(mc::validate_lasso(cluster, goal, sym.trace, sym.loop_start,
+                                 /*require_initial_root=*/true, &why))
+      << "sym: " << why;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EngineEquivalenceLiveness,
+    ::testing::Values(LivenessCell{3, 1, Lemma::kLiveness}, LivenessCell{3, 2, Lemma::kLiveness},
+                      LivenessCell{3, 3, Lemma::kLiveness}, LivenessCell{3, 0, Lemma::kLiveness},
+                      LivenessCell{4, 0, Lemma::kLiveness},
+                      LivenessCell{3, 2, Lemma::kReintegration},
+                      LivenessCell{3, 0, Lemma::kReintegration}),
+    liveness_cell_name);
 
 }  // namespace
 }  // namespace tt::core

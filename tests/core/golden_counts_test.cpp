@@ -80,16 +80,35 @@ TEST_P(GoldenCounts, ExactAcrossEnginesAndThreadCounts) {
   EXPECT_EQ(seq.stats.transitions, cell.transitions) << cell.name;
 
   if (cell.lemma == Lemma::kLiveness) {
-    // Lasso liveness always runs sequentially; the golden counts above are
-    // the whole check. (Its hash_ops spans the BFS materialization plus the
-    // goal-free DFS, so the BFS-only formula below does not apply.) A
-    // requested symbolic engine must fall back to the sequential DFS.
+    // F(goal) liveness: the sequential DFS, the parallel OWCTY engine and
+    // the symbolic EG engine all sweep exactly the reachable goal-free
+    // region once on a holds-run, so states and transitions are pinned for
+    // all three, hash_ops matches between seq and par (hash-once on the
+    // same candidate stream; the hash-once formula below is BFS-specific),
+    // and sym never hashes at all.
     EXPECT_GT(seq.stats.hash_ops, std::size_t{0}) << cell.name;
+    for (int threads : {1, 2, 4}) {
+      VerifyOptions par_opts;
+      par_opts.engine = mc::EngineKind::kParallel;
+      par_opts.threads = threads;
+      const auto par = verify(cfg, cell.lemma, par_opts);
+      const std::string label = std::string(cell.name) + "/par@" + std::to_string(threads);
+      ASSERT_TRUE(par.holds) << label << ": " << par.verdict_text;
+      EXPECT_EQ(par.engine_used, mc::EngineKind::kParallel) << label;
+      EXPECT_EQ(par.stats.states, cell.states) << label;
+      EXPECT_EQ(par.stats.transitions, cell.transitions) << label;
+      EXPECT_EQ(par.stats.hash_ops, seq.stats.hash_ops) << label;
+      EXPECT_EQ(par.stats.residue_states, std::size_t{0}) << label;
+    }
     VerifyOptions sym_opts;
     sym_opts.engine = mc::EngineKind::kSymbolic;
     const auto sym = verify(cfg, cell.lemma, sym_opts);
-    EXPECT_EQ(sym.engine_used, mc::EngineKind::kSequential) << cell.name;
-    EXPECT_EQ(sym.stats.states, cell.states) << cell.name << "/sym-fallback";
+    const std::string label = std::string(cell.name) + "/sym";
+    ASSERT_TRUE(sym.holds) << label << ": " << sym.verdict_text;
+    EXPECT_EQ(sym.engine_used, mc::EngineKind::kSymbolic) << label;
+    EXPECT_EQ(sym.stats.states, cell.states) << label;
+    EXPECT_EQ(sym.stats.transitions, cell.transitions) << label;
+    EXPECT_EQ(sym.stats.hash_ops, std::size_t{0}) << label;
     return;
   }
   expect_hash_once(seq, std::string(cell.name) + "/seq");

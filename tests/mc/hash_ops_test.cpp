@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "mc/liveness.hpp"
+#include "mc/parallel_liveness.hpp"
 #include "mc/parallel_reachability.hpp"
 #include "mc/reachability.hpp"
 #include "toy_system.hpp"
@@ -90,6 +91,29 @@ TEST(HashOnce, LassoSearchHashesOnlyGoalFreeCandidates) {
   // 1). Edges to 3/4 are enumerated as transitions but never hashed.
   EXPECT_EQ(r.stats.hash_ops, 3u);
   EXPECT_LT(r.stats.hash_ops, r.stats.transitions + initial.size());
+}
+
+TEST(HashOnce, ParallelLivenessHashesOnlyGoalFreeCandidatesAtEveryThreadCount) {
+  // The OWCTY materialization phase obeys the same contract as the
+  // sequential lasso search: goal candidates are enumerated as transitions
+  // but never hashed, and the count matches seq exactly.
+  const std::vector<std::uint64_t> initial = {0};
+  const std::vector<std::vector<std::uint64_t>> adj = {{1, 3}, {2, 4}, {3}, {3}, {4}};
+  ToySystem ts(initial, adj);
+  auto goal = [](const ToySystem::State& s) { return s[0] >= 3; };
+  const auto seq = check_eventually(ts, goal);
+  ASSERT_EQ(seq.verdict, LivenessVerdict::kHolds);
+  for (int threads : {1, 2, 4}) {
+    EngineOptions opts;
+    opts.threads = threads;
+    auto r = check_eventually_parallel(ts, goal, opts);
+    ASSERT_EQ(r.verdict, LivenessVerdict::kHolds) << "threads=" << threads;
+    EXPECT_EQ(r.stats.hash_ops, 3u) << "threads=" << threads;
+    EXPECT_EQ(r.stats.hash_ops, seq.stats.hash_ops) << "threads=" << threads;
+    EXPECT_EQ(r.stats.transitions, seq.stats.transitions) << "threads=" << threads;
+    EXPECT_EQ(r.stats.dup_transitions, r.stats.hash_ops - r.stats.states)
+        << "threads=" << threads;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,327 @@
+// Unit tests for the parallel OWCTY liveness engine and the symbolic EG
+// engine on toy graphs: verdict agreement with the sequential engine on
+// every toy case, bit-identical parallel results across thread counts, lasso
+// replay validation, and a larger deterministic stress graph that gives the
+// TSan CI job real concurrency to bite on.
+#include "mc/parallel_liveness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "mc/lasso_check.hpp"
+#include "mc/liveness.hpp"
+#include "mc/symbolic_liveness.hpp"
+#include "toy_system.hpp"
+
+namespace tt::mc {
+namespace {
+
+using mc_test::ToySystem;
+
+auto goal_is(std::uint64_t g) {
+  return [g](const ToySystem::State& s) { return s[0] == g; };
+}
+
+auto goal_at_least(std::uint64_t g) {
+  return [g](const ToySystem::State& s) { return s[0] >= g; };
+}
+
+EngineOptions with_threads(int threads) {
+  EngineOptions opts;
+  opts.threads = threads;
+  return opts;
+}
+
+// --- F(goal): every sequential toy case, at 1/2/4 threads -----------------
+
+TEST(ParallelLiveness, HoldsWhenEveryPathReachesGoal) {
+  ToySystem ts({0}, {{1, 2}, {3}, {3}, {3}});
+  for (int t : {1, 2, 4}) {
+    auto r = check_eventually_parallel(ts, goal_is(3), with_threads(t));
+    EXPECT_EQ(r.verdict, LivenessVerdict::kHolds) << "threads=" << t;
+    EXPECT_EQ(r.stats.residue_states, 0u) << "threads=" << t;
+  }
+}
+
+TEST(ParallelLiveness, DetectsGoalFreeCycle) {
+  ToySystem ts({0}, {{1}, {2}, {1}});
+  for (int t : {1, 2, 4}) {
+    auto r = check_eventually_parallel(ts, goal_is(9), with_threads(t));
+    ASSERT_EQ(r.verdict, LivenessVerdict::kCycle) << "threads=" << t;
+    std::string why;
+    EXPECT_TRUE(validate_lasso(ts, goal_is(9), r.trace, r.loop_start,
+                               /*require_initial_root=*/true, &why))
+        << "threads=" << t << ": " << why;
+    // Residue = states with an alive successor at the fixpoint: the 1-2
+    // cycle plus the stem state 0 (it keeps an edge into the cycle).
+    EXPECT_EQ(r.stats.residue_states, 3u) << "threads=" << t;
+  }
+}
+
+TEST(ParallelLiveness, CycleThroughGoalStateIsFine) {
+  ToySystem ts({0}, {{1}, {0}});
+  for (int t : {1, 2, 4}) {
+    EXPECT_EQ(check_eventually_parallel(ts, goal_is(1), with_threads(t)).verdict,
+              LivenessVerdict::kHolds)
+        << "threads=" << t;
+  }
+}
+
+TEST(ParallelLiveness, SelfLoopBeforeGoalViolates) {
+  ToySystem ts({0}, {{0, 1}, {1}});
+  for (int t : {1, 2, 4}) {
+    auto r = check_eventually_parallel(ts, goal_is(1), with_threads(t));
+    ASSERT_EQ(r.verdict, LivenessVerdict::kCycle) << "threads=" << t;
+    // Matches the sequential lasso exactly: stem [0], self-loop at index 0.
+    ASSERT_EQ(r.trace.size(), 1u) << "threads=" << t;
+    EXPECT_EQ(r.trace[0][0], 0u) << "threads=" << t;
+    EXPECT_EQ(r.loop_start, 0u) << "threads=" << t;
+  }
+}
+
+TEST(ParallelLiveness, DeadlockInGoalFreeRegionViolates) {
+  ToySystem ts({0}, {{1}, {}});
+  for (int t : {1, 2, 4}) {
+    auto r = check_eventually_parallel(ts, goal_is(9), with_threads(t));
+    ASSERT_EQ(r.verdict, LivenessVerdict::kDeadlock) << "threads=" << t;
+    ASSERT_EQ(r.trace.size(), 2u) << "threads=" << t;
+    EXPECT_EQ(r.trace.back()[0], 1u) << "threads=" << t;
+    std::string why;
+    EXPECT_TRUE(validate_deadlock_path(ts, goal_is(9), r.trace, /*goal_free_path=*/true, &why))
+        << "threads=" << t << ": " << why;
+  }
+}
+
+TEST(ParallelLiveness, InitialGoalStateHolds) {
+  ToySystem ts({3}, {{0}, {0}, {0}, {0}});
+  for (int t : {1, 2, 4}) {
+    auto r = check_eventually_parallel(ts, goal_is(3), with_threads(t));
+    EXPECT_EQ(r.verdict, LivenessVerdict::kHolds) << "threads=" << t;
+    EXPECT_EQ(r.stats.states, 0u) << "threads=" << t;  // goal-free region never entered
+  }
+}
+
+TEST(ParallelLiveness, MultipleRootsOneViolating) {
+  ToySystem ts({0, 4}, {{1}, {1}, {}, {}, {5}, {4}});
+  for (int t : {1, 2, 4}) {
+    auto r = check_eventually_parallel(ts, goal_is(1), with_threads(t));
+    EXPECT_EQ(r.verdict, LivenessVerdict::kCycle) << "threads=" << t;
+    std::string why;
+    EXPECT_TRUE(validate_lasso(ts, goal_is(1), r.trace, r.loop_start,
+                               /*require_initial_root=*/true, &why))
+        << "threads=" << t << ": " << why;
+  }
+}
+
+TEST(ParallelLiveness, StateLimitReported) {
+  std::vector<std::vector<std::uint64_t>> adj;
+  for (std::uint64_t i = 0; i < 1000; ++i) adj.push_back({i + 1});
+  adj.push_back({1000});
+  ToySystem ts({0}, adj);
+  EngineOptions opts;
+  opts.limits.max_states = 10;
+  for (int t : {1, 2, 4}) {
+    opts.threads = t;
+    auto r = check_eventually_parallel(ts, goal_at_least(2000), opts);
+    EXPECT_EQ(r.verdict, LivenessVerdict::kLimit) << "threads=" << t;
+    EXPECT_FALSE(r.stats.exhausted) << "threads=" << t;
+  }
+}
+
+// --- AG AF(goal) ----------------------------------------------------------
+
+TEST(ParallelLivenessAlwaysEventually, DistinguishesRecoveryFromOneShot) {
+  ToySystem ts({0}, {{1}, {2}, {2}});
+  for (int t : {1, 2, 4}) {
+    EXPECT_EQ(check_eventually_parallel(ts, goal_is(1), with_threads(t)).verdict,
+              LivenessVerdict::kHolds)
+        << "threads=" << t;
+    auto r = check_always_eventually_parallel(ts, goal_is(1), with_threads(t));
+    ASSERT_EQ(r.verdict, LivenessVerdict::kCycle) << "threads=" << t;
+    std::string why;
+    EXPECT_TRUE(validate_lasso(ts, goal_is(1), r.trace, r.loop_start,
+                               /*require_initial_root=*/true, &why))
+        << "threads=" << t << ": " << why;
+  }
+}
+
+TEST(ParallelLivenessAlwaysEventually, HoldsForAbsorbingGoal) {
+  ToySystem ts({0}, {{1, 2}, {2}, {2}});
+  for (int t : {1, 2, 4}) {
+    EXPECT_EQ(check_always_eventually_parallel(ts, goal_is(2), with_threads(t)).verdict,
+              LivenessVerdict::kHolds)
+        << "threads=" << t;
+  }
+}
+
+TEST(ParallelLivenessAlwaysEventually, HoldsWhenEveryCyclePassesGoal) {
+  ToySystem ts({0}, {{1}, {0}});
+  for (int t : {1, 2, 4}) {
+    EXPECT_EQ(check_always_eventually_parallel(ts, goal_is(1), with_threads(t)).verdict,
+              LivenessVerdict::kHolds)
+        << "threads=" << t;
+  }
+}
+
+TEST(ParallelLivenessAlwaysEventually, FindsDeadlockAfterGoal) {
+  ToySystem ts({0}, {{1}, {2}, {}});
+  for (int t : {1, 2, 4}) {
+    auto r = check_always_eventually_parallel(ts, goal_is(1), with_threads(t));
+    EXPECT_EQ(r.verdict, LivenessVerdict::kDeadlock) << "threads=" << t;
+  }
+}
+
+TEST(ParallelLivenessAlwaysEventually, ReportsLimit) {
+  std::vector<std::vector<std::uint64_t>> adj;
+  for (std::uint64_t i = 0; i < 100; ++i) adj.push_back({i + 1});
+  adj.push_back({100});
+  ToySystem ts({0}, adj);
+  EngineOptions opts;
+  opts.limits.max_states = 5;
+  for (int t : {1, 2, 4}) {
+    opts.threads = t;
+    EXPECT_EQ(check_always_eventually_parallel(ts, goal_at_least(100), opts).verdict,
+              LivenessVerdict::kLimit)
+        << "threads=" << t;
+  }
+}
+
+// --- determinism + stats parity on a larger deterministic graph -----------
+
+/// A reproducible pseudo-random digraph (fixed LCG seed): `n` states, out
+/// degree 1..4, and a goal predicate that leaves goal-free cycles in place.
+ToySystem stress_graph(std::uint64_t n) {
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  auto rng = [&x] {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    return x >> 33;
+  };
+  std::vector<std::vector<std::uint64_t>> adj(n);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    const std::uint64_t deg = 1 + rng() % 4;
+    for (std::uint64_t k = 0; k < deg; ++k) adj[v].push_back(rng() % n);
+  }
+  return ToySystem({0}, adj);
+}
+
+TEST(ParallelLivenessStress, BitIdenticalAcrossThreadCounts) {
+  const ToySystem ts = stress_graph(20000);
+  auto goal = goal_at_least(19900);  // a thin goal layer: plenty of gf cycles
+  const auto base = check_eventually_parallel(ts, goal, with_threads(1));
+  ASSERT_EQ(base.verdict, LivenessVerdict::kCycle);
+  std::string why;
+  ASSERT_TRUE(validate_lasso(ts, goal, base.trace, base.loop_start,
+                             /*require_initial_root=*/true, &why))
+      << why;
+  for (int t : {2, 4, 8}) {
+    const auto r = check_eventually_parallel(ts, goal, with_threads(t));
+    EXPECT_EQ(r.verdict, base.verdict) << "threads=" << t;
+    EXPECT_EQ(r.stats.states, base.stats.states) << "threads=" << t;
+    EXPECT_EQ(r.stats.transitions, base.stats.transitions) << "threads=" << t;
+    EXPECT_EQ(r.stats.hash_ops, base.stats.hash_ops) << "threads=" << t;
+    EXPECT_EQ(r.stats.trim_rounds, base.stats.trim_rounds) << "threads=" << t;
+    EXPECT_EQ(r.stats.residue_states, base.stats.residue_states) << "threads=" << t;
+    EXPECT_EQ(r.stats.frontier_sizes, base.stats.frontier_sizes) << "threads=" << t;
+    EXPECT_EQ(r.trace, base.trace) << "threads=" << t;
+    EXPECT_EQ(r.loop_start, base.loop_start) << "threads=" << t;
+  }
+}
+
+TEST(ParallelLivenessStress, HoldsRunMatchesSequentialCounts) {
+  // A layered DAG into an absorbing goal: liveness holds, so seq and par
+  // sweep the same goal-free region and must agree on every hot-path count.
+  std::vector<std::vector<std::uint64_t>> adj;
+  constexpr std::uint64_t kLayers = 50, kWidth = 40;
+  const std::uint64_t goal_node = kLayers * kWidth;
+  for (std::uint64_t l = 0; l < kLayers; ++l) {
+    for (std::uint64_t i = 0; i < kWidth; ++i) {
+      std::vector<std::uint64_t> out;
+      if (l + 1 < kLayers) {
+        out.push_back((l + 1) * kWidth + i);
+        out.push_back((l + 1) * kWidth + (i + 1) % kWidth);
+      } else {
+        out.push_back(goal_node);
+      }
+      adj.push_back(std::move(out));
+    }
+  }
+  adj.push_back({goal_node});  // absorbing goal
+  std::vector<std::uint64_t> inits;
+  for (std::uint64_t i = 0; i < kWidth; ++i) inits.push_back(i);
+  ToySystem ts(inits, adj);
+
+  const auto seq = check_eventually(ts, goal_is(goal_node));
+  ASSERT_EQ(seq.verdict, LivenessVerdict::kHolds);
+  for (int t : {1, 2, 4}) {
+    const auto par = check_eventually_parallel(ts, goal_is(goal_node), with_threads(t));
+    EXPECT_EQ(par.verdict, LivenessVerdict::kHolds) << "threads=" << t;
+    EXPECT_EQ(par.stats.states, seq.stats.states) << "threads=" << t;
+    EXPECT_EQ(par.stats.transitions, seq.stats.transitions) << "threads=" << t;
+    EXPECT_EQ(par.stats.hash_ops, seq.stats.hash_ops) << "threads=" << t;
+    EXPECT_EQ(par.stats.residue_states, 0u) << "threads=" << t;
+  }
+}
+
+// --- the symbolic EG engine on the same toy cases -------------------------
+
+TEST(SymbolicLiveness, MatchesSequentialVerdictOnEveryToyCase) {
+  struct Case {
+    ToySystem ts;
+    std::uint64_t goal;
+    LivenessVerdict expect;
+  };
+  const Case f_cases[] = {
+      {ToySystem({0}, {{1, 2}, {3}, {3}, {3}}), 3, LivenessVerdict::kHolds},
+      {ToySystem({0}, {{1}, {2}, {1}}), 9, LivenessVerdict::kCycle},
+      {ToySystem({0}, {{1}, {0}}), 1, LivenessVerdict::kHolds},
+      {ToySystem({0}, {{0, 1}, {1}}), 1, LivenessVerdict::kCycle},
+      {ToySystem({0}, {{1}, {}}), 9, LivenessVerdict::kDeadlock},
+      {ToySystem({3}, {{0}, {0}, {0}, {0}}), 3, LivenessVerdict::kHolds},
+      {ToySystem({0, 4}, {{1}, {1}, {}, {}, {5}, {4}}), 1, LivenessVerdict::kCycle},
+  };
+  for (std::size_t i = 0; i < std::size(f_cases); ++i) {
+    const auto& c = f_cases[i];
+    auto r = check_eventually_symbolic(c.ts, goal_is(c.goal));
+    EXPECT_EQ(r.verdict, c.expect) << "F case " << i;
+    EXPECT_EQ(r.stats.hash_ops, 0u) << "F case " << i;
+    if (r.verdict == LivenessVerdict::kCycle) {
+      std::string why;
+      EXPECT_TRUE(validate_lasso(c.ts, goal_is(c.goal), r.trace, r.loop_start,
+                                 /*require_initial_root=*/true, &why))
+          << "F case " << i << ": " << why;
+    }
+  }
+  const Case ag_cases[] = {
+      {ToySystem({0}, {{1}, {2}, {2}}), 1, LivenessVerdict::kCycle},
+      {ToySystem({0}, {{1, 2}, {2}, {2}}), 2, LivenessVerdict::kHolds},
+      {ToySystem({0}, {{1}, {0}}), 1, LivenessVerdict::kHolds},
+      {ToySystem({0}, {{1}, {2}, {}}), 1, LivenessVerdict::kDeadlock},
+  };
+  for (std::size_t i = 0; i < std::size(ag_cases); ++i) {
+    const auto& c = ag_cases[i];
+    auto r = check_always_eventually_symbolic(c.ts, goal_is(c.goal));
+    EXPECT_EQ(r.verdict, c.expect) << "AG AF case " << i;
+  }
+}
+
+TEST(SymbolicLiveness, ReportsLimitAndIterations) {
+  std::vector<std::vector<std::uint64_t>> adj;
+  for (std::uint64_t i = 0; i < 100; ++i) adj.push_back({i + 1});
+  adj.push_back({100});
+  ToySystem ts({0}, adj);
+  SearchLimits limits;
+  limits.max_states = 5;
+  EXPECT_EQ(check_eventually_symbolic(ts, goal_at_least(2000), limits).verdict,
+            LivenessVerdict::kLimit);
+
+  // A violated run must report at least one EG fixpoint iteration.
+  ToySystem cyc({0}, {{1}, {2}, {1}});
+  auto r = check_eventually_symbolic(cyc, goal_at_least(9));
+  ASSERT_EQ(r.verdict, LivenessVerdict::kCycle);
+  EXPECT_GT(r.stats.bdd_iterations, 0);
+}
+
+}  // namespace
+}  // namespace tt::mc

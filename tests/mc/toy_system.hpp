@@ -28,6 +28,15 @@ class ToySystem {
     for (auto v : adj_[s[0]]) emit(State{v});
   }
 
+  /// Bit width of the packed state, for the symbolic engines: enough bits
+  /// for the largest node index in the graph.
+  [[nodiscard]] int state_bits() const {
+    std::uint64_t max_node = adj_.empty() ? 0 : adj_.size() - 1;
+    int bits = 1;
+    while ((max_node >> bits) != 0) ++bits;
+    return bits;
+  }
+
  private:
   std::vector<std::uint64_t> initial_;
   std::vector<std::vector<std::uint64_t>> adj_;

@@ -16,6 +16,7 @@
 #include <cstdio>
 
 #include "core/verifier.hpp"
+#include "obs/obs.hpp"
 #include "support/bench_report.hpp"
 #include "support/table.hpp"
 
@@ -99,6 +100,11 @@ void print_table(tt::BenchReport& report) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Obs flags come out of argv before GoogleBenchmark sees the rest.
+  tt::obs::ObsOptions obs_opts;
+  if (!tt::obs::parse_obs_args(argc, argv, obs_opts)) return 2;
+  tt::obs::ScopedObservability obs_session(obs_opts);
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   tt::BenchReport report("bench_fig4_fault_degree_dial");

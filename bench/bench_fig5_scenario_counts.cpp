@@ -8,6 +8,7 @@
 
 #include "core/scenario_math.hpp"
 #include "mc/reachability.hpp"
+#include "obs/obs.hpp"
 #include "support/bench_report.hpp"
 #include "support/table.hpp"
 #include "tta/cluster.hpp"
@@ -83,6 +84,11 @@ void print_table(tt::BenchReport& report) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Obs flags come out of argv before GoogleBenchmark sees the rest.
+  tt::obs::ObsOptions obs_opts;
+  if (!tt::obs::parse_obs_args(argc, argv, obs_opts)) return 2;
+  tt::obs::ScopedObservability obs_session(obs_opts);
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   tt::BenchReport report("bench_fig5_scenario_counts");

@@ -18,6 +18,7 @@
 
 #include "core/scenario_math.hpp"
 #include "core/verifier.hpp"
+#include "obs/obs.hpp"
 #include "support/bench_report.hpp"
 #include "support/table.hpp"
 #include "tta/cluster.hpp"
@@ -249,6 +250,99 @@ void engine_comparison_liveness(tt::BenchReport& report, int n) {
               " on goal-free state/transition counts; speedup scales with cores.)\n");
 }
 
+// EXP-OBS: the observability layer's overhead budgets (DESIGN.md §3.5).
+//
+// The <2% disabled-tracing budget itself was established by an interleaved
+// A/B measurement — the pre-observability commit rebuilt on this machine
+// and alternated with the instrumented binary, 45 reps per side; the
+// minima (EXPERIMENTS.md "observability overhead") put the instrumented
+// binary *faster* than the baseline, i.e. the overhead is indistinguishable
+// from zero. The stored `baseline_pre_pr` rows are the minima of that
+// protocol. A single bench session cannot resolve 2% on a shared container
+// (observed min-of-3 spread on the n = 5 cell is >20%), so the gates here
+// are regression tripwires with noise-aware bounds, not the budget itself:
+//
+// Full mode: min-of-9 untraced run of fig6/safety/n5 vs the stored
+// baseline, tripwire at +25% (outside the measured noise envelope — a real
+// per-transition instrumentation point would cost far more than that).
+//
+// Quick mode (CI): no stored anchor is meaningful on an arbitrary runner,
+// so the comparison is relative and in-process — untraced vs. traced runs
+// of the n = 4 cell in this binary, tripwire at +50%. Enabled tracing is
+// allowed headroom (it really does record events); the bound still catches
+// a span accidentally moved into the per-transition path. CI therefore
+// does NOT verify the <2% disabled-tracing budget — the warning below says
+// so on every quick run.
+bool tracing_overhead(tt::BenchReport& report) {
+  const int n = quick_mode() ? 4 : 5;
+  std::printf("\n=== tracing-disabled overhead: safety, n = %d, degree 6 ===\n", n);
+  const auto cfg = fig6_node_config(n);
+  tt::core::VerifyOptions opts;
+  opts.engine = tt::mc::EngineKind::kSequential;
+  auto min_of = [&](int reps, tt::core::VerificationResult& out) {
+    double best = -1.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      out = tt::core::verify(cfg, tt::core::Lemma::kSafety, opts);
+      if (best < 0 || out.stats.seconds < best) best = out.stats.seconds;
+    }
+    return best;
+  };
+  tt::core::VerificationResult r;
+  const int reps = quick_mode() ? 3 : 9;
+  const double best = min_of(reps, r);
+  auto rec = record_of(tt::strfmt("fig6/tracing_overhead/n%d", n), r,
+                       tt::core::Lemma::kSafety);
+  rec.seconds = best;
+  report.add(rec);
+  std::printf("seq, tracing compiled in but disabled: %.3fs (min of %d)\n", best, reps);
+
+  if (quick_mode()) {
+    std::printf("!! quick mode: the <2%% disabled-tracing budget is NOT verified here\n"
+                "   (it needs the same-machine interleaved A/B protocol; see\n"
+                "   EXPERIMENTS.md). Running the relative traced-vs-untraced\n"
+                "   tripwire instead:\n");
+    tt::core::VerificationResult traced;
+    tt::obs::Tracer tracer;
+    tracer.install();
+    const double traced_best = min_of(reps, traced);
+    tracer.uninstall();
+    std::printf("seq, tracer installed: %.3fs (min of %d), %zu event(s) recorded\n",
+                traced_best, reps, tracer.event_count());
+    if (traced.holds != r.holds || traced.stats.states != r.stats.states) {
+      std::printf("!! tracing changed the verdict or state count\n");
+      return false;
+    }
+    const double ratio = traced_best / best;
+    std::printf("enabled-tracing overhead: %+.1f%% (tripwire at +50%%)\n",
+                (ratio - 1.0) * 100.0);
+    if (ratio > 1.5) {
+      std::printf("!! enabled-tracing overhead exceeds the tripwire — an\n"
+                  "   instrumentation point likely moved into a hot loop\n");
+      return false;
+    }
+    return true;
+  }
+
+  const double baseline =
+      tt::read_report_seconds("baseline_pre_pr", "fig6/safety/n5", "seq");
+  if (baseline <= 0) {
+    std::printf("!! no baseline_pre_pr fig6/safety/n5 seq row in the report file —\n"
+                "   the disabled-tracing tripwire was NOT checked by this run\n");
+    return true;
+  }
+  const double ratio = best / baseline;
+  std::printf("baseline_pre_pr: %.3fs  ->  delta %+.1f%% (tripwire at +25%%;\n"
+              " the <2%% budget itself comes from the interleaved A/B protocol,\n"
+              " see EXPERIMENTS.md — single-session deltas include machine noise)\n",
+              baseline, (ratio - 1.0) * 100.0);
+  if (ratio > 1.25) {
+    std::printf("!! untraced runtime regressed past the noise envelope vs the\n"
+                "   pre-observability baseline\n");
+    return false;
+  }
+  return true;
+}
+
 void print_table(tt::BenchReport& report) {
   // Paper Fig. 6 (a)-(d): cpu seconds and BDD variables for n = 3, 4, 5.
   const PaperRow paper_safety[3] = {{62.45, 248}, {259.53, 316}, {920.74, 422}};
@@ -295,6 +389,11 @@ void print_table(tt::BenchReport& report) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Obs flags come out of argv before GoogleBenchmark sees the rest.
+  tt::obs::ObsOptions obs_opts;
+  if (!tt::obs::parse_obs_args(argc, argv, obs_opts)) return 2;
+  tt::obs::ScopedObservability obs_session(obs_opts);
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   tt::BenchReport report("bench_fig6_exhaustive");
@@ -305,7 +404,11 @@ int main(int argc, char** argv) {
     engine_comparison(report, 5);
     engine_comparison_liveness(report, 5);
   }
+  // The overhead gate must measure an untraced run: it only applies when no
+  // tracer is installed for this process.
+  bool overhead_ok = true;
+  if (obs_opts.trace_out.empty()) overhead_ok = tracing_overhead(report);
   const std::string path = report.write();
   if (!path.empty()) std::printf("machine-readable results: %s\n", path.c_str());
-  return 0;
+  return overhead_ok ? 0 : 1;
 }

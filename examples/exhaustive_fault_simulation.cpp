@@ -18,11 +18,16 @@
 //     --engine <kind>       auto|seq|par|sym exploration engine (default auto)
 //     --threads <k>         worker threads for the parallel engine
 //                           (default: TTSTART_THREADS env, else all cores)
+//     --trace-out <file>    write a Chrome trace-event JSON (chrome://tracing,
+//                           Perfetto) of the run
+//     --progress <sec>      print a heartbeat line every <sec> seconds
+//     --quiet               suppress heartbeat lines (tracing unaffected)
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "core/verifier.hpp"
+#include "obs/obs.hpp"
 #include "tta/trace_printer.hpp"
 
 namespace {
@@ -36,6 +41,10 @@ int usage() {
 
 int main(int argc, char** argv) {
   using namespace tt;
+
+  obs::ObsOptions obs_opts;
+  if (!obs::parse_obs_args(argc, argv, obs_opts)) return usage();
+  obs::ScopedObservability obs_session(obs_opts);
 
   tta::ClusterConfig cfg;
   cfg.n = 3;

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Docs-consistency checks, run in CI (docs job).
+
+Three classes of drift this catches:
+
+  1. Engine-name drift — the engine set documented in README.md must match
+     what `parse_engine` / `to_string` in src/mc/engine.hpp actually accept.
+     Every engine name from the header must appear backticked in README.md,
+     and every `--engine a|b|c` alternation in README.md and the CLI header
+     comment must list exactly the header's engine set.
+
+  2. Dangling section references — every "DESIGN.md §X.Y" referenced from
+     CHANGES.md (the per-PR changelog) must exist as a heading in DESIGN.md.
+
+  3. Broken intra-repo links — every relative markdown link target in the
+     repo's *.md files must resolve to an existing file (anchors and
+     external http/mailto links are skipped).
+
+Usage: check_docs.py [REPO_ROOT]      (default: parent of this script)
+Exit code 0 when everything is consistent, 1 otherwise (all failures listed).
+"""
+
+import os
+import re
+import sys
+
+
+def fail(failures, msg):
+    failures.append(msg)
+
+
+def read(root, rel):
+    with open(os.path.join(root, rel), "r", encoding="utf-8") as f:
+        return f.read()
+
+
+def check_engine_names(root, failures):
+    header = read(root, "src/mc/engine.hpp")
+    engines = [m for m in re.findall(
+        r'case EngineKind::k\w+:\s*return "(\w+)";', header)]
+    if not engines:
+        fail(failures, "src/mc/engine.hpp: found no EngineKind names (regex drift?)")
+        return
+    readme = read(root, "README.md")
+    for name in engines:
+        if f"`{name}`" not in readme and f"`--engine {name}" not in readme \
+                and not re.search(r"`[^`]*\b" + re.escape(name) + r"\b[^`]*`", readme):
+            fail(failures, f"README.md: engine '{name}' (src/mc/engine.hpp) "
+                           f"never mentioned in backticks")
+    # Every `--engine a|b|c` alternation in the docs must equal the real set.
+    for rel in ("README.md", "examples/exhaustive_fault_simulation.cpp"):
+        text = read(root, rel)
+        for alt in re.findall(r"--engine[ <]+((?:\w+\\?\|)+\w+)", text):
+            listed = alt.replace("\\", "").split("|")
+            if sorted(listed) != sorted(engines):
+                fail(failures, f"{rel}: '--engine {alt}' lists {listed}, but "
+                               f"src/mc/engine.hpp accepts {engines}")
+
+
+def check_design_sections(root, failures):
+    changes = read(root, "CHANGES.md")
+    design = read(root, "DESIGN.md")
+    headings = set(re.findall(r"^#{1,6}\s+(\d+(?:\.\d+)*)[. ]", design, re.M))
+    for sec in re.findall(r"DESIGN\.md\s+§(\d+(?:\.\d+)*)", changes):
+        if sec not in headings:
+            fail(failures, f"CHANGES.md: references DESIGN.md §{sec}, but "
+                           f"DESIGN.md has no such heading")
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames
+                       if d not in (".git", "build") and not d.startswith("build")]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.relpath(os.path.join(dirpath, name), root)
+
+
+def check_markdown_links(root, failures):
+    link_re = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+    for rel in markdown_files(root):
+        text = read(root, rel)
+        # Strip fenced code blocks: their bracket/paren sequences are code.
+        text = re.sub(r"```.*?```", "", text, flags=re.S)
+        for target in link_re.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = os.path.normpath(os.path.join(root, os.path.dirname(rel), path))
+            if not os.path.exists(resolved):
+                fail(failures, f"{rel}: link target '{target}' does not exist")
+
+
+def main(argv):
+    root = os.path.abspath(argv[1]) if len(argv) > 1 else \
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    failures = []
+    check_engine_names(root, failures)
+    check_design_sections(root, failures)
+    check_markdown_links(root, failures)
+    if failures:
+        for f in failures:
+            print(f"FAIL — {f}", file=sys.stderr)
+        return 1
+    print(f"OK — docs consistent under {root}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Validate a ttstart Chrome trace-event JSON file (--trace-out output).
+
+Schema checked (the subset of the Trace Event Format the obs layer emits,
+DESIGN.md §3.5):
+
+  envelope   an object with "displayTimeUnit" and a "traceEvents" array
+  every event has "ph", "pid", "tid", "ts"; "ts" is a non-negative number
+             (fractional microseconds since tracer install)
+  "X" events (complete spans) additionally carry "name", "cat" == "ttstart"
+             and a non-negative "dur"
+  "C" events (counters) carry "name" and args == {"value": <number>}
+  "i" events (instants) carry "name" and scope "s"
+  "M" events are thread_name metadata: one per tid, emitted before any of
+             that thread's spans
+
+Structural checks beyond field shape:
+  - per tid, span end times (ts + dur) are monotone non-decreasing in file
+    order (the per-thread buffers record spans at destruction, so a
+    violation means buffer corruption or clock trouble);
+  - per tid, spans form a proper nesting: sorting that thread's spans by
+    (start, -dur) yields a stack discipline — a span that starts inside
+    another must end inside it (Perfetto renders overlap-but-not-nested
+    spans wrongly, so we reject them at the source);
+  - every tid referenced by an event has a thread_name metadata record.
+
+Usage: validate_trace.py TRACE.json [TRACE2.json ...]
+Exit code 0 when every file passes, 1 otherwise (all violations listed).
+"""
+
+import json
+import sys
+
+
+def err(errors, path, msg):
+    errors.append(f"{path}: {msg}")
+
+
+def validate_file(path, errors):
+    start_errors = len(errors)
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        err(errors, path, f"unreadable or invalid JSON: {e}")
+        return False
+
+    if not isinstance(doc, dict):
+        err(errors, path, "top level must be an object")
+        return False
+    if "traceEvents" not in doc or not isinstance(doc["traceEvents"], list):
+        err(errors, path, 'missing or non-array "traceEvents"')
+        return False
+    if not isinstance(doc.get("displayTimeUnit"), str):
+        err(errors, path, 'missing "displayTimeUnit"')
+
+    events = doc["traceEvents"]
+    named_tids = set()
+    spans_by_tid = {}  # tid -> list of (start, end) in file order
+
+    for i, ev in enumerate(events):
+        where = f"{path}: event {i}"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "C", "i", "M"):
+            errors.append(f"{where}: unexpected ph {ph!r}")
+            continue
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                errors.append(f"{where}: missing integer {key!r}")
+        if ph == "M":
+            if ev.get("name") != "thread_name":
+                errors.append(f"{where}: metadata event must be thread_name")
+            named_tids.add(ev.get("tid"))
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"{where}: missing non-negative ts")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            errors.append(f"{where}: missing name")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: X event needs non-negative dur")
+                continue
+            if ev.get("cat") != "ttstart":
+                errors.append(f"{where}: X event cat must be 'ttstart'")
+            spans_by_tid.setdefault(ev["tid"], []).append((ts, ts + dur))
+        elif ph == "C":
+            args = ev.get("args")
+            if (not isinstance(args, dict) or set(args) != {"value"}
+                    or not isinstance(args["value"], (int, float))):
+                errors.append(f"{where}: C event needs args == {{'value': num}}")
+        elif ph == "i":
+            if ev.get("s") not in ("t", "p", "g"):
+                errors.append(f"{where}: i event needs scope 's'")
+
+    # Spans are recorded at destruction: end times must be monotone per tid.
+    for tid, spans in spans_by_tid.items():
+        prev_end = -1.0
+        for start, end in spans:
+            if end < prev_end:
+                errors.append(
+                    f"{path}: tid {tid}: span end {end} before previous end "
+                    f"{prev_end} (buffer order broken)")
+                break
+            prev_end = end
+        if tid not in named_tids:
+            errors.append(f"{path}: tid {tid} has spans but no thread_name metadata")
+
+        # Nesting: replay sorted spans against a stack.
+        stack = []
+        for start, end in sorted(spans, key=lambda s: (s[0], -(s[1] - s[0]))):
+            while stack and start >= stack[-1]:
+                stack.pop()
+            if stack and end > stack[-1] + 1e-9:
+                errors.append(
+                    f"{path}: tid {tid}: span [{start}, {end}] overlaps but does "
+                    f"not nest inside [.., {stack[-1]}]")
+                break
+            stack.append(end)
+
+    return len(errors) == start_errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    total = 0
+    for path in argv[1:]:
+        if validate_file(path, errors):
+            with open(path, "r", encoding="utf-8") as f:
+                n = len(json.load(f)["traceEvents"])
+            print(f"OK — {path}: {n} event(s)")
+            total += n
+    if errors:
+        for e in errors:
+            print(f"FAIL — {e}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

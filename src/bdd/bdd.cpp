@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace tt::bdd {
 
 namespace {
@@ -307,12 +309,14 @@ NodeId Manager::exists_rec(NodeId f, NodeId cube) {
 }
 
 NodeId Manager::and_exists(NodeId f, NodeId g, NodeId cube) {
+  obs::Span span("bdd.and_exists");
   maybe_gc({f, g, cube});
   return and_exists_rec(f, g, cube);
 }
 
 NodeId Manager::and_exists(NodeId f, NodeId g,
                            const std::vector<std::uint8_t>& quantify) {
+  obs::Span span("bdd.and_exists");
   TT_ASSERT(quantify.size() == static_cast<std::size_t>(num_vars_));
   std::vector<int> vars;
   for (int v = 0; v < num_vars_; ++v) {
@@ -554,6 +558,8 @@ void Manager::mark_from(NodeId f) noexcept {
 
 std::size_t Manager::gc() {
   ++gc_runs_;
+  obs::Span span("bdd.gc");
+  span.set_arg("live_before", static_cast<std::int64_t>(live_nodes_));
   mark_.assign(node_var_.size(), 0);
   mark_[0] = 1;  // terminal
   for (const NodeId p : proj_) {

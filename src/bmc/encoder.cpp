@@ -2,6 +2,8 @@
 
 #include <map>
 
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "support/assert.hpp"
 #include "support/timer.hpp"
 
@@ -288,12 +290,26 @@ class Unrolling {
 BmcResult check_invariant_bounded(const kernel::System& system, kernel::ExprId property,
                                   int max_depth) {
   Timer timer;
+  obs::Span run_span("bmc.run");
+  run_span.set_arg("max_depth", max_depth);
   BmcResult result;
   for (int k = 0; k <= max_depth; ++k) {
+    obs::Span depth_span("bmc.depth");
+    depth_span.set_arg("k", k);
     Unrolling u(system, k + 1);
     u.solver().add_clause({~u.bool_expr(property, k)});
     const sat::Result r = u.solver().solve();
     result.total_conflicts += u.solver().stats().conflicts;
+    result.total_clauses += u.solver().num_clauses();
+    if (obs::enabled()) {
+      obs::emit_counter("bmc.conflicts",
+                        static_cast<double>(u.solver().stats().conflicts));
+      obs::emit_counter("bmc.clauses", static_cast<double>(u.solver().num_clauses()));
+    }
+    obs::progress_tick({.phase = "bmc",
+                        .depth = k,
+                        .seconds = timer.seconds(),
+                        .total_hint = static_cast<std::size_t>(max_depth)});
     if (r == sat::Result::kSat) {
       result.violation_found = true;
       result.depth = k;

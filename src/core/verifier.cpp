@@ -6,6 +6,7 @@
 #include "mc/reachability.hpp"
 #include "mc/symbolic_liveness.hpp"
 #include "mc/symbolic_reachability.hpp"
+#include "obs/trace.hpp"
 #include "support/assert.hpp"
 #include "tta/properties.hpp"
 
@@ -40,6 +41,11 @@ VerificationResult verify(const tta::ClusterConfig& raw_cfg, Lemma lemma,
   const tta::ClusterConfig cfg = prepare_config(raw_cfg, lemma);
   const tta::Cluster cluster(cfg);
   VerificationResult out;
+  // Top-level span: one per verify() call, detail = lemma (static storage
+  // from to_string), so engine-level spans nest under it in the trace.
+  obs::Span verify_span("verify");
+  verify_span.set_detail(to_string(lemma));
+  verify_span.set_arg("n", cfg.n);
 
   if (!is_invariant_lemma(lemma)) {
     // Liveness engines (DESIGN.md §3.4): auto resolves to the parallel

@@ -29,6 +29,9 @@ enum class EngineKind {
   kSymbolic,
 };
 
+/// Canonical engine name ("auto"/"seq"/"par"/"sym"). The pointer has static
+/// storage duration, so it is safe to keep (CLI output, bench records,
+/// obs::Span names all rely on this).
 [[nodiscard]] constexpr const char* to_string(EngineKind k) noexcept {
   switch (k) {
     case EngineKind::kAuto: return "auto";
@@ -52,13 +55,14 @@ enum class EngineKind {
   return false;
 }
 
-/// Per-level progress snapshot handed to EngineOptions::progress.
+/// Per-level progress snapshot handed to EngineOptions::progress. Invoked
+/// on the coordinating thread only, between levels — never concurrently.
 struct LevelProgress {
-  int depth = 0;             ///< level just completed
+  int depth = 0;             ///< level just completed (0-based BFS depth)
   std::size_t states = 0;    ///< states interned so far
-  std::size_t transitions = 0;
-  std::size_t frontier = 0;  ///< size of the next frontier
-  double seconds = 0.0;      ///< elapsed wall-clock
+  std::size_t transitions = 0;  ///< transitions explored so far
+  std::size_t frontier = 0;  ///< size of the next frontier (states)
+  double seconds = 0.0;      ///< elapsed wall-clock seconds since run start
 };
 
 /// Options common to every exploration engine.
@@ -76,6 +80,8 @@ struct EngineOptions {
 };
 
 /// Resolves a requested thread count: explicit > TTSTART_THREADS > hardware.
+/// Always returns >= 1. Reads the environment, so call it once per run, not
+/// per state.
 [[nodiscard]] inline int resolve_threads(int requested) {
   if (requested > 0) return requested;
   if (const char* env = std::getenv("TTSTART_THREADS")) {

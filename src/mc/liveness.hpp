@@ -20,6 +20,7 @@
 #include "mc/explore.hpp"
 #include "mc/run_stats.hpp"
 #include "mc/transition_system.hpp"
+#include "obs/trace.hpp"
 #include "support/recent_cache.hpp"
 #include "support/state_index_map.hpp"
 #include "support/timer.hpp"
@@ -68,6 +69,7 @@ template <class TS, class Pred, class RootFn>
   enum : std::uint8_t { kWhite = 0, kGrey = 1, kBlack = 2 };
 
   Timer timer;
+  obs::Span run_span("liveness.lasso");
   LivenessResult<TS> result;
   StateIndexMap<TS::kWords> seen;   // interns goal-free states only
   RecentSeenCache cache;            // duplicate suppression in front of `seen`

@@ -69,6 +69,8 @@
 #include "mc/explore.hpp"
 #include "mc/liveness.hpp"
 #include "mc/transition_system.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "support/assert.hpp"
 #include "support/recent_cache.hpp"
 #include "support/sharded_state_index_map.hpp"
@@ -98,6 +100,7 @@ template <TransitionSystem TS, class Pred>
   const SearchLimits& limits = opts.limits;
 
   Timer timer;
+  obs::Span run_span("liveness.owcty");
   LivenessResult<TS> result;
   result.stats.threads = threads;
 
@@ -159,9 +162,11 @@ template <TransitionSystem TS, class Pred>
   bool limit_hit = false;
   std::uint32_t dead_id = kNone;
   int depth = 0;
+  obs::ManualSpan level_span;  // coordinator-owned: one span per BFS level
 
   auto expand_work = [&](ThreadCtx& c) {
     try {
+      obs::Span span("owcty.expand");
       std::size_t ci;
       while ((ci = next_chunk.fetch_add(1, std::memory_order_relaxed)) < nchunks) {
         ChunkOut* out = c.acquire();
@@ -215,6 +220,7 @@ template <TransitionSystem TS, class Pred>
 
   auto drain_work = [&](ThreadCtx& c, bool locked) {
     try {
+      obs::Span span("owcty.drain");
       unsigned sh;
       while ((sh = next_shard.fetch_add(1, std::memory_order_relaxed)) < kShards) {
         auto& fr = fresh[sh];
@@ -251,6 +257,7 @@ template <TransitionSystem TS, class Pred>
 
   auto trim_work = [&](ThreadCtx& c) {
     try {
+      obs::Span span("owcty.trim_work");
       const auto& wl = *trim_list;
       std::size_t ci;
       while ((ci = next_chunk.fetch_add(1, std::memory_order_relaxed)) < trim_nchunks) {
@@ -285,6 +292,7 @@ template <TransitionSystem TS, class Pred>
 
   /// Sequential inter-level step; returns true when exploration must stop.
   auto finish_level = [&]() -> bool {
+    level_span.end();
     for (auto& c : ctx) {
       result.stats.transitions += c.transitions;
       c.transitions = 0;
@@ -307,6 +315,12 @@ template <TransitionSystem TS, class Pred>
       opts.progress(LevelProgress{depth + 1, seen.size(), result.stats.transitions,
                                   frontier.size(), timer.seconds()});
     }
+    obs::progress_tick({.phase = "owcty-bfs",
+                        .states = seen.size(),
+                        .transitions = result.stats.transitions,
+                        .frontier = frontier.size(),
+                        .depth = depth + 1,
+                        .seconds = timer.seconds()});
     if (seen.size() > limits.max_states) {
       limit_hit = true;
       return true;
@@ -317,6 +331,7 @@ template <TransitionSystem TS, class Pred>
       return true;
     }
     setup_level();
+    level_span.begin("owcty.level", depth, "depth");
     return false;
   };
 
@@ -380,6 +395,7 @@ template <TransitionSystem TS, class Pred>
     // ---- phase A: materialize the subgraph ----
     if (!frontier.empty() && seen.size() <= limits.max_states) {
       setup_level();
+      level_span.begin("owcty.level", depth, "depth");
       bool done = false;
       while (!done) {
         if (frontier.size() < serial_below) {
@@ -474,6 +490,16 @@ template <TransitionSystem TS, class Pred>
     std::vector<std::uint32_t> next_list;
     while (!worklist.empty() && !first_error) {
       ++result.stats.trim_rounds;
+      // One span per OWCTY trim round; `caught` is the number of states
+      // deleted this round, the quantity the "catch them young" loop drains.
+      obs::Span round_span("owcty.trim_round");
+      round_span.set_arg("caught", static_cast<std::int64_t>(worklist.size()));
+      obs::progress_tick({.phase = "owcty-trim",
+                          .states = seen.size(),
+                          .transitions = result.stats.transitions,
+                          .frontier = worklist.size(),
+                          .round = static_cast<long long>(result.stats.trim_rounds),
+                          .seconds = timer.seconds()});
       residue -= worklist.size();
       for (const std::uint32_t u : worklist) alive[u] = 0;
       trim_list = &worklist;
@@ -492,7 +518,7 @@ template <TransitionSystem TS, class Pred>
         next_list.insert(next_list.end(), c.trim_out.begin(), c.trim_out.end());
       }
       worklist.swap(next_list);
-    }
+    }  // round_span closes here: the span covers delete + decrement + gather
     result.stats.residue_states = residue;
     if (residue == 0 || first_error) return;
 
@@ -560,6 +586,7 @@ template <TransitionSystem TS, class Pred>
     body();
   }
   if (first_error) std::rethrow_exception(first_error);
+  run_span.set_arg("states", static_cast<std::int64_t>(seen.size()));
 
   if (dead_id != kNone) {
     result.verdict = LivenessVerdict::kDeadlock;

@@ -56,6 +56,8 @@
 #include "mc/reachability.hpp"
 #include "mc/run_stats.hpp"
 #include "mc/transition_system.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "support/assert.hpp"
 #include "support/recent_cache.hpp"
 #include "support/sharded_state_index_map.hpp"
@@ -86,6 +88,7 @@ template <TransitionSystem TS, class Pred>
   const SearchLimits& limits = opts.limits;
 
   Timer timer;
+  obs::Span run_span("bfs.parallel");
   InvariantResult<TS> result;
   result.stats.threads = threads;
 
@@ -139,9 +142,13 @@ template <TransitionSystem TS, class Pred>
   bool limit_hit = false;
   std::uint32_t bad_id = kNone;
   int depth = 0;
+  obs::ManualSpan level_span;  // coordinator-owned: one span per BFS level
 
   auto expand_work = [&](ThreadCtx& c) {
     try {
+      // One span per worker per level; workers emit into their own
+      // thread-local buffers, so this is contention-free.
+      obs::Span span("bfs.expand");
       std::size_t ci;
       while ((ci = next_chunk.fetch_add(1, std::memory_order_relaxed)) < nchunks) {
         ChunkOut* out = c.acquire();
@@ -182,6 +189,7 @@ template <TransitionSystem TS, class Pred>
 
   auto drain_work = [&](ThreadCtx& c, bool locked) {
     try {
+      obs::Span span("bfs.drain");
       unsigned sh;
       while ((sh = next_shard.fetch_add(1, std::memory_order_relaxed)) < kShards) {
         auto& fr = fresh[sh];
@@ -223,6 +231,7 @@ template <TransitionSystem TS, class Pred>
 
   /// Sequential inter-level step; returns true when exploration must stop.
   auto finish_level = [&]() -> bool {
+    level_span.end();
     for (auto& c : ctx) {
       result.stats.transitions += c.transitions;
       c.transitions = 0;
@@ -247,6 +256,12 @@ template <TransitionSystem TS, class Pred>
       opts.progress(LevelProgress{depth + 1, seen.size(), result.stats.transitions,
                                   frontier.size(), timer.seconds()});
     }
+    obs::progress_tick({.phase = "par-bfs",
+                        .states = seen.size(),
+                        .transitions = result.stats.transitions,
+                        .frontier = frontier.size(),
+                        .depth = depth + 1,
+                        .seconds = timer.seconds()});
     if (seen.size() > limits.max_states) {
       limit_hit = true;
       return true;
@@ -257,6 +272,7 @@ template <TransitionSystem TS, class Pred>
       return true;
     }
     setup_level();
+    level_span.begin("bfs.level", depth, "depth");
     return false;
   };
 
@@ -275,6 +291,7 @@ template <TransitionSystem TS, class Pred>
 
   if (!violated && !frontier.empty() && seen.size() <= limits.max_states) {
     setup_level();
+    level_span.begin("bfs.level", depth, "depth");
     const std::size_t serial_below =
         threads > 1 ? kSerialFrontierPerThread * static_cast<std::size_t>(threads) : 0;
     if (threads == 1) {
@@ -325,6 +342,7 @@ template <TransitionSystem TS, class Pred>
   }
   if (first_error) std::rethrow_exception(first_error);
 
+  run_span.set_arg("states", static_cast<std::int64_t>(seen.size()));
   result.stats.states = seen.size();
   result.stats.depth = depth;
   result.stats.memory_bytes = seen.memory_bytes() + frontier.capacity() * sizeof(std::uint32_t);

@@ -19,6 +19,8 @@
 #include "mc/explore.hpp"
 #include "mc/run_stats.hpp"
 #include "mc/transition_system.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "support/state_index_map.hpp"
 #include "support/timer.hpp"
 
@@ -57,6 +59,7 @@ template <TransitionSystem TS, class Pred>
                                                   const SearchLimits& limits = {}) {
   using State = typename TS::State;
   Timer timer;
+  obs::Span run_span("bfs.sequential");
   InvariantResult<TS> result;
   detail::BfsCore<TS::kWords> bfs(/*track_parents=*/true, limits);
 
@@ -80,11 +83,21 @@ template <TransitionSystem TS, class Pred>
   std::size_t head = 0;
   std::size_t level_end = bfs.queue.size();  // end of current BFS level
   int depth = 0;
+  obs::ManualSpan level_span;
+  level_span.begin("bfs.level", depth, "depth");
   while (head < bfs.queue.size() && !violated) {
     if (head == level_end) {
       ++depth;
       result.stats.frontier_sizes.push_back(bfs.queue.size() - level_end);
       level_end = bfs.queue.size();
+      level_span.end();
+      level_span.begin("bfs.level", depth, "depth");
+      obs::progress_tick({.phase = "bfs",
+                          .states = bfs.seen.size(),
+                          .transitions = result.stats.transitions,
+                          .frontier = bfs.queue.size() - head,
+                          .depth = depth,
+                          .seconds = timer.seconds()});
       if (depth > limits.max_depth) break;
     }
     if (bfs.seen.size() > limits.max_states) break;
@@ -97,6 +110,8 @@ template <TransitionSystem TS, class Pred>
     });
   }
 
+  level_span.end();
+  run_span.set_arg("states", static_cast<std::int64_t>(bfs.seen.size()));
   result.stats.states = bfs.seen.size();
   result.stats.depth = depth;
   result.stats.memory_bytes = bfs.memory_bytes();

@@ -42,6 +42,8 @@
 #include "mc/liveness.hpp"
 #include "mc/run_stats.hpp"
 #include "mc/transition_system.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "support/assert.hpp"
 #include "support/timer.hpp"
 
@@ -72,6 +74,7 @@ template <TransitionSystem TS, class Pred>
   constexpr std::uint32_t kNoParent = 0xffffffffu;
 
   Timer timer;
+  obs::Span run_span("liveness.symbolic");
   LivenessResult<TS> result;
 
   const int bits = ts.state_bits();
@@ -138,11 +141,22 @@ template <TransitionSystem TS, class Pred>
   std::size_t head = 0;
   std::size_t level_end = queue.size();
   int depth = 0;
+  obs::ManualSpan level_span;
+  level_span.begin("symlive.level", depth, "depth");
   while (head < queue.size()) {
     if (head == level_end) {
       ++depth;
       result.stats.frontier_sizes.push_back(queue.size() - level_end);
       level_end = queue.size();
+      level_span.end();
+      level_span.begin("symlive.level", depth, "depth");
+      obs::progress_tick({.phase = "symlive-bfs",
+                          .states = queue.size(),
+                          .transitions = result.stats.transitions,
+                          .frontier = queue.size() - head,
+                          .depth = depth,
+                          .seconds = timer.seconds(),
+                          .live_bdd_nodes = mgr.node_count()});
       if (depth > limits.max_depth) {
         limit_hit = true;
         break;
@@ -182,6 +196,7 @@ template <TransitionSystem TS, class Pred>
       break;
     }
   }
+  level_span.end();
   if (open_edges > 0) {
     chunks.push_back(open_chunk);
   } else {
@@ -209,6 +224,14 @@ template <TransitionSystem TS, class Pred>
     mgr.ref(z);
     while (true) {
       ++result.stats.bdd_iterations;
+      obs::Span iter_span("symlive.eg_iteration");
+      iter_span.set_arg("iteration", static_cast<std::int64_t>(result.stats.bdd_iterations));
+      obs::progress_tick({.phase = "symlive-eg",
+                          .states = queue.size(),
+                          .transitions = result.stats.transitions,
+                          .round = static_cast<long long>(result.stats.bdd_iterations),
+                          .seconds = timer.seconds(),
+                          .live_bdd_nodes = mgr.node_count()});
       const bdd::NodeId zn = mgr.rename(z, map_id);
       mgr.ref(zn);
       bdd::NodeId pre = bdd::kFalse;
@@ -298,6 +321,7 @@ template <TransitionSystem TS, class Pred>
     expected *= BigUint::pow2(static_cast<unsigned>(bits));
     TT_ASSERT(mgr.sat_count_exact(reached) == expected);
   }
+  run_span.set_arg("states", static_cast<std::int64_t>(queue.size()));
   result.stats.states = queue.size();
   result.stats.depth = depth;
   const bdd::ManagerStats ms = mgr.stats();

@@ -26,6 +26,8 @@
 #include "mc/reachability.hpp"
 #include "mc/run_stats.hpp"
 #include "mc/transition_system.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "support/timer.hpp"
 
 namespace tt::mc {
@@ -38,6 +40,7 @@ template <TransitionSystem TS, class Pred>
     const TS& ts, Pred&& holds, const SearchLimits& limits = {}) {
   using State = typename TS::State;
   Timer timer;
+  obs::Span run_span("bfs.symbolic");
   InvariantResult<TS> result;
 
   const int bits = ts.state_bits();
@@ -75,11 +78,22 @@ template <TransitionSystem TS, class Pred>
   std::size_t head = 0;
   std::size_t level_end = queue.size();
   int depth = 0;
+  obs::ManualSpan level_span;
+  level_span.begin("sym.level", depth, "depth");
   while (head < queue.size() && !violated) {
     if (head == level_end) {
       ++depth;
       result.stats.frontier_sizes.push_back(queue.size() - level_end);
       level_end = queue.size();
+      level_span.end();
+      level_span.begin("sym.level", depth, "depth");
+      obs::progress_tick({.phase = "sym",
+                          .states = queue.size(),
+                          .transitions = result.stats.transitions,
+                          .frontier = queue.size() - head,
+                          .depth = depth,
+                          .seconds = timer.seconds(),
+                          .live_bdd_nodes = mgr.node_count()});
       if (depth > limits.max_depth) break;
     }
     if (queue.size() > limits.max_states) break;
@@ -92,6 +106,8 @@ template <TransitionSystem TS, class Pred>
     });
   }
 
+  level_span.end();
+  run_span.set_arg("states", static_cast<std::int64_t>(queue.size()));
   // The BDD is the membership authority: report its exact model count as
   // the state count (it must agree with the queue, which saw each state
   // exactly once).

@@ -1,0 +1,21 @@
+// Chrome trace-event JSON export: drained Tracer events rendered in the
+// format chrome://tracing and https://ui.perfetto.dev load directly
+// (the "JSON Array Format" with an object wrapper — see
+// scripts/validate_trace.py for the exact schema we guarantee).
+#pragma once
+
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace tt::obs {
+
+/// Serializes every drained event of `tracer` to `path` as Chrome
+/// trace-event JSON: spans as "X" (complete) events, counters as "C",
+/// instants as "i", plus one "M" thread_name metadata record per thread.
+/// Timestamps convert ns -> fractional µs (the format's unit). Call after
+/// the instrumented run finished (emitting threads quiesced). Returns
+/// false (and reports to stderr) when the file cannot be written.
+bool write_chrome_trace(const Tracer& tracer, const std::string& path);
+
+}  // namespace tt::obs

@@ -1,0 +1,41 @@
+#include "obs/memory.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace tt::obs {
+
+namespace {
+
+/// Reads a "<key>:   <n> kB" line from /proc/self/status; 0 if absent.
+std::size_t proc_status_kb(const char* key) {
+#ifdef __linux__
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::size_t kb = 0;
+  const std::size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      unsigned long long v = 0;
+      if (std::sscanf(line + key_len + 1, "%llu", &v) == 1) {
+        kb = static_cast<std::size_t>(v);
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+#else
+  (void)key;
+  return 0;
+#endif
+}
+
+}  // namespace
+
+std::size_t rss_bytes() { return proc_status_kb("VmRSS") * 1024; }
+
+std::size_t peak_rss_bytes() { return proc_status_kb("VmHWM") * 1024; }
+
+}  // namespace tt::obs

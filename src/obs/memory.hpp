@@ -1,0 +1,18 @@
+// Process-memory sampling for progress heartbeats and trace counters.
+#pragma once
+
+#include <cstddef>
+
+namespace tt::obs {
+
+/// Current resident set size of this process in bytes; 0 when the platform
+/// offers no cheap way to read it (non-Linux). Thread-safe (stateless read
+/// of /proc/self/status); costs one small file read, so sample it at
+/// heartbeat granularity, not per state.
+[[nodiscard]] std::size_t rss_bytes();
+
+/// Peak resident set size (VmHWM) in bytes; 0 when unavailable. Same cost
+/// and thread-safety as rss_bytes().
+[[nodiscard]] std::size_t peak_rss_bytes();
+
+}  // namespace tt::obs

@@ -1,0 +1,68 @@
+#include "obs/obs.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace tt::obs {
+
+bool parse_obs_args(int& argc, char** argv, ObsOptions& out) {
+  int w = 1;
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--trace-out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--trace-out needs a file path\n");
+        ok = false;
+        break;
+      }
+      out.trace_out = argv[++i];
+    } else if (std::strcmp(arg, "--progress") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--progress needs an interval in seconds\n");
+        ok = false;
+        break;
+      }
+      char* end = nullptr;
+      out.progress_sec = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || out.progress_sec < 0) {
+        std::fprintf(stderr, "--progress: bad interval '%s'\n", argv[i]);
+        ok = false;
+        break;
+      }
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      out.quiet = true;
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  argc = w;
+  argv[argc] = nullptr;
+  return ok;
+}
+
+ScopedObservability::ScopedObservability(ObsOptions options)
+    : options_(std::move(options)) {
+  configure_progress(options_.progress_sec, options_.quiet);
+  if (!options_.trace_out.empty()) tracer_.install();
+}
+
+ScopedObservability::~ScopedObservability() {
+  if (!options_.trace_out.empty()) {
+    tracer_.uninstall();
+    if (write_chrome_trace(tracer_, options_.trace_out) && !options_.quiet) {
+      std::printf("[trace: %zu event(s) -> %s]\n", tracer_.event_count(),
+                  options_.trace_out.c_str());
+    }
+  }
+  if (progress_printing()) {
+    if (const std::size_t peak = peak_rss_bytes(); peak > 0) {
+      std::fprintf(stderr, "[ttstart] peak rss: %zuMB\n", peak / (1024 * 1024));
+    }
+  }
+  configure_progress(0.0, false);
+}
+
+}  // namespace tt::obs

@@ -1,0 +1,50 @@
+// Umbrella header + CLI plumbing for the observability layer: one include
+// gives instrumented binaries the tracer, the Chrome exporter, the progress
+// heartbeat and the memory sampler, plus the shared `--trace-out` /
+// `--progress` / `--quiet` flag handling used by the CLI and the fig4/
+// fig5/fig6 benches.
+#pragma once
+
+#include <string>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/memory.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
+
+namespace tt::obs {
+
+/// Observability knobs shared by every instrumented binary.
+struct ObsOptions {
+  /// Chrome trace-event JSON output path; empty = tracing stays disabled.
+  std::string trace_out;
+  /// Heartbeat interval in seconds; <= 0 = no progress lines.
+  double progress_sec = 0.0;
+  /// Suppresses heartbeat lines even when progress_sec > 0 (trace counters
+  /// are unaffected).
+  bool quiet = false;
+};
+
+/// Extracts `--trace-out <file>`, `--progress <seconds>` and `--quiet` from
+/// argv, compacting the array so other parsers (GoogleBenchmark, the CLI's
+/// own loop) never see them. Returns false on a malformed value (missing
+/// file name, non-numeric interval) after reporting to stderr.
+[[nodiscard]] bool parse_obs_args(int& argc, char** argv, ObsOptions& out);
+
+/// RAII session: installs a Tracer when `trace_out` is set, configures the
+/// progress heartbeat, and on destruction writes the Chrome trace file and
+/// (unless quiet) reports where it landed plus the peak RSS. Create exactly
+/// one per process, on the main thread, before any instrumented run.
+class ScopedObservability {
+ public:
+  explicit ScopedObservability(ObsOptions options);
+  ScopedObservability(const ScopedObservability&) = delete;
+  ScopedObservability& operator=(const ScopedObservability&) = delete;
+  ~ScopedObservability();
+
+ private:
+  ObsOptions options_;
+  Tracer tracer_;
+};
+
+}  // namespace tt::obs

@@ -1,0 +1,90 @@
+#include "obs/progress.hpp"
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/memory.hpp"
+#include "obs/trace.hpp"
+
+namespace tt::obs {
+
+namespace {
+
+std::atomic<long long> g_interval_ns{0};  // <= 0: printing disabled
+std::atomic<bool> g_quiet{false};
+std::atomic<std::uint64_t> g_last_print_ns{0};  // monotonic_ns of last line
+
+/// Renders a count with a k/M suffix into buf; returns buf.
+const char* human(double v, char* buf, std::size_t cap) {
+  if (v >= 1e6) {
+    std::snprintf(buf, cap, "%.1fM", v / 1e6);
+  } else if (v >= 1e3) {
+    std::snprintf(buf, cap, "%.1fk", v / 1e3);
+  } else {
+    std::snprintf(buf, cap, "%.0f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+void configure_progress(double interval_sec, bool quiet) {
+  g_interval_ns.store(interval_sec > 0 ? static_cast<long long>(interval_sec * 1e9) : 0,
+                      std::memory_order_relaxed);
+  g_quiet.store(quiet, std::memory_order_relaxed);
+  g_last_print_ns.store(0, std::memory_order_relaxed);
+}
+
+bool progress_printing() noexcept {
+  return g_interval_ns.load(std::memory_order_relaxed) > 0 &&
+         !g_quiet.load(std::memory_order_relaxed);
+}
+
+void progress_tick(const Heartbeat& hb) {
+  if (enabled()) {
+    emit_counter("states", static_cast<double>(hb.states));
+    if (hb.frontier > 0) emit_counter("frontier", static_cast<double>(hb.frontier));
+    if (hb.live_bdd_nodes > 0) {
+      emit_counter("bdd_live_nodes", static_cast<double>(hb.live_bdd_nodes));
+    }
+    emit_counter("rss_mb", static_cast<double>(rss_bytes()) / 1e6);
+  }
+  if (!progress_printing()) return;
+
+  const long long interval = g_interval_ns.load(std::memory_order_relaxed);
+  const std::uint64_t now = detail::monotonic_ns();
+  std::uint64_t last = g_last_print_ns.load(std::memory_order_relaxed);
+  if (last != 0 && now - last < static_cast<std::uint64_t>(interval)) return;
+  // One printer per slot: the first due caller claims it, racers skip.
+  if (!g_last_print_ns.compare_exchange_strong(last, now, std::memory_order_relaxed)) {
+    return;
+  }
+
+  const double rate = hb.seconds > 0 ? static_cast<double>(hb.states) / hb.seconds : 0;
+  char states_buf[32], rate_buf[32], frontier_buf[32];
+  std::fprintf(stderr, "[ttstart %7.1fs] %-5s states=%s", hb.seconds, hb.phase,
+               human(static_cast<double>(hb.states), states_buf, sizeof states_buf));
+  if (hb.depth >= 0) std::fprintf(stderr, " depth=%lld", hb.depth);
+  if (hb.round >= 0) std::fprintf(stderr, " round=%lld", hb.round);
+  if (hb.frontier > 0) {
+    std::fprintf(stderr, " frontier=%s",
+                 human(static_cast<double>(hb.frontier), frontier_buf, sizeof frontier_buf));
+  }
+  std::fprintf(stderr, " %s st/s", human(rate, rate_buf, sizeof rate_buf));
+  if (hb.live_bdd_nodes > 0) {
+    char bdd_buf[32];
+    std::fprintf(stderr, " bdd=%s",
+                 human(static_cast<double>(hb.live_bdd_nodes), bdd_buf, sizeof bdd_buf));
+  }
+  if (const std::size_t rss = rss_bytes(); rss > 0) {
+    std::fprintf(stderr, " rss=%zuMB", rss / (1024 * 1024));
+  }
+  if (hb.total_hint > hb.states && rate > 0) {
+    std::fprintf(stderr, " eta=%.0fs",
+                 static_cast<double>(hb.total_hint - hb.states) / rate);
+  }
+  std::fprintf(stderr, "\n");
+}
+
+}  // namespace tt::obs

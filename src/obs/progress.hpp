@@ -1,0 +1,46 @@
+// Periodic progress heartbeat for long verification runs (DESIGN.md §3.5).
+//
+// Engines call progress_tick() at their natural publish points (a completed
+// BFS level, an OWCTY trim round, an EG fixpoint step, a BMC depth). The
+// reporter rate-limits output to the configured interval, prints one status
+// line per heartbeat to stderr, and mirrors the sampled values into trace
+// counters when a Tracer is installed — so `--progress` and `--trace-out`
+// observe the same numbers.
+#pragma once
+
+#include <cstddef>
+
+namespace tt::obs {
+
+/// One progress sample. `phase` must be a static-storage string. Fields
+/// that do not apply to the reporting engine stay 0 and are omitted from
+/// the printed line. Units: `seconds` is elapsed wall-clock for the run;
+/// counts are absolute totals, not deltas.
+struct Heartbeat {
+  const char* phase = "";           ///< e.g. "bfs", "owcty", "sym", "bmc"
+  std::size_t states = 0;           ///< states interned / BDD states so far
+  std::size_t transitions = 0;      ///< transitions enumerated so far
+  std::size_t frontier = 0;         ///< next frontier size (0 = n/a)
+  long long depth = -1;             ///< BFS level / BMC depth (-1 = n/a)
+  long long round = -1;             ///< OWCTY trim round / EG step (-1 = n/a)
+  double seconds = 0.0;             ///< elapsed wall-clock of the run
+  std::size_t live_bdd_nodes = 0;   ///< live BDD nodes (0 = n/a)
+  std::size_t total_hint = 0;       ///< expected total states, for ETA (0 = unknown)
+};
+
+/// Configures the global heartbeat. `interval_sec <= 0` disables printing
+/// (ticks still feed trace counters when a tracer is installed). `quiet`
+/// suppresses printing regardless of interval. Call from one thread while
+/// engines are quiescent, like Tracer::install().
+void configure_progress(double interval_sec, bool quiet);
+
+/// True when heartbeat printing is active (interval > 0 and not quiet).
+[[nodiscard]] bool progress_printing() noexcept;
+
+/// Publishes a sample: prints one status line when the interval elapsed
+/// since the last print (thread-safe; first due caller wins the slot) and
+/// emits `states` / `frontier` / `rss` / `bdd_live_nodes` trace counters
+/// when tracing is enabled. Cost when idle: two relaxed atomic loads.
+void progress_tick(const Heartbeat& hb);
+
+}  // namespace tt::obs

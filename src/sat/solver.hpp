@@ -62,6 +62,11 @@ class Solver {
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
+  /// Clause-database size (problem + currently retained learned clauses).
+  /// Units: clause count. Used by BMC telemetry to report formula growth
+  /// per unrolling depth.
+  [[nodiscard]] std::size_t num_clauses() const noexcept { return clauses_.size(); }
+
  private:
   struct Clause {
     std::vector<Lit> lits;

@@ -57,6 +57,29 @@ std::string render_record(const std::string& bench, const BenchRecord& r) {
 
 }  // namespace
 
+double read_report_seconds(const std::string& bench, const std::string& experiment,
+                           const std::string& engine) {
+  std::ifstream in(report_path());
+  const std::string bench_key = "\"bench\": \"" + json_escape(bench) + "\"";
+  const std::string exp_key = "\"experiment\": \"" + json_escape(experiment) + "\"";
+  const std::string eng_key = "\"engine\": \"" + json_escape(engine) + "\"";
+  const std::string sec_key = "\"seconds\": ";
+  double best = -1.0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find(bench_key) == std::string::npos ||
+        line.find(exp_key) == std::string::npos ||
+        line.find(eng_key) == std::string::npos) {
+      continue;
+    }
+    const auto pos = line.find(sec_key);
+    if (pos == std::string::npos) continue;
+    const double s = std::strtod(line.c_str() + pos + sec_key.size(), nullptr);
+    if (s > 0 && (best < 0 || s < best)) best = s;
+  }
+  return best;
+}
+
 BenchReport::BenchReport(std::string bench_name) : bench_name_(std::move(bench_name)) {}
 
 BenchReport::~BenchReport() {

@@ -13,14 +13,16 @@
 
 namespace tt {
 
+/// One measurement row of the ttstart-bench-v3 schema (the `experiment`
+/// keys are the ones EXPERIMENTS.md's claim→command table points at).
 struct BenchRecord {
   std::string experiment;  ///< e.g. "fig6/safety/n4"
   std::string engine;      ///< "seq", "par", "sym", "sat", ...
-  int threads = 1;
-  std::size_t states = 0;
-  std::size_t transitions = 0;
-  double seconds = 0.0;
-  bool exhausted = true;
+  int threads = 1;         ///< worker threads the run used (1 = sequential)
+  std::size_t states = 0;      ///< distinct states interned/counted
+  std::size_t transitions = 0; ///< transitions explored
+  double seconds = 0.0;        ///< wall-clock seconds of the measured run
+  bool exhausted = true;       ///< false when a search limit stopped the run
   std::string verdict;  ///< "holds", "VIOLATED", ... (optional)
   /// Symbolic-engine columns (schema v2): fixpoint/BFS iterations and peak
   /// live BDD nodes. Negative = not applicable, omitted from the JSON.
@@ -33,6 +35,17 @@ struct BenchRecord {
   long long residue_states = -1;
 };
 
+/// Reads the minimum "seconds" value among the report-file records matching
+/// (bench, experiment, engine), e.g. the `baseline_pre_pr` rows that anchor
+/// overhead budgets. Returns a negative value when no record matches or the
+/// file is unreadable. Units: wall-clock seconds. Not thread-safe with a
+/// concurrent write() to the same file.
+[[nodiscard]] double read_report_seconds(const std::string& bench,
+                                         const std::string& experiment,
+                                         const std::string& engine);
+
+/// Collects one bench binary's records and merges them into the report
+/// file. Not thread-safe: create and use on one thread (the bench main).
 class BenchReport {
  public:
   /// `bench_name` identifies this binary's records in the merged file.
@@ -42,6 +55,7 @@ class BenchReport {
   /// Writes on destruction (best effort — errors are reported to stderr).
   ~BenchReport();
 
+  /// Queues a record for write(); records are kept in add() order.
   void add(BenchRecord record);
 
   /// Merges this bench's records into the report file and returns the path

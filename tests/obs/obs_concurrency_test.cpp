@@ -1,0 +1,132 @@
+// Concurrency tests for the tracing layer, run under ThreadSanitizer in CI
+// (tsan job): many threads appending spans/counters to their own buffers
+// while the owner thread drains concurrently, plus the real parallel
+// engines emitting worker spans at 4 threads. The SPMC publication contract
+// (release on the chunk count, acquire in snapshot) is exactly what TSan
+// would flag if it regressed.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/verifier.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using tt::obs::Span;
+using tt::obs::Tracer;
+
+TEST(ObsConcurrencyTest, ManyThreadsEmitWhileDraining) {
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 2000;
+
+  Tracer tracer;
+  tracer.install();
+
+  std::atomic<bool> stop{false};
+  std::thread drainer([&] {
+    // Concurrent drain is allowed (it may observe a prefix per thread).
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)tracer.event_count();
+    }
+  });
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&tracer, t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        Span s("work");
+        s.set_arg("i", i);
+        if ((i & 63) == 0) tt::obs::emit_counter("progress", i);
+      }
+      (void)t;
+      (void)tracer;
+    });
+  }
+  for (auto& w : workers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  drainer.join();
+  tracer.uninstall();
+
+  // After the join every event is published: exact totals, per thread.
+  constexpr std::size_t kCountersPerThread = (kSpansPerThread + 63) / 64;
+  std::size_t span_events = 0, counter_events = 0, emitting_threads = 0;
+  for (const auto& te : tracer.drain()) {
+    std::size_t thread_spans = 0;
+    for (const auto& e : te.events) {
+      if (e.kind == tt::obs::EventKind::kSpan) ++thread_spans, ++span_events;
+      if (e.kind == tt::obs::EventKind::kCounter) ++counter_events;
+    }
+    if (!te.events.empty()) {
+      ++emitting_threads;
+      EXPECT_EQ(thread_spans, static_cast<std::size_t>(kSpansPerThread));
+    }
+  }
+  EXPECT_EQ(emitting_threads, static_cast<std::size_t>(kThreads));
+  EXPECT_EQ(span_events, static_cast<std::size_t>(kThreads) * kSpansPerThread);
+  EXPECT_EQ(counter_events, static_cast<std::size_t>(kThreads) * kCountersPerThread);
+}
+
+TEST(ObsConcurrencyTest, SequentialTracerSessionsDoNotLeakThreads) {
+  // A second tracer after the first must start from an empty buffer set:
+  // thread registrations are per-tracer (generation-keyed), not global.
+  for (int round = 0; round < 3; ++round) {
+    Tracer tracer;
+    tracer.install();
+    std::thread t([] { Span s("round"); });
+    t.join();
+    tracer.uninstall();
+    std::size_t spans = 0;
+    for (const auto& te : tracer.drain()) spans += te.events.size();
+    EXPECT_EQ(spans, 1u) << "round " << round;
+  }
+}
+
+// The real workload TSan needs to see: the parallel BFS engine's workers
+// emitting bfs.expand/bfs.drain spans into their thread buffers while the
+// coordinator runs bfs.level ManualSpans, then the OWCTY engine doing the
+// same with its trim rounds.
+TEST(ObsConcurrencyTest, ParallelEnginesEmitUnderTracing) {
+  // n = 4 at the fig6 window: frontiers grow past the parallel engine's
+  // serial-fallback threshold (128 states/worker), so the workers really
+  // run and emit into their own buffers.
+  tt::tta::ClusterConfig cfg;
+  cfg.n = 4;
+  cfg.faulty_node = 0;
+  cfg.fault_degree = 6;
+  cfg.init_window = 4;
+  cfg.hub_init_window = 4;
+
+  tt::core::VerifyOptions opts;
+  opts.engine = tt::mc::EngineKind::kParallel;
+  opts.threads = 4;
+
+  Tracer tracer;
+  tracer.install();
+  const auto safety = tt::core::verify(cfg, tt::core::Lemma::kSafety, opts);
+  const auto liveness = tt::core::verify(cfg, tt::core::Lemma::kLiveness, opts);
+  tracer.uninstall();
+
+  EXPECT_TRUE(safety.holds);
+  EXPECT_TRUE(liveness.holds);
+
+  bool saw_expand = false, saw_trim = false;
+  std::size_t emitting_threads = 0;
+  for (const auto& te : tracer.drain()) {
+    if (!te.events.empty()) ++emitting_threads;
+    for (const auto& e : te.events) {
+      if (e.kind != tt::obs::EventKind::kSpan) continue;
+      if (std::string_view(e.name) == "bfs.expand") saw_expand = true;
+      if (std::string_view(e.name) == "owcty.trim_round") saw_trim = true;
+    }
+  }
+  EXPECT_TRUE(saw_expand);
+  EXPECT_TRUE(saw_trim);
+  EXPECT_GE(emitting_threads, 2u);  // coordinator + at least one worker
+}
+
+}  // namespace

@@ -14,6 +14,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/scenario_math.hpp"
@@ -130,6 +132,29 @@ tt::BenchRecord record_of(const std::string& experiment,
   return rec;
 }
 
+// Symmetry-reduction columns (schema v4) for a quotient run, paired with
+// its unreduced baseline when one ran (`raw_states` > 0). The ratio is on
+// *stored states* — the honest headline number; the far larger transition/
+// time reduction is visible from the paired rows themselves.
+void mark_reduced(tt::BenchRecord& rec, const tt::core::VerificationResult& r,
+                  std::size_t raw_states) {
+  rec.reduction = "sym";
+  rec.canon_ops = static_cast<long long>(r.stats.canon_ops);
+  rec.orbit_states = static_cast<long long>(r.stats.states);
+  if (raw_states > 0 && r.stats.states > 0) {
+    rec.reduction_ratio =
+        static_cast<double>(raw_states) / static_cast<double>(r.stats.states);
+  }
+}
+
+// PR-4 caveat, machine-readable (schema v4): a `threads = hw` row measured
+// on a runner whose hardware concurrency is 1 (or unknown) cannot show a
+// parallel speedup, so its seconds column must not be read as one.
+int possibly_one_core_flag() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw <= 1 ? 1 : 0;
+}
+
 // The engine-comparison experiment: the exhaustive degree-6 safety run
 // (feedback on) with the sequential BFS engine, the symbolic BDD-set
 // engine, and the parallel frontier engine at 1, 2, 4 and
@@ -174,7 +199,9 @@ void engine_comparison(tt::BenchReport& report, int n) {
     par_opts.engine = tt::mc::EngineKind::kParallel;
     par_opts.threads = threads;
     const auto par = tt::core::verify(cfg, tt::core::Lemma::kSafety, par_opts);
-    report.add(record_of(slug, par, tt::core::Lemma::kSafety));
+    auto rec = record_of(slug, par, tt::core::Lemma::kSafety);
+    if (threads == hw) rec.possibly_one_core = possibly_one_core_flag();
+    report.add(std::move(rec));
     const bool agrees = par.holds == seq.holds && par.stats.states == seq.stats.states;
     t.add_row({"par", std::to_string(par.stats.threads), par.holds ? "true" : "FALSE",
                std::to_string(par.stats.states), std::to_string(par.stats.transitions),
@@ -234,7 +261,9 @@ void engine_comparison_liveness(tt::BenchReport& report, int n) {
     par_opts.engine = tt::mc::EngineKind::kParallel;
     par_opts.threads = threads;
     const auto par = tt::core::verify(cfg, lemma, par_opts);
-    report.add(record_of(slug, par, lemma));
+    auto rec = record_of(slug, par, lemma);
+    if (threads == hw) rec.possibly_one_core = possibly_one_core_flag();
+    report.add(std::move(rec));
     const bool agrees = par.holds == seq.holds && par.stats.states == seq.stats.states &&
                         par.stats.transitions == seq.stats.transitions;
     t.add_row({"par", std::to_string(par.stats.threads), par.holds ? "true" : "FALSE",
@@ -352,7 +381,7 @@ void print_table(tt::BenchReport& report) {
 
   std::printf("\n=== Figure 6: exhaustive fault simulation (degree 6, feedback on) ===\n");
   tt::TextTable t({"lemma", "n", "eval", "measured s", "states", "transitions", "state bits",
-                   "paper s", "paper BDD vars"});
+                   "orbit states", "sym s", "trans ratio", "paper s", "paper BDD vars"});
   struct Entry {
     tt::core::Lemma lemma;
     const PaperRow* paper;
@@ -369,13 +398,34 @@ void print_table(tt::BenchReport& report) {
     for (int n = 3; n <= max_n; ++n) {
       auto cfg = e.hub ? fig6_hub_config(n) : fig6_node_config(n);
       if (e.lemma == tt::core::Lemma::kTimeliness) cfg.timeliness_bound = 8 * n;
+      const std::string slug = tt::strfmt("fig6/%s/n%d", lemma_slug(e.lemma), n);
       auto r = tt::core::verify(cfg, e.lemma);
-      report.add(record_of(tt::strfmt("fig6/%s/n%d", lemma_slug(e.lemma), n), r, e.lemma));
+      auto raw_rec = record_of(slug, r, e.lemma);
+      raw_rec.reduction = "none";
+      report.add(std::move(raw_rec));
+      // The paired symmetry-quotient run of the same cell: same lemma, same
+      // default engine, the reduced state graph underneath. Verdicts must
+      // agree (the quotient is verdict-preserving; tested in
+      // tests/core/reduction_equivalence_test.cpp).
+      tt::core::VerifyOptions red_opts;
+      red_opts.reduction = tt::mc::ReductionKind::kSymmetry;
+      auto q = tt::core::verify(cfg, e.lemma, red_opts);
+      auto red_rec = record_of(slug, q, e.lemma);
+      mark_reduced(red_rec, q, r.stats.states);
+      report.add(std::move(red_rec));
+      if (q.holds != r.holds) std::printf("!! reduced/unreduced verdict disagreement\n");
       const tt::tta::Cluster cluster(tt::core::prepare_config(cfg, e.lemma));
+      const double trans_ratio =
+          q.stats.transitions > 0
+              ? static_cast<double>(r.stats.transitions) /
+                    static_cast<double>(q.stats.transitions)
+              : 0.0;
       t.add_row({tt::core::to_string(e.lemma), std::to_string(n),
                  r.holds ? "true" : "FALSE", tt::strfmt("%.2f", r.stats.seconds),
                  std::to_string(r.stats.states), std::to_string(r.stats.transitions),
                  std::to_string(cluster.state_bits()),
+                 std::to_string(q.stats.states), tt::strfmt("%.2f", q.stats.seconds),
+                 tt::strfmt("%.1fx", trans_ratio),
                  tt::strfmt("%.2f", e.paper[n - 3].cpu),
                  std::to_string(e.paper[n - 3].bdd_vars)});
     }
@@ -383,7 +433,40 @@ void print_table(tt::BenchReport& report) {
   std::printf("%s", t.render().c_str());
   std::printf("(shape: every lemma true; cost grows steeply with n; liveness most\n"
               " expensive — matching the paper. Absolute times differ: explicit-state\n"
-              " engine, scaled wake-up window, 2026 hardware.)\n\n");
+              " engine, scaled wake-up window, 2026 hardware. The orbit-states/sym\n"
+              " columns are the --reduction sym quotient of the same cell: identical\n"
+              " verdict, ~1.5x fewer stored states, >=10x fewer transitions at n = 5;\n"
+              " see DESIGN.md §3.6 for why the state ratio is the smaller number.)\n\n");
+}
+
+// The n = 6 frontier cell: out of reach for the unreduced engine in earlier
+// PRs' budgets, first completed by the symmetry quotient (2.9 s vs 34.5 s
+// unreduced, 15.7x fewer transitions). Full mode runs both directions so the
+// JSON carries the honest pair; quick mode (CI) skips the cell entirely.
+void fig6_n6(tt::BenchReport& report) {
+  std::printf("\n=== Figure 6 frontier: safety, n = 6, degree 6, feedback on ===\n");
+  auto cfg = fig6_node_config(6);
+  const std::string slug = "fig6/safety/n6";
+
+  tt::core::VerifyOptions red_opts;
+  red_opts.reduction = tt::mc::ReductionKind::kSymmetry;
+  const auto q = tt::core::verify(cfg, tt::core::Lemma::kSafety, red_opts);
+  std::printf("sym quotient: eval=%s states=%zu transitions=%zu seconds=%.2f\n",
+              q.holds ? "true" : "FALSE", q.stats.states, q.stats.transitions,
+              q.stats.seconds);
+
+  const auto r = tt::core::verify(cfg, tt::core::Lemma::kSafety);
+  std::printf("unreduced:    eval=%s states=%zu transitions=%zu seconds=%.2f\n",
+              r.holds ? "true" : "FALSE", r.stats.states, r.stats.transitions,
+              r.stats.seconds);
+  if (q.holds != r.holds) std::printf("!! reduced/unreduced verdict disagreement\n");
+
+  auto raw_rec = record_of(slug, r, tt::core::Lemma::kSafety);
+  raw_rec.reduction = "none";
+  report.add(std::move(raw_rec));
+  auto red_rec = record_of(slug, q, tt::core::Lemma::kSafety);
+  mark_reduced(red_rec, q, r.stats.states);
+  report.add(std::move(red_rec));
 }
 
 }  // namespace
@@ -403,6 +486,7 @@ int main(int argc, char** argv) {
   if (!quick_mode()) {
     engine_comparison(report, 5);
     engine_comparison_liveness(report, 5);
+    fig6_n6(report);
   }
   // The overhead gate must measure an untraced run: it only applies when no
   // tracer is installed for this process.

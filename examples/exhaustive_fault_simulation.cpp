@@ -16,6 +16,10 @@
 //     --no-feedback         disable the feedback optimization
 //     --no-bigbang          disable the big-bang mechanism (§5.2)
 //     --engine <kind>       auto|seq|par|sym exploration engine (default auto)
+//     --reduction <kind>    none|sym state-space reduction: sym explores the
+//                           symmetry quotient (orbit representatives,
+//                           DESIGN.md §3.6); counterexamples are
+//                           re-concretized against the raw model
 //     --threads <k>         worker threads for the parallel engine
 //                           (default: TTSTART_THREADS env, else all cores)
 //     --trace-out <file>    write a Chrome trace-event JSON (chrome://tracing,
@@ -84,6 +88,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--engine") {
       if (i + 1 >= argc) return usage();
       if (!mc::parse_engine(argv[++i], opts.engine)) return usage();
+    } else if (arg == "--reduction") {
+      if (i + 1 >= argc) return usage();
+      if (!mc::parse_reduction(argv[++i], opts.reduction)) return usage();
     } else if (arg == "--lemma") {
       if (i + 1 >= argc) return usage();
       const std::string name = argv[++i];
@@ -132,6 +139,10 @@ int main(int argc, char** argv) {
   if (result.engine_used == mc::EngineKind::kParallel && !core::is_invariant_lemma(lemma)) {
     std::printf("owcty: trim_rounds=%zu residue_states=%zu\n", result.stats.trim_rounds,
                 result.stats.residue_states);
+  }
+  if (opts.reduction == mc::ReductionKind::kSymmetry) {
+    std::printf("reduction: sym  canon_ops=%zu canon_swaps=%zu (orbit states above)\n",
+                result.stats.canon_ops, result.stats.canon_swaps);
   }
 
   if (!result.holds && !result.trace.empty()) {

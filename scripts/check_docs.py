@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Docs-consistency checks, run in CI (docs job).
 
-Three classes of drift this catches:
+Four classes of drift this catches:
 
   1. Engine-name drift — the engine set documented in README.md must match
      what `parse_engine` / `to_string` in src/mc/engine.hpp actually accept.
@@ -9,10 +9,16 @@ Three classes of drift this catches:
      and every `--engine a|b|c` alternation in README.md and the CLI header
      comment must list exactly the header's engine set.
 
-  2. Dangling section references — every "DESIGN.md §X.Y" referenced from
+  2. Reduction-name drift — same contract for the state-space reductions:
+     every reduction name `parse_reduction` / `to_string(ReductionKind)`
+     accepts must appear backticked in README.md, and every
+     `--reduction a|b` alternation in README.md and the CLI header comment
+     must list exactly the header's reduction set.
+
+  3. Dangling section references — every "DESIGN.md §X.Y" referenced from
      CHANGES.md (the per-PR changelog) must exist as a heading in DESIGN.md.
 
-  3. Broken intra-repo links — every relative markdown link target in the
+  4. Broken intra-repo links — every relative markdown link target in the
      repo's *.md files must resolve to an existing file (anchors and
      external http/mailto links are skipped).
 
@@ -57,6 +63,30 @@ def check_engine_names(root, failures):
                                f"src/mc/engine.hpp accepts {engines}")
 
 
+def check_reduction_names(root, failures):
+    header = read(root, "src/mc/engine.hpp")
+    reductions = [m for m in re.findall(
+        r'case ReductionKind::k\w+:\s*return "(\w+)";', header)]
+    if not reductions:
+        fail(failures, "src/mc/engine.hpp: found no ReductionKind names "
+                       "(regex drift?)")
+        return
+    readme = read(root, "README.md")
+    for name in reductions:
+        if f"`{name}`" not in readme \
+                and not re.search(r"`[^`]*\b" + re.escape(name) + r"\b[^`]*`", readme):
+            fail(failures, f"README.md: reduction '{name}' (src/mc/engine.hpp) "
+                           f"never mentioned in backticks")
+    # Every `--reduction a|b` alternation in the docs must equal the real set.
+    for rel in ("README.md", "examples/exhaustive_fault_simulation.cpp"):
+        text = read(root, rel)
+        for alt in re.findall(r"--reduction[ <]+((?:\w+\\?\|)+\w+)", text):
+            listed = alt.replace("\\", "").split("|")
+            if sorted(listed) != sorted(reductions):
+                fail(failures, f"{rel}: '--reduction {alt}' lists {listed}, but "
+                               f"src/mc/engine.hpp accepts {reductions}")
+
+
 def check_design_sections(root, failures):
     changes = read(root, "CHANGES.md")
     design = read(root, "DESIGN.md")
@@ -98,6 +128,7 @@ def main(argv):
         os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     failures = []
     check_engine_names(root, failures)
+    check_reduction_names(root, failures)
     check_design_sections(root, failures)
     check_markdown_links(root, failures)
     if failures:

@@ -1,13 +1,19 @@
 #!/usr/bin/env python3
 """Validate a ttstart-bench report file (BENCH_results.json).
 
-Accepts schema v1, v2 and v3. v2 adds two optional per-record fields emitted
+Accepts schema v1 through v4. v2 adds two optional per-record fields emitted
 by symbolic-engine runs: `iterations` (image/BFS steps to the fixpoint) and
 `peak_live_nodes` (peak live BDD nodes). v3 adds two more, emitted by
 parallel OWCTY liveness runs: `trim_rounds` (trimming sweeps to the fixpoint)
-and `residue_states` (goal-free states left alive afterwards). Optional
-fields must be non-negative integers when present and are rejected under
-older schemas.
+and `residue_states` (goal-free states left alive afterwards). v4 adds the
+symmetry-reduction columns: `reduction` ("none"/"sym"), `canon_ops`
+(canonicalization operations on the emission path), `orbit_states` (orbit
+representatives stored by a reduced run), `reduction_ratio`
+(states(unreduced)/states(reduced) when the paired baseline ran), and the
+caveat flag `possibly_one_core` (true when a multi-threaded row may have run
+on a single hardware core, so its speedup is not meaningful). Optional
+numeric fields must be non-negative when present; all optional fields are
+rejected under schemas older than the one that introduced them.
 
 Checks the envelope, the per-record field set and types, and basic value
 sanity (non-negative counts/times, verdict non-empty, threads >= 1). With
@@ -19,7 +25,10 @@ symbolic leg cannot silently drop out of the comparison. With
 --require-engine-for SUBSTR:ENGINE, fails unless at least one record whose
 experiment name contains SUBSTR ran on ENGINE — CI uses
 `--require-engine-for liveness:par` so liveness checking cannot silently
-fall back off the parallel engine.
+fall back off the parallel engine. With --require-reduction, fails unless at
+least one record carries `reduction: "sym"` with its `canon_ops` and
+`orbit_states` columns — CI uses this so the symmetry-quotient rows cannot
+silently drop out of the sweep.
 
 Exit code 0 on success, 1 on any violation (all violations are listed).
 """
@@ -52,18 +61,35 @@ OPTIONAL_FIELDS_V3 = {
     "trim_rounds": int,
     "residue_states": int,
 }
+OPTIONAL_FIELDS_V4 = {
+    **OPTIONAL_FIELDS_V3,
+    "reduction": str,
+    "canon_ops": int,
+    "orbit_states": int,
+    "reduction_ratio": (int, float),
+    "possibly_one_core": bool,
+}
 
-SCHEMAS = ("ttstart-bench-v1", "ttstart-bench-v2", "ttstart-bench-v3")
+REDUCTION_NAMES = ("none", "sym")
+
+SCHEMAS = (
+    "ttstart-bench-v1",
+    "ttstart-bench-v2",
+    "ttstart-bench-v3",
+    "ttstart-bench-v4",
+)
 
 
-def validate(doc, require, require_engines, require_engine_for):
+def validate(doc, require, require_engines, require_engine_for, require_reduction):
     errors = []
     if not isinstance(doc, dict):
         return ["top level is not a JSON object"]
     schema = doc.get("schema")
     if schema not in SCHEMAS:
         errors.append(f"schema is {schema!r}, expected one of {SCHEMAS!r}")
-    if schema == "ttstart-bench-v3":
+    if schema == "ttstart-bench-v4":
+        allowed_optional = OPTIONAL_FIELDS_V4
+    elif schema == "ttstart-bench-v3":
         allowed_optional = OPTIONAL_FIELDS_V3
     elif schema == "ttstart-bench-v2":
         allowed_optional = OPTIONAL_FIELDS_V2
@@ -78,6 +104,7 @@ def validate(doc, require, require_engines, require_engine_for):
     seen_benches = set()
     seen_engines = set()
     seen_experiment_engines = set()
+    seen_reduced_rows = 0
     for i, rec in enumerate(results):
         where = f"results[{i}]"
         if not isinstance(rec, dict):
@@ -97,12 +124,19 @@ def validate(doc, require, require_engines, require_engine_for):
             if field not in rec:
                 continue
             v = rec[field]
-            if not isinstance(v, ftype) or isinstance(v, bool):
+            if not isinstance(v, ftype) or (
+                ftype is not bool and isinstance(v, bool)
+            ):
                 errors.append(
                     f"{where}: optional field '{field}' has type "
                     f"{type(v).__name__}, expected {ftype}"
                 )
-            elif v < 0:
+            elif field == "reduction" and v not in REDUCTION_NAMES:
+                errors.append(
+                    f"{where}: reduction is {v!r}, "
+                    f"expected one of {REDUCTION_NAMES!r}"
+                )
+            elif isinstance(v, (int, float)) and not isinstance(v, bool) and v < 0:
                 errors.append(f"{where}: optional field '{field}' < 0")
         unknown = set(rec) - set(REQUIRED_FIELDS) - set(allowed_optional)
         if unknown:
@@ -122,6 +156,12 @@ def validate(doc, require, require_engines, require_engine_for):
                     errors.append(f"{where} ({exp}): {field} < 0")
             if rec.get("experiment") == "" or rec.get("verdict") == "":
                 errors.append(f"{where}: empty experiment or verdict")
+        if (
+            rec.get("reduction") == "sym"
+            and isinstance(rec.get("canon_ops"), int)
+            and isinstance(rec.get("orbit_states"), int)
+        ):
+            seen_reduced_rows += 1
 
     for bench in require:
         if bench not in seen_benches:
@@ -141,6 +181,11 @@ def validate(doc, require, require_engines, require_engine_for):
                 f"no record with {substr!r} in its experiment ran on engine "
                 f"'{engine}'"
             )
+    if require_reduction and seen_reduced_rows == 0:
+        errors.append(
+            "no record with reduction 'sym' carrying canon_ops and "
+            "orbit_states (--require-reduction)"
+        )
     return errors
 
 
@@ -169,6 +214,12 @@ def main():
         help="require >= 1 record whose experiment contains SUBSTR to have "
         "run on ENGINE (repeatable)",
     )
+    parser.add_argument(
+        "--require-reduction",
+        action="store_true",
+        help="require >= 1 record with reduction 'sym' carrying canon_ops "
+        "and orbit_states",
+    )
     args = parser.parse_args()
 
     try:
@@ -179,7 +230,11 @@ def main():
         return 1
 
     errors = validate(
-        doc, args.require, args.require_engine, args.require_engine_for
+        doc,
+        args.require,
+        args.require_engine,
+        args.require_engine_for,
+        args.require_reduction,
     )
     if errors:
         for e in errors:

@@ -9,8 +9,34 @@
 #include "obs/trace.hpp"
 #include "support/assert.hpp"
 #include "tta/properties.hpp"
+#include "tta/symmetry.hpp"
 
 namespace tt::core {
+
+namespace {
+
+/// Post-run bookkeeping for a reduced run: copies the cluster's
+/// canonicalization counters into the stats and, when a counterexample over
+/// the quotient is attached, replays it into a concrete trace of the raw
+/// model (tta::concretize_trace) — all under a "canon" span so the work
+/// shows up in traces next to the engine spans.
+void finish_reduced_run(const tta::Cluster& cluster, const tta::ClusterConfig& cfg,
+                        bool has_loop, bool initial_root, VerificationResult& out) {
+  obs::Span span("canon");
+  out.stats.canon_ops = cluster.canon_ops();
+  out.stats.canon_swaps = cluster.canon_swaps();
+  span.set_arg("canon_ops", static_cast<std::int64_t>(out.stats.canon_ops));
+  span.set_arg("canon_swaps", static_cast<std::int64_t>(out.stats.canon_swaps));
+  if (out.trace.empty()) return;
+  span.set_detail("concretize");
+  const tta::Cluster raw(cfg);
+  tta::ConcreteTrace conc =
+      tta::concretize_trace(raw, out.trace, out.loop_start, has_loop, initial_root);
+  out.trace = std::move(conc.trace);
+  out.loop_start = conc.loop_start;
+}
+
+}  // namespace
 
 tta::ClusterConfig prepare_config(tta::ClusterConfig cfg, Lemma lemma) {
   switch (lemma) {
@@ -39,13 +65,15 @@ tta::ClusterConfig prepare_config(tta::ClusterConfig cfg, Lemma lemma) {
 VerificationResult verify(const tta::ClusterConfig& raw_cfg, Lemma lemma,
                           const VerifyOptions& opts) {
   const tta::ClusterConfig cfg = prepare_config(raw_cfg, lemma);
-  const tta::Cluster cluster(cfg);
+  const bool reduced = opts.reduction == mc::ReductionKind::kSymmetry;
+  const tta::Cluster cluster(cfg, reduced ? tta::Reduction::kSymmetry : tta::Reduction::kNone);
   VerificationResult out;
   // Top-level span: one per verify() call, detail = lemma (static storage
   // from to_string), so engine-level spans nest under it in the trace.
   obs::Span verify_span("verify");
   verify_span.set_detail(to_string(lemma));
   verify_span.set_arg("n", cfg.n);
+  if (reduced) verify_span.set_arg("reduction", 1);
 
   if (!is_invariant_lemma(lemma)) {
     // Liveness engines (DESIGN.md §3.4): auto resolves to the parallel
@@ -76,6 +104,15 @@ VerificationResult verify(const tta::ClusterConfig& raw_cfg, Lemma lemma,
     out.trace = std::move(r.trace);
     out.loop_start = r.loop_start;
     out.verdict_text = to_string(r.verdict);
+    if (reduced) {
+      // The sequential AG AF engine roots its lasso anywhere in the
+      // reachable set; every other liveness counterexample starts at an
+      // initial state.
+      const bool initial_root =
+          !(kind == mc::EngineKind::kSequential && lemma == Lemma::kReintegration);
+      finish_reduced_run(cluster, cfg, r.verdict == mc::LivenessVerdict::kCycle,
+                         initial_root, out);
+    }
     return out;
   }
 
@@ -109,6 +146,9 @@ VerificationResult verify(const tta::ClusterConfig& raw_cfg, Lemma lemma,
   out.stats = std::move(r.stats);
   out.trace = std::move(r.trace);
   out.verdict_text = to_string(r.verdict);
+  if (reduced) {
+    finish_reduced_run(cluster, cfg, /*has_loop=*/false, /*initial_root=*/true, out);
+  }
   return out;
 }
 

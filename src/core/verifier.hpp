@@ -60,6 +60,11 @@ struct VerifyOptions {
   /// kAuto = the parallel engine for every lemma class.
   mc::EngineKind engine = mc::EngineKind::kAuto;
   int threads = 0;  ///< 0 = TTSTART_THREADS env, then hardware concurrency
+  /// kSymmetry explores the orbit quotient (tta/symmetry.hpp): the cluster
+  /// canonicalizes every emitted state below the engines, and verify()
+  /// re-concretizes any counterexample against the raw model before
+  /// returning it, so traces replay edge-by-edge either way.
+  mc::ReductionKind reduction = mc::ReductionKind::kNone;
 };
 
 struct VerificationResult {

@@ -55,6 +55,36 @@ enum class EngineKind {
   return false;
 }
 
+/// Which state-space reduction the model applies below the engines (the
+/// engines themselves are generic over the TransitionSystem and never see
+/// it: with kSymmetry every emitted successor is already an orbit
+/// representative, so the hash-once pipeline explores the quotient).
+enum class ReductionKind {
+  kNone,
+  kSymmetry,
+};
+
+/// Canonical reduction name ("none"/"sym"); static storage duration.
+[[nodiscard]] constexpr const char* to_string(ReductionKind k) noexcept {
+  switch (k) {
+    case ReductionKind::kNone: return "none";
+    case ReductionKind::kSymmetry: return "sym";
+  }
+  return "?";
+}
+
+/// Parses a reduction name ("none", "sym"); returns false and leaves `out`
+/// untouched on unknown names.
+[[nodiscard]] inline bool parse_reduction(std::string_view name, ReductionKind& out) noexcept {
+  for (const ReductionKind k : {ReductionKind::kNone, ReductionKind::kSymmetry}) {
+    if (name == to_string(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
 /// Per-level progress snapshot handed to EngineOptions::progress. Invoked
 /// on the coordinating thread only, between levels — never concurrently.
 struct LevelProgress {

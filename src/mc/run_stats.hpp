@@ -39,6 +39,13 @@ struct RunStats {
   /// goal-free-cycle violation (DESIGN.md §3.4).
   std::size_t trim_rounds = 0;
   std::size_t residue_states = 0;
+  /// Symmetry-reduction instrumentation (zero for unreduced runs):
+  /// `canon_ops` counts states canonicalized on the emission path (one per
+  /// enumerated transition plus one per emitted initial state), `canon_swaps`
+  /// counts emissions whose channel-swapped image won the orbit minimum
+  /// (DESIGN.md §3.6).
+  std::size_t canon_ops = 0;
+  std::size_t canon_swaps = 0;
   /// Symbolic-engine instrumentation (all zero for explicit-state runs):
   /// peak live BDD nodes, mark-and-sweep collections, unique-table and
   /// persistent op-cache hit fractions, and image/BFS iterations to the

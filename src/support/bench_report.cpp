@@ -45,12 +45,19 @@ std::string render_record(const std::string& bench, const BenchRecord& r) {
        << ", \"states_per_sec\": " << sps << ", \"exhausted\": "
        << (r.exhausted ? "true" : "false") << ", \"verdict\": \"" << json_escape(r.verdict)
        << "\"";
-  // v2/v3 optional columns, emitted only where meaningful (symbolic runs,
-  // parallel OWCTY liveness runs).
+  // v2/v3/v4 optional columns, emitted only where meaningful (symbolic runs,
+  // parallel OWCTY liveness runs, symmetry-reduced runs).
   if (r.iterations >= 0) line << ", \"iterations\": " << r.iterations;
   if (r.peak_live_nodes >= 0) line << ", \"peak_live_nodes\": " << r.peak_live_nodes;
   if (r.trim_rounds >= 0) line << ", \"trim_rounds\": " << r.trim_rounds;
   if (r.residue_states >= 0) line << ", \"residue_states\": " << r.residue_states;
+  if (!r.reduction.empty()) line << ", \"reduction\": \"" << json_escape(r.reduction) << "\"";
+  if (r.canon_ops >= 0) line << ", \"canon_ops\": " << r.canon_ops;
+  if (r.orbit_states >= 0) line << ", \"orbit_states\": " << r.orbit_states;
+  if (r.reduction_ratio >= 0.0) line << ", \"reduction_ratio\": " << r.reduction_ratio;
+  if (r.possibly_one_core >= 0) {
+    line << ", \"possibly_one_core\": " << (r.possibly_one_core != 0 ? "true" : "false");
+  }
   line << "}";
   return line.str();
 }
@@ -114,7 +121,7 @@ std::string BenchReport::write() {
     std::fprintf(stderr, "ttstart: cannot write %s\n", path.c_str());
     return {};
   }
-  out << "{\n  \"schema\": \"ttstart-bench-v3\",\n  \"results\": [\n";
+  out << "{\n  \"schema\": \"ttstart-bench-v4\",\n  \"results\": [\n";
   bool first = true;
   for (const std::string& rec : kept) {
     out << (first ? "    " : ",\n    ") << rec;

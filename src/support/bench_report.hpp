@@ -13,7 +13,7 @@
 
 namespace tt {
 
-/// One measurement row of the ttstart-bench-v3 schema (the `experiment`
+/// One measurement row of the ttstart-bench-v4 schema (the `experiment`
 /// keys are the ones EXPERIMENTS.md's claim→command table points at).
 struct BenchRecord {
   std::string experiment;  ///< e.g. "fig6/safety/n4"
@@ -33,6 +33,19 @@ struct BenchRecord {
   /// applicable, omitted from the JSON.
   long long trim_rounds = -1;
   long long residue_states = -1;
+  /// Symmetry-reduction columns (schema v4): "none"/"sym"; canonicalization
+  /// operations on the emission path; orbit states stored (== states of the
+  /// reduced run, recorded explicitly so reduced rows are self-describing);
+  /// and states(unreduced)/states(reduced) when the paired baseline ran.
+  /// Negative (or empty `reduction`) = not applicable, omitted.
+  std::string reduction;
+  long long canon_ops = -1;
+  long long orbit_states = -1;
+  double reduction_ratio = -1.0;
+  /// Schema v4 caveat flag: 1 when a multi-threaded row may have run on a
+  /// single hardware core (CI runners), so its speedup column is not
+  /// meaningful. Negative = unknown/not recorded, omitted from the JSON.
+  int possibly_one_core = -1;
 };
 
 /// Reads the minimum "seconds" value among the report-file records matching

@@ -4,12 +4,19 @@
 
 #include "support/assert.hpp"
 #include "support/bitpack.hpp"
+#include "tta/symmetry.hpp"
 
 namespace tt::tta {
 
-Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
+Cluster::Cluster(ClusterConfig cfg, Reduction reduction) : cfg_(cfg), reduction_(reduction) {
   cfg_.validate();
-  faulty_outputs_ = FaultyNodeOutputs(cfg_);
+  // Under symmetry reduction the faulty node's provably-faulty emissions are
+  // collapsed to one class representative per channel — exact only when both
+  // guardians are correct (a faulty hub forwards raw frames verbatim, so
+  // receivers could distinguish class members). See FaultyNodeOutputs.
+  const bool collapse = reduction_ == Reduction::kSymmetry &&
+                        cfg_.faulty_hub == ClusterConfig::kNone;
+  faulty_outputs_ = FaultyNodeOutputs(cfg_, collapse);
 
   counter_bits_ = bits_for(static_cast<std::uint64_t>(cfg_.max_count()) + 1);
   pos_bits_ = bits_for(static_cast<std::uint64_t>(cfg_.n));
@@ -37,37 +44,49 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
   state_bits_ = bits;
 }
 
-Cluster::State Cluster::pack(const ClusterState& c) const {
-  State s{};
+void Cluster::pack_node_prefix(State& s, const NodeVars* nodes) const {
   BitWriter w(s.data(), kWords);
-  auto put_frame = [&](const Frame& f) {
-    w.put(static_cast<std::uint64_t>(f.kind), 2);
-    w.put(f.time, pos_bits_);
-    w.put(f.ok ? 1 : 0, 1);
-  };
   for (int i = 0; i < cfg_.n; ++i) {
-    const NodeVars& v = c.node[i];
+    const NodeVars& v = nodes[i];
     w.put(static_cast<std::uint64_t>(v.state), 3);
     w.put(v.counter, counter_bits_);
     w.put(v.pos, pos_bits_);
     w.put(v.big_bang ? 1 : 0, 1);
   }
+  TT_ASSERT(w.bits_written() == node_bits_);
+}
+
+void Cluster::pack_hub_suffix(State& s, const HubVars& h0, const HubVars& h1,
+                              std::uint8_t startup_time, std::uint8_t restarts_used) const {
+  BitWriter w(s.data(), kWords, node_bits_);
+  auto put_frame = [&](const Frame& f) {
+    w.put_fast(static_cast<std::uint64_t>(f.kind), 2);
+    w.put_fast(f.time, pos_bits_);
+    w.put_fast(f.ok ? 1 : 0, 1);
+  };
+  const HubVars* hubs[2] = {&h0, &h1};
   for (int h = 0; h < 2; ++h) {
-    const HubVars& v = c.hub[h];
-    w.put(static_cast<std::uint64_t>(v.state), 3);
+    const HubVars& v = *hubs[h];
+    w.put_fast(static_cast<std::uint64_t>(v.state), 3);
     if (cfg_.hub_is_faulty(h)) {
-      w.put(v.pattern, 2 * cfg_.n);
+      w.put_fast(v.pattern, 2 * cfg_.n);
       for (int j = 0; j < cfg_.n; ++j) put_frame(v.out_per_port[j]);
     } else {
-      w.put(v.counter, counter_bits_);
-      w.put(v.slot_pos, pos_bits_);
-      w.put(v.locks, cfg_.n);
+      w.put_fast(v.counter, counter_bits_);
+      w.put_fast(v.slot_pos, pos_bits_);
+      w.put_fast(v.locks, cfg_.n);
       put_frame(v.out);
     }
   }
-  if (st_bits_ > 0) w.put(c.startup_time, st_bits_);
-  if (restart_bits_ > 0) w.put(c.restarts_used, restart_bits_);
+  if (st_bits_ > 0) w.put_fast(startup_time, st_bits_);
+  if (restart_bits_ > 0) w.put_fast(restarts_used, restart_bits_);
   TT_ASSERT(w.bits_written() == state_bits_);
+}
+
+Cluster::State Cluster::pack(const ClusterState& c) const {
+  State s{};
+  pack_node_prefix(s, c.node);
+  pack_hub_suffix(s, c.hub[0], c.hub[1], c.startup_time, c.restarts_used);
   return s;
 }
 
@@ -131,6 +150,39 @@ ClusterState Cluster::base_initial_state() const {
 
 void Cluster::initial_states(Emit emit) const {
   ClusterState c = base_initial_state();
+  if (reduction_ == Reduction::kSymmetry) {
+    // Emit canonical representatives directly, so the emissions stay
+    // pairwise distinct and the hash-once invariant (hash_ops ==
+    // transitions + initial emissions) is preserved. The base state is
+    // already canonical except for C0 (big-bang bits) and the faulty-hub
+    // pattern dimension: C2 restricts each port to {kRelay, kQuiet}, with
+    // the faulty node's own port pinned to kQuiet.
+    const Canonicalizer canon(cfg_);
+    canon.canonicalize_vars(c);
+    std::uint64_t emitted = 0;
+    if (cfg_.faulty_hub == ClusterConfig::kNone) {
+      emit(pack(c));
+      emitted = 1;
+    } else {
+      int free_ports[kMaxNodes];
+      int free_count = 0;
+      HubVars& fh = c.hub[cfg_.faulty_hub];
+      for (int j = 0; j < cfg_.n; ++j) {
+        fh.set_port_mode(j, HubPortMode::kQuiet);
+        if (!cfg_.node_is_faulty(j)) free_ports[free_count++] = j;
+      }
+      for (std::uint32_t bits = 0; bits < (1u << free_count); ++bits) {
+        for (int k = 0; k < free_count; ++k) {
+          fh.set_port_mode(free_ports[k], ((bits >> k) & 1u) != 0 ? HubPortMode::kRelay
+                                                                  : HubPortMode::kQuiet);
+        }
+        emit(pack(c));
+        ++emitted;
+      }
+    }
+    canon_ops_.fetch_add(emitted, std::memory_order_relaxed);
+    return;
+  }
   if (cfg_.faulty_hub == ClusterConfig::kNone) {
     emit(pack(c));
     return;
@@ -187,50 +239,105 @@ void Cluster::successors(const State& s, Emit emit) const {
     State prefix{};
 
     void combo(const NodeVars* nodes) {
-      BitWriter w(prefix.data(), kWords);
-      for (int i = 0; i < cl.cfg_.n; ++i) {
-        const NodeVars& v = nodes[i];
-        w.put(static_cast<std::uint64_t>(v.state), 3);
-        w.put(v.counter, cl.counter_bits_);
-        w.put(v.pos, cl.pos_bits_);
-        w.put(v.big_bang ? 1 : 0, 1);
-      }
-      TT_ASSERT(w.bits_written() == cl.node_bits_);
+      prefix = State{};
+      cl.pack_node_prefix(prefix, nodes);
     }
 
     void successor(const HubVars& h0, const HubVars& h1, std::uint8_t startup_time,
                    std::uint8_t restarts_used) {
       State s = prefix;
-      BitWriter w(s.data(), kWords, cl.node_bits_);
-      auto put_frame = [&](const Frame& f) {
-        w.put_fast(static_cast<std::uint64_t>(f.kind), 2);
-        w.put_fast(f.time, cl.pos_bits_);
-        w.put_fast(f.ok ? 1 : 0, 1);
-      };
-      const HubVars* hubs[2] = {&h0, &h1};
-      for (int h = 0; h < 2; ++h) {
-        const HubVars& v = *hubs[h];
-        w.put_fast(static_cast<std::uint64_t>(v.state), 3);
-        if (cl.cfg_.hub_is_faulty(h)) {
-          w.put_fast(v.pattern, 2 * cl.cfg_.n);
-          for (int j = 0; j < cl.cfg_.n; ++j) put_frame(v.out_per_port[j]);
-        } else {
-          w.put_fast(v.counter, cl.counter_bits_);
-          w.put_fast(v.slot_pos, cl.pos_bits_);
-          w.put_fast(v.locks, cl.cfg_.n);
-          put_frame(v.out);
-        }
-      }
-      if (cl.st_bits_ > 0) w.put_fast(startup_time, cl.st_bits_);
-      if (cl.restart_bits_ > 0) w.put_fast(restarts_used, cl.restart_bits_);
-      TT_ASSERT(w.bits_written() == cl.state_bits_);
+      cl.pack_hub_suffix(s, h0, h1, startup_time, restarts_used);
       emit(s);
     }
   };
 
+  // Orbit-canonicalizing packer (DESIGN.md §3.6): same prefix-sharing shape,
+  // but the node prefix is serialized *after* C0/C4 (which pin the faulty
+  // node's record, making the prefix swap-invariant) and every successor's
+  // delivered-frame pair passes through C1/C2/C5 before packing — so the
+  // word-wise lexicographic minimum of the state and its swapped image is
+  // what reaches hash_words, and the whole downstream pipeline (cache,
+  // interning, engines) sees only orbit representatives.
+  struct CanonPackSink {
+    const Cluster& cl;
+    const Canonicalizer& canon;
+    Emit& emit;
+    State prefix{};
+    bool listener[kMaxNodes] = {};
+    bool any_listener = false;
+    bool swap_combo = false;
+    std::uint64_t ops = 0;
+    std::uint64_t swaps = 0;
+
+    void combo(const NodeVars* nodes) {
+      NodeVars canon_nodes[kMaxNodes];
+      for (int i = 0; i < cl.cfg_.n; ++i) canon_nodes[i] = nodes[i];
+      canon.canonicalize_nodes(canon_nodes, listener, any_listener);
+      prefix = State{};
+      cl.pack_node_prefix(prefix, canon_nodes);
+      swap_combo = canon.swap_allowed();
+    }
+
+    void successor(const HubVars& h0, const HubVars& h1, std::uint8_t startup_time,
+                   std::uint8_t restarts_used) {
+      ++ops;
+      HubVars a = h0;
+      HubVars b = h1;
+      canon.canonicalize_hubs(a, b, listener, any_listener);
+      State norm = prefix;
+      cl.pack_hub_suffix(norm, a, b, startup_time, restarts_used);
+      if (swap_combo && Canonicalizer::swap_eligible(a, b)) {
+        // The canonical form of the swapped orbit image: C5's pair
+        // representative is an unordered-pair invariant, so the frame
+        // fields stay put while state/counter/slot/locks exchange channels.
+        HubVars sa = b;
+        HubVars sb = a;
+        sa.out = a.out;
+        sb.out = b.out;
+        State sw = prefix;
+        cl.pack_hub_suffix(sw, sa, sb, startup_time, restarts_used);
+        if (sw < norm) {
+          ++swaps;
+          emit(sw);
+          return;
+        }
+      }
+      emit(norm);
+    }
+  };
+
   const ClusterState c = unpack(s);
-  PackSink sink{*this, emit};
+  if (reduction_ == Reduction::kNone) {
+    PackSink sink{*this, emit};
+    step_all(c, sink);
+    return;
+  }
+  const Canonicalizer canon(cfg_);
+  CanonPackSink sink{*this, canon, emit};
   step_all(c, sink);
+  canon_ops_.fetch_add(sink.ops, std::memory_order_relaxed);
+  canon_swaps_.fetch_add(sink.swaps, std::memory_order_relaxed);
+}
+
+Cluster::State Cluster::canonicalize(const State& s) const {
+  ClusterState c = unpack(s);
+  const Canonicalizer canon(cfg_);
+  bool listener[kMaxNodes] = {};
+  bool any_listener = false;
+  canon.canonicalize_nodes(c.node, listener, any_listener);
+  canon.canonicalize_hubs(c.hub[0], c.hub[1], listener, any_listener);
+  State a = pack(c);
+  if (canon.swap_allowed() && Canonicalizer::swap_eligible(c.hub[0], c.hub[1])) {
+    ClusterState swapped = c;
+    canon.swap_channels(swapped);
+    // Restore C5's frame placement (an unordered-pair invariant), which is
+    // what re-canonicalizing the swapped image would produce; all other
+    // fields are already canonical.
+    std::swap(swapped.hub[0].out, swapped.hub[1].out);
+    const State b = pack(swapped);
+    if (b < a) return b;
+  }
+  return a;
 }
 
 void Cluster::step_unpacked(const ClusterState& c, EmitUnpacked emit) const {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 
 #include "support/function_ref.hpp"
@@ -38,9 +39,10 @@ class Cluster {
   using Emit = FunctionRef<void(const State&)>;
   using EmitUnpacked = FunctionRef<void(const ClusterState&)>;
 
-  explicit Cluster(ClusterConfig cfg);
+  explicit Cluster(ClusterConfig cfg, Reduction reduction = Reduction::kNone);
 
   [[nodiscard]] const ClusterConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] Reduction reduction() const noexcept { return reduction_; }
 
   /// Emits every initial state: all components in INIT (faulty ones in their
   /// fault mode); one initial state per frozen faulty-hub pattern (3^n,
@@ -69,6 +71,23 @@ class Cluster {
   [[nodiscard]] std::uint8_t next_startup_time(const ClusterState& next,
                                                std::uint8_t prev) const;
 
+  /// Orbit representative of `s` under the model's exact symmetries
+  /// (tta/symmetry.hpp, DESIGN.md §3.6). Independent of the reduction mode
+  /// this cluster explores with, so an unreduced cluster can map raw states
+  /// into the quotient (trace re-concretization, equivalence tests). With
+  /// Reduction::kSymmetry every state the cluster emits is a fixed point.
+  [[nodiscard]] State canonicalize(const State& s) const;
+
+  /// Canonicalization instrumentation: states canonicalized on the emission
+  /// path, and how many of them picked the channel-swapped image. Relaxed
+  /// counters — totals are exact once a run has joined its workers.
+  [[nodiscard]] std::uint64_t canon_ops() const noexcept {
+    return canon_ops_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t canon_swaps() const noexcept {
+    return canon_swaps_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// Node-dependent part of the startup-time update, computed once per node
   /// choice combination (the hub-dependent part varies per emission).
@@ -94,6 +113,14 @@ class Cluster {
   template <class Sink>
   void step_all(const ClusterState& c, Sink& sink) const;
 
+  /// Serializes the per-node prefix of the packed layout (first node_bits_
+  /// bits of `s`; the rest must be zero).
+  void pack_node_prefix(State& s, const NodeVars* nodes) const;
+  /// Serializes everything after the node prefix: both hubs (positional
+  /// layout), startup_time, restarts_used.
+  void pack_hub_suffix(State& s, const HubVars& h0, const HubVars& h1,
+                       std::uint8_t startup_time, std::uint8_t restarts_used) const;
+
   static int pow3(int n) noexcept {
     int r = 1;
     for (int i = 0; i < n; ++i) r *= 3;
@@ -101,7 +128,10 @@ class Cluster {
   }
 
   ClusterConfig cfg_;
+  Reduction reduction_ = Reduction::kNone;
   FaultyNodeOutputs faulty_outputs_;
+  mutable std::atomic<std::uint64_t> canon_ops_{0};
+  mutable std::atomic<std::uint64_t> canon_swaps_{0};
   int counter_bits_ = 0;
   int pos_bits_ = 0;
   int frame_bits_ = 0;

@@ -1,5 +1,7 @@
 #include "tta/faulty_node.hpp"
 
+#include <utility>
+
 #include "support/assert.hpp"
 
 namespace tt::tta {
@@ -34,10 +36,24 @@ FaultRank FaultyNodeOutputs::rank_of(const Frame& f, int id) {
   return FaultRank::kIBad;
 }
 
-FaultyNodeOutputs::FaultyNodeOutputs(const ClusterConfig& cfg) : feedback_(cfg.feedback) {
+FaultyNodeOutputs::FaultyNodeOutputs(const ClusterConfig& cfg, bool collapse_classes)
+    : feedback_(cfg.feedback) {
   if (cfg.faulty_node == ClusterConfig::kNone) return;
-  const std::vector<Frame> opts =
-      channel_options(cfg.n, cfg.faulty_node, cfg.fault_degree);
+  std::vector<Frame> opts = channel_options(cfg.n, cfg.faulty_node, cfg.fault_degree);
+  if (collapse_classes) {
+    // Keep the first frame of each observable class in Fig. 3 rank order
+    // (quiet, cs(own), i(own), then the cheapest provably-faulty emission).
+    std::vector<Frame> reps;
+    bool seen[4] = {};
+    for (const Frame& f : opts) {
+      const int c = hub_observable_class(f, cfg.faulty_node);
+      if (!seen[c]) {
+        seen[c] = true;
+        reps.push_back(f);
+      }
+    }
+    opts = std::move(reps);
+  }
   for (std::uint8_t locks = 0; locks < 4; ++locks) {
     const bool l0 = (locks & 1u) != 0;
     const bool l1 = (locks & 2u) != 0;

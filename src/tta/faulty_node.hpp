@@ -33,7 +33,16 @@ namespace tt::tta {
 class FaultyNodeOutputs {
  public:
   FaultyNodeOutputs() = default;
-  FaultyNodeOutputs(const ClusterConfig& cfg);  // NOLINT: built from config only
+  /// With `collapse_classes` (symmetry reduction, both guardians correct),
+  /// per-channel options are deduplicated to one representative per
+  /// correct-guardian observable class (hub_observable_class): every
+  /// provably-faulty emission is locked by scan_locks and relayed as noise
+  /// identically in every hub state, so class members produce bit-identical
+  /// successors — the (2n+3)^2 Fig. 3 matrix shrinks to at most 4x4 without
+  /// removing behaviour. Unsound under a faulty hub (it forwards selected
+  /// frames verbatim), so the Cluster never enables it there.
+  FaultyNodeOutputs(const ClusterConfig& cfg,  // NOLINT: built from config only
+                    bool collapse_classes = false);
 
   /// All admitted (channel0, channel1) output pairs for the given lock bits.
   /// Without feedback, lock bits are ignored (the full list is returned),
@@ -48,6 +57,19 @@ class FaultyNodeOutputs {
 
   /// Fig. 3 rank of a single frame as emitted by node `id`.
   [[nodiscard]] static FaultRank rank_of(const Frame& f, int id);
+
+  /// How a *correct* guardian can possibly distinguish a frame transmitted
+  /// by node `id` (the collapse classes):
+  ///   0 = quiet, 1 = well-formed cs carrying the own id, 2 = well-formed
+  ///   i-frame claiming the own slot, 3 = provably faulty (noise, ill-formed
+  ///   frames, masquerading cs, foreign-slot i) — locked by scan_locks and
+  ///   relayed as noise wherever a port is open.
+  [[nodiscard]] static int hub_observable_class(const Frame& f, int id) noexcept {
+    if (f.is_quiet()) return 0;
+    if (f.is_cs() && f.time == id) return 1;
+    if (f.is_i() && f.time == id) return 2;
+    return 3;
+  }
 
  private:
   std::vector<std::pair<Frame, Frame>> pairs_[4];

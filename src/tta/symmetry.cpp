@@ -1,0 +1,212 @@
+#include "tta/symmetry.hpp"
+
+#include <utility>
+
+#include "support/assert.hpp"
+#include "tta/faulty_node.hpp"
+
+namespace tt::tta {
+
+namespace {
+
+/// The full reception outcome C5 must preserve.
+bool same_reception(const NodeReception& a, const NodeReception& b) {
+  return a.i_frame == b.i_frame && a.cs_frame == b.cs_frame && a.collision == b.collision &&
+         a.time == b.time;
+}
+
+}  // namespace
+
+Canonicalizer::Canonicalizer(const ClusterConfig& cfg) : cfg_(cfg) {
+  // C3 admissibility. A faulty hub pins channel identity (the fault lives on
+  // one channel), and the kCorrectHubSynced timeliness target names "the
+  // first correct hub" by index — both break the swap globally. The δ_init
+  // wake-up asymmetry (hub 0 is the delayed guardian) is handled per state
+  // by swap_eligible: it only exists while a hub is still in INIT.
+  swap_allowed_ = cfg_.faulty_hub == ClusterConfig::kNone &&
+                  !(cfg_.timeliness_bound > 0 &&
+                    cfg_.timeliness_target == TimelinessTarget::kCorrectHubSynced);
+}
+
+void Canonicalizer::canonicalize_nodes(NodeVars* nodes, bool listener[],
+                                       bool& any_listener) const {
+  any_listener = false;
+  for (int i = 0; i < cfg_.n; ++i) {
+    if (!cfg_.big_bang) nodes[i].big_bang = false;  // C0: bit never read
+    const bool l = !cfg_.node_is_faulty(i) && (nodes[i].state == NodeState::kListen ||
+                                               nodes[i].state == NodeState::kColdstart);
+    listener[i] = l;
+    any_listener = any_listener || l;
+  }
+  // C4: the Byzantine node's stored record is write-only — step_core
+  // recomputes its successor variables and admitted output pairs from the
+  // *hub* lock bits every step, and every property skips it by
+  // configuration index — so the record collapses to the lock-free constant.
+  if (cfg_.faulty_node != ClusterConfig::kNone) {
+    nodes[cfg_.faulty_node] = faulty_node_vars(cfg_, 0);
+  }
+}
+
+void Canonicalizer::canonicalize_hubs(HubVars& h0, HubVars& h1, const bool listener[],
+                                      bool any_listener) const {
+  if (cfg_.faulty_hub == ClusterConfig::kNone) {
+    // C1/C5 on the broadcast pair: stored frames are consumed only by
+    // classify_reception — symmetric in the pair, blind to collision
+    // details, and only run by correct nodes in LISTEN/COLDSTART — so the
+    // pair collapses to its reception outcome's fixed representative.
+    if (any_listener) {
+      const NodeReception r = classify_reception(h0.out, h1.out);
+      if (r.collision) {  // any same-kind time-mismatch, of either kind
+        h0.out = Frame::cs(0);
+        h1.out = Frame::cs(1);
+        return;
+      }
+      if (r.i_frame) {  // a cs-frame losing against an i-frame vanishes
+        h0.out = Frame::i(r.time);
+        h1.out = Frame::quiet();
+        return;
+      }
+      if (r.cs_frame) {
+        h0.out = Frame::cs(r.time);
+        h1.out = Frame::quiet();
+        return;
+      }
+    }
+    h0.out = Frame::quiet();
+    h1.out = Frame::quiet();
+    return;
+  }
+
+  HubVars& cv = cfg_.faulty_hub == 0 ? h1 : h0;  // the correct hub
+  HubVars& fv = cfg_.faulty_hub == 0 ? h0 : h1;  // the faulty hub
+  // C1 on the correct hub's shared broadcast; it cannot be rewritten per
+  // receiver, so only the unusable/unread collapse applies.
+  if (!any_listener || !(cv.out.is_cs() || cv.out.is_i())) cv.out = Frame::quiet();
+  for (int j = 0; j < cfg_.n; ++j) {
+    Frame& f = fv.out_per_port[j];
+    if (!listener[j]) {
+      f = Frame::quiet();  // C1: never read
+    } else {
+      // C5 per port, holding the shared broadcast fixed: replace the
+      // delivered frame by the canonical one yielding the same reception
+      // outcome at node j (subsumes C1's noise/ill-formed collapse).
+      const NodeReception r = classify_reception(f, cv.out);
+      if (same_reception(r, classify_reception(Frame::quiet(), cv.out))) {
+        f = Frame::quiet();
+      } else if (r.collision) {
+        // Collisions are same-kind time-mismatches against the broadcast
+        // (cross-kind pairs resolve in the i-frame's favour); any
+        // mismatching slot collides, so shift the broadcast's by one.
+        const auto t = static_cast<std::uint8_t>((cv.out.time + 1) % cfg_.n);
+        f = cv.out.is_cs() ? Frame::cs(t) : Frame::i(t);
+      } else if (r.i_frame) {
+        f = Frame::i(r.time);
+      } else {
+        f = Frame::cs(r.time);
+      }
+    }
+    // C2 on the frozen pattern: a kNoise port delivers noise, which every
+    // receiver treats exactly like kQuiet's silence (and C1/C5 store both
+    // as quiet); the faulty node's own port is never read at all.
+    if (fv.port_mode(j) == HubPortMode::kNoise || cfg_.node_is_faulty(j)) {
+      fv.set_port_mode(j, HubPortMode::kQuiet);
+    }
+  }
+}
+
+void Canonicalizer::canonicalize_vars(ClusterState& c) const {
+  bool listener[kMaxNodes];
+  bool any_listener = false;
+  canonicalize_nodes(c.node, listener, any_listener);
+  canonicalize_hubs(c.hub[0], c.hub[1], listener, any_listener);
+}
+
+void Canonicalizer::swap_channels(ClusterState& c) const {
+  std::swap(c.hub[0], c.hub[1]);
+  if (cfg_.faulty_node != ClusterConfig::kNone) {
+    NodeVars& v = c.node[cfg_.faulty_node];
+    v.state = swap_node_state(v.state);
+  }
+}
+
+ConcreteTrace concretize_trace(const Cluster& raw, const std::vector<Cluster::State>& quotient,
+                               std::size_t loop_start, bool has_loop, bool initial_root) {
+  ConcreteTrace out;
+  out.loop_start = loop_start;
+  if (quotient.empty()) return out;
+  TT_REQUIRE(raw.reduction() == Reduction::kNone, "concretization needs the raw cluster");
+
+  Cluster::State cur{};
+  if (initial_root) {
+    bool found = false;
+    raw.initial_states([&](const Cluster::State& s) {
+      if (!found && raw.canonicalize(s) == quotient.front()) {
+        cur = s;
+        found = true;
+      }
+    });
+    TT_REQUIRE(found, "no raw initial state in the quotient root's orbit");
+  } else {
+    // Canonical representatives are themselves legitimate states of the raw
+    // model, so a stem that need not start at an initial state (sequential
+    // AG AF roots anywhere in the reachable set) can start at the
+    // representative directly.
+    cur = quotient.front();
+  }
+  out.trace.push_back(cur);
+
+  // Each canonicalization component is a bisimulation, so from any concrete
+  // state in quotient[i]'s orbit some raw successor lands in quotient[i+1]'s
+  // orbit; deterministic first-match keeps replays reproducible.
+  auto step_into = [&](const Cluster::State& from, const Cluster::State& target,
+                       Cluster::State& next) {
+    bool found = false;
+    raw.successors(from, [&](const Cluster::State& t) {
+      if (!found && raw.canonicalize(t) == target) {
+        next = t;
+        found = true;
+      }
+    });
+    return found;
+  };
+
+  for (std::size_t i = 1; i < quotient.size(); ++i) {
+    Cluster::State next{};
+    TT_REQUIRE(step_into(cur, quotient[i], next), "quotient edge has no concrete witness");
+    out.trace.push_back(next);
+    cur = next;
+  }
+  if (!has_loop) return out;
+
+  // Lasso: the quotient cycle closes back to quotient[loop_start], but the
+  // concrete walk may land on a different member of that orbit each lap.
+  // Unroll whole laps, recording the concrete lap-entry state; the walk is
+  // deterministic, so as soon as an entry repeats, the concrete cycle closes
+  // at that earlier lap. Orbits are finite, so this terminates.
+  TT_REQUIRE(loop_start < quotient.size(), "loop start outside the trace");
+  const std::size_t cycle_len = quotient.size() - loop_start;
+  std::vector<Cluster::State> entries = {out.trace[loop_start]};
+  while (true) {
+    Cluster::State next{};
+    TT_REQUIRE(step_into(out.trace.back(), quotient[loop_start], next),
+               "quotient cycle does not close concretely");
+    for (std::size_t e = 0; e < entries.size(); ++e) {
+      if (entries[e] == next) {
+        out.loop_start = loop_start + e * cycle_len;
+        return out;
+      }
+    }
+    entries.push_back(next);
+    out.trace.push_back(next);
+    cur = next;
+    for (std::size_t j = 1; j < cycle_len; ++j) {
+      Cluster::State nx{};
+      TT_REQUIRE(step_into(cur, quotient[loop_start + j], nx),
+                 "quotient edge has no concrete witness in the unrolled lap");
+      out.trace.push_back(nx);
+      cur = nx;
+    }
+  }
+}
+
+}  // namespace tt::tta

@@ -123,6 +123,17 @@ enum class HubState : std::uint8_t {
   return "?";
 }
 
+/// Which state-space reduction a Cluster applies on its successor path
+/// (see tta/symmetry.hpp for the orbit construction and DESIGN.md §3.6).
+enum class Reduction : std::uint8_t {
+  kNone = 0,      ///< explore the raw state space (bit-exact PR-2 pipeline)
+  kSymmetry = 1,  ///< canonicalize every emitted state to its orbit representative
+};
+
+[[nodiscard]] constexpr const char* to_string(Reduction r) noexcept {
+  return r == Reduction::kSymmetry ? "sym" : "none";
+}
+
 /// Fault-degree ranks of faulty-node per-channel outputs (paper Fig. 3).
 /// A pair (a, b) of per-channel outputs is admitted at degree d iff
 /// max(rank(a), rank(b)) <= d.

@@ -1,0 +1,271 @@
+// Reduction-equivalence suite (DESIGN.md §3.6): for every lemma class and a
+// grid of holds- and VIOLATED-configurations, exploring the symmetry
+// quotient (VerifyOptions::reduction = kSymmetry) must preserve the verdict
+// of the unreduced run on every engine — sequential, parallel at 1/2/4
+// threads, symbolic — while all reduced engines agree on the exact quotient
+// state/transition counts, and every re-concretized counterexample replays
+// edge-by-edge through the RAW model (validate_lasso / inline invariant
+// path replay), exactly like an unreduced counterexample would.
+// Suite name carries the "EngineEquivalence" stem so the TSan CI job picks
+// the parallel reduced runs up.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/verifier.hpp"
+#include "mc/lasso_check.hpp"
+#include "tta/properties.hpp"
+
+namespace tt::core {
+namespace {
+
+struct ReductionCell {
+  int n;
+  int degree;  ///< 0 = faulty-hub cell (channel swap inadmissible there)
+  Lemma lemma;
+};
+
+std::string cell_name(const ::testing::TestParamInfo<ReductionCell>& info) {
+  return std::string(to_string(info.param.lemma)) + "_n" + std::to_string(info.param.n) +
+         (info.param.degree == 0 ? "_hub" : "_deg" + std::to_string(info.param.degree));
+}
+
+tta::ClusterConfig cell_config(const ReductionCell& cell) {
+  tta::ClusterConfig cfg;
+  cfg.n = cell.n;
+  cfg.init_window = 3;
+  if (cell.degree == 0) {
+    cfg.faulty_hub = 0;
+    cfg.hub_init_window = 1;  // the §5.2 VIOLATED liveness configuration
+  } else {
+    cfg.faulty_node = 0;
+    cfg.fault_degree = cell.degree;
+    cfg.hub_init_window = 3;
+  }
+  if (cell.lemma == Lemma::kTimeliness) cfg.timeliness_bound = 10 * cell.n;
+  if (cell.lemma == Lemma::kReintegration) cfg.transient_restarts = 1;
+  return cfg;
+}
+
+VerificationResult run(const ReductionCell& cell, mc::EngineKind engine, int threads,
+                       mc::ReductionKind reduction) {
+  VerifyOptions opts;
+  opts.engine = engine;
+  opts.threads = threads;
+  opts.reduction = reduction;
+  return verify(cell_config(cell), cell.lemma, opts);
+}
+
+/// Replays a concretized counterexample against the RAW model: initial root,
+/// every consecutive pair an edge, final state violating the lemma's
+/// invariant (liveness lassos go through mc::validate_lasso instead).
+void expect_invariant_trace_replays(const ReductionCell& cell, const VerificationResult& r,
+                                    const std::string& label) {
+  const tta::ClusterConfig cfg = prepare_config(cell_config(cell), cell.lemma);
+  const tta::Cluster raw(cfg);
+  ASSERT_FALSE(r.trace.empty()) << label;
+
+  bool is_init = false;
+  raw.initial_states([&](const tta::Cluster::State& s) {
+    if (s == r.trace.front()) is_init = true;
+  });
+  EXPECT_TRUE(is_init) << label << ": concretized trace must start at a raw initial state";
+
+  for (std::size_t i = 0; i + 1 < r.trace.size(); ++i) {
+    bool found = false;
+    raw.successors(r.trace[i], [&](const tta::Cluster::State& t) {
+      if (t == r.trace[i + 1]) found = true;
+    });
+    ASSERT_TRUE(found) << label << ": missing raw edge at index " << i;
+  }
+  const tta::ClusterState last = raw.unpack(r.trace.back());
+  const bool ok = cell.lemma == Lemma::kHubAgreement ? tta::holds_hub_agreement(cfg, last)
+                                                     : tta::holds_safety(cfg, last);
+  EXPECT_FALSE(ok) << label << ": final state does not violate the invariant";
+}
+
+void expect_lasso_replays(const ReductionCell& cell, const VerificationResult& r,
+                          bool require_initial_root, const std::string& label) {
+  const tta::ClusterConfig cfg = prepare_config(cell_config(cell), cell.lemma);
+  const tta::Cluster raw(cfg);
+  auto goal = [&](const tta::Cluster::State& s) {
+    return tta::all_correct_active(cfg, raw.unpack(s));
+  };
+  std::string why;
+  if (r.verdict_text == "VIOLATED(deadlock)") {
+    EXPECT_TRUE(mc::validate_deadlock_path(raw, goal, r.trace,
+                                           /*goal_free_path=*/cell.lemma == Lemma::kLiveness,
+                                           &why))
+        << label << ": " << why;
+    return;
+  }
+  EXPECT_TRUE(mc::validate_lasso(raw, goal, r.trace, r.loop_start, require_initial_root, &why))
+      << label << ": " << why;
+}
+
+class ReductionEngineEquivalence : public ::testing::TestWithParam<ReductionCell> {};
+
+TEST_P(ReductionEngineEquivalence, QuotientPreservesVerdictsAcrossAllEngines) {
+  const ReductionCell cell = GetParam();
+  const auto raw = run(cell, mc::EngineKind::kSequential, 1, mc::ReductionKind::kNone);
+  ASSERT_TRUE(raw.exhausted);
+
+  const auto red_seq = run(cell, mc::EngineKind::kSequential, 1, mc::ReductionKind::kSymmetry);
+  EXPECT_EQ(red_seq.verdict_text, raw.verdict_text);
+  EXPECT_EQ(red_seq.holds, raw.holds);
+  if (raw.holds) {
+    // Exhaustive sweeps: the quotient never has MORE states than the raw
+    // graph. (Violated runs stop at the first counterexample, so their
+    // partial counts depend on search order and are not comparable.)
+    EXPECT_LE(red_seq.stats.states, raw.stats.states);
+    EXPECT_LE(red_seq.stats.transitions, raw.stats.transitions);
+  }
+  EXPECT_GT(red_seq.stats.canon_ops, std::size_t{0});
+
+  for (int threads : {1, 2, 4}) {
+    const auto red_par =
+        run(cell, mc::EngineKind::kParallel, threads, mc::ReductionKind::kSymmetry);
+    const std::string label = "par@" + std::to_string(threads);
+    EXPECT_EQ(red_par.verdict_text, raw.verdict_text) << label;
+    if (raw.holds && cell.lemma != Lemma::kReintegration) {
+      // Exhaustive holds-runs sweep the same quotient: exact counts agree
+      // with the sequential reduced engine at every thread count. (AG AF
+      // holds-runs differ structurally between DFS and OWCTY sweeps.)
+      EXPECT_EQ(red_par.stats.states, red_seq.stats.states) << label;
+      EXPECT_EQ(red_par.stats.transitions, red_seq.stats.transitions) << label;
+    }
+    if (!raw.holds) {
+      const bool liveness = !is_invariant_lemma(cell.lemma);
+      if (liveness) {
+        expect_lasso_replays(cell, red_par, /*require_initial_root=*/true, label);
+      } else {
+        expect_invariant_trace_replays(cell, red_par, label);
+      }
+    }
+  }
+
+  const auto red_sym = run(cell, mc::EngineKind::kSymbolic, 1, mc::ReductionKind::kSymmetry);
+  EXPECT_EQ(red_sym.verdict_text, raw.verdict_text) << "sym";
+  if (raw.holds && cell.lemma == Lemma::kLiveness) {
+    EXPECT_EQ(red_sym.stats.states, red_seq.stats.states) << "sym";
+    EXPECT_EQ(red_sym.stats.transitions, red_seq.stats.transitions) << "sym";
+  }
+  if (is_invariant_lemma(cell.lemma) && raw.holds) {
+    EXPECT_EQ(red_sym.stats.states, red_seq.stats.states) << "sym";
+    EXPECT_EQ(red_sym.stats.transitions, red_seq.stats.transitions) << "sym";
+  }
+  if (!raw.holds) {
+    if (!is_invariant_lemma(cell.lemma)) {
+      expect_lasso_replays(cell, red_sym, /*require_initial_root=*/true, "sym");
+    } else {
+      expect_invariant_trace_replays(cell, red_sym, "sym");
+    }
+  }
+
+  if (!raw.holds) {
+    const bool liveness = !is_invariant_lemma(cell.lemma);
+    if (liveness) {
+      // Sequential AG AF lassos root anywhere in the reachable set; the
+      // concretized stem then starts at the (raw-valid) representative.
+      expect_lasso_replays(cell, red_seq,
+                           /*require_initial_root=*/cell.lemma == Lemma::kLiveness, "seq");
+    } else {
+      expect_invariant_trace_replays(cell, red_seq, "seq");
+    }
+  }
+}
+
+TEST_P(ReductionEngineEquivalence, ReducedParallelIsDeterministicAcrossThreadCounts) {
+  const ReductionCell cell = GetParam();
+  const auto base = run(cell, mc::EngineKind::kParallel, 1, mc::ReductionKind::kSymmetry);
+  for (int threads : {2, 4}) {
+    const auto r = run(cell, mc::EngineKind::kParallel, threads, mc::ReductionKind::kSymmetry);
+    EXPECT_EQ(r.verdict_text, base.verdict_text) << "threads=" << threads;
+    EXPECT_EQ(r.stats.states, base.stats.states) << "threads=" << threads;
+    EXPECT_EQ(r.stats.transitions, base.stats.transitions) << "threads=" << threads;
+    EXPECT_EQ(r.stats.frontier_sizes, base.stats.frontier_sizes) << "threads=" << threads;
+    // Identical concretized counterexample at every thread count: the
+    // quotient trace is deterministic and the replay itself is too.
+    EXPECT_EQ(r.trace, base.trace) << "threads=" << threads;
+    EXPECT_EQ(r.loop_start, base.loop_start) << "threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ReductionEngineEquivalence,
+    ::testing::Values(
+        // Invariant holds-cells (safety at several degrees, timeliness).
+        ReductionCell{3, 2, Lemma::kSafety}, ReductionCell{3, 6, Lemma::kSafety},
+        ReductionCell{4, 6, Lemma::kSafety}, ReductionCell{3, 6, Lemma::kTimeliness},
+        // Invariant VIOLATED cells (hub agreement breaks at degree >= 3):
+        // exercises invariant-trace concretization.
+        ReductionCell{3, 3, Lemma::kHubAgreement}, ReductionCell{3, 6, Lemma::kHubAgreement},
+        // Liveness holds- and VIOLATED cells (degree 0 = faulty hub with a
+        // one-slot wake window, the §5.2 violation): exercises lasso
+        // concretization with loop_start remapping.
+        ReductionCell{3, 2, Lemma::kLiveness}, ReductionCell{3, 0, Lemma::kLiveness},
+        ReductionCell{4, 0, Lemma::kLiveness},
+        // AG AF cells (restart budget): seq lassos root mid-graph, so the
+        // concretized stem starts at a representative instead.
+        ReductionCell{3, 2, Lemma::kReintegration},
+        ReductionCell{3, 0, Lemma::kReintegration}),
+    cell_name);
+
+TEST(ReductionGoldenQuotients, Fig6AndFig4QuotientCountsAreExact) {
+  // The reduced companion of golden_counts_test.cpp's grid: exact quotient
+  // state/transition counts, pinned. The reduction_ratio table in
+  // EXPERIMENTS.md derives from these numbers.
+  struct Cell {
+    const char* name;
+    Lemma lemma;
+    int n;
+    int degree;
+    std::size_t states;
+    std::size_t transitions;
+  };
+  const Cell cells[] = {
+      {"fig6_safety_n3", Lemma::kSafety, 3, 6, 534, 6289},
+      {"fig6_safety_n4", Lemma::kSafety, 4, 6, 3706, 52449},
+      {"fig4_safety_deg1", Lemma::kSafety, 4, 1, 18190, 22463},
+      {"fig4_safety_deg3", Lemma::kSafety, 4, 3, 31326, 469042},
+      {"fig4_liveness_deg1", Lemma::kLiveness, 4, 1, 18186, 22459},
+      {"fig4_liveness_deg3", Lemma::kLiveness, 4, 3, 31168, 467918},
+      {"fig4_timeliness_deg1", Lemma::kTimeliness, 4, 1, 18300, 22573},
+      {"fig4_timeliness_deg3", Lemma::kTimeliness, 4, 3, 32218, 474323},
+  };
+  for (const auto& cell : cells) {
+    tta::ClusterConfig cfg;
+    cfg.faulty_node = 0;
+    cfg.feedback = true;
+    if (cell.degree == 6 && cell.lemma == Lemma::kSafety) {
+      cfg.n = cell.n;
+      cfg.fault_degree = 6;
+      cfg.init_window = cell.n;
+      cfg.hub_init_window = cell.n;
+    } else {
+      cfg.n = 4;
+      cfg.fault_degree = cell.degree;
+      cfg.init_window = 8;
+      cfg.hub_init_window = 8;
+      if (cell.lemma == Lemma::kTimeliness) cfg.timeliness_bound = 6 * cfg.n;
+    }
+    VerifyOptions opts;
+    opts.engine = mc::EngineKind::kSequential;
+    opts.reduction = mc::ReductionKind::kSymmetry;
+    const auto r = verify(cfg, cell.lemma, opts);
+    ASSERT_TRUE(r.holds) << cell.name << ": " << r.verdict_text;
+    EXPECT_EQ(r.stats.states, cell.states) << cell.name;
+    EXPECT_EQ(r.stats.transitions, cell.transitions) << cell.name;
+    if (cell.lemma != Lemma::kLiveness) {
+      // Hash-once carries over to the quotient: exactly one canonicalization
+      // and one hash per enumerated transition plus one per emitted initial
+      // state.
+      ASSERT_FALSE(r.stats.frontier_sizes.empty()) << cell.name;
+      EXPECT_EQ(r.stats.hash_ops, r.stats.transitions + r.stats.frontier_sizes[0]) << cell.name;
+      EXPECT_EQ(r.stats.canon_ops, r.stats.transitions + r.stats.frontier_sizes[0]) << cell.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tt::core

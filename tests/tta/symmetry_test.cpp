@@ -1,0 +1,309 @@
+// Orbit-canonicalization suite (tta/symmetry.hpp, DESIGN.md §3.6).
+//
+// The ISSUE's premise — "good nodes are identical up to id" — is FALSE for
+// this model: per-node timeouts (LT_TO[i] = 2n+i), cs-frames carrying sender
+// ids and the pos==id transmit rule stagger nodes by identity, so
+// node-permutation is NOT a symmetry, and one test below demonstrates the
+// non-commutation on a concrete state. The group that IS exact is
+// {identity, channel-swap}, plus the variable-level collapses C0-C5; this
+// suite checks the canonicalizer against a brute-force orbit minimum,
+// invariance under the group, idempotence, fixed-point emission, and — the
+// strongest check — sampled bisimulation: a state, its swap image and its
+// canonical representative must have identical canonical successor sets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "tta/cluster.hpp"
+#include "tta/properties.hpp"
+#include "tta/symmetry.hpp"
+
+namespace tt::tta {
+namespace {
+
+struct NamedConfig {
+  const char* name;
+  ClusterConfig cfg;
+};
+
+std::vector<NamedConfig> fuzz_configs() {
+  std::vector<NamedConfig> out;
+  {
+    ClusterConfig cfg;  // fig4 column: n=4, Byzantine node, degree 3
+    cfg.n = 4;
+    cfg.faulty_node = 0;
+    cfg.fault_degree = 3;
+    cfg.init_window = 8;
+    cfg.hub_init_window = 8;
+    out.push_back({"fig4_deg3", cfg});
+  }
+  {
+    ClusterConfig cfg;  // fig6 cell: full fault degree
+    cfg.n = 3;
+    cfg.faulty_node = 0;
+    cfg.fault_degree = 6;
+    cfg.init_window = 3;
+    cfg.hub_init_window = 3;
+    out.push_back({"fig6_n3", cfg});
+  }
+  {
+    ClusterConfig cfg;  // faulty-hub column (channel swap inadmissible)
+    cfg.n = 3;
+    cfg.faulty_hub = 0;
+    cfg.init_window = 3;
+    cfg.hub_init_window = 1;
+    out.push_back({"faulty_hub", cfg});
+  }
+  {
+    ClusterConfig cfg;  // fault-free fig5 cell
+    cfg.n = 3;
+    cfg.init_window = 2;
+    cfg.hub_init_window = 2;
+    out.push_back({"fault_free", cfg});
+  }
+  {
+    ClusterConfig cfg;  // timeliness run: startup_time tracked in the state
+    cfg.n = 3;
+    cfg.faulty_node = 0;
+    cfg.fault_degree = 2;
+    cfg.init_window = 3;
+    cfg.hub_init_window = 3;
+    cfg.timeliness_bound = 18;
+    cfg.timeliness_target = TimelinessTarget::kFirstCorrectActive;
+    out.push_back({"timeliness", cfg});
+  }
+  return out;
+}
+
+/// Brute-force orbit minimum: canonicalize the variables of every group
+/// element's image of `raw` from scratch and take the packed minimum — an
+/// independent reference for the hot path's swap-image shortcut (which
+/// reuses the already-canonical frame pair instead of re-canonicalizing).
+Cluster::State oracle_minimum(const Cluster& cl, const Canonicalizer& canon,
+                              const ClusterState& raw) {
+  ClusterState id_image = raw;
+  canon.canonicalize_vars(id_image);
+  Cluster::State best = cl.pack(id_image);
+  if (canon.swap_allowed() && Canonicalizer::swap_eligible(raw.hub[0], raw.hub[1])) {
+    ClusterState sw_image = raw;
+    canon.swap_channels(sw_image);
+    canon.canonicalize_vars(sw_image);
+    best = std::min(best, cl.pack(sw_image));
+  }
+  return best;
+}
+
+/// Canonical successor set — the quotient-level footprint a state leaves.
+std::vector<Cluster::State> canonical_successors(const Cluster& cl, const Cluster::State& s) {
+  std::vector<Cluster::State> out;
+  cl.successors(s, [&](const Cluster::State& t) { out.push_back(cl.canonicalize(t)); });
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+/// Deterministic random walk over the raw model, sampling `samples` states.
+std::vector<Cluster::State> sample_states(const Cluster& cl, int samples, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::vector<Cluster::State> inits;
+  cl.initial_states([&](const Cluster::State& s) { inits.push_back(s); });
+  std::vector<Cluster::State> out;
+  Cluster::State cur = inits[rng() % inits.size()];
+  out.push_back(cur);
+  while (static_cast<int>(out.size()) < samples) {
+    std::vector<Cluster::State> succ;
+    cl.successors(cur, [&](const Cluster::State& t) { succ.push_back(t); });
+    if (succ.empty()) {
+      cur = inits[rng() % inits.size()];
+      continue;
+    }
+    cur = succ[rng() % succ.size()];
+    out.push_back(cur);
+  }
+  return out;
+}
+
+TEST(Symmetry, CanonicalizeMatchesBruteForceOrbitMinimum) {
+  for (const auto& nc : fuzz_configs()) {
+    const Cluster raw(nc.cfg);
+    const Canonicalizer canon(nc.cfg);
+    for (const auto& s : sample_states(raw, 300, 0xC0FFEE)) {
+      const ClusterState c = raw.unpack(s);
+      EXPECT_EQ(raw.canonicalize(s), oracle_minimum(raw, canon, c)) << nc.name;
+    }
+  }
+}
+
+TEST(Symmetry, CanonicalIsInvariantUnderChannelSwap) {
+  for (const auto& nc : fuzz_configs()) {
+    const Cluster raw(nc.cfg);
+    const Canonicalizer canon(nc.cfg);
+    if (!canon.swap_allowed()) continue;
+    for (const auto& s : sample_states(raw, 300, 0xBEEF)) {
+      ClusterState c = raw.unpack(s);
+      if (!Canonicalizer::swap_eligible(c.hub[0], c.hub[1])) continue;
+      ClusterState swapped = c;
+      canon.swap_channels(swapped);
+      EXPECT_EQ(raw.canonicalize(raw.pack(swapped)), raw.canonicalize(s)) << nc.name;
+    }
+  }
+}
+
+TEST(Symmetry, CanonicalizeIsIdempotent) {
+  for (const auto& nc : fuzz_configs()) {
+    const Cluster raw(nc.cfg);
+    for (const auto& s : sample_states(raw, 200, 0xFEED)) {
+      const Cluster::State rep = raw.canonicalize(s);
+      EXPECT_EQ(raw.canonicalize(rep), rep) << nc.name;
+    }
+  }
+}
+
+TEST(Symmetry, SampledBisimulation) {
+  // The orbit map is a strong bisimulation: a state, its channel-swapped
+  // image and its canonical representative all step to the same canonical
+  // successor set, and satisfy the same properties. This exercises every
+  // collapse (C0-C5) at once, because the representative differs from the
+  // sampled state exactly in the collapsed variables.
+  for (const auto& nc : fuzz_configs()) {
+    const Cluster raw(nc.cfg);
+    const Canonicalizer canon(nc.cfg);
+    for (const auto& s : sample_states(raw, 60, 0xDECADE)) {
+      const auto expected = canonical_successors(raw, s);
+      const Cluster::State rep = raw.canonicalize(s);
+      EXPECT_EQ(canonical_successors(raw, rep), expected) << nc.name;
+
+      const ClusterState c = raw.unpack(s);
+      const ClusterState rc = raw.unpack(rep);
+      EXPECT_EQ(holds_safety(nc.cfg, rc), holds_safety(nc.cfg, c)) << nc.name;
+      EXPECT_EQ(all_correct_active(nc.cfg, rc), all_correct_active(nc.cfg, c)) << nc.name;
+      EXPECT_EQ(holds_hub_agreement(nc.cfg, rc), holds_hub_agreement(nc.cfg, c)) << nc.name;
+      EXPECT_EQ(holds_timeliness(nc.cfg, rc), holds_timeliness(nc.cfg, c)) << nc.name;
+
+      if (canon.swap_allowed() && Canonicalizer::swap_eligible(c.hub[0], c.hub[1])) {
+        ClusterState swapped = c;
+        canon.swap_channels(swapped);
+        EXPECT_EQ(canonical_successors(raw, raw.pack(swapped)), expected) << nc.name;
+      }
+    }
+  }
+}
+
+TEST(Symmetry, ReducedEmissionsAreFixedPoints) {
+  // Everything a Reduction::kSymmetry cluster emits — initial states and
+  // successors — is already canonical, so the downstream hash-once pipeline
+  // only ever sees orbit representatives.
+  for (const auto& nc : fuzz_configs()) {
+    const Cluster reduced(nc.cfg, Reduction::kSymmetry);
+    std::vector<Cluster::State> frontier;
+    reduced.initial_states([&](const Cluster::State& s) {
+      EXPECT_EQ(reduced.canonicalize(s), s) << nc.name << " (initial)";
+      frontier.push_back(s);
+    });
+    int checked = 0;
+    for (std::size_t i = 0; i < frontier.size() && checked < 2000; ++i) {
+      reduced.successors(frontier[i], [&](const Cluster::State& t) {
+        if (checked++ < 2000) {
+          EXPECT_EQ(reduced.canonicalize(t), t) << nc.name;
+        }
+      });
+    }
+  }
+}
+
+TEST(Symmetry, NodePermutationIsNotASymmetry) {
+  // The honest adaptation note, as a test: exchanging the records of two
+  // correct nodes does NOT commute with the successor relation, because the
+  // listen timeout is per-identity (LT_TO[i] = 2n+i). Witness: node 1 at its
+  // own timeout (counter == 2n+1) fires now; handing that counter to node 2
+  // (whose timeout is 2n+2) does not. So a sorted-node-representative
+  // reduction would be unsound for this model, which is why the group is
+  // {identity, channel-swap} only.
+  ClusterConfig cfg;
+  cfg.n = 3;
+  cfg.init_window = 2;
+  cfg.hub_init_window = 2;
+  const Cluster raw(cfg);
+
+  ClusterState s = raw.base_initial_state();
+  for (int i = 0; i < cfg.n; ++i) {
+    s.node[i].state = NodeState::kListen;
+    s.node[i].counter = 1;
+    s.node[i].big_bang = true;
+  }
+  s.node[1].counter = static_cast<std::uint8_t>(cfg.listen_timeout(1));  // fires now
+  s.hub[0].state = HubState::kListen;
+  s.hub[1].state = HubState::kListen;
+  s.hub[0].counter = s.hub[1].counter = 1;
+
+  ClusterState p = s;  // the node-permuted image (swap records of nodes 1, 2)
+  std::swap(p.node[1], p.node[2]);
+
+  auto image = [&](const ClusterState& from, bool permute_back) {
+    std::vector<Cluster::State> out;
+    raw.step_unpacked(from, [&](const ClusterState& t) {
+      ClusterState u = t;
+      if (permute_back) std::swap(u.node[1], u.node[2]);
+      out.push_back(raw.pack(u));
+    });
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+
+  // If permutation were a symmetry, succ(perm(s)) == perm(succ(s)).
+  EXPECT_NE(image(p, false), image(s, true));
+
+  // And the channel swap — the group element the reduction does use — DOES
+  // commute on the very same state.
+  const Canonicalizer canon(cfg);
+  ASSERT_TRUE(canon.swap_allowed());
+  ClusterState sw = s;
+  canon.swap_channels(sw);
+  EXPECT_EQ(canonical_successors(raw, raw.pack(sw)), canonical_successors(raw, raw.pack(s)));
+}
+
+TEST(Symmetry, FaultyHubInitialPatternsCollapse) {
+  // 3^n frozen port patterns collapse to 2^n canonical ones ({relay, quiet}
+  // per port; the faulty node's port, when present, is pinned to quiet).
+  ClusterConfig cfg;
+  cfg.n = 3;
+  cfg.faulty_hub = 0;
+  cfg.init_window = 3;
+  cfg.hub_init_window = 1;
+
+  std::size_t raw_count = 0;
+  Cluster(cfg).initial_states([&](const Cluster::State&) { ++raw_count; });
+  EXPECT_EQ(raw_count, 27u);  // 3^3
+
+  std::vector<Cluster::State> reduced_inits;
+  Cluster(cfg, Reduction::kSymmetry).initial_states([&](const Cluster::State& s) {
+    reduced_inits.push_back(s);
+  });
+  EXPECT_EQ(reduced_inits.size(), 8u);  // 2^3
+  std::sort(reduced_inits.begin(), reduced_inits.end());
+  EXPECT_EQ(std::unique(reduced_inits.begin(), reduced_inits.end()), reduced_inits.end());
+}
+
+TEST(Symmetry, FaultyNodeAlphabetCollapsesThroughCorrectHubs) {
+  // The transition-only collapse: through correct guardians every provably
+  // faulty emission (noise, masquerading cs, foreign/ill-formed i) locks and
+  // relays identically, so the collapsed per-channel alphabet has at most 4
+  // classes — quiet, cs(id), i(id), one provably-faulty representative.
+  ClusterConfig cfg;
+  cfg.n = 4;
+  cfg.faulty_node = 0;
+  cfg.fault_degree = 6;
+  cfg.init_window = 4;
+  cfg.hub_init_window = 4;
+
+  const FaultyNodeOutputs full(cfg, /*collapse_classes=*/false);
+  const FaultyNodeOutputs collapsed(cfg, /*collapse_classes=*/true);
+  EXPECT_EQ(full.pairs(0).size(), std::size_t{(2 * 4 + 3) * (2 * 4 + 3)});
+  EXPECT_LE(collapsed.pairs(0).size(), std::size_t{16});
+  EXPECT_GT(full.pairs(0).size(), collapsed.pairs(0).size());
+}
+
+}  // namespace
+}  // namespace tt::tta

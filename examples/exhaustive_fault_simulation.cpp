@@ -22,6 +22,13 @@
 //                           re-concretized against the raw model
 //     --threads <k>         worker threads for the parallel engine
 //                           (default: TTSTART_THREADS env, else all cores)
+//     --store <kind>        locked|lockfree explicit-state store backend
+//                           (default locked); lockfree is the CAS-based
+//                           store with closed-set compression and spill
+//     --mem-budget-mb <mb>  in-RAM budget for the lockfree store: sealed
+//                           compressed pages past the budget spill to disk
+//                           (TTSTART_SPILL_DIR, else TMPDIR, else /tmp);
+//                           counts and verdicts stay exact
 //     --trace-out <file>    write a Chrome trace-event JSON (chrome://tracing,
 //                           Perfetto) of the run
 //     --progress <sec>      print a heartbeat line every <sec> seconds
@@ -91,6 +98,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--reduction") {
       if (i + 1 >= argc) return usage();
       if (!mc::parse_reduction(argv[++i], opts.reduction)) return usage();
+    } else if (arg == "--store") {
+      if (i + 1 >= argc) return usage();
+      if (!mc::parse_store(argv[++i], opts.store.kind)) return usage();
+    } else if (arg == "--mem-budget-mb") {
+      int mb = 0;
+      if (!next_int(mb) || mb < 0) return usage();
+      opts.store.mem_budget_bytes = static_cast<std::size_t>(mb) * 1024 * 1024;
     } else if (arg == "--lemma") {
       if (i + 1 >= argc) return usage();
       const std::string name = argv[++i];
@@ -135,6 +149,16 @@ int main(int argc, char** argv) {
       std::printf(" eg_iterations=%d", result.stats.bdd_iterations);
     }
     std::printf("\n");
+  }
+  if (opts.store.kind == mc::StoreKind::kLockFree &&
+      result.engine_used != mc::EngineKind::kSymbolic) {
+    // Machine-greppable store line; the CI store-smoke step asserts on the
+    // spill_bytes column to prove an out-of-core run actually spilled.
+    std::printf("store: %s  cas_retries=%zu pages_compressed=%zu spill_bytes=%zu "
+                "bloom_negatives=%zu\n",
+                mc::to_string(opts.store.kind), result.stats.cas_retries,
+                result.stats.pages_compressed, result.stats.spill_bytes,
+                result.stats.bloom_negatives);
   }
   if (result.engine_used == mc::EngineKind::kParallel && !core::is_invariant_lemma(lemma)) {
     std::printf("owcty: trim_rounds=%zu residue_states=%zu\n", result.stats.trim_rounds,

@@ -15,6 +15,12 @@ Four classes of drift this catches:
      `--reduction a|b` alternation in README.md and the CLI header comment
      must list exactly the header's reduction set.
 
+  2b. Store-name drift — same contract again for the explicit-state store
+     backends: every store name `parse_store` / `to_string(StoreKind)`
+     accepts must appear backticked in README.md, and every `--store a|b`
+     alternation in README.md and the CLI header comment must list exactly
+     the header's store set.
+
   3. Dangling section references — every "DESIGN.md §X.Y" referenced from
      CHANGES.md (the per-PR changelog) must exist as a heading in DESIGN.md.
 
@@ -87,6 +93,30 @@ def check_reduction_names(root, failures):
                                f"src/mc/engine.hpp accepts {reductions}")
 
 
+def check_store_names(root, failures):
+    header = read(root, "src/mc/engine.hpp")
+    stores = [m for m in re.findall(
+        r'case StoreKind::k\w+:\s*return "(\w+)";', header)]
+    if not stores:
+        fail(failures, "src/mc/engine.hpp: found no StoreKind names "
+                       "(regex drift?)")
+        return
+    readme = read(root, "README.md")
+    for name in stores:
+        if f"`{name}`" not in readme \
+                and not re.search(r"`[^`]*\b" + re.escape(name) + r"\b[^`]*`", readme):
+            fail(failures, f"README.md: store '{name}' (src/mc/engine.hpp) "
+                           f"never mentioned in backticks")
+    # Every `--store a|b` alternation in the docs must equal the real set.
+    for rel in ("README.md", "examples/exhaustive_fault_simulation.cpp"):
+        text = read(root, rel)
+        for alt in re.findall(r"--store[ <]+((?:\w+\\?\|)+\w+)", text):
+            listed = alt.replace("\\", "").split("|")
+            if sorted(listed) != sorted(stores):
+                fail(failures, f"{rel}: '--store {alt}' lists {listed}, but "
+                               f"src/mc/engine.hpp accepts {stores}")
+
+
 def check_design_sections(root, failures):
     changes = read(root, "CHANGES.md")
     design = read(root, "DESIGN.md")
@@ -129,6 +159,7 @@ def main(argv):
     failures = []
     check_engine_names(root, failures)
     check_reduction_names(root, failures)
+    check_store_names(root, failures)
     check_design_sections(root, failures)
     check_markdown_links(root, failures)
     if failures:

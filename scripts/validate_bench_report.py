@@ -11,9 +11,12 @@ symmetry-reduction columns: `reduction` ("none"/"sym"), `canon_ops`
 representatives stored by a reduced run), `reduction_ratio`
 (states(unreduced)/states(reduced) when the paired baseline ran), and the
 caveat flag `possibly_one_core` (true when a multi-threaded row may have run
-on a single hardware core, so its speedup is not meaningful). Optional
-numeric fields must be non-negative when present; all optional fields are
-rejected under schemas older than the one that introduced them.
+on a single hardware core, so its speedup is not meaningful). v5 adds the
+explicit-store columns: `store` ("locked"/"lockfree"), `cas_retries`
+(failed slot claims on the lock-free insert path), and `spill_bytes`
+(compressed bytes evicted out of core). Optional numeric fields must be
+non-negative when present; all optional fields are rejected under schemas
+older than the one that introduced them.
 
 Checks the envelope, the per-record field set and types, and basic value
 sanity (non-negative counts/times, verdict non-empty, threads >= 1). With
@@ -28,7 +31,9 @@ experiment name contains SUBSTR ran on ENGINE — CI uses
 fall back off the parallel engine. With --require-reduction, fails unless at
 least one record carries `reduction: "sym"` with its `canon_ops` and
 `orbit_states` columns — CI uses this so the symmetry-quotient rows cannot
-silently drop out of the sweep.
+silently drop out of the sweep. With --require-store, fails unless at least
+one record carries the named `store` — CI uses `--require-store lockfree`
+so the lock-free store rows cannot silently drop out of the hot-path bench.
 
 Exit code 0 on success, 1 on any violation (all violations are listed).
 """
@@ -69,25 +74,36 @@ OPTIONAL_FIELDS_V4 = {
     "reduction_ratio": (int, float),
     "possibly_one_core": bool,
 }
+OPTIONAL_FIELDS_V5 = {
+    **OPTIONAL_FIELDS_V4,
+    "store": str,
+    "cas_retries": int,
+    "spill_bytes": int,
+}
 
 REDUCTION_NAMES = ("none", "sym")
+STORE_NAMES = ("locked", "lockfree")
 
 SCHEMAS = (
     "ttstart-bench-v1",
     "ttstart-bench-v2",
     "ttstart-bench-v3",
     "ttstart-bench-v4",
+    "ttstart-bench-v5",
 )
 
 
-def validate(doc, require, require_engines, require_engine_for, require_reduction):
+def validate(doc, require, require_engines, require_engine_for, require_reduction,
+             require_stores):
     errors = []
     if not isinstance(doc, dict):
         return ["top level is not a JSON object"]
     schema = doc.get("schema")
     if schema not in SCHEMAS:
         errors.append(f"schema is {schema!r}, expected one of {SCHEMAS!r}")
-    if schema == "ttstart-bench-v4":
+    if schema == "ttstart-bench-v5":
+        allowed_optional = OPTIONAL_FIELDS_V5
+    elif schema == "ttstart-bench-v4":
         allowed_optional = OPTIONAL_FIELDS_V4
     elif schema == "ttstart-bench-v3":
         allowed_optional = OPTIONAL_FIELDS_V3
@@ -105,6 +121,7 @@ def validate(doc, require, require_engines, require_engine_for, require_reductio
     seen_engines = set()
     seen_experiment_engines = set()
     seen_reduced_rows = 0
+    seen_stores = set()
     for i, rec in enumerate(results):
         where = f"results[{i}]"
         if not isinstance(rec, dict):
@@ -136,6 +153,11 @@ def validate(doc, require, require_engines, require_engine_for, require_reductio
                     f"{where}: reduction is {v!r}, "
                     f"expected one of {REDUCTION_NAMES!r}"
                 )
+            elif field == "store" and v not in STORE_NAMES:
+                errors.append(
+                    f"{where}: store is {v!r}, "
+                    f"expected one of {STORE_NAMES!r}"
+                )
             elif isinstance(v, (int, float)) and not isinstance(v, bool) and v < 0:
                 errors.append(f"{where}: optional field '{field}' < 0")
         unknown = set(rec) - set(REQUIRED_FIELDS) - set(allowed_optional)
@@ -162,6 +184,8 @@ def validate(doc, require, require_engines, require_engine_for, require_reductio
             and isinstance(rec.get("orbit_states"), int)
         ):
             seen_reduced_rows += 1
+        if isinstance(rec.get("store"), str):
+            seen_stores.add(rec["store"])
 
     for bench in require:
         if bench not in seen_benches:
@@ -186,6 +210,9 @@ def validate(doc, require, require_engines, require_engine_for, require_reductio
             "no record with reduction 'sym' carrying canon_ops and "
             "orbit_states (--require-reduction)"
         )
+    for store in require_stores:
+        if store not in seen_stores:
+            errors.append(f"required store '{store}' contributed no records")
     return errors
 
 
@@ -220,6 +247,14 @@ def main():
         help="require >= 1 record with reduction 'sym' carrying canon_ops "
         "and orbit_states",
     )
+    parser.add_argument(
+        "--require-store",
+        action="append",
+        default=[],
+        metavar="STORE",
+        help="store name ('locked'/'lockfree') that must have >= 1 record "
+        "(repeatable)",
+    )
     args = parser.parse_args()
 
     try:
@@ -235,6 +270,7 @@ def main():
         args.require_engine,
         args.require_engine_for,
         args.require_reduction,
+        args.require_store,
     )
     if errors:
         for e in errors:

@@ -95,6 +95,7 @@ VerificationResult verify(const tta::ClusterConfig& raw_cfg, Lemma lemma,
       }
       mc::EngineOptions eopts(opts.limits);
       eopts.threads = opts.threads;
+      eopts.store = opts.store;
       return recurrent ? mc::check_always_eventually_with(kind, cluster, goal, eopts)
                        : mc::check_eventually_with(kind, cluster, goal, eopts);
     }();
@@ -139,6 +140,7 @@ VerificationResult verify(const tta::ClusterConfig& raw_cfg, Lemma lemma,
                : [&] {
                    mc::EngineOptions eopts(opts.limits);
                    eopts.threads = opts.threads;
+                   eopts.store = opts.store;
                    return mc::check_invariant_with(kind, cluster, invariant, eopts);
                  }();
   out.holds = r.verdict == mc::Verdict::kHolds;

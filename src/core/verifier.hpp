@@ -65,6 +65,13 @@ struct VerifyOptions {
   /// re-concretizes any counterexample against the raw model before
   /// returning it, so traces replay edge-by-edge either way.
   mc::ReductionKind reduction = mc::ReductionKind::kNone;
+  /// Explicit-state storage backend (DESIGN.md §3.7). kShardedLocked is the
+  /// per-shard-mutex store; kLockFree is the CAS-based store that also
+  /// compresses sealed BFS levels and, with store.mem_budget_bytes set,
+  /// spills them to disk so beyond-RAM runs complete with exact counts.
+  /// Ignored by the symbolic engine. Verdicts, counts and traces are
+  /// bit-identical across backends.
+  mc::StoreOptions store;
 };
 
 struct VerificationResult {

@@ -85,6 +85,47 @@ enum class ReductionKind {
   return false;
 }
 
+/// Which state-store implementation backs the explicit-state engines.
+/// kShardedLocked is the lock-striped ShardedStateIndexMap (one mutex per
+/// shard on the insert path); kLockFree is the CAS-claim LockFreeStateIndexMap
+/// with delta compression of the closed set and the out-of-core spill tier.
+/// Both encode ids identically, so verdicts, counts and traces are
+/// bit-identical between them at any thread count.
+enum class StoreKind {
+  kShardedLocked,
+  kLockFree,
+};
+
+/// Canonical store name ("locked"/"lockfree"); static storage duration.
+[[nodiscard]] constexpr const char* to_string(StoreKind k) noexcept {
+  switch (k) {
+    case StoreKind::kShardedLocked: return "locked";
+    case StoreKind::kLockFree: return "lockfree";
+  }
+  return "?";
+}
+
+/// Parses a store name ("locked", "lockfree"); returns false and leaves
+/// `out` untouched on unknown names.
+[[nodiscard]] inline bool parse_store(std::string_view name, StoreKind& out) noexcept {
+  for (const StoreKind k : {StoreKind::kShardedLocked, StoreKind::kLockFree}) {
+    if (name == to_string(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// State-store dials, plumbed from VerifyOptions/the CLI down to the engines.
+struct StoreOptions {
+  StoreKind kind = StoreKind::kShardedLocked;
+  /// Resident-memory budget for the state store in bytes; 0 = unlimited.
+  /// Only the lock-free store honors it (sealed pages spill to disk at
+  /// quiescent points while the store exceeds the budget).
+  std::size_t mem_budget_bytes = 0;
+};
+
 /// Per-level progress snapshot handed to EngineOptions::progress. Invoked
 /// on the coordinating thread only, between levels — never concurrently.
 struct LevelProgress {
@@ -104,6 +145,7 @@ struct EngineOptions {
   /// variable, falling back to std::thread::hardware_concurrency().
   int threads = 0;
   SearchLimits limits;
+  StoreOptions store;
   /// Called once per completed BFS level (from the coordinating thread).
   /// Leave empty for no progress reporting.
   std::function<void(const LevelProgress&)> progress;

@@ -9,19 +9,67 @@
 #include <cstdint>
 #include <vector>
 
+#include "mc/engine.hpp"
 #include "mc/run_stats.hpp"
+#include "obs/trace.hpp"
 #include "support/recent_cache.hpp"
 #include "support/state_index_map.hpp"
 
 namespace tt::mc::detail {
 
+/// Applies the StoreOptions dials a store supports; a no-op for stores
+/// without the corresponding hooks (StateIndexMap, ShardedStateIndexMap).
+template <class Map>
+void apply_store_options(Map& seen, const StoreOptions& store) {
+  if constexpr (requires { seen.set_mem_budget(std::size_t{}); }) {
+    seen.set_mem_budget(store.mem_budget_bytes);
+  }
+}
+
+/// Runs the store's between-levels maintenance (probe-table growth, closed-
+/// set sealing, out-of-core spill) inside an obs span when the store has one.
+/// Must be called from the coordinating thread at a quiescent point;
+/// `expected_new` is a headroom hint for the next level's fresh states.
+template <class Map>
+void maintain_store(Map& seen, std::size_t expected_new) {
+  if constexpr (requires { seen.quiescent_maintain(std::size_t{}); }) {
+    obs::Span span("store.maintain");
+    const auto ms = seen.quiescent_maintain(expected_new);
+    if (ms.pages_sealed != 0) {
+      span.set_arg("pages_sealed", static_cast<std::int64_t>(ms.pages_sealed));
+    }
+    if (ms.pages_spilled != 0) {
+      span.set_arg("pages_spilled", static_cast<std::int64_t>(ms.pages_spilled));
+      span.set_arg("bytes_spilled", static_cast<std::int64_t>(ms.bytes_spilled));
+    }
+  }
+}
+
+/// Copies the store's cumulative counters into RunStats when it keeps any
+/// (the lock-free store's cas_retries / compression / spill / Bloom columns).
+template <class Map>
+void copy_store_stats(const Map& seen, RunStats& stats) {
+  if constexpr (requires { seen.store_stats(); }) {
+    const auto st = seen.store_stats();
+    stats.cas_retries = st.cas_retries;
+    stats.pages_compressed = st.pages_compressed;
+    stats.spill_bytes = st.spill_bytes;
+    stats.bloom_negatives = st.bloom_negatives;
+  }
+}
+
 /// Sequential BFS working set: interned states, optional parent links and
 /// the dense-id queue. `visit` is the single entry point engines feed states
 /// through (initial and successor alike).
-template <std::size_t W>
+///
+/// `Map` is any store with the StateIndexMap interface that assigns *dense*
+/// ids in insertion order — StateIndexMap itself, or a single-shard
+/// LockFreeStateIndexMap (whose serial-insert path is picked automatically).
+/// Parent links and the queue are indexed by those dense ids.
+template <std::size_t W, class Map = StateIndexMap<W>>
 struct BfsCore {
   using State = std::array<std::uint64_t, W>;
-  static constexpr std::uint32_t kNoParent = StateIndexMap<W>::kEmpty;
+  static constexpr std::uint32_t kNoParent = Map::kEmpty;
 
   explicit BfsCore(bool track_parents = true, const SearchLimits& limits = {})
       : parents(track_parents) {
@@ -49,7 +97,15 @@ struct BfsCore {
       ++dup_visits;
       return {hint, false};
     }
-    auto [idx, fresh] = seen.insert(s, h);
+    auto [idx, fresh] = [&] {
+      // BfsCore is strictly single-threaded: take the serial insert path
+      // (inline growth, relaxed atomics) when the store distinguishes one.
+      if constexpr (requires { seen.insert_serial(s, h); }) {
+        return seen.insert_serial(s, h);
+      } else {
+        return seen.insert(s, h);
+      }
+    }();
     cache.remember(h, idx);
     if (fresh) {
       if (parents) parent.push_back(from);
@@ -72,7 +128,7 @@ struct BfsCore {
            queue.capacity() * sizeof(std::uint32_t) + cache.memory_bytes();
   }
 
-  StateIndexMap<W> seen;
+  Map seen;
   RecentSeenCache cache;
   std::vector<std::uint32_t> parent;  // dense id -> predecessor id (if `parents`)
   std::vector<std::uint32_t> queue;   // dense ids in BFS order

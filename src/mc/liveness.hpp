@@ -17,10 +17,12 @@
 #include <cstdint>
 #include <vector>
 
+#include "mc/engine.hpp"
 #include "mc/explore.hpp"
 #include "mc/run_stats.hpp"
 #include "mc/transition_system.hpp"
 #include "obs/trace.hpp"
+#include "support/lockfree_state_index_map.hpp"
 #include "support/recent_cache.hpp"
 #include "support/state_index_map.hpp"
 #include "support/timer.hpp"
@@ -61,7 +63,13 @@ namespace detail {
 /// AG AF(goal). `expected_states` pre-sizes the interning table (callers
 /// that already materialized the reachable set pass its size, so the DFS
 /// never rehashes from default capacity).
-template <class TS, class Pred, class RootFn>
+///
+/// `Map` must assign dense ids (`color` is indexed by them): StateIndexMap
+/// or a single-shard LockFreeStateIndexMap. The DFS has no quiescent points,
+/// so the lock-free store runs in its raw (uncompressed, unspilled) tier —
+/// the sealing/spill machinery only engages in the level-synchronous BFS
+/// engines.
+template <class Map, class TS, class Pred, class RootFn>
 [[nodiscard]] LivenessResult<TS> lasso_search(const TS& ts, Pred&& goal, RootFn&& for_each_root,
                                               const SearchLimits& limits,
                                               std::size_t expected_states = 0) {
@@ -71,8 +79,8 @@ template <class TS, class Pred, class RootFn>
   Timer timer;
   obs::Span run_span("liveness.lasso");
   LivenessResult<TS> result;
-  StateIndexMap<TS::kWords> seen;   // interns goal-free states only
-  RecentSeenCache cache;            // duplicate suppression in front of `seen`
+  Map seen;                // interns goal-free states only
+  RecentSeenCache cache;   // duplicate suppression in front of `seen`
   std::vector<std::uint8_t> color;  // parallel to `seen`
   if (expected_states == 0 && limits.states_bounded()) {
     expected_states = limits.max_states + limits.max_states / 8 + 1;
@@ -93,7 +101,15 @@ template <class TS, class Pred, class RootFn>
       ++result.stats.dup_transitions;
       return {hint, false};
     }
-    auto [idx, fresh] = seen.insert(s, h);
+    auto [idx, fresh] = [&] {
+      // The lasso search is single-threaded: take the serial insert path
+      // (inline growth) when the store distinguishes one.
+      if constexpr (requires { seen.insert_serial(s, h); }) {
+        return seen.insert_serial(s, h);
+      } else {
+        return seen.insert(s, h);
+      }
+    }();
     cache.remember(h, idx);
     if (!fresh) ++result.stats.dup_transitions;
     return {idx, fresh};
@@ -190,6 +206,7 @@ template <class TS, class Pred, class RootFn>
 
   result.stats.states = seen.size();
   result.stats.memory_bytes = seen.memory_bytes() + color.capacity() + cache.memory_bytes();
+  detail::copy_store_stats(seen, result.stats);
   result.stats.seconds = timer.seconds();
   result.stats.exhausted = result.verdict != LivenessVerdict::kLimit;
   return result;
@@ -202,18 +219,28 @@ template <class TS, class Pred, class RootFn>
 template <TransitionSystem TS, class Pred>
 [[nodiscard]] LivenessResult<TS> check_eventually(const TS& ts, Pred&& goal,
                                                   const SearchLimits& limits = {}) {
-  return detail::lasso_search(
+  return detail::lasso_search<StateIndexMap<TS::kWords>>(
       ts, goal, [&](auto&& visit) { ts.initial_states(visit); }, limits);
 }
 
-/// AG AF(goal): from *every reachable state*, every behaviour eventually
-/// reaches a goal state again. Strictly stronger than F(goal): it also
-/// covers recovery after the goal was already reached once — the property
-/// the restart/reintegration experiments need (a transient fault knocks a
-/// node out of the synchronous set; the set must always pull it back).
+/// Store-dispatching F(goal): the DFS explores in the identical order under
+/// either store (dense ids, serial inserts), so results are bit-identical.
 template <TransitionSystem TS, class Pred>
-[[nodiscard]] LivenessResult<TS> check_always_eventually(const TS& ts, Pred&& goal,
-                                                         const SearchLimits& limits = {}) {
+[[nodiscard]] LivenessResult<TS> check_eventually_store(const TS& ts, Pred&& goal,
+                                                        const SearchLimits& limits,
+                                                        const StoreOptions& store) {
+  if (store.kind == StoreKind::kLockFree) {
+    return detail::lasso_search<LockFreeStateIndexMap<TS::kWords>>(
+        ts, goal, [&](auto&& visit) { ts.initial_states(visit); }, limits);
+  }
+  return check_eventually(ts, std::forward<Pred>(goal), limits);
+}
+
+namespace detail {
+
+template <class Map, TransitionSystem TS, class Pred>
+[[nodiscard]] LivenessResult<TS> check_always_eventually_impl(const TS& ts, Pred&& goal,
+                                                              const SearchLimits& limits) {
   using State = typename TS::State;
   // Materialize the reachable set first; its states are the lasso roots.
   // Reuses the shared BFS scaffolding (explore.hpp) without parent links.
@@ -223,10 +250,10 @@ template <TransitionSystem TS, class Pred>
   std::size_t bfs_cache_hits = 0;
   std::size_t bfs_dups = 0;
   {
-    detail::BfsCore<TS::kWords> bfs(/*track_parents=*/false, limits);
+    detail::BfsCore<TS::kWords, Map> bfs(/*track_parents=*/false, limits);
     auto visit = [&](const State& s) {
       ++bfs_hash_ops;
-      bfs.visit(s, detail::BfsCore<TS::kWords>::kNoParent, hash_words(s));
+      bfs.visit(s, detail::BfsCore<TS::kWords, Map>::kNoParent, hash_words(s));
     };
     ts.initial_states(visit);
     for (std::size_t head = 0; head < bfs.queue.size(); ++head) {
@@ -249,7 +276,7 @@ template <TransitionSystem TS, class Pred>
     limited.stats.exhausted = false;
     return limited;
   }
-  auto result = detail::lasso_search(
+  auto result = detail::lasso_search<Map>(
       ts, goal,
       [&](auto&& visit) {
         for (const State& s : reachable) visit(s);
@@ -260,6 +287,32 @@ template <TransitionSystem TS, class Pred>
   result.stats.cache_hits += bfs_cache_hits;
   result.stats.dup_transitions += bfs_dups;
   return result;
+}
+
+}  // namespace detail
+
+/// AG AF(goal): from *every reachable state*, every behaviour eventually
+/// reaches a goal state again. Strictly stronger than F(goal): it also
+/// covers recovery after the goal was already reached once — the property
+/// the restart/reintegration experiments need (a transient fault knocks a
+/// node out of the synchronous set; the set must always pull it back).
+template <TransitionSystem TS, class Pred>
+[[nodiscard]] LivenessResult<TS> check_always_eventually(const TS& ts, Pred&& goal,
+                                                         const SearchLimits& limits = {}) {
+  return detail::check_always_eventually_impl<StateIndexMap<TS::kWords>>(
+      ts, std::forward<Pred>(goal), limits);
+}
+
+/// Store-dispatching AG AF(goal); bit-identical results across stores.
+template <TransitionSystem TS, class Pred>
+[[nodiscard]] LivenessResult<TS> check_always_eventually_store(const TS& ts, Pred&& goal,
+                                                               const SearchLimits& limits,
+                                                               const StoreOptions& store) {
+  if (store.kind == StoreKind::kLockFree) {
+    return detail::check_always_eventually_impl<LockFreeStateIndexMap<TS::kWords>>(
+        ts, std::forward<Pred>(goal), limits);
+  }
+  return check_always_eventually(ts, std::forward<Pred>(goal), limits);
 }
 
 }  // namespace tt::mc

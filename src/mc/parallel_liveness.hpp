@@ -72,6 +72,7 @@
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "support/assert.hpp"
+#include "support/lockfree_state_index_map.hpp"
 #include "support/recent_cache.hpp"
 #include "support/sharded_state_index_map.hpp"
 #include "support/timer.hpp"
@@ -83,12 +84,19 @@ namespace detail {
 /// Shared OWCTY core. `roots_all_reachable` selects the property:
 /// false = F(goal) (goal-free region only), true = AG AF(goal) (full
 /// reachable graph, edges restricted to goal-free endpoints).
-template <TransitionSystem TS, class Pred>
-[[nodiscard]] LivenessResult<TS> owcty_liveness(const TS& ts, Pred&& goal,
-                                                const EngineOptions& opts,
-                                                bool roots_all_reachable) {
+///
+/// `Map` is the 16-shard explicit store (ShardedStateIndexMap or
+/// LockFreeStateIndexMap); both use the same shard routing and chunk-ordered
+/// drain, so ids and verdicts are identical across stores. Store maintenance
+/// (probe growth, sealing, spill) runs at phase A's level boundaries — the
+/// same quiescent points the parallel invariant engine uses; the trim rounds
+/// and lasso extraction only read `at()`, which decodes sealed/spilled pages
+/// transparently.
+template <class Map, TransitionSystem TS, class Pred>
+[[nodiscard]] LivenessResult<TS> owcty_liveness_impl(const TS& ts, Pred&& goal,
+                                                     const EngineOptions& opts,
+                                                     bool roots_all_reachable) {
   using State = typename TS::State;
-  using Map = ShardedStateIndexMap<TS::kWords>;
   constexpr std::uint32_t kNone = Map::kEmpty;
   constexpr unsigned kShards = 16;
   constexpr std::size_t kMinChunk = 64;
@@ -105,6 +113,7 @@ template <TransitionSystem TS, class Pred>
   result.stats.threads = threads;
 
   Map seen(kShards);
+  detail::apply_store_options(seen, opts.store);
   if (limits.states_bounded()) {
     seen.reserve(limits.max_states + limits.max_states / 8 + kShards);
   }
@@ -311,6 +320,10 @@ template <TransitionSystem TS, class Pred>
     }
     if (frontier.empty()) return true;  // subgraph fully materialized
     result.stats.frontier_sizes.push_back(frontier.size());
+    // Quiescent point: workers are parked at the barrier, so the store can
+    // grow its probe tables (concurrent inserts never grow them mid-level),
+    // seal the closed set and spill past the budget.
+    detail::maintain_store(seen, frontier.size() * 16);
     if (opts.progress) {
       opts.progress(LevelProgress{depth + 1, seen.size(), result.stats.transitions,
                                   frontier.size(), timer.seconds()});
@@ -394,6 +407,7 @@ template <TransitionSystem TS, class Pred>
   auto body = [&] {
     // ---- phase A: materialize the subgraph ----
     if (!frontier.empty() && seen.size() <= limits.max_states) {
+      detail::maintain_store(seen, frontier.size() * 16);  // headroom for level 1
       setup_level();
       level_span.begin("owcty.level", depth, "depth");
       bool done = false;
@@ -611,9 +625,25 @@ template <TransitionSystem TS, class Pred>
     result.stats.memory_bytes +=
         c.cache.memory_bytes() + c.edges.capacity() * sizeof(std::uint64_t);
   }
+  detail::copy_store_stats(seen, result.stats);
   result.stats.seconds = timer.seconds();
   result.stats.exhausted = result.verdict != LivenessVerdict::kLimit;
   return result;
+}
+
+/// Store dispatch for the OWCTY core. Both stores assign identical
+/// (shard, local) ids, so verdicts, counts and traces do not depend on the
+/// choice; only the storage internals (CAS inserts, compression, spill) do.
+template <TransitionSystem TS, class Pred>
+[[nodiscard]] LivenessResult<TS> owcty_liveness(const TS& ts, Pred&& goal,
+                                                const EngineOptions& opts,
+                                                bool roots_all_reachable) {
+  if (opts.store.kind == StoreKind::kLockFree) {
+    return owcty_liveness_impl<LockFreeStateIndexMap<TS::kWords>>(
+        ts, std::forward<Pred>(goal), opts, roots_all_reachable);
+  }
+  return owcty_liveness_impl<ShardedStateIndexMap<TS::kWords>>(
+      ts, std::forward<Pred>(goal), opts, roots_all_reachable);
 }
 
 }  // namespace detail
@@ -650,7 +680,7 @@ template <TransitionSystem TS, class Pred>
                                                        const EngineOptions& opts = {}) {
   TT_ASSERT(kind != EngineKind::kSymbolic);
   if (kind == EngineKind::kSequential) {
-    return check_eventually(ts, std::forward<Pred>(goal), opts.limits);
+    return check_eventually_store(ts, std::forward<Pred>(goal), opts.limits, opts.store);
   }
   return check_eventually_parallel(ts, std::forward<Pred>(goal), opts);
 }
@@ -661,7 +691,7 @@ template <TransitionSystem TS, class Pred>
                                                               const EngineOptions& opts = {}) {
   TT_ASSERT(kind != EngineKind::kSymbolic);
   if (kind == EngineKind::kSequential) {
-    return check_always_eventually(ts, std::forward<Pred>(goal), opts.limits);
+    return check_always_eventually_store(ts, std::forward<Pred>(goal), opts.limits, opts.store);
   }
   return check_always_eventually_parallel(ts, std::forward<Pred>(goal), opts);
 }

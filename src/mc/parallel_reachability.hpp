@@ -59,22 +59,22 @@
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "support/assert.hpp"
+#include "support/lockfree_state_index_map.hpp"
 #include "support/recent_cache.hpp"
 #include "support/sharded_state_index_map.hpp"
 #include "support/timer.hpp"
 
 namespace tt::mc {
 
-/// Parallel G(holds) check; the frontier-parallel counterpart of
-/// check_invariant. Verdicts agree with the sequential engine; on violation
-/// the trace is shortest (BFS) and identical for every thread count. Search
-/// limits are enforced at level granularity (the sequential engine checks
-/// mid-level), so limit-stopped runs may intern slightly more states.
-template <TransitionSystem TS, class Pred>
-[[nodiscard]] InvariantResult<TS> check_invariant_parallel(const TS& ts, Pred&& holds,
-                                                           const EngineOptions& opts = {}) {
+namespace detail {
+
+/// check_invariant_parallel over a sharded store type (ShardedStateIndexMap
+/// or LockFreeStateIndexMap — identical id encoding, identical shard
+/// routing, so identical results); see the public dispatcher below.
+template <class Map, TransitionSystem TS, class Pred>
+[[nodiscard]] InvariantResult<TS> check_invariant_parallel_impl(const TS& ts, Pred&& holds,
+                                                                const EngineOptions& opts) {
   using State = typename TS::State;
-  using Map = ShardedStateIndexMap<TS::kWords>;
   constexpr std::uint32_t kNone = Map::kEmpty;
   // The shard count is a fixed constant; chunk geometry may vary freely (see
   // the determinism argument in the header comment).
@@ -93,6 +93,7 @@ template <TransitionSystem TS, class Pred>
   result.stats.threads = threads;
 
   Map seen(kShards);
+  detail::apply_store_options(seen, opts.store);
   if (limits.states_bounded()) {
     seen.reserve(limits.max_states + limits.max_states / 8 + kShards);
   }
@@ -252,6 +253,10 @@ template <TransitionSystem TS, class Pred>
     }
     if (frontier.empty()) return true;  // reachable set exhausted
     result.stats.frontier_sizes.push_back(frontier.size());
+    // The store is quiescent between drain and the next expand: seal closed
+    // pages, spill past the budget, grow the probe tables with headroom for
+    // the coming level (so the lock-free insert path never grows mid-phase).
+    detail::maintain_store(seen, frontier.size() * 16);
     if (opts.progress) {
       opts.progress(LevelProgress{depth + 1, seen.size(), result.stats.transitions,
                                   frontier.size(), timer.seconds()});
@@ -290,6 +295,7 @@ template <TransitionSystem TS, class Pred>
   violated = bad_id != kNone;
 
   if (!violated && !frontier.empty() && seen.size() <= limits.max_states) {
+    detail::maintain_store(seen, frontier.size() * 16);  // headroom for level 1
     setup_level();
     level_span.begin("bfs.level", depth, "depth");
     const std::size_t serial_below =
@@ -353,6 +359,7 @@ template <TransitionSystem TS, class Pred>
     result.stats.dup_transitions += c.dups;
     result.stats.memory_bytes += c.cache.memory_bytes();
   }
+  detail::copy_store_stats(seen, result.stats);
   result.stats.seconds = timer.seconds();
   if (violated) {
     result.verdict = Verdict::kViolated;
@@ -364,6 +371,26 @@ template <TransitionSystem TS, class Pred>
   }
   result.stats.exhausted = result.verdict != Verdict::kLimit;
   return result;
+}
+
+}  // namespace detail
+
+/// Parallel G(holds) check; the frontier-parallel counterpart of
+/// check_invariant. Verdicts agree with the sequential engine; on violation
+/// the trace is shortest (BFS) and identical for every thread count — and
+/// for either store (EngineOptions::store picks the lock-striped or the
+/// lock-free table; both assign the same ids in the same order). Search
+/// limits are enforced at level granularity (the sequential engine checks
+/// mid-level), so limit-stopped runs may intern slightly more states.
+template <TransitionSystem TS, class Pred>
+[[nodiscard]] InvariantResult<TS> check_invariant_parallel(const TS& ts, Pred&& holds,
+                                                           const EngineOptions& opts = {}) {
+  if (opts.store.kind == StoreKind::kLockFree) {
+    return detail::check_invariant_parallel_impl<LockFreeStateIndexMap<TS::kWords>>(
+        ts, std::forward<Pred>(holds), opts);
+  }
+  return detail::check_invariant_parallel_impl<ShardedStateIndexMap<TS::kWords>>(
+      ts, std::forward<Pred>(holds), opts);
 }
 
 /// Parallel reachable-state count; see count_reachable. Check
@@ -385,7 +412,7 @@ template <TransitionSystem TS, class Pred>
                                                        const EngineOptions& opts = {}) {
   TT_ASSERT(kind != EngineKind::kSymbolic);
   if (kind == EngineKind::kSequential) {
-    return check_invariant(ts, std::forward<Pred>(holds), opts.limits);
+    return check_invariant_store(ts, std::forward<Pred>(holds), opts.limits, opts.store);
   }
   return check_invariant_parallel(ts, std::forward<Pred>(holds), opts);
 }

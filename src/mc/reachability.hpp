@@ -16,11 +16,13 @@
 #include <utility>
 #include <vector>
 
+#include "mc/engine.hpp"
 #include "mc/explore.hpp"
 #include "mc/run_stats.hpp"
 #include "mc/transition_system.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
+#include "support/lockfree_state_index_map.hpp"
 #include "support/state_index_map.hpp"
 #include "support/timer.hpp"
 
@@ -49,19 +51,21 @@ struct InvariantResult {
   std::vector<typename TS::State> trace;
 };
 
-/// Checks G(holds) over the reachable states of `ts`.
-///
-/// `holds` is a predicate on packed states. Returns on first violation with a
-/// minimal-length trace, or after the frontier empties (kHolds), or when a
-/// limit triggers (kLimit).
-template <TransitionSystem TS, class Pred>
-[[nodiscard]] InvariantResult<TS> check_invariant(const TS& ts, Pred&& holds,
-                                                  const SearchLimits& limits = {}) {
+namespace detail {
+
+/// check_invariant over an explicit store type; see the public wrappers
+/// below. `Map` must assign dense ids (StateIndexMap or a single-shard
+/// LockFreeStateIndexMap) because BfsCore's bookkeeping is id-indexed.
+template <class Map, TransitionSystem TS, class Pred>
+[[nodiscard]] InvariantResult<TS> check_invariant_impl(const TS& ts, Pred&& holds,
+                                                       const SearchLimits& limits,
+                                                       const StoreOptions& store) {
   using State = typename TS::State;
   Timer timer;
   obs::Span run_span("bfs.sequential");
   InvariantResult<TS> result;
-  detail::BfsCore<TS::kWords> bfs(/*track_parents=*/true, limits);
+  detail::BfsCore<TS::kWords, Map> bfs(/*track_parents=*/true, limits);
+  detail::apply_store_options(bfs.seen, store);
 
   bool violated = false;
   std::uint32_t bad_idx = 0;
@@ -77,7 +81,8 @@ template <TransitionSystem TS, class Pred>
     }
   };
 
-  ts.initial_states([&](const State& s) { visit(s, detail::BfsCore<TS::kWords>::kNoParent); });
+  ts.initial_states(
+      [&](const State& s) { visit(s, detail::BfsCore<TS::kWords, Map>::kNoParent); });
   result.stats.frontier_sizes.push_back(bfs.queue.size());
 
   std::size_t head = 0;
@@ -88,9 +93,13 @@ template <TransitionSystem TS, class Pred>
   while (head < bfs.queue.size() && !violated) {
     if (head == level_end) {
       ++depth;
-      result.stats.frontier_sizes.push_back(bfs.queue.size() - level_end);
+      const std::size_t frontier_states = bfs.queue.size() - level_end;
+      result.stats.frontier_sizes.push_back(frontier_states);
       level_end = bfs.queue.size();
       level_span.end();
+      // Quiescent point: seal the closed set behind the new frontier, spill
+      // past the memory budget, grow the probe table with headroom.
+      detail::maintain_store(bfs.seen, frontier_states * 16);
       level_span.begin("bfs.level", depth, "depth");
       obs::progress_tick({.phase = "bfs",
                           .states = bfs.seen.size(),
@@ -117,6 +126,7 @@ template <TransitionSystem TS, class Pred>
   result.stats.memory_bytes = bfs.memory_bytes();
   result.stats.cache_hits = bfs.cache_hits;
   result.stats.dup_transitions = bfs.dup_visits;
+  detail::copy_store_stats(bfs.seen, result.stats);
   result.stats.seconds = timer.seconds();
   if (violated) {
     result.verdict = Verdict::kViolated;
@@ -128,6 +138,38 @@ template <TransitionSystem TS, class Pred>
   }
   result.stats.exhausted = result.verdict != Verdict::kLimit;
   return result;
+}
+
+}  // namespace detail
+
+/// Checks G(holds) over the reachable states of `ts`.
+///
+/// `holds` is a predicate on packed states. Returns on first violation with a
+/// minimal-length trace, or after the frontier empties (kHolds), or when a
+/// limit triggers (kLimit).
+template <TransitionSystem TS, class Pred>
+[[nodiscard]] InvariantResult<TS> check_invariant(const TS& ts, Pred&& holds,
+                                                  const SearchLimits& limits = {}) {
+  return detail::check_invariant_impl<StateIndexMap<TS::kWords>>(ts, std::forward<Pred>(holds),
+                                                                 limits, StoreOptions{});
+}
+
+/// Store-dispatching sequential invariant check. Both stores intern states
+/// in the identical (BFS) order and the violation is picked by that order,
+/// so verdicts, counts and traces are bit-identical across stores; the
+/// lock-free store additionally seals/compresses the closed set between
+/// levels and spills past StoreOptions::mem_budget_bytes.
+template <TransitionSystem TS, class Pred>
+[[nodiscard]] InvariantResult<TS> check_invariant_store(const TS& ts, Pred&& holds,
+                                                        const SearchLimits& limits,
+                                                        const StoreOptions& store) {
+  if (store.kind == StoreKind::kLockFree) {
+    // One shard: BfsCore needs dense ids for its parent/queue bookkeeping.
+    return detail::check_invariant_impl<LockFreeStateIndexMap<TS::kWords>>(
+        ts, std::forward<Pred>(holds), limits, store);
+  }
+  return detail::check_invariant_impl<StateIndexMap<TS::kWords>>(ts, std::forward<Pred>(holds),
+                                                                 limits, store);
 }
 
 /// Exhaustively counts reachable states (the paper's `sal-smc --count`

@@ -46,6 +46,16 @@ struct RunStats {
   /// (DESIGN.md §3.6).
   std::size_t canon_ops = 0;
   std::size_t canon_swaps = 0;
+  /// Lock-free store instrumentation (zero under the locked store):
+  /// `cas_retries` counts failed slot claims plus claimed-slot spins on the
+  /// insert path, `pages_compressed` the arena pages sealed to delta form,
+  /// `spill_bytes` the compressed bytes evicted to the backing file, and
+  /// `bloom_negatives` the membership probes the Bloom front short-circuited
+  /// (DESIGN.md §3.7).
+  std::size_t cas_retries = 0;
+  std::size_t pages_compressed = 0;
+  std::size_t spill_bytes = 0;
+  std::size_t bloom_negatives = 0;
   /// Symbolic-engine instrumentation (all zero for explicit-state runs):
   /// peak live BDD nodes, mark-and-sweep collections, unique-table and
   /// persistent op-cache hit fractions, and image/BFS iterations to the

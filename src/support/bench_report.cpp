@@ -58,6 +58,10 @@ std::string render_record(const std::string& bench, const BenchRecord& r) {
   if (r.possibly_one_core >= 0) {
     line << ", \"possibly_one_core\": " << (r.possibly_one_core != 0 ? "true" : "false");
   }
+  // v5 optional columns (explicit-store runs).
+  if (!r.store.empty()) line << ", \"store\": \"" << json_escape(r.store) << "\"";
+  if (r.cas_retries >= 0) line << ", \"cas_retries\": " << r.cas_retries;
+  if (r.spill_bytes >= 0) line << ", \"spill_bytes\": " << r.spill_bytes;
   line << "}";
   return line.str();
 }
@@ -121,7 +125,7 @@ std::string BenchReport::write() {
     std::fprintf(stderr, "ttstart: cannot write %s\n", path.c_str());
     return {};
   }
-  out << "{\n  \"schema\": \"ttstart-bench-v4\",\n  \"results\": [\n";
+  out << "{\n  \"schema\": \"ttstart-bench-v5\",\n  \"results\": [\n";
   bool first = true;
   for (const std::string& rec : kept) {
     out << (first ? "    " : ",\n    ") << rec;

@@ -13,7 +13,7 @@
 
 namespace tt {
 
-/// One measurement row of the ttstart-bench-v4 schema (the `experiment`
+/// One measurement row of the ttstart-bench-v5 schema (the `experiment`
 /// keys are the ones EXPERIMENTS.md's claim→command table points at).
 struct BenchRecord {
   std::string experiment;  ///< e.g. "fig6/safety/n4"
@@ -46,6 +46,12 @@ struct BenchRecord {
   /// single hardware core (CI runners), so its speedup column is not
   /// meaningful. Negative = unknown/not recorded, omitted from the JSON.
   int possibly_one_core = -1;
+  /// Explicit-store columns (schema v5): "locked"/"lockfree"; failed-claim
+  /// retries on the CAS insert path; and compressed bytes spilled out of
+  /// core. Empty `store` / negative counters = not applicable, omitted.
+  std::string store;
+  long long cas_retries = -1;
+  long long spill_bytes = -1;
 };
 
 /// Reads the minimum "seconds" value among the report-file records matching

@@ -12,6 +12,16 @@
 
 namespace tt {
 
+// Shard-routing window shared by the sharded state stores. Shard selection
+// reads the TOP kShardWindowBits of the 64-bit hash, which keeps it disjoint
+// from (a) the low bits that pick the open-addressing probe slot and (b) the
+// 32-bit fingerprint the lock-free store keeps hot — a shard table can grow
+// to 2^56 slots before the windows could overlap. (The old `h >> 40` window
+// started colliding with probe bits once a shard passed 2^24 slots, silently
+// correlating shard choice with probe position and clustering the table.)
+inline constexpr unsigned kShardWindowBits = 8;
+inline constexpr unsigned kShardHashShift = 64 - kShardWindowBits;
+
 [[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
   x += 0x9e3779b97f4a7c15ULL;
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;

@@ -45,8 +45,12 @@ class ShardedStateIndexMap {
   static constexpr std::uint32_t kEmpty = 0xffffffffu;
   static constexpr unsigned kMaxShards = 256;
 
+  /// `max_states_per_shard` lowers the per-shard dense-id cap below the
+  /// encoding limit; insert() throws StateCapacityError beyond it. With one
+  /// shard this is an exact total cap — the testable overflow path.
   explicit ShardedStateIndexMap(unsigned shard_count = 1,
-                                std::size_t initial_capacity = 1 << 12) {
+                                std::size_t initial_capacity = 1 << 12,
+                                std::uint64_t max_states_per_shard = ~0ull) {
     TT_REQUIRE(shard_count >= 1 && shard_count <= kMaxShards, "bad shard count");
     unsigned shards = 1;
     shard_bits_ = 0;
@@ -57,6 +61,7 @@ class ShardedStateIndexMap {
     shard_mask_ = shards - 1;
     // Ids never reach 0xffffffff: cap each shard one short of its local space.
     local_limit_ = (shard_bits_ == 32) ? 0 : ((1ull << (32 - shard_bits_)) - 1);
+    if (max_states_per_shard < local_limit_) local_limit_ = max_states_per_shard;
     shards_ = std::make_unique<Shard[]>(shards);
     const std::size_t per_shard = initial_capacity / shards + 64;
     for (unsigned s = 0; s <= shard_mask_; ++s) shards_[s].init(per_shard);
@@ -70,9 +75,15 @@ class ShardedStateIndexMap {
     return shard_of(hash_words(s));
   }
 
-  /// Hash-once shard routing; `h` must equal `hash_words(s)`.
+  /// Hash-once shard routing; `h` must equal `hash_words(s)`. The window is
+  /// derived from kMaxShards and sits at the very top of the hash so it can
+  /// never overlap the probe-slot bits, however large a shard table grows.
   [[nodiscard]] unsigned shard_of(std::uint64_t h) const noexcept {
-    return static_cast<unsigned>(h >> 40) & shard_mask_;
+    static_assert((1u << kShardWindowBits) == kMaxShards,
+                  "shard window must cover kMaxShards exactly");
+    static_assert(kShardHashShift + kShardWindowBits == 64,
+                  "shard window must occupy the top hash bits");
+    return static_cast<unsigned>(h >> kShardHashShift) & shard_mask_;
   }
 
   [[nodiscard]] unsigned shard_of_id(std::uint32_t id) const noexcept {

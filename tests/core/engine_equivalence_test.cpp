@@ -7,10 +7,12 @@
 // count" guarantee documented in DESIGN.md.
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <string>
 
 #include "core/verifier.hpp"
 #include "mc/lasso_check.hpp"
+#include "support/lockfree_state_index_map.hpp"  // TT_LFSIM_HAS_SPILL
 #include "tta/properties.hpp"
 
 namespace tt::core {
@@ -290,6 +292,84 @@ INSTANTIATE_TEST_SUITE_P(
                       LivenessCell{3, 2, Lemma::kReintegration},
                       LivenessCell{3, 0, Lemma::kReintegration}),
     liveness_cell_name);
+
+// ---------------------------------------------------------------------------
+// Store equivalence: swapping the locked store for the lock-free one must be
+// observationally invisible — verdicts, state/transition counts, frontier
+// profiles, hash-op counts and byte-identical traces at every thread count,
+// on safety, a VIOLATED cell and OWCTY liveness alike. Suite name keeps the
+// "EngineEquivalence" stem so the TSan CI job picks it up.
+// ---------------------------------------------------------------------------
+
+VerificationResult run_store(const GridCell& cell, mc::EngineKind engine, int threads,
+                             mc::StoreKind store, std::size_t budget_bytes = 0) {
+  VerifyOptions opts;
+  opts.engine = engine;
+  opts.threads = threads;
+  opts.store.kind = store;
+  opts.store.mem_budget_bytes = budget_bytes;
+  return verify(cell_config(cell), cell.lemma, opts);
+}
+
+class EngineEquivalenceStore : public ::testing::TestWithParam<GridCell> {};
+
+TEST_P(EngineEquivalenceStore, LockFreeIsObservationallyIdenticalToLocked) {
+  const auto base =
+      run_store(GetParam(), mc::EngineKind::kParallel, 1, mc::StoreKind::kShardedLocked);
+  for (int threads : {1, 2, 4}) {
+    const auto locked =
+        run_store(GetParam(), mc::EngineKind::kParallel, threads, mc::StoreKind::kShardedLocked);
+    const auto lockfree =
+        run_store(GetParam(), mc::EngineKind::kParallel, threads, mc::StoreKind::kLockFree);
+    EXPECT_EQ(lockfree.holds, base.holds)
+        << "threads=" << threads << ": " << lockfree.verdict_text;
+    EXPECT_EQ(lockfree.verdict_text, locked.verdict_text) << "threads=" << threads;
+    EXPECT_EQ(lockfree.exhausted, locked.exhausted) << "threads=" << threads;
+    EXPECT_EQ(lockfree.stats.states, locked.stats.states) << "threads=" << threads;
+    EXPECT_EQ(lockfree.stats.transitions, locked.stats.transitions) << "threads=" << threads;
+    EXPECT_EQ(lockfree.stats.frontier_sizes, locked.stats.frontier_sizes)
+        << "threads=" << threads;
+    // Hash-once survives the store swap: one hash per considered state.
+    EXPECT_EQ(lockfree.stats.hash_ops, locked.stats.hash_ops) << "threads=" << threads;
+    // Not merely equivalent: the identical counterexample, byte for byte,
+    // regardless of store backend and thread count.
+    EXPECT_EQ(lockfree.trace, base.trace) << "threads=" << threads;
+    EXPECT_EQ(lockfree.loop_start, base.loop_start) << "threads=" << threads;
+  }
+}
+
+// Safety holds-cell, a VIOLATED hub-agreement cell (trace equality matters
+// most there) and an OWCTY liveness cell.
+INSTANTIATE_TEST_SUITE_P(Grid, EngineEquivalenceStore,
+                         ::testing::Values(GridCell{3, 2, true, Lemma::kSafety},
+                                           GridCell{3, 3, true, Lemma::kHubAgreement},
+                                           GridCell{3, 2, true, Lemma::kLiveness}),
+                         cell_name);
+
+#if TT_LFSIM_HAS_SPILL
+TEST(EngineEquivalenceStore, BeyondRamRunMatchesInRamCountsExactly) {
+  // A 1-byte memory budget forces every sealed page out of core (the n=4
+  // cell fills six 1024-state pages in the sequential engine's single
+  // shard). The beyond-RAM run must reach the same verdict with the same
+  // exact counts as the unconstrained one — spilling is a memory tier, not
+  // an approximation.
+  const GridCell cell{4, 3, false, Lemma::kSafety};
+  const auto in_ram =
+      run_store(cell, mc::EngineKind::kSequential, 1, mc::StoreKind::kLockFree);
+  const auto spilled =
+      run_store(cell, mc::EngineKind::kSequential, 1, mc::StoreKind::kLockFree, /*budget=*/1);
+  ASSERT_TRUE(in_ram.exhausted);
+  EXPECT_EQ(spilled.holds, in_ram.holds);
+  EXPECT_EQ(spilled.exhausted, in_ram.exhausted);
+  EXPECT_EQ(spilled.stats.states, in_ram.stats.states);
+  EXPECT_EQ(spilled.stats.transitions, in_ram.stats.transitions);
+  EXPECT_EQ(spilled.stats.frontier_sizes, in_ram.stats.frontier_sizes);
+  EXPECT_EQ(spilled.stats.hash_ops, in_ram.stats.hash_ops);
+  EXPECT_GT(spilled.stats.pages_compressed, 0u);
+  EXPECT_GT(spilled.stats.spill_bytes, 0u) << "1-byte budget must force a spill";
+  EXPECT_EQ(in_ram.stats.spill_bytes, 0u) << "unconstrained run must stay in RAM";
+}
+#endif  // TT_LFSIM_HAS_SPILL
 
 }  // namespace
 }  // namespace tt::core

@@ -140,6 +140,41 @@ TEST_P(GoldenCounts, ExactAcrossEnginesAndThreadCounts) {
   EXPECT_GT(sym.stats.bdd_peak_live_nodes, std::size_t{0}) << label;
 }
 
+TEST_P(GoldenCounts, LockFreeStoreReproducesGoldenCountsExactly) {
+  // The store swap must be invisible against the pinned golden counts:
+  // same states, transitions and hash-ops (hash-once survives the store) on
+  // the sequential engine and the parallel engine at 1/2/4 threads.
+  const GoldenCell& cell = GetParam();
+  const tta::ClusterConfig cfg = cell.lemma == Lemma::kSafety && cell.degree == 6
+                                     ? fig6_config(cell.n)
+                                     : fig4_config(cell.degree, cell.lemma);
+
+  VerifyOptions seq_opts;
+  seq_opts.engine = mc::EngineKind::kSequential;
+  seq_opts.store.kind = mc::StoreKind::kLockFree;
+  const auto seq = verify(cfg, cell.lemma, seq_opts);
+  ASSERT_TRUE(seq.holds) << cell.name << ": " << seq.verdict_text;
+  EXPECT_EQ(seq.stats.states, cell.states) << cell.name;
+  EXPECT_EQ(seq.stats.transitions, cell.transitions) << cell.name;
+  if (cell.lemma != Lemma::kLiveness) {
+    expect_hash_once(seq, std::string(cell.name) + "/lockfree_seq");
+  }
+
+  for (int threads : {1, 2, 4}) {
+    VerifyOptions par_opts;
+    par_opts.engine = mc::EngineKind::kParallel;
+    par_opts.threads = threads;
+    par_opts.store.kind = mc::StoreKind::kLockFree;
+    const auto par = verify(cfg, cell.lemma, par_opts);
+    const std::string label =
+        std::string(cell.name) + "/lockfree_par@" + std::to_string(threads);
+    ASSERT_TRUE(par.holds) << label << ": " << par.verdict_text;
+    EXPECT_EQ(par.stats.states, cell.states) << label;
+    EXPECT_EQ(par.stats.transitions, cell.transitions) << label;
+    EXPECT_EQ(par.stats.hash_ops, seq.stats.hash_ops) << label;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Grid, GoldenCounts,
     ::testing::Values(

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "mc/reachability.hpp"
@@ -172,6 +174,94 @@ TEST(ParallelReachability, FrontierSizesRecorded) {
   const std::vector<std::size_t> expect{1, 2, 2};
   EXPECT_EQ(seq.stats.frontier_sizes, expect);
   EXPECT_EQ(par.stats.frontier_sizes, expect);
+}
+
+// ---------------------------------------------------------------------------
+// Store equivalence and failure modes (DESIGN.md §3.7): the lock-free store
+// must be observationally identical to the locked store — verdicts, counts,
+// frontier profiles and byte-identical traces at every thread count — and
+// must fail loudly (StateCapacityError, propagated out of the worker pool)
+// when a level outgrows its quiescently-grown probe tables.
+// ---------------------------------------------------------------------------
+
+EngineOptions with_store(int threads, StoreKind kind, std::size_t budget_bytes = 0) {
+  EngineOptions o;
+  o.threads = threads;
+  o.store.kind = kind;
+  o.store.mem_budget_bytes = budget_bytes;
+  return o;
+}
+
+TEST(ParallelReachability, LockFreeStoreMatchesLockedBitIdentically) {
+  std::vector<std::vector<std::uint64_t>> adj(500);
+  for (std::uint64_t v = 0; v < 500; ++v) {
+    adj[v] = {(v * 7 + 1) % 500, (v * 13 + 3) % 500, (v + 1) % 500};
+  }
+  ToySystem ts({0}, adj);
+  auto pred = [](const ToySystem::State& s) { return s[0] != 321; };
+  auto base = check_invariant_parallel(ts, pred, with_store(1, StoreKind::kShardedLocked));
+  ASSERT_EQ(base.verdict, Verdict::kViolated);
+  for (int t : {1, 2, 4}) {
+    auto r = check_invariant_parallel(ts, pred, with_store(t, StoreKind::kLockFree));
+    EXPECT_EQ(r.verdict, base.verdict) << "threads=" << t;
+    EXPECT_EQ(r.trace, base.trace) << "threads=" << t;  // byte-identical
+    EXPECT_EQ(r.stats.states, base.stats.states);
+    EXPECT_EQ(r.stats.transitions, base.stats.transitions);
+    EXPECT_EQ(r.stats.frontier_sizes, base.stats.frontier_sizes);
+  }
+}
+
+#if TT_LFSIM_HAS_SPILL
+TEST(ParallelReachability, LockFreeStoreSpillsUnderBudgetWithExactCounts) {
+  // 64 BFS levels x 640 states: enough full arena pages per shard that the
+  // 1-byte budget forces sealed pages out of core mid-run. The beyond-RAM
+  // run must finish with counts identical to the unconstrained locked run.
+  constexpr std::uint64_t kLevels = 64, kWidth = 640;
+  std::vector<std::vector<std::uint64_t>> adj(kLevels * kWidth);
+  for (std::uint64_t v = 0; v < (kLevels - 1) * kWidth; ++v) {
+    const std::uint64_t next_base = (v / kWidth + 1) * kWidth;
+    adj[v] = {next_base + (v * 7 + 1) % kWidth, next_base + (v * 13 + 3) % kWidth};
+  }
+  std::vector<std::uint64_t> roots(kWidth);
+  for (std::uint64_t i = 0; i < kWidth; ++i) roots[i] = i;
+  ToySystem ts(roots, adj);
+  auto pred = [](const ToySystem::State&) { return true; };
+
+  auto locked = check_invariant_parallel(ts, pred, with_store(2, StoreKind::kShardedLocked));
+  auto spilled = check_invariant_parallel(ts, pred,
+                                          with_store(2, StoreKind::kLockFree, /*budget=*/1));
+  EXPECT_EQ(spilled.verdict, locked.verdict);
+  EXPECT_EQ(spilled.stats.states, locked.stats.states);
+  EXPECT_EQ(spilled.stats.transitions, locked.stats.transitions);
+  EXPECT_EQ(spilled.stats.frontier_sizes, locked.stats.frontier_sizes);
+  EXPECT_GT(spilled.stats.pages_compressed, 0u);
+  EXPECT_GT(spilled.stats.spill_bytes, 0u) << "budget of 1 byte must force a spill";
+  EXPECT_EQ(locked.stats.spill_bytes, 0u);  // locked store has no spill tier
+}
+#endif  // TT_LFSIM_HAS_SPILL
+
+TEST(ParallelReachability, LockFreeStoreCapacityErrorPropagatesMidLevel) {
+  // Star burst: 600 hubs (past the serial-drain cutoff of 128 * threads), each
+  // fanning out to 400 unique leaves — 240000 fresh states in one level, ~25x
+  // the maintain headroom hint. The concurrent insert path cannot grow
+  // mid-level by design, so a drain worker must throw StateCapacityError and
+  // the engine must join its pool and rethrow, not hang or corrupt.
+  constexpr std::uint64_t kHubs = 600, kFan = 400;
+  std::vector<std::vector<std::uint64_t>> adj(1 + kHubs + kHubs * kFan);
+  for (std::uint64_t h = 0; h < kHubs; ++h) {
+    adj[0].push_back(1 + h);
+    auto& fan = adj[1 + h];
+    fan.reserve(kFan);
+    for (std::uint64_t j = 0; j < kFan; ++j) fan.push_back(1 + kHubs + h * kFan + j);
+  }
+  ToySystem ts({0}, adj);
+  auto pred = [](const ToySystem::State&) { return true; };
+  EXPECT_THROW(check_invariant_parallel(ts, pred, with_store(4, StoreKind::kLockFree)),
+               StateCapacityError);
+  // The locked store grows inline under its shard mutex: same input completes.
+  auto r = check_invariant_parallel(ts, pred, with_store(4, StoreKind::kShardedLocked));
+  EXPECT_EQ(r.verdict, Verdict::kHolds);
+  EXPECT_EQ(r.stats.states, 1 + kHubs + kHubs * kFan);
 }
 
 TEST(ParallelReachability, SequentialCountReachableSignalsTruncation) {

@@ -87,7 +87,7 @@ void print_table(tt::BenchReport& report) {
 
   std::printf("\n=== Figure 4: fault-degree dial, n = 4, faulty node (feedback on) ===\n");
   tt::TextTable t({"degree", "lemma", "eval", "measured s", "states", "orbit states",
-                   "sym s", "paper s (SAL 2004)"});
+                   "sym s", "s+p states", "s+p s", "paper s (SAL 2004)"});
   for (int d = 0; d < 3; ++d) {
     for (int l = 0; l < 3; ++l) {
       const auto lemma = lemma_of(l);
@@ -114,10 +114,30 @@ void print_table(tt::BenchReport& report) {
       }
       report.add(red_rec);
       if (q.holds != r.holds) std::printf("!! reduced/unreduced verdict disagreement\n");
+      // And with the ample-set clamp on top (--reduction sym+por, DESIGN.md
+      // §3.8): the s+p columns show the por component's extra shrink at
+      // each fault degree.
+      tt::core::VerifyOptions sp_opts;
+      sp_opts.reduction = tt::mc::ReductionKind::kSymPor;
+      auto sp = tt::core::verify(cfg, lemma, sp_opts);
+      auto sp_rec = record_of(slug, sp, lemma);
+      sp_rec.reduction = "sym+por";
+      sp_rec.canon_ops = static_cast<long long>(sp.stats.canon_ops);
+      sp_rec.orbit_states = static_cast<long long>(sp.stats.states);
+      sp_rec.ample_sets = static_cast<long long>(sp.stats.ample_sets);
+      sp_rec.pruned_combos = static_cast<long long>(sp.stats.pruned_combos);
+      sp_rec.proviso_fallbacks = static_cast<long long>(sp.stats.proviso_fallbacks);
+      if (sp.stats.states > 0) {
+        sp_rec.reduction_ratio = static_cast<double>(r.stats.states) /
+                                 static_cast<double>(sp.stats.states);
+      }
+      report.add(sp_rec);
+      if (sp.holds != r.holds) std::printf("!! sym+por/unreduced verdict disagreement\n");
       t.add_row({std::to_string(degrees[d]), tt::core::to_string(lemma),
                  r.holds ? "true" : "FALSE", tt::strfmt("%.2f", r.stats.seconds),
                  std::to_string(r.stats.states), std::to_string(q.stats.states),
-                 tt::strfmt("%.2f", q.stats.seconds), tt::strfmt("%.2f", paper[d][l])});
+                 tt::strfmt("%.2f", q.stats.seconds), std::to_string(sp.stats.states),
+                 tt::strfmt("%.2f", sp.stats.seconds), tt::strfmt("%.2f", paper[d][l])});
     }
   }
   std::printf("%s", t.render().c_str());

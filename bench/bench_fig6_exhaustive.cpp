@@ -22,6 +22,7 @@
 #include "core/verifier.hpp"
 #include "obs/obs.hpp"
 #include "support/bench_report.hpp"
+#include "support/one_core_probe.hpp"
 #include "support/table.hpp"
 #include "tta/cluster.hpp"
 
@@ -132,28 +133,33 @@ tt::BenchRecord record_of(const std::string& experiment,
   return rec;
 }
 
-// Symmetry-reduction columns (schema v4) for a quotient run, paired with
-// its unreduced baseline when one ran (`raw_states` > 0). The ratio is on
-// *stored states* — the honest headline number; the far larger transition/
-// time reduction is visible from the paired rows themselves.
+// Reduction columns (schema v4, por columns v6) for a quotient run, paired
+// with its unreduced baseline when one ran (`raw_states` > 0). The ratio is
+// on *stored states* — the honest headline number; the far larger
+// transition/time reduction is visible from the paired rows themselves.
 void mark_reduced(tt::BenchRecord& rec, const tt::core::VerificationResult& r,
-                  std::size_t raw_states) {
-  rec.reduction = "sym";
+                  tt::mc::ReductionKind kind, std::size_t raw_states) {
+  rec.reduction = tt::mc::to_string(kind);
   rec.canon_ops = static_cast<long long>(r.stats.canon_ops);
   rec.orbit_states = static_cast<long long>(r.stats.states);
   if (raw_states > 0 && r.stats.states > 0) {
     rec.reduction_ratio =
         static_cast<double>(raw_states) / static_cast<double>(r.stats.states);
   }
+  if (kind == tt::mc::ReductionKind::kPartialOrder ||
+      kind == tt::mc::ReductionKind::kSymPor) {
+    rec.ample_sets = static_cast<long long>(r.stats.ample_sets);
+    rec.pruned_combos = static_cast<long long>(r.stats.pruned_combos);
+    rec.proviso_fallbacks = static_cast<long long>(r.stats.proviso_fallbacks);
+  }
 }
 
 // PR-4 caveat, machine-readable (schema v4): a `threads = hw` row measured
-// on a runner whose hardware concurrency is 1 (or unknown) cannot show a
-// parallel speedup, so its seconds column must not be read as one.
-int possibly_one_core_flag() {
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw <= 1 ? 1 : 0;
-}
+// on a runner that may effectively have one CPU cannot show a parallel
+// speedup, so its seconds column must not be read as one. The decision is
+// the shared runtime probe (affinity mask + cgroup quota, not just
+// hardware_concurrency) so every bench binary flags the same way.
+int possibly_one_core_flag() { return tt::probe_possibly_one_core(); }
 
 // The engine-comparison experiment: the exhaustive degree-6 safety run
 // (feedback on) with the sequential BFS engine, the symbolic BDD-set
@@ -381,7 +387,8 @@ void print_table(tt::BenchReport& report) {
 
   std::printf("\n=== Figure 6: exhaustive fault simulation (degree 6, feedback on) ===\n");
   tt::TextTable t({"lemma", "n", "eval", "measured s", "states", "transitions", "state bits",
-                   "orbit states", "sym s", "trans ratio", "paper s", "paper BDD vars"});
+                   "orbit states", "sym s", "s+p states", "s+p s", "trans ratio", "paper s",
+                   "paper BDD vars"});
   struct Entry {
     tt::core::Lemma lemma;
     const PaperRow* paper;
@@ -411,9 +418,30 @@ void print_table(tt::BenchReport& report) {
       red_opts.reduction = tt::mc::ReductionKind::kSymmetry;
       auto q = tt::core::verify(cfg, e.lemma, red_opts);
       auto red_rec = record_of(slug, q, e.lemma);
-      mark_reduced(red_rec, q, r.stats.states);
+      mark_reduced(red_rec, q, tt::mc::ReductionKind::kSymmetry, r.stats.states);
       report.add(std::move(red_rec));
       if (q.holds != r.holds) std::printf("!! reduced/unreduced verdict disagreement\n");
+      // And the sym+por run: the ample-set clamp over the orbit quotient
+      // (DESIGN.md §3.8), the mode the frontier cells below depend on.
+      tt::core::VerifyOptions sp_opts;
+      sp_opts.reduction = tt::mc::ReductionKind::kSymPor;
+      auto sp = tt::core::verify(cfg, e.lemma, sp_opts);
+      auto sp_rec = record_of(slug, sp, e.lemma);
+      mark_reduced(sp_rec, sp, tt::mc::ReductionKind::kSymPor, r.stats.states);
+      report.add(std::move(sp_rec));
+      if (sp.holds != r.holds) std::printf("!! sym+por/unreduced verdict disagreement\n");
+      // One clamp-only row (--reduction por) on the cheapest cell, so the
+      // JSON separates what the clamp buys alone from what the composition
+      // buys, and CI's --require-reduction sym,por,sym+por stays honest.
+      if (e.lemma == tt::core::Lemma::kSafety && n == 3) {
+        tt::core::VerifyOptions por_opts;
+        por_opts.reduction = tt::mc::ReductionKind::kPartialOrder;
+        auto p = tt::core::verify(cfg, e.lemma, por_opts);
+        auto por_rec = record_of(slug, p, e.lemma);
+        mark_reduced(por_rec, p, tt::mc::ReductionKind::kPartialOrder, r.stats.states);
+        report.add(std::move(por_rec));
+        if (p.holds != r.holds) std::printf("!! por/unreduced verdict disagreement\n");
+      }
       const tt::tta::Cluster cluster(tt::core::prepare_config(cfg, e.lemma));
       const double trans_ratio =
           q.stats.transitions > 0
@@ -425,6 +453,7 @@ void print_table(tt::BenchReport& report) {
                  std::to_string(r.stats.states), std::to_string(r.stats.transitions),
                  std::to_string(cluster.state_bits()),
                  std::to_string(q.stats.states), tt::strfmt("%.2f", q.stats.seconds),
+                 std::to_string(sp.stats.states), tt::strfmt("%.2f", sp.stats.seconds),
                  tt::strfmt("%.1fx", trans_ratio),
                  tt::strfmt("%.2f", e.paper[n - 3].cpu),
                  std::to_string(e.paper[n - 3].bdd_vars)});
@@ -436,17 +465,29 @@ void print_table(tt::BenchReport& report) {
               " engine, scaled wake-up window, 2026 hardware. The orbit-states/sym\n"
               " columns are the --reduction sym quotient of the same cell: identical\n"
               " verdict, ~1.5x fewer stored states, >=10x fewer transitions at n = 5;\n"
-              " see DESIGN.md §3.6 for why the state ratio is the smaller number.)\n\n");
+              " see DESIGN.md §3.6 for why the state ratio is the smaller number. The\n"
+              " s+p columns add the ample-set clamp on top — DESIGN.md §3.8; on the\n"
+              " faulty-hub safety_2 cells the clamp certificate is inadmissible, so\n"
+              " s+p degrades to sym there by design.)\n\n");
 }
 
 // The n = 6 frontier cell: out of reach for the unreduced engine in earlier
 // PRs' budgets, first completed by the symmetry quotient (2.9 s vs 34.5 s
-// unreduced, 15.7x fewer transitions). Full mode runs both directions so the
-// JSON carries the honest pair; quick mode (CI) skips the cell entirely.
+// unreduced, 15.7x fewer transitions). The ample-set clamp shrinks the
+// quotient a further ~7x in stored states (DESIGN.md §3.8). Full mode runs
+// all three directions so the JSON carries the honest triple; quick mode
+// (CI) skips the cell entirely.
 void fig6_n6(tt::BenchReport& report) {
   std::printf("\n=== Figure 6 frontier: safety, n = 6, degree 6, feedback on ===\n");
   auto cfg = fig6_node_config(6);
   const std::string slug = "fig6/safety/n6";
+
+  tt::core::VerifyOptions sp_opts;
+  sp_opts.reduction = tt::mc::ReductionKind::kSymPor;
+  const auto sp = tt::core::verify(cfg, tt::core::Lemma::kSafety, sp_opts);
+  std::printf("sym+por:      eval=%s states=%zu transitions=%zu seconds=%.2f\n",
+              sp.holds ? "true" : "FALSE", sp.stats.states, sp.stats.transitions,
+              sp.stats.seconds);
 
   tt::core::VerifyOptions red_opts;
   red_opts.reduction = tt::mc::ReductionKind::kSymmetry;
@@ -459,14 +500,78 @@ void fig6_n6(tt::BenchReport& report) {
   std::printf("unreduced:    eval=%s states=%zu transitions=%zu seconds=%.2f\n",
               r.holds ? "true" : "FALSE", r.stats.states, r.stats.transitions,
               r.stats.seconds);
-  if (q.holds != r.holds) std::printf("!! reduced/unreduced verdict disagreement\n");
+  if (q.holds != r.holds || sp.holds != r.holds) {
+    std::printf("!! reduced/unreduced verdict disagreement\n");
+  }
+  if (q.stats.states > 0 && sp.stats.states > 0) {
+    std::printf("clamp over sym: %.2fx fewer stored states\n",
+                static_cast<double>(q.stats.states) / static_cast<double>(sp.stats.states));
+  }
 
   auto raw_rec = record_of(slug, r, tt::core::Lemma::kSafety);
   raw_rec.reduction = "none";
   report.add(std::move(raw_rec));
   auto red_rec = record_of(slug, q, tt::core::Lemma::kSafety);
-  mark_reduced(red_rec, q, r.stats.states);
+  mark_reduced(red_rec, q, tt::mc::ReductionKind::kSymmetry, r.stats.states);
   report.add(std::move(red_rec));
+  auto sp_rec = record_of(slug, sp, tt::core::Lemma::kSafety);
+  mark_reduced(sp_rec, sp, tt::mc::ReductionKind::kSymPor, r.stats.states);
+  report.add(std::move(sp_rec));
+}
+
+// The n = 7 frontier cell: first completed here, by the composed sym+por
+// reduction only — no unreduced or sym-only baseline fits a bench session at
+// this size (the sym-only n = 6 quotient already stores 7x the states the
+// clamped one does, and each +1 in n is ~15x in transitions), so the record
+// intentionally carries no reduction_ratio. The n = 6 liveness cell rides
+// along: the first lasso-engine completion beyond n = 5.
+void fig6_frontier_sympor(tt::BenchReport& report) {
+  std::printf("\n=== Figure 6 frontier (sym+por only) ===\n");
+  {
+    auto cfg = fig6_node_config(7);
+    tt::core::VerifyOptions opts;
+    opts.reduction = tt::mc::ReductionKind::kSymPor;
+    const auto r = tt::core::verify(cfg, tt::core::Lemma::kSafety, opts);
+    std::printf("safety n=7:   eval=%s states=%zu transitions=%zu seconds=%.2f\n",
+                r.holds ? "true" : "FALSE", r.stats.states, r.stats.transitions,
+                r.stats.seconds);
+    auto rec = record_of("fig6/safety/n7", r, tt::core::Lemma::kSafety);
+    mark_reduced(rec, r, tt::mc::ReductionKind::kSymPor, /*raw_states=*/0);
+    report.add(std::move(rec));
+  }
+  {
+    auto cfg = fig6_node_config(6);
+    tt::core::VerifyOptions opts;
+    opts.reduction = tt::mc::ReductionKind::kSymPor;
+    const auto r = tt::core::verify(cfg, tt::core::Lemma::kLiveness, opts);
+    std::printf("liveness n=6: eval=%s states=%zu transitions=%zu seconds=%.2f\n",
+                r.holds ? "true" : "FALSE", r.stats.states, r.stats.transitions,
+                r.stats.seconds);
+    auto rec = record_of("fig6/liveness/n6", r, tt::core::Lemma::kLiveness);
+    mark_reduced(rec, r, tt::mc::ReductionKind::kSymPor, /*raw_states=*/0);
+    report.add(std::move(rec));
+  }
+  {
+    auto cfg = fig6_node_config(6);
+    cfg.timeliness_bound = 8 * 6;
+    tt::core::VerifyOptions opts;
+    opts.reduction = tt::mc::ReductionKind::kSymPor;
+    const auto r = tt::core::verify(cfg, tt::core::Lemma::kTimeliness, opts);
+    std::printf("timeliness n=6: eval=%s states=%zu transitions=%zu seconds=%.2f\n",
+                r.holds ? "true" : "FALSE", r.stats.states, r.stats.transitions,
+                r.stats.seconds);
+    auto rec = record_of("fig6/timeliness/n6", r, tt::core::Lemma::kTimeliness);
+    mark_reduced(rec, r, tt::mc::ReductionKind::kSymPor, /*raw_states=*/0);
+    report.add(std::move(rec));
+  }
+  // The fourth lemma, safety_2, is the faulty-*hub* scenario: the clamp's
+  // admissibility gate is closed from slot 0 there (sym+por == sym by
+  // design, see print_table), and the sym-only n = 6 hub cell extrapolates
+  // past 10 M stored states — outside a bench session. Not silently capped:
+  // stated here.
+  std::printf("(safety_2 n=6 not attempted: sym+por degrades to sym on "
+              "faulty-hub cells\n and the sym-only cell is out of bench "
+              "budget; see EXPERIMENTS.md.)\n");
 }
 
 }  // namespace
@@ -487,6 +592,7 @@ int main(int argc, char** argv) {
     engine_comparison(report, 5);
     engine_comparison_liveness(report, 5);
     fig6_n6(report);
+    fig6_frontier_sympor(report);
   }
   // The overhead gate must measure an untraced run: it only applies when no
   // tracer is installed for this process.

@@ -23,6 +23,7 @@
 #include "support/bench_report.hpp"
 #include "support/hash.hpp"
 #include "support/lockfree_state_index_map.hpp"
+#include "support/one_core_probe.hpp"
 #include "support/recent_cache.hpp"
 #include "support/sharded_state_index_map.hpp"
 #include "support/state_index_map.hpp"
@@ -188,7 +189,13 @@ void contended_stage(tt::BenchReport& report, const std::vector<State>& stream) 
   std::printf("=== contended insert: sharded_locked vs lockfree ===\n");
   tt::TextTable t({"store", "threads", "items", "seconds", "items/sec", "cas_retries"});
   const unsigned hw = std::thread::hardware_concurrency();
+  // One probed source for the one-core caveat (ROADMAP item 2): on a runner
+  // that may effectively have a single CPU, multi-thread contended rows are
+  // serialized spin measurements, not contention measurements — skip them
+  // instead of emitting numbers that read as (anti-)speedups.
+  const bool one_core = tt::probe_possibly_one_core() != 0;
   std::vector<unsigned> counts{1, 2, 4, std::max(1u, hw)};
+  if (one_core) counts = {1};
   std::sort(counts.begin(), counts.end());
   counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
 
@@ -240,7 +247,7 @@ void contended_stage(tt::BenchReport& report, const std::vector<State>& stream) 
       rec.verdict = "ok";
       rec.store = lockfree ? "lockfree" : "locked";
       rec.cas_retries = retries;
-      if (k > 1) rec.possibly_one_core = hw <= 1 ? 1 : 0;
+      if (k > 1) rec.possibly_one_core = tt::probe_possibly_one_core();
       report.add(rec);
       t.add_row({rec.store, std::to_string(k), std::to_string(stream.size()),
                  tt::strfmt("%.4f", seconds),
@@ -250,9 +257,9 @@ void contended_stage(tt::BenchReport& report, const std::vector<State>& stream) 
     }
   }
   std::printf("%s", t.render().c_str());
-  if (hw <= 1) {
-    std::printf("(single-core runner: multi-thread rows carry possibly_one_core and\n"
-                " must not be read as speedups.)\n");
+  if (one_core) {
+    std::printf("(possibly-one-core runner detected by the runtime probe: the\n"
+                " misleading multi-thread contended rows were skipped.)\n");
   }
   std::printf("\n");
 }

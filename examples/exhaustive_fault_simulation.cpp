@@ -16,9 +16,11 @@
 //     --no-feedback         disable the feedback optimization
 //     --no-bigbang          disable the big-bang mechanism (§5.2)
 //     --engine <kind>       auto|seq|par|sym exploration engine (default auto)
-//     --reduction <kind>    none|sym state-space reduction: sym explores the
-//                           symmetry quotient (orbit representatives,
-//                           DESIGN.md §3.6); counterexamples are
+//     --reduction <kind>    none|sym|por|sym+por state-space reduction: sym
+//                           explores the symmetry quotient (orbit
+//                           representatives, DESIGN.md §3.6), por the
+//                           ample-set clamp quotient (DESIGN.md §3.8),
+//                           sym+por composes both; counterexamples are
 //                           re-concretized against the raw model
 //     --threads <k>         worker threads for the parallel engine
 //                           (default: TTSTART_THREADS env, else all cores)
@@ -164,9 +166,15 @@ int main(int argc, char** argv) {
     std::printf("owcty: trim_rounds=%zu residue_states=%zu\n", result.stats.trim_rounds,
                 result.stats.residue_states);
   }
-  if (opts.reduction == mc::ReductionKind::kSymmetry) {
-    std::printf("reduction: sym  canon_ops=%zu canon_swaps=%zu (orbit states above)\n",
-                result.stats.canon_ops, result.stats.canon_swaps);
+  if (opts.reduction != mc::ReductionKind::kNone) {
+    std::printf("reduction: %s  canon_ops=%zu canon_swaps=%zu (quotient states above)\n",
+                mc::to_string(opts.reduction), result.stats.canon_ops,
+                result.stats.canon_swaps);
+    if (opts.reduction != mc::ReductionKind::kSymmetry) {
+      std::printf("por: ample_sets=%zu pruned_combos=%zu proviso_fallbacks=%zu\n",
+                  result.stats.ample_sets, result.stats.pruned_combos,
+                  result.stats.proviso_fallbacks);
+    }
   }
 
   if (!result.holds && !result.trace.empty()) {

@@ -70,23 +70,39 @@ def check_engine_names(root, failures):
 
 
 def check_reduction_names(root, failures):
+    # Reduction names may contain '+' ("sym+por"), so the name class is
+    # [\w+] rather than \w both here and in the alternation scan below.
     header = read(root, "src/mc/engine.hpp")
     reductions = [m for m in re.findall(
-        r'case ReductionKind::k\w+:\s*return "(\w+)";', header)]
+        r'case ReductionKind::k\w+:\s*return "([\w+]+)";', header)]
     if not reductions:
         fail(failures, "src/mc/engine.hpp: found no ReductionKind names "
                        "(regex drift?)")
         return
+    # parse_reduction and to_string must round-trip the same name set; a
+    # name added to one but not the other is exactly the drift this catches.
+    parse_block = re.search(
+        r"parse_reduction\(.*?\n}", header, re.S)
+    if not parse_block:
+        fail(failures, "src/mc/engine.hpp: found no parse_reduction body "
+                       "(regex drift?)")
+    else:
+        parsed = re.findall(r"ReductionKind::k\w+", parse_block.group(0))
+        cased = re.findall(r"case (ReductionKind::k\w+):", header)
+        if sorted(set(parsed)) != sorted(set(cased)):
+            fail(failures, f"src/mc/engine.hpp: parse_reduction accepts "
+                           f"{sorted(set(parsed))} but to_string names "
+                           f"{sorted(set(cased))}")
     readme = read(root, "README.md")
     for name in reductions:
         if f"`{name}`" not in readme \
-                and not re.search(r"`[^`]*\b" + re.escape(name) + r"\b[^`]*`", readme):
+                and not re.search(r"`[^`]*" + re.escape(name) + r"[^`]*`", readme):
             fail(failures, f"README.md: reduction '{name}' (src/mc/engine.hpp) "
                            f"never mentioned in backticks")
     # Every `--reduction a|b` alternation in the docs must equal the real set.
     for rel in ("README.md", "examples/exhaustive_fault_simulation.cpp"):
         text = read(root, rel)
-        for alt in re.findall(r"--reduction[ <]+((?:\w+\\?\|)+\w+)", text):
+        for alt in re.findall(r"--reduction[ <]+((?:[\w+]+\\?\|)+[\w+]+)", text):
             listed = alt.replace("\\", "").split("|")
             if sorted(listed) != sorted(reductions):
                 fail(failures, f"{rel}: '--reduction {alt}' lists {listed}, but "

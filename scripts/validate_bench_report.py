@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate a ttstart-bench report file (BENCH_results.json).
 
-Accepts schema v1 through v4. v2 adds two optional per-record fields emitted
+Accepts schema v1 through v6. v2 adds two optional per-record fields emitted
 by symbolic-engine runs: `iterations` (image/BFS steps to the fixpoint) and
 `peak_live_nodes` (peak live BDD nodes). v3 adds two more, emitted by
 parallel OWCTY liveness runs: `trim_rounds` (trimming sweeps to the fixpoint)
@@ -14,9 +14,14 @@ caveat flag `possibly_one_core` (true when a multi-threaded row may have run
 on a single hardware core, so its speedup is not meaningful). v5 adds the
 explicit-store columns: `store` ("locked"/"lockfree"), `cas_retries`
 (failed slot claims on the lock-free insert path), and `spill_bytes`
-(compressed bytes evicted out of core). Optional numeric fields must be
-non-negative when present; all optional fields are rejected under schemas
-older than the one that introduced them.
+(compressed bytes evicted out of core). v6 extends the `reduction` names
+with "por" and "sym+por" and adds the partial-order-reduction columns
+(DESIGN.md 3.8): `ample_sets` (emissions whose independence gate was open),
+`pruned_combos` (emissions redirected to the clamped-horizon
+representative), and `proviso_fallbacks` (emissions declined into full
+expansion). Optional numeric fields must be non-negative when present; all
+optional fields are rejected under schemas older than the one that
+introduced them.
 
 Checks the envelope, the per-record field set and types, and basic value
 sanity (non-negative counts/times, verdict non-empty, threads >= 1). With
@@ -28,9 +33,12 @@ symbolic leg cannot silently drop out of the comparison. With
 --require-engine-for SUBSTR:ENGINE, fails unless at least one record whose
 experiment name contains SUBSTR ran on ENGINE — CI uses
 `--require-engine-for liveness:par` so liveness checking cannot silently
-fall back off the parallel engine. With --require-reduction, fails unless at
-least one record carries `reduction: "sym"` with its `canon_ops` and
-`orbit_states` columns — CI uses this so the symmetry-quotient rows cannot
+fall back off the parallel engine. With --require-reduction LIST (a comma
+list of reduction names, e.g. `sym,por,sym+por`), fails unless every named
+reduction has at least one record carrying its `canon_ops` and
+`orbit_states` columns (por/sym+por rows must additionally carry the v6
+`ample_sets`/`pruned_combos`/`proviso_fallbacks` columns) — CI uses this so
+neither the symmetry-quotient nor the partial-order-reduced rows can
 silently drop out of the sweep. With --require-store, fails unless at least
 one record carries the named `store` — CI uses `--require-store lockfree`
 so the lock-free store rows cannot silently drop out of the hot-path bench.
@@ -80,8 +88,16 @@ OPTIONAL_FIELDS_V5 = {
     "cas_retries": int,
     "spill_bytes": int,
 }
+OPTIONAL_FIELDS_V6 = {
+    **OPTIONAL_FIELDS_V5,
+    "ample_sets": int,
+    "pruned_combos": int,
+    "proviso_fallbacks": int,
+}
 
-REDUCTION_NAMES = ("none", "sym")
+REDUCTION_NAMES_V4 = ("none", "sym")
+REDUCTION_NAMES_V6 = ("none", "sym", "por", "sym+por")
+POR_REDUCTIONS = ("por", "sym+por")
 STORE_NAMES = ("locked", "lockfree")
 
 SCHEMAS = (
@@ -90,6 +106,7 @@ SCHEMAS = (
     "ttstart-bench-v3",
     "ttstart-bench-v4",
     "ttstart-bench-v5",
+    "ttstart-bench-v6",
 )
 
 
@@ -101,7 +118,9 @@ def validate(doc, require, require_engines, require_engine_for, require_reductio
     schema = doc.get("schema")
     if schema not in SCHEMAS:
         errors.append(f"schema is {schema!r}, expected one of {SCHEMAS!r}")
-    if schema == "ttstart-bench-v5":
+    if schema == "ttstart-bench-v6":
+        allowed_optional = OPTIONAL_FIELDS_V6
+    elif schema == "ttstart-bench-v5":
         allowed_optional = OPTIONAL_FIELDS_V5
     elif schema == "ttstart-bench-v4":
         allowed_optional = OPTIONAL_FIELDS_V4
@@ -111,6 +130,9 @@ def validate(doc, require, require_engines, require_engine_for, require_reductio
         allowed_optional = OPTIONAL_FIELDS_V2
     else:
         allowed_optional = {}
+    reduction_names = (
+        REDUCTION_NAMES_V6 if schema == "ttstart-bench-v6" else REDUCTION_NAMES_V4
+    )
     results = doc.get("results")
     if not isinstance(results, list):
         return errors + ["'results' is missing or not an array"]
@@ -120,7 +142,7 @@ def validate(doc, require, require_engines, require_engine_for, require_reductio
     seen_benches = set()
     seen_engines = set()
     seen_experiment_engines = set()
-    seen_reduced_rows = 0
+    seen_reductions = set()
     seen_stores = set()
     for i, rec in enumerate(results):
         where = f"results[{i}]"
@@ -148,10 +170,10 @@ def validate(doc, require, require_engines, require_engine_for, require_reductio
                     f"{where}: optional field '{field}' has type "
                     f"{type(v).__name__}, expected {ftype}"
                 )
-            elif field == "reduction" and v not in REDUCTION_NAMES:
+            elif field == "reduction" and v not in reduction_names:
                 errors.append(
                     f"{where}: reduction is {v!r}, "
-                    f"expected one of {REDUCTION_NAMES!r}"
+                    f"expected one of {reduction_names!r}"
                 )
             elif field == "store" and v not in STORE_NAMES:
                 errors.append(
@@ -178,12 +200,21 @@ def validate(doc, require, require_engines, require_engine_for, require_reductio
                     errors.append(f"{where} ({exp}): {field} < 0")
             if rec.get("experiment") == "" or rec.get("verdict") == "":
                 errors.append(f"{where}: empty experiment or verdict")
+        reduction = rec.get("reduction")
         if (
-            rec.get("reduction") == "sym"
+            isinstance(reduction, str)
+            and reduction != "none"
             and isinstance(rec.get("canon_ops"), int)
             and isinstance(rec.get("orbit_states"), int)
         ):
-            seen_reduced_rows += 1
+            # por/sym+por rows only count as present when they carry the v6
+            # partial-order columns too — a row that lost them would hide a
+            # stats-plumbing regression.
+            if reduction not in POR_REDUCTIONS or all(
+                isinstance(rec.get(f), int)
+                for f in ("ample_sets", "pruned_combos", "proviso_fallbacks")
+            ):
+                seen_reductions.add(reduction)
         if isinstance(rec.get("store"), str):
             seen_stores.add(rec["store"])
 
@@ -205,11 +236,17 @@ def validate(doc, require, require_engines, require_engine_for, require_reductio
                 f"no record with {substr!r} in its experiment ran on engine "
                 f"'{engine}'"
             )
-    if require_reduction and seen_reduced_rows == 0:
-        errors.append(
-            "no record with reduction 'sym' carrying canon_ops and "
-            "orbit_states (--require-reduction)"
-        )
+    for name in require_reduction:
+        if name not in REDUCTION_NAMES_V6 or name == "none":
+            errors.append(
+                f"--require-reduction: unknown reduction {name!r}, expected "
+                f"one of {[n for n in REDUCTION_NAMES_V6 if n != 'none']!r}"
+            )
+        elif name not in seen_reductions:
+            errors.append(
+                f"no record with reduction {name!r} carrying its reduction "
+                "columns (--require-reduction)"
+            )
     for store in require_stores:
         if store not in seen_stores:
             errors.append(f"required store '{store}' contributed no records")
@@ -243,9 +280,10 @@ def main():
     )
     parser.add_argument(
         "--require-reduction",
-        action="store_true",
-        help="require >= 1 record with reduction 'sym' carrying canon_ops "
-        "and orbit_states",
+        default="",
+        metavar="LIST",
+        help="comma list of reduction names (e.g. 'sym,por,sym+por'); each "
+        "must have >= 1 record carrying its reduction columns",
     )
     parser.add_argument(
         "--require-store",
@@ -269,7 +307,7 @@ def main():
         args.require,
         args.require_engine,
         args.require_engine_for,
-        args.require_reduction,
+        [n for n in args.require_reduction.split(",") if n],
         args.require_store,
     )
     if errors:

@@ -15,23 +15,46 @@ namespace tt::core {
 
 namespace {
 
-/// Post-run bookkeeping for a reduced run: copies the cluster's
-/// canonicalization counters into the stats and, when a counterexample over
-/// the quotient is attached, replays it into a concrete trace of the raw
-/// model (tta::concretize_trace) — all under a "canon" span so the work
-/// shows up in traces next to the engine spans.
+/// The model-layer reduction a ReductionKind selects (same four names).
+tta::Reduction to_tta_reduction(mc::ReductionKind k) {
+  switch (k) {
+    case mc::ReductionKind::kNone: return tta::Reduction::kNone;
+    case mc::ReductionKind::kSymmetry: return tta::Reduction::kSymmetry;
+    case mc::ReductionKind::kPartialOrder: return tta::Reduction::kPartialOrder;
+    case mc::ReductionKind::kSymPor: return tta::Reduction::kSymPor;
+  }
+  TT_ASSERT(false && "unreachable");
+  return tta::Reduction::kNone;
+}
+
+/// Copies the reduction-layer counters off the cluster into a run's stats
+/// (the EngineOptions::finalize_stats hook for explicit engines; called
+/// directly after symbolic runs, which take bare limits).
+void annotate_reduction_stats(const tta::Cluster& cluster, mc::RunStats& stats) {
+  stats.canon_ops = cluster.canon_ops();
+  stats.canon_swaps = cluster.canon_swaps();
+  stats.ample_sets = cluster.ample_sets();
+  stats.pruned_combos = cluster.pruned_combos();
+  stats.proviso_fallbacks = cluster.proviso_fallbacks();
+}
+
+/// Post-run bookkeeping for a reduced run: when a counterexample over the
+/// quotient is attached, replays it into a concrete trace of the raw model
+/// (tta::concretize_trace) — under a "canon" span so the work shows up in
+/// traces next to the engine spans.
 void finish_reduced_run(const tta::Cluster& cluster, const tta::ClusterConfig& cfg,
                         bool has_loop, bool initial_root, VerificationResult& out) {
   obs::Span span("canon");
-  out.stats.canon_ops = cluster.canon_ops();
-  out.stats.canon_swaps = cluster.canon_swaps();
   span.set_arg("canon_ops", static_cast<std::int64_t>(out.stats.canon_ops));
   span.set_arg("canon_swaps", static_cast<std::int64_t>(out.stats.canon_swaps));
+  if (out.stats.pruned_combos > 0) {
+    span.set_arg("pruned_combos", static_cast<std::int64_t>(out.stats.pruned_combos));
+  }
   if (out.trace.empty()) return;
   span.set_detail("concretize");
   const tta::Cluster raw(cfg);
-  tta::ConcreteTrace conc =
-      tta::concretize_trace(raw, out.trace, out.loop_start, has_loop, initial_root);
+  tta::ConcreteTrace conc = tta::concretize_trace(raw, cluster.reduction(), out.trace,
+                                                  out.loop_start, has_loop, initial_root);
   out.trace = std::move(conc.trace);
   out.loop_start = conc.loop_start;
 }
@@ -65,15 +88,15 @@ tta::ClusterConfig prepare_config(tta::ClusterConfig cfg, Lemma lemma) {
 VerificationResult verify(const tta::ClusterConfig& raw_cfg, Lemma lemma,
                           const VerifyOptions& opts) {
   const tta::ClusterConfig cfg = prepare_config(raw_cfg, lemma);
-  const bool reduced = opts.reduction == mc::ReductionKind::kSymmetry;
-  const tta::Cluster cluster(cfg, reduced ? tta::Reduction::kSymmetry : tta::Reduction::kNone);
+  const bool reduced = opts.reduction != mc::ReductionKind::kNone;
+  const tta::Cluster cluster(cfg, to_tta_reduction(opts.reduction));
   VerificationResult out;
   // Top-level span: one per verify() call, detail = lemma (static storage
   // from to_string), so engine-level spans nest under it in the trace.
   obs::Span verify_span("verify");
   verify_span.set_detail(to_string(lemma));
   verify_span.set_arg("n", cfg.n);
-  if (reduced) verify_span.set_arg("reduction", 1);
+  if (reduced) verify_span.set_arg("reduction", static_cast<int>(opts.reduction));
 
   if (!is_invariant_lemma(lemma)) {
     // Liveness engines (DESIGN.md §3.4): auto resolves to the parallel
@@ -96,12 +119,18 @@ VerificationResult verify(const tta::ClusterConfig& raw_cfg, Lemma lemma,
       mc::EngineOptions eopts(opts.limits);
       eopts.threads = opts.threads;
       eopts.store = opts.store;
+      if (reduced) {
+        eopts.finalize_stats = [&](mc::RunStats& st) { annotate_reduction_stats(cluster, st); };
+      }
       return recurrent ? mc::check_always_eventually_with(kind, cluster, goal, eopts)
                        : mc::check_eventually_with(kind, cluster, goal, eopts);
     }();
     out.holds = r.verdict == mc::LivenessVerdict::kHolds;
     out.exhausted = r.verdict != mc::LivenessVerdict::kLimit;
     out.stats = std::move(r.stats);
+    if (reduced && kind == mc::EngineKind::kSymbolic) {
+      annotate_reduction_stats(cluster, out.stats);
+    }
     out.trace = std::move(r.trace);
     out.loop_start = r.loop_start;
     out.verdict_text = to_string(r.verdict);
@@ -141,11 +170,19 @@ VerificationResult verify(const tta::ClusterConfig& raw_cfg, Lemma lemma,
                    mc::EngineOptions eopts(opts.limits);
                    eopts.threads = opts.threads;
                    eopts.store = opts.store;
+                   if (reduced) {
+                     eopts.finalize_stats = [&](mc::RunStats& st) {
+                       annotate_reduction_stats(cluster, st);
+                     };
+                   }
                    return mc::check_invariant_with(kind, cluster, invariant, eopts);
                  }();
   out.holds = r.verdict == mc::Verdict::kHolds;
   out.exhausted = r.verdict != mc::Verdict::kLimit;
   out.stats = std::move(r.stats);
+  if (reduced && kind == mc::EngineKind::kSymbolic) {
+    annotate_reduction_stats(cluster, out.stats);
+  }
   out.trace = std::move(r.trace);
   out.verdict_text = to_string(r.verdict);
   if (reduced) {

@@ -61,7 +61,11 @@ struct VerifyOptions {
   mc::EngineKind engine = mc::EngineKind::kAuto;
   int threads = 0;  ///< 0 = TTSTART_THREADS env, then hardware concurrency
   /// kSymmetry explores the orbit quotient (tta/symmetry.hpp): the cluster
-  /// canonicalizes every emitted state below the engines, and verify()
+  /// canonicalizes every emitted state below the engines. kPartialOrder
+  /// explores the ample-set clamp quotient (tta/independence.hpp, DESIGN.md
+  /// §3.8): independent pre-startup LISTEN timer ticks are saturated to the
+  /// guaranteed-broadcast horizon. kSymPor composes both (clamp over the
+  /// orbit quotient — the fig. 6 workhorse). In every reduced mode verify()
   /// re-concretizes any counterexample against the raw model before
   /// returning it, so traces replay edge-by-edge either way.
   mc::ReductionKind reduction = mc::ReductionKind::kNone;

@@ -62,21 +62,27 @@ enum class EngineKind {
 enum class ReductionKind {
   kNone,
   kSymmetry,
+  kPartialOrder,
+  kSymPor,
 };
 
-/// Canonical reduction name ("none"/"sym"); static storage duration.
+/// Canonical reduction name ("none"/"sym"/"por"/"sym+por"); static storage
+/// duration.
 [[nodiscard]] constexpr const char* to_string(ReductionKind k) noexcept {
   switch (k) {
     case ReductionKind::kNone: return "none";
     case ReductionKind::kSymmetry: return "sym";
+    case ReductionKind::kPartialOrder: return "por";
+    case ReductionKind::kSymPor: return "sym+por";
   }
   return "?";
 }
 
-/// Parses a reduction name ("none", "sym"); returns false and leaves `out`
-/// untouched on unknown names.
+/// Parses a reduction name ("none", "sym", "por", "sym+por"); returns false
+/// and leaves `out` untouched on unknown names.
 [[nodiscard]] inline bool parse_reduction(std::string_view name, ReductionKind& out) noexcept {
-  for (const ReductionKind k : {ReductionKind::kNone, ReductionKind::kSymmetry}) {
+  for (const ReductionKind k : {ReductionKind::kNone, ReductionKind::kSymmetry,
+                                ReductionKind::kPartialOrder, ReductionKind::kSymPor}) {
     if (name == to_string(k)) {
       out = k;
       return true;
@@ -149,6 +155,12 @@ struct EngineOptions {
   /// Called once per completed BFS level (from the coordinating thread).
   /// Leave empty for no progress reporting.
   std::function<void(const LevelProgress&)> progress;
+  /// Called once with the run's final RunStats, after exploration joined but
+  /// before the result is returned — the hook through which reduction-layer
+  /// counters (canon_ops, ample_sets, ...) reach the stats without the
+  /// engines knowing the transition system carries a reduction. Leave empty
+  /// for no annotation.
+  std::function<void(RunStats&)> finalize_stats;
 };
 
 /// Resolves a requested thread count: explicit > TTSTART_THREADS > hardware.

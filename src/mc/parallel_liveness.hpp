@@ -679,10 +679,11 @@ template <TransitionSystem TS, class Pred>
                                                        Pred&& goal,
                                                        const EngineOptions& opts = {}) {
   TT_ASSERT(kind != EngineKind::kSymbolic);
-  if (kind == EngineKind::kSequential) {
-    return check_eventually_store(ts, std::forward<Pred>(goal), opts.limits, opts.store);
-  }
-  return check_eventually_parallel(ts, std::forward<Pred>(goal), opts);
+  auto r = kind == EngineKind::kSequential
+               ? check_eventually_store(ts, std::forward<Pred>(goal), opts.limits, opts.store)
+               : check_eventually_parallel(ts, std::forward<Pred>(goal), opts);
+  if (opts.finalize_stats) opts.finalize_stats(r.stats);
+  return r;
 }
 
 template <TransitionSystem TS, class Pred>
@@ -690,10 +691,12 @@ template <TransitionSystem TS, class Pred>
                                                               Pred&& goal,
                                                               const EngineOptions& opts = {}) {
   TT_ASSERT(kind != EngineKind::kSymbolic);
-  if (kind == EngineKind::kSequential) {
-    return check_always_eventually_store(ts, std::forward<Pred>(goal), opts.limits, opts.store);
-  }
-  return check_always_eventually_parallel(ts, std::forward<Pred>(goal), opts);
+  auto r = kind == EngineKind::kSequential
+               ? check_always_eventually_store(ts, std::forward<Pred>(goal), opts.limits,
+                                               opts.store)
+               : check_always_eventually_parallel(ts, std::forward<Pred>(goal), opts);
+  if (opts.finalize_stats) opts.finalize_stats(r.stats);
+  return r;
 }
 
 }  // namespace tt::mc

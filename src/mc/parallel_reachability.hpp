@@ -411,10 +411,11 @@ template <TransitionSystem TS, class Pred>
                                                        Pred&& holds,
                                                        const EngineOptions& opts = {}) {
   TT_ASSERT(kind != EngineKind::kSymbolic);
-  if (kind == EngineKind::kSequential) {
-    return check_invariant_store(ts, std::forward<Pred>(holds), opts.limits, opts.store);
-  }
-  return check_invariant_parallel(ts, std::forward<Pred>(holds), opts);
+  auto r = kind == EngineKind::kSequential
+               ? check_invariant_store(ts, std::forward<Pred>(holds), opts.limits, opts.store)
+               : check_invariant_parallel(ts, std::forward<Pred>(holds), opts);
+  if (opts.finalize_stats) opts.finalize_stats(r.stats);
+  return r;
 }
 
 }  // namespace tt::mc

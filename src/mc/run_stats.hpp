@@ -46,6 +46,14 @@ struct RunStats {
   /// (DESIGN.md §3.6).
   std::size_t canon_ops = 0;
   std::size_t canon_swaps = 0;
+  /// Partial-order reduction instrumentation (zero unless the reduction has
+  /// a por component, DESIGN.md §3.8): `ample_sets` counts emissions whose
+  /// independence gate was open, `pruned_combos` those redirected to the
+  /// clamped horizon representative, and `proviso_fallbacks` those the gate
+  /// declined into full expansion.
+  std::size_t ample_sets = 0;
+  std::size_t pruned_combos = 0;
+  std::size_t proviso_fallbacks = 0;
   /// Lock-free store instrumentation (zero under the locked store):
   /// `cas_retries` counts failed slot claims plus claimed-slot spins on the
   /// insert path, `pages_compressed` the arena pages sealed to delta form,

@@ -62,6 +62,10 @@ std::string render_record(const std::string& bench, const BenchRecord& r) {
   if (!r.store.empty()) line << ", \"store\": \"" << json_escape(r.store) << "\"";
   if (r.cas_retries >= 0) line << ", \"cas_retries\": " << r.cas_retries;
   if (r.spill_bytes >= 0) line << ", \"spill_bytes\": " << r.spill_bytes;
+  // v6 optional columns (partial-order-reduced runs).
+  if (r.ample_sets >= 0) line << ", \"ample_sets\": " << r.ample_sets;
+  if (r.pruned_combos >= 0) line << ", \"pruned_combos\": " << r.pruned_combos;
+  if (r.proviso_fallbacks >= 0) line << ", \"proviso_fallbacks\": " << r.proviso_fallbacks;
   line << "}";
   return line.str();
 }
@@ -125,7 +129,7 @@ std::string BenchReport::write() {
     std::fprintf(stderr, "ttstart: cannot write %s\n", path.c_str());
     return {};
   }
-  out << "{\n  \"schema\": \"ttstart-bench-v5\",\n  \"results\": [\n";
+  out << "{\n  \"schema\": \"ttstart-bench-v6\",\n  \"results\": [\n";
   bool first = true;
   for (const std::string& rec : kept) {
     out << (first ? "    " : ",\n    ") << rec;

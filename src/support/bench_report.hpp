@@ -13,7 +13,7 @@
 
 namespace tt {
 
-/// One measurement row of the ttstart-bench-v5 schema (the `experiment`
+/// One measurement row of the ttstart-bench-v6 schema (the `experiment`
 /// keys are the ones EXPERIMENTS.md's claim→command table points at).
 struct BenchRecord {
   std::string experiment;  ///< e.g. "fig6/safety/n4"
@@ -33,7 +33,8 @@ struct BenchRecord {
   /// applicable, omitted from the JSON.
   long long trim_rounds = -1;
   long long residue_states = -1;
-  /// Symmetry-reduction columns (schema v4): "none"/"sym"; canonicalization
+  /// Reduction columns (schema v4, names extended to "por"/"sym+por" in
+  /// v6): "none"/"sym"/"por"/"sym+por"; canonicalization
   /// operations on the emission path; orbit states stored (== states of the
   /// reduced run, recorded explicitly so reduced rows are self-describing);
   /// and states(unreduced)/states(reduced) when the paired baseline ran.
@@ -52,6 +53,13 @@ struct BenchRecord {
   std::string store;
   long long cas_retries = -1;
   long long spill_bytes = -1;
+  /// Partial-order reduction columns (schema v6; DESIGN.md §3.8): emissions
+  /// whose independence gate was open, emissions redirected to the clamped
+  /// horizon representative, and emissions declined into full expansion.
+  /// Negative = not applicable, omitted from the JSON.
+  long long ample_sets = -1;
+  long long pruned_combos = -1;
+  long long proviso_fallbacks = -1;
 };
 
 /// Reads the minimum "seconds" value among the report-file records matching

@@ -1,0 +1,63 @@
+#include "support/one_core_probe.hpp"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+
+#include <cstdio>
+#include <cstring>
+#endif
+
+namespace tt {
+
+namespace {
+
+#if defined(__linux__)
+/// CPUs the scheduler will actually run this process on — the honest core
+/// count inside taskset/cpuset containers, where hardware_concurrency()
+/// may still report the host's cores. 0 when the probe itself fails.
+int affinity_cpu_count() {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof set, &set) != 0) return 0;
+  return CPU_COUNT(&set);
+}
+
+/// Effective whole CPUs granted by a cgroup-v2 bandwidth quota
+/// ("$quota $period" in cpu.max), rounded down. Returns -1 when no quota
+/// applies (file absent, unreadable, or "max").
+int cgroup_quota_cpus() {
+  std::FILE* f = std::fopen("/sys/fs/cgroup/cpu.max", "re");
+  if (f == nullptr) return -1;
+  char quota[32] = {0};
+  long period = 0;
+  const int fields = std::fscanf(f, "%31s %ld", quota, &period);
+  std::fclose(f);
+  if (fields != 2 || period <= 0 || std::strcmp(quota, "max") == 0) return -1;
+  const long q = std::strtol(quota, nullptr, 10);
+  if (q <= 0) return -1;
+  return static_cast<int>(q / period);
+}
+#endif
+
+int probe() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw <= 1) return 1;
+#if defined(__linux__)
+  const int affinity = affinity_cpu_count();
+  if (affinity == 1) return 1;
+  const int quota = cgroup_quota_cpus();
+  if (quota == 0 || quota == 1) return 1;
+#endif
+  return 0;
+}
+
+}  // namespace
+
+int probe_possibly_one_core() {
+  static const int flag = probe();
+  return flag;
+}
+
+}  // namespace tt

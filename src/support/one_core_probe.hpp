@@ -1,0 +1,27 @@
+// Runtime probe for the schema-v4 `possibly_one_core` caveat flag: decides
+// once, from the environment the process actually runs in, whether a
+// multi-threaded measurement on this machine can show a real parallel
+// speedup. Every bench binary reads this single source instead of keeping
+// its own per-stage heuristic, so the flag means the same thing in every
+// record of BENCH_results.json.
+#pragma once
+
+namespace tt {
+
+/// Returns 1 when this process may effectively be confined to a single CPU
+/// (so multi-thread rows must not be read as speedups), 0 otherwise.
+///
+/// The probe checks, in order:
+///   * std::thread::hardware_concurrency() <= 1 (or unknown);
+///   * the scheduler affinity mask of the calling process has <= 1 CPU
+///     (containers often pin benches this way while the host reports many
+///     cores);
+///   * a cgroup-v2 CPU bandwidth quota of <= 1 full CPU in
+///     /sys/fs/cgroup/cpu.max (CI runners throttle this way).
+///
+/// The answer is probed once and cached for the process lifetime; the
+/// function is safe to call from multiple threads after that first call
+/// completes (benches call it from main before spawning workers).
+[[nodiscard]] int probe_possibly_one_core();
+
+}  // namespace tt

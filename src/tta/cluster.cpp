@@ -4,6 +4,7 @@
 
 #include "support/assert.hpp"
 #include "support/bitpack.hpp"
+#include "tta/independence.hpp"
 #include "tta/symmetry.hpp"
 
 namespace tt::tta {
@@ -14,7 +15,7 @@ Cluster::Cluster(ClusterConfig cfg, Reduction reduction) : cfg_(cfg), reduction_
   // collapsed to one class representative per channel — exact only when both
   // guardians are correct (a faulty hub forwards raw frames verbatim, so
   // receivers could distinguish class members). See FaultyNodeOutputs.
-  const bool collapse = reduction_ == Reduction::kSymmetry &&
+  const bool collapse = reduction_has_symmetry(reduction_) &&
                         cfg_.faulty_hub == ClusterConfig::kNone;
   faulty_outputs_ = FaultyNodeOutputs(cfg_, collapse);
 
@@ -149,8 +150,12 @@ ClusterState Cluster::base_initial_state() const {
 }
 
 void Cluster::initial_states(Emit emit) const {
+  // The partial-order clamp is the identity on every initial state (no
+  // correct node is in LISTEN yet, so there is no slack to clamp), so only
+  // the symmetry component matters here and each emission stays a fixed
+  // point of `reduce` in every mode.
   ClusterState c = base_initial_state();
-  if (reduction_ == Reduction::kSymmetry) {
+  if (reduction_has_symmetry(reduction_)) {
     // Emit canonical representatives directly, so the emissions stay
     // pairwise distinct and the hash-once invariant (hash_ops ==
     // transitions + initial emissions) is preserved. The base state is
@@ -236,15 +241,43 @@ void Cluster::successors(const State& s, Emit emit) const {
   struct PackSink {
     const Cluster& cl;
     Emit& emit;
+    const PartialOrderReducer* por = nullptr;  ///< null = no por component
     State prefix{};
+    NodeVars nodes[kMaxNodes] = {};
+    PartialOrderReducer::ComboPlan plan = {};
+    PorStats stats = {};
 
-    void combo(const NodeVars* nodes) {
+    void combo(const NodeVars* next_nodes) {
       prefix = State{};
-      cl.pack_node_prefix(prefix, nodes);
+      cl.pack_node_prefix(prefix, next_nodes);
+      if (por != nullptr) {
+        for (int i = 0; i < cl.cfg_.n; ++i) nodes[i] = next_nodes[i];
+        por->prepare(nodes, plan);
+      }
     }
 
     void successor(const HubVars& h0, const HubVars& h1, std::uint8_t startup_time,
                    std::uint8_t restarts_used) {
+      if (por != nullptr) {
+        int cap = 0;
+        const auto o = por->decide(plan, h0, h1, restarts_used, cap);
+        if (o == PartialOrderReducer::Outcome::kDeclined) {
+          ++stats.proviso_fallbacks;
+        } else {
+          ++stats.ample_sets;
+          if (o == PartialOrderReducer::Outcome::kClamped) {
+            ++stats.pruned_combos;
+            NodeVars clamped[kMaxNodes];
+            for (int i = 0; i < cl.cfg_.n; ++i) clamped[i] = nodes[i];
+            por->clamp(plan, cap, clamped);
+            State t{};
+            cl.pack_node_prefix(t, clamped);
+            cl.pack_hub_suffix(t, h0, h1, startup_time, restarts_used);
+            emit(t);
+            return;
+          }
+        }
+      }
       State s = prefix;
       cl.pack_hub_suffix(s, h0, h1, startup_time, restarts_used);
       emit(s);
@@ -262,20 +295,27 @@ void Cluster::successors(const State& s, Emit emit) const {
     const Cluster& cl;
     const Canonicalizer& canon;
     Emit& emit;
+    const PartialOrderReducer* por = nullptr;  ///< null = no por component
     State prefix{};
+    NodeVars canon_nodes[kMaxNodes] = {};
     bool listener[kMaxNodes] = {};
     bool any_listener = false;
     bool swap_combo = false;
     std::uint64_t ops = 0;
     std::uint64_t swaps = 0;
+    PartialOrderReducer::ComboPlan plan = {};
+    PorStats stats = {};
 
     void combo(const NodeVars* nodes) {
-      NodeVars canon_nodes[kMaxNodes];
       for (int i = 0; i < cl.cfg_.n; ++i) canon_nodes[i] = nodes[i];
       canon.canonicalize_nodes(canon_nodes, listener, any_listener);
       prefix = State{};
       cl.pack_node_prefix(prefix, canon_nodes);
       swap_combo = canon.swap_allowed();
+      // The clamp plan reads the canonical node array, so the horizon
+      // certificate and the emitted representative agree with what
+      // Cluster::reduce computes for the same orbit.
+      if (por != nullptr) por->prepare(canon_nodes, plan);
     }
 
     void successor(const HubVars& h0, const HubVars& h1, std::uint8_t startup_time,
@@ -284,7 +324,30 @@ void Cluster::successors(const State& s, Emit emit) const {
       HubVars a = h0;
       HubVars b = h1;
       canon.canonicalize_hubs(a, b, listener, any_listener);
-      State norm = prefix;
+      const State* base = &prefix;
+      State clamped_prefix;
+      if (por != nullptr) {
+        // Both swap images share the node prefix (C4 pins the faulty
+        // record), and the horizon is channel-symmetric, so one decision
+        // covers the pair and the swap minimum is taken over clamped images.
+        int cap = 0;
+        const auto o = por->decide(plan, a, b, restarts_used, cap);
+        if (o == PartialOrderReducer::Outcome::kDeclined) {
+          ++stats.proviso_fallbacks;
+        } else {
+          ++stats.ample_sets;
+          if (o == PartialOrderReducer::Outcome::kClamped) {
+            ++stats.pruned_combos;
+            NodeVars clamped[kMaxNodes];
+            for (int i = 0; i < cl.cfg_.n; ++i) clamped[i] = canon_nodes[i];
+            por->clamp(plan, cap, clamped);
+            clamped_prefix = State{};
+            cl.pack_node_prefix(clamped_prefix, clamped);
+            base = &clamped_prefix;
+          }
+        }
+      }
+      State norm = *base;
       cl.pack_hub_suffix(norm, a, b, startup_time, restarts_used);
       if (swap_combo && Canonicalizer::swap_eligible(a, b)) {
         // The canonical form of the swapped orbit image: C5's pair
@@ -294,7 +357,7 @@ void Cluster::successors(const State& s, Emit emit) const {
         HubVars sb = a;
         sa.out = a.out;
         sb.out = b.out;
-        State sw = prefix;
+        State sw = *base;
         cl.pack_hub_suffix(sw, sa, sb, startup_time, restarts_used);
         if (sw < norm) {
           ++swaps;
@@ -307,25 +370,29 @@ void Cluster::successors(const State& s, Emit emit) const {
   };
 
   const ClusterState c = unpack(s);
-  if (reduction_ == Reduction::kNone) {
-    PackSink sink{*this, emit};
+  const PartialOrderReducer reducer(cfg_);
+  const PartialOrderReducer* por = reduction_has_por(reduction_) ? &reducer : nullptr;
+  if (!reduction_has_symmetry(reduction_)) {
+    PackSink sink{*this, emit, por};
     step_all(c, sink);
+    if (por != nullptr) flush_por_stats(sink.stats);
     return;
   }
   const Canonicalizer canon(cfg_);
-  CanonPackSink sink{*this, canon, emit};
+  CanonPackSink sink{*this, canon, emit, por};
   step_all(c, sink);
   canon_ops_.fetch_add(sink.ops, std::memory_order_relaxed);
   canon_swaps_.fetch_add(sink.swaps, std::memory_order_relaxed);
+  if (por != nullptr) flush_por_stats(sink.stats);
 }
 
-Cluster::State Cluster::canonicalize(const State& s) const {
-  ClusterState c = unpack(s);
-  const Canonicalizer canon(cfg_);
-  bool listener[kMaxNodes] = {};
-  bool any_listener = false;
-  canon.canonicalize_nodes(c.node, listener, any_listener);
-  canon.canonicalize_hubs(c.hub[0], c.hub[1], listener, any_listener);
+void Cluster::flush_por_stats(const PorStats& stats) const {
+  por_ample_.fetch_add(stats.ample_sets, std::memory_order_relaxed);
+  por_pruned_.fetch_add(stats.pruned_combos, std::memory_order_relaxed);
+  por_declined_.fetch_add(stats.proviso_fallbacks, std::memory_order_relaxed);
+}
+
+Cluster::State Cluster::min_swap_pack(const ClusterState& c, const Canonicalizer& canon) const {
   State a = pack(c);
   if (canon.swap_allowed() && Canonicalizer::swap_eligible(c.hub[0], c.hub[1])) {
     ClusterState swapped = c;
@@ -338,6 +405,44 @@ Cluster::State Cluster::canonicalize(const State& s) const {
     if (b < a) return b;
   }
   return a;
+}
+
+Cluster::State Cluster::canonicalize(const State& s) const {
+  ClusterState c = unpack(s);
+  const Canonicalizer canon(cfg_);
+  bool listener[kMaxNodes] = {};
+  bool any_listener = false;
+  canon.canonicalize_nodes(c.node, listener, any_listener);
+  canon.canonicalize_hubs(c.hub[0], c.hub[1], listener, any_listener);
+  return min_swap_pack(c, canon);
+}
+
+Cluster::State Cluster::reduce(const State& s) const {
+  switch (reduction_) {
+    case Reduction::kNone:
+      return s;
+    case Reduction::kSymmetry:
+      return canonicalize(s);
+    case Reduction::kPartialOrder: {
+      ClusterState c = unpack(s);
+      PartialOrderReducer(cfg_).saturate(c);
+      return pack(c);
+    }
+    case Reduction::kSymPor: {
+      ClusterState c = unpack(s);
+      const Canonicalizer canon(cfg_);
+      bool listener[kMaxNodes] = {};
+      bool any_listener = false;
+      canon.canonicalize_nodes(c.node, listener, any_listener);
+      canon.canonicalize_hubs(c.hub[0], c.hub[1], listener, any_listener);
+      // The clamp touches only canonical LISTEN counters, which both swap
+      // images share, so deciding before the swap minimum matches the
+      // emission path exactly.
+      PartialOrderReducer(cfg_).saturate(c);
+      return min_swap_pack(c, canon);
+    }
+  }
+  return s;
 }
 
 void Cluster::step_unpacked(const ClusterState& c, EmitUnpacked emit) const {

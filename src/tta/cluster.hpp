@@ -19,6 +19,9 @@
 
 namespace tt::tta {
 
+class Canonicalizer;
+struct PorStats;
+
 /// Fully unpacked cluster state (for model code, properties, and printing).
 struct ClusterState {
   NodeVars node[kMaxNodes];
@@ -78,6 +81,13 @@ class Cluster {
   /// Reduction::kSymmetry every state the cluster emits is a fixed point.
   [[nodiscard]] State canonicalize(const State& s) const;
 
+  /// This cluster's full reduction map: the image an arbitrary raw state
+  /// would be emitted as (orbit representative and/or partial-order clamp,
+  /// per the reduction mode; identity for kNone). Every state a reduced
+  /// cluster emits is a fixed point of `reduce` — concretization and the
+  /// equivalence tests rely on this.
+  [[nodiscard]] State reduce(const State& s) const;
+
   /// Canonicalization instrumentation: states canonicalized on the emission
   /// path, and how many of them picked the channel-swapped image. Relaxed
   /// counters — totals are exact once a run has joined its workers.
@@ -86,6 +96,21 @@ class Cluster {
   }
   [[nodiscard]] std::uint64_t canon_swaps() const noexcept {
     return canon_swaps_.load(std::memory_order_relaxed);
+  }
+
+  /// Partial-order reduction instrumentation (DESIGN.md §3.8; zero unless
+  /// the reduction has a por component): emissions whose independence gate
+  /// was open (`ample_sets`), emissions redirected to the clamped horizon
+  /// representative (`pruned_combos`), and emissions the gate declined into
+  /// full expansion (`proviso_fallbacks`). Relaxed counters, exact at join.
+  [[nodiscard]] std::uint64_t ample_sets() const noexcept {
+    return por_ample_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t pruned_combos() const noexcept {
+    return por_pruned_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t proviso_fallbacks() const noexcept {
+    return por_declined_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -113,6 +138,13 @@ class Cluster {
   template <class Sink>
   void step_all(const ClusterState& c, Sink& sink) const;
 
+  /// Word-wise minimum of a canonical state and its channel-swapped image
+  /// (the C3 orbit representative); shared by canonicalize and reduce.
+  [[nodiscard]] State min_swap_pack(const ClusterState& c, const Canonicalizer& canon) const;
+
+  /// Adds one exploration call's clamp decisions to the relaxed counters.
+  void flush_por_stats(const PorStats& stats) const;
+
   /// Serializes the per-node prefix of the packed layout (first node_bits_
   /// bits of `s`; the rest must be zero).
   void pack_node_prefix(State& s, const NodeVars* nodes) const;
@@ -132,6 +164,9 @@ class Cluster {
   FaultyNodeOutputs faulty_outputs_;
   mutable std::atomic<std::uint64_t> canon_ops_{0};
   mutable std::atomic<std::uint64_t> canon_swaps_{0};
+  mutable std::atomic<std::uint64_t> por_ample_{0};
+  mutable std::atomic<std::uint64_t> por_pruned_{0};
+  mutable std::atomic<std::uint64_t> por_declined_{0};
   int counter_bits_ = 0;
   int pos_bits_ = 0;
   int frame_bits_ = 0;

@@ -128,18 +128,24 @@ struct ConcreteTrace {
   std::size_t loop_start = 0;
 };
 
-/// Re-concretizes a quotient counterexample: produces a trace of the raw
-/// cluster whose i-th state canonicalizes to quotient[i] (edge-by-edge, so
-/// mc::validate_lasso / validate_deadlock_path replay passes against the raw
-/// model). Because every canonicalization component is a bisimulation, a
+/// Re-concretizes a quotient counterexample produced under `mode`: a trace
+/// of the raw cluster whose i-th state reduces to quotient[i] (edge-by-edge,
+/// so mc::validate_lasso / validate_deadlock_path replay passes against the
+/// raw model). Because every reduction component is a bisimulation, a
 /// concrete witness exists from *any* representative; the deterministic
-/// replay picks the first matching successor. With `initial_root` the stem
-/// is anchored at a raw initial state whose orbit is quotient[0]; otherwise
-/// (sequential AG AF stems) the canonical state itself — a legitimate state
-/// of the raw model — roots the trace. With `has_loop` the quotient cycle is
-/// unrolled until a concrete lap-entry state repeats (orbit classes are
-/// finite, so this terminates), and `loop_start` is remapped accordingly.
-[[nodiscard]] ConcreteTrace concretize_trace(const Cluster& raw,
+/// replay picks the first matching successor. Under a partial-order mode the
+/// raw walk and the quotient may disagree pointwise for a bounded window —
+/// the clamp raises LISTEN counters the raw path has not caught up with
+/// until the guaranteed broadcast resets both — so the walk keeps a small
+/// frontier of counter-dominated candidates and re-synchronizes on the first
+/// exact match; endpoints (the violation state, every lasso lap entry) are
+/// always exact. With `initial_root` the stem is anchored at a raw initial
+/// state whose image is quotient[0]; otherwise (sequential AG AF stems) the
+/// representative itself — a legitimate state of the raw model — roots the
+/// trace. With `has_loop` the quotient cycle is unrolled until a concrete
+/// lap-entry state repeats (image classes are finite, so this terminates),
+/// and `loop_start` is remapped accordingly.
+[[nodiscard]] ConcreteTrace concretize_trace(const Cluster& raw, Reduction mode,
                                              const std::vector<Cluster::State>& quotient,
                                              std::size_t loop_start, bool has_loop,
                                              bool initial_root);

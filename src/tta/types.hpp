@@ -124,14 +124,33 @@ enum class HubState : std::uint8_t {
 }
 
 /// Which state-space reduction a Cluster applies on its successor path
-/// (see tta/symmetry.hpp for the orbit construction and DESIGN.md §3.6).
+/// (see tta/symmetry.hpp for the orbit construction / DESIGN.md §3.6, and
+/// tta/independence.hpp for the partial-order clamp / DESIGN.md §3.8).
 enum class Reduction : std::uint8_t {
-  kNone = 0,      ///< explore the raw state space (bit-exact PR-2 pipeline)
-  kSymmetry = 1,  ///< canonicalize every emitted state to its orbit representative
+  kNone = 0,          ///< explore the raw state space (bit-exact PR-2 pipeline)
+  kSymmetry = 1,      ///< canonicalize every emitted state to its orbit representative
+  kPartialOrder = 2,  ///< clamp commuting pre-delivery clock slack (ample horizon)
+  kSymPor = 3,        ///< both: clamp over the symmetry quotient (the big win)
 };
 
 [[nodiscard]] constexpr const char* to_string(Reduction r) noexcept {
-  return r == Reduction::kSymmetry ? "sym" : "none";
+  switch (r) {
+    case Reduction::kNone: return "none";
+    case Reduction::kSymmetry: return "sym";
+    case Reduction::kPartialOrder: return "por";
+    case Reduction::kSymPor: return "sym+por";
+  }
+  return "?";
+}
+
+/// The symmetry component is active (orbit canonicalization on emission).
+[[nodiscard]] constexpr bool reduction_has_symmetry(Reduction r) noexcept {
+  return r == Reduction::kSymmetry || r == Reduction::kSymPor;
+}
+
+/// The partial-order component is active (clock-slack clamp on emission).
+[[nodiscard]] constexpr bool reduction_has_por(Reduction r) noexcept {
+  return r == Reduction::kPartialOrder || r == Reduction::kSymPor;
 }
 
 /// Fault-degree ranks of faulty-node per-channel outputs (paper Fig. 3).

@@ -1,16 +1,18 @@
-// Reduction-equivalence suite (DESIGN.md §3.6): for every lemma class and a
-// grid of holds- and VIOLATED-configurations, exploring the symmetry
-// quotient (VerifyOptions::reduction = kSymmetry) must preserve the verdict
-// of the unreduced run on every engine — sequential, parallel at 1/2/4
-// threads, symbolic — while all reduced engines agree on the exact quotient
-// state/transition counts, and every re-concretized counterexample replays
-// edge-by-edge through the RAW model (validate_lasso / inline invariant
-// path replay), exactly like an unreduced counterexample would.
+// Reduction-equivalence suite (DESIGN.md §3.6, §3.8): for every lemma class
+// and a grid of holds- and VIOLATED-configurations, exploring a reduced
+// state space (VerifyOptions::reduction = kSymmetry, kPartialOrder or
+// kSymPor) must preserve the verdict of the unreduced run on every engine —
+// sequential, parallel at 1/2/4 threads, symbolic — while all reduced
+// engines agree on the exact quotient state/transition counts, and every
+// re-concretized counterexample replays edge-by-edge through the RAW model
+// (validate_lasso / inline invariant path replay), exactly like an
+// unreduced counterexample would.
 // Suite name carries the "EngineEquivalence" stem so the TSan CI job picks
 // the parallel reduced runs up.
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "core/verifier.hpp"
 #include "mc/lasso_check.hpp"
@@ -23,11 +25,23 @@ struct ReductionCell {
   int n;
   int degree;  ///< 0 = faulty-hub cell (channel swap inadmissible there)
   Lemma lemma;
+  mc::ReductionKind reduction = mc::ReductionKind::kSymmetry;
 };
+
+std::string reduction_suffix(mc::ReductionKind k) {
+  switch (k) {
+    case mc::ReductionKind::kSymmetry: return "sym";
+    case mc::ReductionKind::kPartialOrder: return "por";
+    case mc::ReductionKind::kSymPor: return "sympor";
+    case mc::ReductionKind::kNone: break;
+  }
+  return "none";
+}
 
 std::string cell_name(const ::testing::TestParamInfo<ReductionCell>& info) {
   return std::string(to_string(info.param.lemma)) + "_n" + std::to_string(info.param.n) +
-         (info.param.degree == 0 ? "_hub" : "_deg" + std::to_string(info.param.degree));
+         (info.param.degree == 0 ? "_hub" : "_deg" + std::to_string(info.param.degree)) + "_" +
+         reduction_suffix(info.param.reduction);
 }
 
 tta::ClusterConfig cell_config(const ReductionCell& cell) {
@@ -110,7 +124,7 @@ TEST_P(ReductionEngineEquivalence, QuotientPreservesVerdictsAcrossAllEngines) {
   const auto raw = run(cell, mc::EngineKind::kSequential, 1, mc::ReductionKind::kNone);
   ASSERT_TRUE(raw.exhausted);
 
-  const auto red_seq = run(cell, mc::EngineKind::kSequential, 1, mc::ReductionKind::kSymmetry);
+  const auto red_seq = run(cell, mc::EngineKind::kSequential, 1, cell.reduction);
   EXPECT_EQ(red_seq.verdict_text, raw.verdict_text);
   EXPECT_EQ(red_seq.holds, raw.holds);
   if (raw.holds) {
@@ -120,11 +134,21 @@ TEST_P(ReductionEngineEquivalence, QuotientPreservesVerdictsAcrossAllEngines) {
     EXPECT_LE(red_seq.stats.states, raw.stats.states);
     EXPECT_LE(red_seq.stats.transitions, raw.stats.transitions);
   }
-  EXPECT_GT(red_seq.stats.canon_ops, std::size_t{0});
+  if (cell.reduction != mc::ReductionKind::kPartialOrder) {
+    EXPECT_GT(red_seq.stats.canon_ops, std::size_t{0});
+  } else {
+    EXPECT_EQ(red_seq.stats.canon_ops, std::size_t{0});  // no symmetry component
+  }
+  if (cell.reduction != mc::ReductionKind::kSymmetry && cell.lemma != Lemma::kReintegration) {
+    // Every enumerated transition met the por gate exactly once. (The AG AF
+    // engine sweeps the graph twice — reachable set, then lasso search — so
+    // its cluster-level counters cover both sweeps and are excluded.)
+    EXPECT_EQ(red_seq.stats.ample_sets + red_seq.stats.proviso_fallbacks,
+              red_seq.stats.transitions);
+  }
 
   for (int threads : {1, 2, 4}) {
-    const auto red_par =
-        run(cell, mc::EngineKind::kParallel, threads, mc::ReductionKind::kSymmetry);
+    const auto red_par = run(cell, mc::EngineKind::kParallel, threads, cell.reduction);
     const std::string label = "par@" + std::to_string(threads);
     EXPECT_EQ(red_par.verdict_text, raw.verdict_text) << label;
     if (raw.holds && cell.lemma != Lemma::kReintegration) {
@@ -144,7 +168,7 @@ TEST_P(ReductionEngineEquivalence, QuotientPreservesVerdictsAcrossAllEngines) {
     }
   }
 
-  const auto red_sym = run(cell, mc::EngineKind::kSymbolic, 1, mc::ReductionKind::kSymmetry);
+  const auto red_sym = run(cell, mc::EngineKind::kSymbolic, 1, cell.reduction);
   EXPECT_EQ(red_sym.verdict_text, raw.verdict_text) << "sym";
   if (raw.holds && cell.lemma == Lemma::kLiveness) {
     EXPECT_EQ(red_sym.stats.states, red_seq.stats.states) << "sym";
@@ -177,9 +201,9 @@ TEST_P(ReductionEngineEquivalence, QuotientPreservesVerdictsAcrossAllEngines) {
 
 TEST_P(ReductionEngineEquivalence, ReducedParallelIsDeterministicAcrossThreadCounts) {
   const ReductionCell cell = GetParam();
-  const auto base = run(cell, mc::EngineKind::kParallel, 1, mc::ReductionKind::kSymmetry);
+  const auto base = run(cell, mc::EngineKind::kParallel, 1, cell.reduction);
   for (int threads : {2, 4}) {
-    const auto r = run(cell, mc::EngineKind::kParallel, threads, mc::ReductionKind::kSymmetry);
+    const auto r = run(cell, mc::EngineKind::kParallel, threads, cell.reduction);
     EXPECT_EQ(r.verdict_text, base.verdict_text) << "threads=" << threads;
     EXPECT_EQ(r.stats.states, base.stats.states) << "threads=" << threads;
     EXPECT_EQ(r.stats.transitions, base.stats.transitions) << "threads=" << threads;
@@ -191,25 +215,52 @@ TEST_P(ReductionEngineEquivalence, ReducedParallelIsDeterministicAcrossThreadCou
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    Grid, ReductionEngineEquivalence,
-    ::testing::Values(
-        // Invariant holds-cells (safety at several degrees, timeliness).
-        ReductionCell{3, 2, Lemma::kSafety}, ReductionCell{3, 6, Lemma::kSafety},
-        ReductionCell{4, 6, Lemma::kSafety}, ReductionCell{3, 6, Lemma::kTimeliness},
-        // Invariant VIOLATED cells (hub agreement breaks at degree >= 3):
-        // exercises invariant-trace concretization.
-        ReductionCell{3, 3, Lemma::kHubAgreement}, ReductionCell{3, 6, Lemma::kHubAgreement},
-        // Liveness holds- and VIOLATED cells (degree 0 = faulty hub with a
-        // one-slot wake window, the §5.2 violation): exercises lasso
-        // concretization with loop_start remapping.
+std::vector<ReductionCell> grid_cells() {
+  // The lemma/config grid, independent of the reduction:
+  //  - invariant holds-cells (safety at several degrees, timeliness);
+  //  - invariant VIOLATED cells (hub agreement breaks at degree >= 3):
+  //    exercises invariant-trace concretization;
+  //  - liveness holds- and VIOLATED cells (degree 0 = faulty hub with a
+  //    one-slot wake window, the §5.2 violation): exercises lasso
+  //    concretization with loop_start remapping;
+  //  - AG AF cells (restart budget): seq lassos root mid-graph, so the
+  //    concretized stem starts at a representative instead.
+  const ReductionCell base[] = {
+      {3, 2, Lemma::kSafety},        {3, 6, Lemma::kSafety},
+      {4, 6, Lemma::kSafety},        {3, 6, Lemma::kTimeliness},
+      {3, 3, Lemma::kHubAgreement},  {3, 6, Lemma::kHubAgreement},
+      {3, 2, Lemma::kLiveness},      {3, 0, Lemma::kLiveness},
+      {4, 0, Lemma::kLiveness},      {3, 2, Lemma::kReintegration},
+      {3, 0, Lemma::kReintegration},
+  };
+  std::vector<ReductionCell> out;
+  for (const auto& cell : base) {
+    // The full grid under sym (the PR 6 suite) and under sym+por (the fig. 6
+    // workhorse; acceptance requires every golden cell to agree with the
+    // unreduced run under it). Note the faulty-hub and hub-agreement cells
+    // double as por-gate-decline coverage: there the clamp certificate is
+    // inadmissible or the gate closes, and sym+por must degrade to sym.
+    for (const auto red : {mc::ReductionKind::kSymmetry, mc::ReductionKind::kSymPor}) {
+      ReductionCell c = cell;
+      c.reduction = red;
+      out.push_back(c);
+    }
+  }
+  // por alone on a representative subset: a holds-invariant, the VIOLATED
+  // invariant, a holds- and a VIOLATED liveness cell, and an AG AF cell.
+  for (const auto& cell :
+       {ReductionCell{3, 6, Lemma::kSafety}, ReductionCell{3, 6, Lemma::kHubAgreement},
         ReductionCell{3, 2, Lemma::kLiveness}, ReductionCell{3, 0, Lemma::kLiveness},
-        ReductionCell{4, 0, Lemma::kLiveness},
-        // AG AF cells (restart budget): seq lassos root mid-graph, so the
-        // concretized stem starts at a representative instead.
-        ReductionCell{3, 2, Lemma::kReintegration},
-        ReductionCell{3, 0, Lemma::kReintegration}),
-    cell_name);
+        ReductionCell{3, 2, Lemma::kReintegration}}) {
+    ReductionCell c = cell;
+    c.reduction = mc::ReductionKind::kPartialOrder;
+    out.push_back(c);
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ReductionEngineEquivalence, ::testing::ValuesIn(grid_cells()),
+                         cell_name);
 
 TEST(ReductionGoldenQuotients, Fig6AndFig4QuotientCountsAreExact) {
   // The reduced companion of golden_counts_test.cpp's grid: exact quotient
@@ -222,7 +273,9 @@ TEST(ReductionGoldenQuotients, Fig6AndFig4QuotientCountsAreExact) {
     int degree;
     std::size_t states;
     std::size_t transitions;
+    mc::ReductionKind reduction = mc::ReductionKind::kSymmetry;
   };
+  const auto kSymPor = mc::ReductionKind::kSymPor;
   const Cell cells[] = {
       {"fig6_safety_n3", Lemma::kSafety, 3, 6, 534, 6289},
       {"fig6_safety_n4", Lemma::kSafety, 4, 6, 3706, 52449},
@@ -232,6 +285,16 @@ TEST(ReductionGoldenQuotients, Fig6AndFig4QuotientCountsAreExact) {
       {"fig4_liveness_deg3", Lemma::kLiveness, 4, 3, 31168, 467918},
       {"fig4_timeliness_deg1", Lemma::kTimeliness, 4, 1, 18300, 22573},
       {"fig4_timeliness_deg3", Lemma::kTimeliness, 4, 3, 32218, 474323},
+      // The sym+por quotients of the same cells (the clamp rides on top of
+      // the orbit reduction; DESIGN.md §3.8 derives the expected shrink).
+      {"fig6_safety_n3_sympor", Lemma::kSafety, 3, 6, 531, 6277, kSymPor},
+      {"fig6_safety_n4_sympor", Lemma::kSafety, 4, 6, 2847, 41949, kSymPor},
+      {"fig4_safety_deg1_sympor", Lemma::kSafety, 4, 1, 11377, 15481, kSymPor},
+      {"fig4_safety_deg3_sympor", Lemma::kSafety, 4, 3, 16055, 293851, kSymPor},
+      {"fig4_liveness_deg1_sympor", Lemma::kLiveness, 4, 1, 11373, 15477, kSymPor},
+      {"fig4_liveness_deg3_sympor", Lemma::kLiveness, 4, 3, 15897, 292727, kSymPor},
+      {"fig4_timeliness_deg1_sympor", Lemma::kTimeliness, 4, 1, 12285, 16419, kSymPor},
+      {"fig4_timeliness_deg3_sympor", Lemma::kTimeliness, 4, 3, 18995, 320104, kSymPor},
   };
   for (const auto& cell : cells) {
     tta::ClusterConfig cfg;
@@ -251,7 +314,7 @@ TEST(ReductionGoldenQuotients, Fig6AndFig4QuotientCountsAreExact) {
     }
     VerifyOptions opts;
     opts.engine = mc::EngineKind::kSequential;
-    opts.reduction = mc::ReductionKind::kSymmetry;
+    opts.reduction = cell.reduction;
     const auto r = verify(cfg, cell.lemma, opts);
     ASSERT_TRUE(r.holds) << cell.name << ": " << r.verdict_text;
     EXPECT_EQ(r.stats.states, cell.states) << cell.name;
@@ -263,6 +326,13 @@ TEST(ReductionGoldenQuotients, Fig6AndFig4QuotientCountsAreExact) {
       ASSERT_FALSE(r.stats.frontier_sizes.empty()) << cell.name;
       EXPECT_EQ(r.stats.hash_ops, r.stats.transitions + r.stats.frontier_sizes[0]) << cell.name;
       EXPECT_EQ(r.stats.canon_ops, r.stats.transitions + r.stats.frontier_sizes[0]) << cell.name;
+    }
+    if (cell.reduction == kSymPor) {
+      // Every enumerated transition met the por gate exactly once, and the
+      // clamp actually pruned something on every one of these cells.
+      EXPECT_EQ(r.stats.ample_sets + r.stats.proviso_fallbacks, r.stats.transitions)
+          << cell.name;
+      EXPECT_GT(r.stats.pruned_combos, std::size_t{0}) << cell.name;
     }
   }
 }

@@ -264,6 +264,125 @@ void contended_stage(tt::BenchReport& report, const std::vector<State>& stream) 
   std::printf("\n");
 }
 
+/// EXP-OOC maintain-pause stage (DESIGN.md §3.9): how long the exploration
+/// loop stalls inside quiescent_maintain when sealed pages must leave RAM.
+/// `sync` reproduces the pre-write-behind protocol (every enqueue batch is
+/// followed by a wait_idle barrier inside the maintain, so the pause covers
+/// the disk write); `async` is the default pipeline (enqueue and return,
+/// bodies freed once their writes are harvested durable). Identical insert
+/// schedule, identical 1 MiB budget, identical unique-state stream — the
+/// pause delta is purely the barrier.
+void maintain_pause_stage(tt::BenchReport& report, const std::vector<State>& uniq) {
+#if TT_LFSIM_HAS_SPILL
+  std::printf("=== maintain pause: sync spill barrier vs write-behind ===\n");
+  tt::TextTable t({"mode", "states", "maintains", "total_pause_s", "max_pause_s",
+                   "sync_waits", "async_pages"});
+  // The async win needs a core for the I/O thread to run on while the
+  // mutator continues; flag the rows on a possibly-one-core runner where
+  // the overlap cannot happen and the two modes converge.
+  const int one_core = tt::probe_possibly_one_core();
+  // Small enough that the quick-mode n=4 set still crosses several
+  // quiescent points (sealing lags one maintain behind the insert wave).
+  constexpr std::size_t kChunk = 2048;
+  for (const bool sync : {true, false}) {
+    tt::LockFreeStateIndexMap<kW> map(1);
+    map.set_mem_budget(std::size_t{1} << 20);
+    map.set_spill_synchronous(sync);
+    double total = 0.0;
+    double max_pause = 0.0;
+    std::size_t maintains = 0;
+    std::size_t i = 0;
+    while (i < uniq.size()) {
+      const std::size_t end = std::min(i + kChunk, uniq.size());
+      for (; i < end; ++i) map.insert_serial(uniq[i], tt::hash_words(uniq[i]));
+      tt::Timer timer;
+      (void)map.quiescent_maintain();
+      const double s = timer.seconds();
+      total += s;
+      max_pause = std::max(max_pause, s);
+      ++maintains;
+    }
+    const auto stats = map.store_stats();
+    const char* mode = sync ? "sync" : "async";
+    for (const bool is_max : {false, true}) {
+      tt::BenchRecord rec;
+      rec.experiment = tt::strfmt("hotpath/maintain_pause%s/%s", is_max ? "_max" : "", mode);
+      rec.engine = "seq";
+      rec.states = uniq.size();
+      rec.seconds = is_max ? max_pause : total;
+      rec.verdict = "ok";
+      rec.store = "lockfree";
+      rec.spill_bytes = static_cast<long long>(stats.spill_bytes);
+      rec.spill_sync_waits = static_cast<long long>(stats.spill_sync_waits);
+      rec.spill_async_pages = static_cast<long long>(stats.spill_async_pages);
+      rec.possibly_one_core = one_core;
+      report.add(rec);
+    }
+    t.add_row({mode, std::to_string(uniq.size()), std::to_string(maintains),
+               tt::strfmt("%.5f", total), tt::strfmt("%.5f", max_pause),
+               std::to_string(stats.spill_sync_waits), std::to_string(stats.spill_async_pages)});
+  }
+  std::printf("%s", t.render().c_str());
+  if (one_core != 0) {
+    std::printf("(possibly-one-core runner: the I/O thread has no spare core to\n"
+                " overlap on, so the sync/async pause delta is not meaningful here.)\n");
+  }
+  std::printf("\n");
+#else
+  (void)report;
+  (void)uniq;
+  std::printf("(spill tier unsupported on this platform: maintain-pause stage skipped)\n\n");
+#endif
+}
+
+/// EXP-OOC resident-footprint stage: intern the same unique set into the
+/// locked store (raw bodies), the plain lock-free store (sealed bodies stay
+/// resident, delta-compressed) and the fingerprint-only store (sealed
+/// bodies dropped, 8 bytes/state of fingerprints kept), then record
+/// memory_bytes() as the v7 resident_bytes column — the acceptance rows for
+/// `--store lockfree-fp` footprint claims.
+void resident_bytes_stage(tt::BenchReport& report, const std::vector<State>& uniq) {
+  std::printf("=== resident footprint: locked vs lockfree vs lockfree-fp ===\n");
+  tt::TextTable t({"store", "states", "resident_bytes", "bytes/state"});
+  auto emit = [&](const char* store, std::size_t bytes, long long collisions,
+                  long long reexp) {
+    tt::BenchRecord rec;
+    rec.experiment = "hotpath/resident/unique_set";
+    rec.engine = "seq";
+    rec.states = uniq.size();
+    rec.verdict = "ok";
+    rec.store = store;
+    rec.resident_bytes = static_cast<long long>(bytes);
+    rec.fp_collisions = collisions;
+    rec.reexpansions = reexp;
+    report.add(rec);
+    t.add_row({store, std::to_string(uniq.size()), std::to_string(bytes),
+               tt::strfmt("%.2f", uniq.size() ? static_cast<double>(bytes) / uniq.size() : 0)});
+  };
+  {
+    tt::ShardedStateIndexMap<kW> map(1);
+    for (const State& s : uniq) map.insert_serial(s, tt::hash_words(s));
+    emit("locked", map.memory_bytes(), -1, -1);
+  }
+  for (const bool fp : {false, true}) {
+    tt::LockFreeStateIndexMap<kW> map(1);
+    if (fp) map.set_fingerprint_only(true);
+    for (const State& s : uniq) map.insert_serial(s, tt::hash_words(s));
+    // First maintain publishes the quiescent watermark; the second seals
+    // (and in fp mode drops) every full page below it.
+    (void)map.quiescent_maintain();
+    (void)map.quiescent_maintain();
+    const auto stats = map.store_stats();
+    emit(fp ? "lockfree-fp" : "lockfree", map.memory_bytes(),
+         fp ? static_cast<long long>(stats.fp_collisions) : -1,
+         fp ? static_cast<long long>(stats.reexpansions) : -1);
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("(all three stores hold the same interned set; lockfree seals pages\n"
+              " into delta-compressed bodies, lockfree-fp drops sealed bodies and\n"
+              " keeps 8-byte fingerprints, so the deltas are the body tiers.)\n\n");
+}
+
 /// The JSON rows: one timed pass per variant over the same stream, so the
 /// perf trajectory tracks generation and interning separately.
 void emit_report(tt::BenchReport& report) {
@@ -365,6 +484,14 @@ void emit_report(tt::BenchReport& report) {
               " before it reaches the open-addressed probe sequence.)\n\n");
 
   contended_stage(report, stream);
+
+  // The out-of-core stages work on unique states (pages seal per interned
+  // id, so the duplicate-heavy candidate stream would measure nothing): the
+  // full reachable set of the fig6 safety model at n=5 (n=4 in quick mode).
+  const tt::tta::Cluster big(hotpath_config(n));
+  const auto uniq = reachable_states(big);
+  maintain_pause_stage(report, uniq);
+  resident_bytes_stage(report, uniq);
 }
 
 }  // namespace

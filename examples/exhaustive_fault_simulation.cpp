@@ -24,13 +24,20 @@
 //                           re-concretized against the raw model
 //     --threads <k>         worker threads for the parallel engine
 //                           (default: TTSTART_THREADS env, else all cores)
-//     --store <kind>        locked|lockfree explicit-state store backend
-//                           (default locked); lockfree is the CAS-based
-//                           store with closed-set compression and spill
+//     --store <kind>        locked|lockfree|lockfree-fp explicit-state store
+//                           backend (default locked); lockfree is the
+//                           CAS-based store with closed-set compression and
+//                           write-behind spill; lockfree-fp additionally
+//                           drops sealed page bodies and keeps 64-bit
+//                           fingerprints, re-expanding predecessor paths on
+//                           collision (exact verdicts, DESIGN.md §3.9)
 //     --mem-budget-mb <mb>  in-RAM budget for the lockfree store: sealed
 //                           compressed pages past the budget spill to disk
-//                           (TTSTART_SPILL_DIR, else TMPDIR, else /tmp);
-//                           counts and verdicts stay exact
+//                           asynchronously; counts and verdicts stay exact
+//     --spill-dir <path>    directory for the per-shard spill files
+//                           (default: TTSTART_SPILL_DIR, else TMPDIR, else
+//                           /tmp); an unwritable directory is a hard error,
+//                           never a silent /tmp fallback
 //     --trace-out <file>    write a Chrome trace-event JSON (chrome://tracing,
 //                           Perfetto) of the run
 //     --progress <sec>      print a heartbeat line every <sec> seconds
@@ -38,6 +45,11 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 #include "core/verifier.hpp"
 #include "obs/obs.hpp"
@@ -48,6 +60,17 @@ namespace {
 int usage() {
   std::fprintf(stderr, "see header comment of exhaustive_fault_simulation.cpp\n");
   return 2;
+}
+
+bool spill_dir_writable(const std::string& dir) {
+#if defined(__unix__) || defined(__APPLE__)
+  struct stat st{};
+  if (::stat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) return false;
+  return ::access(dir.c_str(), W_OK | X_OK) == 0;
+#else
+  (void)dir;
+  return true;  // defer to the spill writer's own error path
+#endif
 }
 
 }  // namespace
@@ -107,6 +130,16 @@ int main(int argc, char** argv) {
       int mb = 0;
       if (!next_int(mb) || mb < 0) return usage();
       opts.store.mem_budget_bytes = static_cast<std::size_t>(mb) * 1024 * 1024;
+    } else if (arg == "--spill-dir") {
+      if (i + 1 >= argc) return usage();
+      opts.store.spill_dir = argv[++i];
+      // Fail fast, before hours of exploration: the spill writer would also
+      // hard-error, but only once the budget forces the first spill.
+      if (!spill_dir_writable(opts.store.spill_dir)) {
+        std::fprintf(stderr, "error: spill directory '%s' is not a writable directory\n",
+                     opts.store.spill_dir.c_str());
+        return 2;
+      }
     } else if (arg == "--lemma") {
       if (i + 1 >= argc) return usage();
       const std::string name = argv[++i];
@@ -152,15 +185,19 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
-  if (opts.store.kind == mc::StoreKind::kLockFree &&
+  if (opts.store.kind != mc::StoreKind::kShardedLocked &&
       result.engine_used != mc::EngineKind::kSymbolic) {
     // Machine-greppable store line; the CI store-smoke step asserts on the
-    // spill_bytes column to prove an out-of-core run actually spilled.
+    // spill_bytes / spill_async_pages columns to prove an out-of-core run
+    // actually went through the write-behind pipeline.
     std::printf("store: %s  cas_retries=%zu pages_compressed=%zu spill_bytes=%zu "
-                "bloom_negatives=%zu\n",
+                "bloom_negatives=%zu spill_async_pages=%zu spill_sync_waits=%zu "
+                "fp_collisions=%zu reexpansions=%zu\n",
                 mc::to_string(opts.store.kind), result.stats.cas_retries,
                 result.stats.pages_compressed, result.stats.spill_bytes,
-                result.stats.bloom_negatives);
+                result.stats.bloom_negatives, result.stats.spill_async_pages,
+                result.stats.spill_sync_waits, result.stats.fp_collisions,
+                result.stats.reexpansions);
   }
   if (result.engine_used == mc::EngineKind::kParallel && !core::is_invariant_lemma(lemma)) {
     std::printf("owcty: trim_rounds=%zu residue_states=%zu\n", result.stats.trim_rounds,

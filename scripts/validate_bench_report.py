@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate a ttstart-bench report file (BENCH_results.json).
 
-Accepts schema v1 through v6. v2 adds two optional per-record fields emitted
+Accepts schema v1 through v7. v2 adds two optional per-record fields emitted
 by symbolic-engine runs: `iterations` (image/BFS steps to the fixpoint) and
 `peak_live_nodes` (peak live BDD nodes). v3 adds two more, emitted by
 parallel OWCTY liveness runs: `trim_rounds` (trimming sweeps to the fixpoint)
@@ -19,9 +19,16 @@ with "por" and "sym+por" and adds the partial-order-reduction columns
 (DESIGN.md 3.8): `ample_sets` (emissions whose independence gate was open),
 `pruned_combos` (emissions redirected to the clamped-horizon
 representative), and `proviso_fallbacks` (emissions declined into full
-expansion). Optional numeric fields must be non-negative when present; all
-optional fields are rejected under schemas older than the one that
-introduced them.
+expansion). v7 extends the `store` names with "lockfree-fp" and adds the
+out-of-core pipeline columns (DESIGN.md 3.9): `spill_sync_waits`
+(synchronous barriers the write-behind pipeline had to take),
+`spill_async_pages` (sealed pages handed to the I/O thread without
+blocking), `fp_collisions` (genuine fingerprint collisions under
+fingerprint-only mode), `reexpansions` (predecessor-path replays that
+disambiguated a dropped-body match), and `resident_bytes` (store-resident
+footprint at run end). Optional numeric fields must be non-negative when
+present; all optional fields are rejected under schemas older than the one
+that introduced them.
 
 Checks the envelope, the per-record field set and types, and basic value
 sanity (non-negative counts/times, verdict non-empty, threads >= 1). With
@@ -94,11 +101,20 @@ OPTIONAL_FIELDS_V6 = {
     "pruned_combos": int,
     "proviso_fallbacks": int,
 }
+OPTIONAL_FIELDS_V7 = {
+    **OPTIONAL_FIELDS_V6,
+    "spill_sync_waits": int,
+    "spill_async_pages": int,
+    "fp_collisions": int,
+    "reexpansions": int,
+    "resident_bytes": int,
+}
 
 REDUCTION_NAMES_V4 = ("none", "sym")
 REDUCTION_NAMES_V6 = ("none", "sym", "por", "sym+por")
 POR_REDUCTIONS = ("por", "sym+por")
-STORE_NAMES = ("locked", "lockfree")
+STORE_NAMES_V5 = ("locked", "lockfree")
+STORE_NAMES_V7 = ("locked", "lockfree", "lockfree-fp")
 
 SCHEMAS = (
     "ttstart-bench-v1",
@@ -107,6 +123,7 @@ SCHEMAS = (
     "ttstart-bench-v4",
     "ttstart-bench-v5",
     "ttstart-bench-v6",
+    "ttstart-bench-v7",
 )
 
 
@@ -118,7 +135,9 @@ def validate(doc, require, require_engines, require_engine_for, require_reductio
     schema = doc.get("schema")
     if schema not in SCHEMAS:
         errors.append(f"schema is {schema!r}, expected one of {SCHEMAS!r}")
-    if schema == "ttstart-bench-v6":
+    if schema == "ttstart-bench-v7":
+        allowed_optional = OPTIONAL_FIELDS_V7
+    elif schema == "ttstart-bench-v6":
         allowed_optional = OPTIONAL_FIELDS_V6
     elif schema == "ttstart-bench-v5":
         allowed_optional = OPTIONAL_FIELDS_V5
@@ -131,7 +150,12 @@ def validate(doc, require, require_engines, require_engine_for, require_reductio
     else:
         allowed_optional = {}
     reduction_names = (
-        REDUCTION_NAMES_V6 if schema == "ttstart-bench-v6" else REDUCTION_NAMES_V4
+        REDUCTION_NAMES_V6
+        if schema in ("ttstart-bench-v6", "ttstart-bench-v7")
+        else REDUCTION_NAMES_V4
+    )
+    store_names = (
+        STORE_NAMES_V7 if schema == "ttstart-bench-v7" else STORE_NAMES_V5
     )
     results = doc.get("results")
     if not isinstance(results, list):
@@ -175,10 +199,10 @@ def validate(doc, require, require_engines, require_engine_for, require_reductio
                     f"{where}: reduction is {v!r}, "
                     f"expected one of {reduction_names!r}"
                 )
-            elif field == "store" and v not in STORE_NAMES:
+            elif field == "store" and v not in store_names:
                 errors.append(
                     f"{where}: store is {v!r}, "
-                    f"expected one of {STORE_NAMES!r}"
+                    f"expected one of {store_names!r}"
                 )
             elif isinstance(v, (int, float)) and not isinstance(v, bool) and v < 0:
                 errors.append(f"{where}: optional field '{field}' < 0")
@@ -290,8 +314,8 @@ def main():
         action="append",
         default=[],
         metavar="STORE",
-        help="store name ('locked'/'lockfree') that must have >= 1 record "
-        "(repeatable)",
+        help="store name ('locked'/'lockfree'/'lockfree-fp') that must have "
+        ">= 1 record (repeatable)",
     )
     args = parser.parse_args()
 

@@ -7,6 +7,7 @@
 
 #include <cstdlib>
 #include <functional>
+#include <string>
 #include <string_view>
 #include <thread>
 
@@ -94,27 +95,36 @@ enum class ReductionKind {
 /// Which state-store implementation backs the explicit-state engines.
 /// kShardedLocked is the lock-striped ShardedStateIndexMap (one mutex per
 /// shard on the insert path); kLockFree is the CAS-claim LockFreeStateIndexMap
-/// with delta compression of the closed set and the out-of-core spill tier.
-/// Both encode ids identically, so verdicts, counts and traces are
-/// bit-identical between them at any thread count.
+/// with delta compression of the closed set and the write-behind out-of-core
+/// spill tier; kLockFreeFp is the same store in fingerprint-only mode
+/// (sealed page bodies dropped, 64-bit fingerprints kept, collisions
+/// resolved exactly by predecessor-path re-expansion — DESIGN.md §3.9).
+/// All encode ids identically, so verdicts, counts and traces are
+/// bit-identical between them at any thread count. The liveness engines
+/// need random access to every stored body (trimming, lasso extraction), so
+/// they run kLockFreeFp as plain kLockFree.
 enum class StoreKind {
   kShardedLocked,
   kLockFree,
+  kLockFreeFp,
 };
 
-/// Canonical store name ("locked"/"lockfree"); static storage duration.
+/// Canonical store name ("locked"/"lockfree"/"lockfree-fp"); static storage
+/// duration.
 [[nodiscard]] constexpr const char* to_string(StoreKind k) noexcept {
   switch (k) {
     case StoreKind::kShardedLocked: return "locked";
     case StoreKind::kLockFree: return "lockfree";
+    case StoreKind::kLockFreeFp: return "lockfree-fp";
   }
   return "?";
 }
 
-/// Parses a store name ("locked", "lockfree"); returns false and leaves
-/// `out` untouched on unknown names.
+/// Parses a store name ("locked", "lockfree", "lockfree-fp"); returns false
+/// and leaves `out` untouched on unknown names.
 [[nodiscard]] inline bool parse_store(std::string_view name, StoreKind& out) noexcept {
-  for (const StoreKind k : {StoreKind::kShardedLocked, StoreKind::kLockFree}) {
+  for (const StoreKind k : {StoreKind::kShardedLocked, StoreKind::kLockFree,
+                            StoreKind::kLockFreeFp}) {
     if (name == to_string(k)) {
       out = k;
       return true;
@@ -130,6 +140,10 @@ struct StoreOptions {
   /// Only the lock-free store honors it (sealed pages spill to disk at
   /// quiescent points while the store exceeds the budget).
   std::size_t mem_budget_bytes = 0;
+  /// Spill directory override (--spill-dir); empty = TTSTART_SPILL_DIR,
+  /// then TMPDIR, then /tmp. An unwritable requested directory is a hard
+  /// error, never a silent /tmp fallback.
+  std::string spill_dir;
 };
 
 /// Per-level progress snapshot handed to EngineOptions::progress. Invoked

@@ -322,8 +322,15 @@ template <class Map, TransitionSystem TS, class Pred>
     result.stats.frontier_sizes.push_back(frontier.size());
     // Quiescent point: workers are parked at the barrier, so the store can
     // grow its probe tables (concurrent inserts never grow them mid-level),
-    // seal the closed set and spill past the budget.
-    detail::maintain_store(seen, frontier.size() * 16);
+    // seal the closed set and spill past the budget. A write-behind failure
+    // (ENOSPC on the I/O thread) must take the star-burst error channel:
+    // throwing here, with workers parked at the barrier, would terminate.
+    try {
+      detail::maintain_store(seen, frontier.size() * 16);
+    } catch (...) {
+      record_error();
+      return true;
+    }
     if (opts.progress) {
       opts.progress(LevelProgress{depth + 1, seen.size(), result.stats.transitions,
                                   frontier.size(), timer.seconds()});
@@ -638,9 +645,15 @@ template <TransitionSystem TS, class Pred>
 [[nodiscard]] LivenessResult<TS> owcty_liveness(const TS& ts, Pred&& goal,
                                                 const EngineOptions& opts,
                                                 bool roots_all_reachable) {
-  if (opts.store.kind == StoreKind::kLockFree) {
+  if (opts.store.kind == StoreKind::kLockFree || opts.store.kind == StoreKind::kLockFreeFp) {
+    // OWCTY trimming and lasso extraction random-access every stored body,
+    // so fingerprint-only mode degrades to the plain lock-free store here
+    // (StoreKind doc in mc/engine.hpp): normalize the kind before
+    // apply_store_options would enable body dropping.
+    EngineOptions normalized = opts;
+    normalized.store.kind = StoreKind::kLockFree;
     return owcty_liveness_impl<LockFreeStateIndexMap<TS::kWords>>(
-        ts, std::forward<Pred>(goal), opts, roots_all_reachable);
+        ts, std::forward<Pred>(goal), normalized, roots_all_reachable);
   }
   return owcty_liveness_impl<ShardedStateIndexMap<TS::kWords>>(
       ts, std::forward<Pred>(goal), opts, roots_all_reachable);

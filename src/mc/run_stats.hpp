@@ -64,6 +64,18 @@ struct RunStats {
   std::size_t pages_compressed = 0;
   std::size_t spill_bytes = 0;
   std::size_t bloom_negatives = 0;
+  /// Out-of-core pipeline instrumentation (DESIGN.md §3.9; zero under the
+  /// locked store): `spill_async_pages` counts sealed pages handed to the
+  /// write-behind I/O thread without blocking, `spill_sync_waits` the
+  /// synchronous barriers taken when the budget was critically exceeded with
+  /// writes still in flight. Under `--store lockfree-fp`, `fp_collisions`
+  /// counts genuine fingerprint collisions (distinct states, equal masked
+  /// fingerprint — both get pinned exactly) and `reexpansions` the
+  /// predecessor-path replays that disambiguated a dropped-body match.
+  std::size_t spill_sync_waits = 0;
+  std::size_t spill_async_pages = 0;
+  std::size_t fp_collisions = 0;
+  std::size_t reexpansions = 0;
   /// Symbolic-engine instrumentation (all zero for explicit-state runs):
   /// peak live BDD nodes, mark-and-sweep collections, unique-table and
   /// persistent op-cache hit fractions, and image/BFS iterations to the

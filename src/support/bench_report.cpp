@@ -66,6 +66,12 @@ std::string render_record(const std::string& bench, const BenchRecord& r) {
   if (r.ample_sets >= 0) line << ", \"ample_sets\": " << r.ample_sets;
   if (r.pruned_combos >= 0) line << ", \"pruned_combos\": " << r.pruned_combos;
   if (r.proviso_fallbacks >= 0) line << ", \"proviso_fallbacks\": " << r.proviso_fallbacks;
+  // v7 optional columns (out-of-core pipeline runs, DESIGN.md §3.9).
+  if (r.spill_sync_waits >= 0) line << ", \"spill_sync_waits\": " << r.spill_sync_waits;
+  if (r.spill_async_pages >= 0) line << ", \"spill_async_pages\": " << r.spill_async_pages;
+  if (r.fp_collisions >= 0) line << ", \"fp_collisions\": " << r.fp_collisions;
+  if (r.reexpansions >= 0) line << ", \"reexpansions\": " << r.reexpansions;
+  if (r.resident_bytes >= 0) line << ", \"resident_bytes\": " << r.resident_bytes;
   line << "}";
   return line.str();
 }
@@ -129,7 +135,7 @@ std::string BenchReport::write() {
     std::fprintf(stderr, "ttstart: cannot write %s\n", path.c_str());
     return {};
   }
-  out << "{\n  \"schema\": \"ttstart-bench-v6\",\n  \"results\": [\n";
+  out << "{\n  \"schema\": \"ttstart-bench-v7\",\n  \"results\": [\n";
   bool first = true;
   for (const std::string& rec : kept) {
     out << (first ? "    " : ",\n    ") << rec;

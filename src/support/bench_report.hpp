@@ -13,7 +13,7 @@
 
 namespace tt {
 
-/// One measurement row of the ttstart-bench-v6 schema (the `experiment`
+/// One measurement row of the ttstart-bench-v7 schema (the `experiment`
 /// keys are the ones EXPERIMENTS.md's claim→command table points at).
 struct BenchRecord {
   std::string experiment;  ///< e.g. "fig6/safety/n4"
@@ -60,6 +60,17 @@ struct BenchRecord {
   long long ample_sets = -1;
   long long pruned_combos = -1;
   long long proviso_fallbacks = -1;
+  /// Out-of-core pipeline columns (schema v7; DESIGN.md §3.9): synchronous
+  /// barriers the write-behind pipeline had to take, sealed pages handed to
+  /// the I/O thread without blocking, genuine fingerprint collisions, and
+  /// predecessor-path re-expansions under `--store lockfree-fp`; plus the
+  /// store-resident byte footprint at run end. Negative = not applicable,
+  /// omitted from the JSON.
+  long long spill_sync_waits = -1;
+  long long spill_async_pages = -1;
+  long long fp_collisions = -1;
+  long long reexpansions = -1;
+  long long resident_bytes = -1;
 };
 
 /// Reads the minimum "seconds" value among the report-file records matching

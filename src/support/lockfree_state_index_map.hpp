@@ -1,17 +1,19 @@
 // LockFreeStateIndexMap: the lock-free, compressing, out-of-core sibling of
-// ShardedStateIndexMap — the storage layer behind `--store lockfree`.
+// ShardedStateIndexMap — the storage layer behind `--store lockfree` and
+// `--store lockfree-fp`.
 //
-// Three tiers, one interface:
+// Four tiers, one interface:
 //
 //   1. A lock-free open-addressed probe table. Each shard owns a power-of-two
 //      array of 64-bit atomic slots packing (fingerprint << 32) | id-field,
-//      where the fingerprint is the low 32 bits of the state hash and the
-//      id-field is local+1 (0 = empty, 0xffffffff = claimed). Insertion is a
-//      claim protocol: CAS the empty slot to (fp, CLAIMED), allocate the next
-//      dense local id from the shard counter, write the packed state into the
-//      arena page, then release-store the final (fp, local+1) word. There is
-//      no mutex anywhere on the insert path; same-fingerprint racers spin on
-//      the claimed slot until publication and then compare states.
+//      where the fingerprint is the low 32 bits of the (masked) state hash
+//      and the id-field is local+1 (0 = empty, 0xffffffff = claimed).
+//      Insertion is a claim protocol: CAS the empty slot to (fp, CLAIMED),
+//      allocate the next dense local id from the shard counter, write the
+//      packed state into the arena page, then release-store the final
+//      (fp, local+1) word. There is no mutex anywhere on the insert path;
+//      same-fingerprint racers spin on the claimed slot until publication
+//      and then compare states.
 //
 //   2. Delta compression of the closed set. The arena is paged (1024 states
 //      per page, stable addresses). Once a BFS level is sealed — the engines
@@ -22,18 +24,36 @@
 //      (odometer successor order), so this routinely shrinks the closed set
 //      severalfold while the probe fingerprints stay hot in the slot table.
 //
-//   3. Out-of-core spill. When memory_bytes() exceeds the configured budget,
-//      sealed pages are appended (oldest first) to an unlinked temp file and
-//      their in-RAM bytes are freed; reads go through a read-only mmap that
-//      is remapped only at quiescent points. A Bloom filter built over the
-//      fingerprints absorbs definitely-absent membership probes before they
-//      touch the slot table. Runs whose closed set exceeds RAM finish with
-//      exact counts.
+//   3. Out-of-core write-behind spill (DESIGN.md §3.9). When memory_bytes()
+//      exceeds the configured budget, sealed pages are *enqueued* to a
+//      dedicated I/O thread (support/spill_writer.hpp) — one unlinked temp
+//      file per shard, each with its own append offset — and maintain
+//      returns without waiting for the writes. Page bodies stay resident
+//      until a later maintain step harvests their completions, so readers
+//      never race a tier change; the only synchronous barrier (counted in
+//      StoreStats::spill_sync_waits) is taken when the budget is still
+//      exceeded with writes in flight. A Bloom filter built over the
+//      fingerprints absorbs definitely-absent membership probes. Runs whose
+//      closed set exceeds RAM finish with exact counts.
+//
+//   4. Opt-in fingerprint-only mode (`--store lockfree-fp`). Sealed page
+//      bodies are discarded entirely; only a 64-bit masked fingerprint per
+//      state survives (plus the Bloom front). A membership probe that
+//      matches a dropped-body fingerprint is *ambiguous*, so the store calls
+//      a caller-installed resolver that re-expands the stored state from its
+//      predecessor path and compares exactly. When the comparison reveals a
+//      genuine collision — two distinct states with equal masked
+//      fingerprints — BOTH states are pinned exactly in a side map, which
+//      keeps the replay disambiguation (match by masked fingerprint + shard
+//      of the full hash, pinned states excluded) unambiguous forever after.
+//      Verdicts and counts therefore stay exact, unlike classical hash
+//      compaction; the cost shows up as StoreStats::{fp_collisions,
+//      reexpansions}.
 //
 // Id encoding matches ShardedStateIndexMap exactly — id = (local <<
 // log2(shards)) | shard, shard routing from the top hash-bit window
 // (support/hash.hpp) — so verdicts, counts and extracted traces are
-// bit-identical between the two stores at any thread count.
+// bit-identical between the stores at any thread count.
 //
 // Thread-safety contract (mirrors the level-synchronous engines):
 //   * insert()        — safe from any number of threads concurrently, to any
@@ -52,34 +72,40 @@
 //                       access), exactly like the sharded map's contract.
 //
 // Memory-order argument for the publication protocol: the claiming thread's
-// arena-page writes (plain stores) are sequenced before its release-store of
-// (fp, local+1); any reader that observes the published word via an acquire
-// load therefore sees the fully written state, and — transitively through
-// the page-directory CAS chain — the page pointer that holds it. Claims are
-// acquire-release CAS so a failed claimer rereads a coherent slot value.
+// arena-page writes (plain stores, including the fingerprint side array) are
+// sequenced before its release-store of (fp, local+1); any reader that
+// observes the published word via an acquire load therefore sees the fully
+// written state, and — transitively through the page-directory CAS chain —
+// the page pointer that holds it. Claims are acquire-release CAS so a failed
+// claimer rereads a coherent slot value. Tier transitions (seal, drop, and
+// the sealed→spilled flip after a write becomes durable) happen only at
+// quiescent points, so the concurrent phases never observe one.
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <bit>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "support/assert.hpp"
 #include "support/hash.hpp"
+#include "support/spill_writer.hpp"
 #include "support/state_index_map.hpp"
 
+// Out-of-core support needs the POSIX pieces (SpillWriter::platform_supported
+// reports the same condition at runtime); kept as a macro so tests can
+// compile-guard the spill-tier expectations.
 #if defined(__unix__) || defined(__APPLE__)
 #define TT_LFSIM_HAS_SPILL 1
-#include <cstdlib>
-#include <string>
-
-#include <fcntl.h>
-#include <sys/mman.h>
-#include <unistd.h>
 #else
 #define TT_LFSIM_HAS_SPILL 0
 #endif
@@ -95,13 +121,23 @@ class LockFreeStateIndexMap {
   static_assert((1u << kShardWindowBits) == kMaxShards,
                 "shard window must cover kMaxShards exactly");
 
+  /// Exact reconstruction hook for fingerprint-only mode: given the global
+  /// id of a state whose body was dropped, rebuild the state (typically by
+  /// replaying its predecessor path) into `out`. Must be thread-safe.
+  using Resolver = std::function<bool(std::uint32_t, State&)>;
+
   /// Cumulative counters, readable at quiescent points (store_stats()).
   struct StoreStats {
     std::size_t cas_retries = 0;       ///< failed claims + claimed-slot spins
     std::size_t pages_compressed = 0;  ///< arena pages sealed to delta form
-    std::size_t pages_spilled = 0;     ///< sealed pages evicted to disk
-    std::size_t spill_bytes = 0;       ///< compressed bytes written to disk
+    std::size_t pages_spilled = 0;     ///< page bodies evicted out of RAM
+    std::size_t spill_bytes = 0;       ///< compressed bytes handed to the writer
     std::size_t bloom_negatives = 0;   ///< finds short-circuited by the Bloom
+    std::size_t spill_sync_waits = 0;  ///< synchronous write-behind barriers
+    std::size_t spill_async_pages = 0; ///< pages enqueued without blocking
+    std::size_t pages_dropped = 0;     ///< fp-only: page bodies discarded
+    std::size_t fp_collisions = 0;     ///< fp-only: distinct states, equal fp
+    std::size_t reexpansions = 0;      ///< fp-only: resolver replays taken
   };
 
   /// What one quiescent_maintain() call did; engines wrap it in an obs span.
@@ -109,8 +145,28 @@ class LockFreeStateIndexMap {
     std::size_t pages_sealed = 0;
     std::size_t pages_spilled = 0;
     std::size_t bytes_spilled = 0;
+    std::size_t pages_enqueued = 0;  ///< handed to the write-behind thread
+    std::size_t sync_waits = 0;      ///< blocking barriers this call took
     std::size_t shards_grown = 0;
     bool bloom_rebuilt = false;
+  };
+
+  /// Resident-byte accounting, component by component; memory_bytes() is
+  /// exactly the sum. A regression test pins this formula so the budget
+  /// enforcement can't silently stop counting a component.
+  struct MemoryBreakdown {
+    std::size_t slots = 0;         ///< probe tables across all shards
+    std::size_t raw_pages = 0;     ///< uncompressed arena pages
+    std::size_t sealed_pages = 0;  ///< delta streams + anchor tables
+    std::size_t fingerprints = 0;  ///< fp-only per-state fingerprint arrays
+    std::size_t pinned = 0;        ///< fp-only exact-pinned collision states
+    std::size_t bloom = 0;
+    std::size_t spill_writer = 0;  ///< ring + per-shard file metadata
+
+    [[nodiscard]] std::size_t total() const noexcept {
+      return slots + raw_pages + sealed_pages + fingerprints + pinned + bloom +
+             spill_writer;
+    }
   };
 
   explicit LockFreeStateIndexMap(unsigned shard_count = 1,
@@ -139,6 +195,8 @@ class LockFreeStateIndexMap {
   }
   /// Hash-once shard routing; `h` must equal `hash_words(s)`. Same top-bit
   /// window as ShardedStateIndexMap, so both stores assign identical ids.
+  /// Routing always uses the full hash — the fingerprint mask narrows only
+  /// what is *stored*, never where, so ids stay identical across modes.
   [[nodiscard]] unsigned shard_of(std::uint64_t h) const noexcept {
     return static_cast<unsigned>(h >> kShardHashShift) & shard_mask_;
   }
@@ -158,9 +216,10 @@ class LockFreeStateIndexMap {
   std::pair<std::uint32_t, bool> insert(const State& s, std::uint64_t h) {
     const unsigned shard_idx = shard_of(h);
     Shard& sh = shards_[shard_idx];
-    const std::uint32_t fp = static_cast<std::uint32_t>(h);
+    const std::uint32_t fp = static_cast<std::uint32_t>(h & fp_mask_);
     std::size_t slot = fp & sh.mask;
     std::size_t probes = 0;
+    bool collided = false;
     std::uint64_t v = sh.slots[slot].load(std::memory_order_acquire);
     while (true) {
       if (v == 0) {
@@ -179,12 +238,19 @@ class LockFreeStateIndexMap {
           sh.slots[slot].store(0, std::memory_order_release);
           throw;
         }
-        Page* pg = page_for_write(sh, local >> kPageBits);
+        Page* pg = page_for_write(sh, shard_idx, local >> kPageBits);
         pg->raw[local & kPageOffMask] = s;
+        if (fp_mode_) pg->fps[local & kPageOffMask] = h & fp_mask_;
         sh.slots[slot].store((static_cast<std::uint64_t>(fp) << 32) | (local + 1),
                              std::memory_order_release);
         bloom_add(fp);
-        return {id_of(shard_idx, local), true};
+        const std::uint32_t gid = id_of(shard_idx, local);
+        // A collision seen during the probe walk means this fresh state
+        // shares a masked fingerprint with a distinct stored state: pin it
+        // exactly so the replay disambiguation stays unambiguous after its
+        // own body is eventually dropped.
+        if (collided) pin_state(gid, s);
+        return {gid, true};
       }
       if (static_cast<std::uint32_t>(v >> 32) == fp) {
         const std::uint32_t idf = static_cast<std::uint32_t>(v);
@@ -196,7 +262,9 @@ class LockFreeStateIndexMap {
           continue;
         }
         const std::uint32_t local = idf - 1;
-        if (state_equals(sh, local, s)) return {id_of(shard_idx, local), false};
+        const int m = matches(shard_idx, sh, local, s, h);
+        if (m > 0) return {id_of(shard_idx, local), false};
+        if (m < 0) collided = true;
       }
       if (++probes > sh.mask) {
         throw StateCapacityError(
@@ -220,22 +288,28 @@ class LockFreeStateIndexMap {
       grow_shard(sh, (sh.mask + 1) * 2);
       maybe_grow_bloom();
     }
-    const std::uint32_t fp = static_cast<std::uint32_t>(h);
+    const std::uint32_t fp = static_cast<std::uint32_t>(h & fp_mask_);
     std::size_t slot = fp & sh.mask;
+    bool collided = false;
     while (true) {
       const std::uint64_t v = sh.slots[slot].load(std::memory_order_relaxed);
       if (v == 0) {
         const std::uint32_t local = allocate_local(sh);
-        Page* pg = page_for_write(sh, local >> kPageBits);
+        Page* pg = page_for_write(sh, shard_idx, local >> kPageBits);
         pg->raw[local & kPageOffMask] = s;
+        if (fp_mode_) pg->fps[local & kPageOffMask] = h & fp_mask_;
         sh.slots[slot].store((static_cast<std::uint64_t>(fp) << 32) | (local + 1),
                              std::memory_order_relaxed);
         bloom_add(fp);
-        return {id_of(shard_idx, local), true};
+        const std::uint32_t gid = id_of(shard_idx, local);
+        if (collided) pin_state(gid, s);
+        return {gid, true};
       }
       if (static_cast<std::uint32_t>(v >> 32) == fp) {
         const std::uint32_t local = static_cast<std::uint32_t>(v) - 1;
-        if (state_equals(sh, local, s)) return {id_of(shard_idx, local), false};
+        const int m = matches(shard_idx, sh, local, s, h);
+        if (m > 0) return {id_of(shard_idx, local), false};
+        if (m < 0) collided = true;
       }
       slot = (slot + 1) & sh.mask;
     }
@@ -245,7 +319,7 @@ class LockFreeStateIndexMap {
 
   /// Hash-once lookup; Bloom-fronted, then the lock-free probe walk.
   [[nodiscard]] std::uint32_t find(const State& s, std::uint64_t h) const {
-    const std::uint32_t fp = static_cast<std::uint32_t>(h);
+    const std::uint32_t fp = static_cast<std::uint32_t>(h & fp_mask_);
     if (bloom_mask_ != 0 && !bloom_maybe(fp)) {
       bloom_negatives_.fetch_add(1, std::memory_order_relaxed);
       return kEmpty;
@@ -263,15 +337,16 @@ class LockFreeStateIndexMap {
           continue;  // in-flight insert of this fingerprint: wait it out
         }
         const std::uint32_t local = idf - 1;
-        if (state_equals(sh, local, s)) return id_of(shard_idx, local);
+        if (matches(shard_idx, sh, local, s, h) > 0) return id_of(shard_idx, local);
       }
       slot = (slot + 1) & sh.mask;
     }
   }
 
   /// Decoding read: raw pages are a direct load; sealed and spilled pages
-  /// reconstruct the state from the reference + delta stream. Returns by
-  /// value — callers bind a const reference or copy, both are fine.
+  /// reconstruct the state from the reference + delta stream; dropped pages
+  /// (fp-only mode) come back from the pinned map or the resolver. Returns
+  /// by value — callers bind a const reference or copy, both are fine.
   [[nodiscard]] State at(std::uint32_t id) const {
     const Shard& sh = shards_[id & shard_mask_];
     const std::uint32_t local = id >> shard_bits_;
@@ -279,6 +354,16 @@ class LockFreeStateIndexMap {
     const std::uint32_t off = local & kPageOffMask;
     if (pg->tier == kTierRaw) return pg->raw[off];
     State out;
+    if (pg->tier == kTierDropped) {
+      if (lookup_pinned(id, out)) return out;
+      TT_REQUIRE(resolver_ != nullptr,
+                 "LockFreeStateIndexMap: fingerprint-only read of a dropped "
+                 "state needs a re-expansion resolver");
+      reexpansions_.fetch_add(1, std::memory_order_relaxed);
+      const bool ok = resolver_(id, out);
+      TT_REQUIRE(ok, "LockFreeStateIndexMap: re-expansion failed to rebuild a state");
+      return out;
+    }
     decode_into(*pg, off, out);
     return out;
   }
@@ -295,15 +380,28 @@ class LockFreeStateIndexMap {
     return shards_[shard].count.load(std::memory_order_relaxed);
   }
 
-  /// Resident bytes: slots + raw pages + sealed (compressed) pages + Bloom.
-  /// Spilled bytes live on disk and are excluded. Quiescent phases only.
-  [[nodiscard]] std::size_t memory_bytes() const noexcept {
-    std::size_t total = raw_bytes_.load(std::memory_order_relaxed) + sealed_bytes_;
+  /// Resident bytes, component by component. Quiescent phases only.
+  [[nodiscard]] MemoryBreakdown memory_breakdown() const noexcept {
+    MemoryBreakdown b;
+    b.raw_pages = raw_bytes_.load(std::memory_order_relaxed);
+    b.sealed_pages = sealed_bytes_;
+    b.fingerprints = fp_bytes_.load(std::memory_order_relaxed);
     for (unsigned s = 0; s <= shard_mask_; ++s) {
-      total += (shards_[s].mask + 1) * sizeof(std::uint64_t);
+      b.slots += (shards_[s].mask + 1) * sizeof(std::uint64_t);
     }
-    if (bloom_mask_ != 0) total += (bloom_mask_ + 1) / 8;
-    return total;
+    if (bloom_mask_ != 0) b.bloom = (bloom_mask_ + 1) / 8;
+    if (writer_) b.spill_writer = writer_->memory_bytes();
+    {
+      std::lock_guard<std::mutex> lk(pinned_mu_);
+      b.pinned = pinned_.size() * (sizeof(State) + kPinnedNodeOverhead);
+    }
+    return b;
+  }
+
+  /// Resident bytes: the sum of every memory_breakdown() component. Spilled
+  /// bytes live on disk and are excluded. Quiescent phases only.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return memory_breakdown().total();
   }
 
   /// Pre-sizes every shard for `total_states` overall (25% skew margin) and
@@ -328,27 +426,114 @@ class LockFreeStateIndexMap {
   /// are spilled to disk at quiescent points while memory_bytes() exceeds it.
   void set_mem_budget(std::size_t bytes) { mem_budget_bytes_ = bytes; }
 
+  /// Overrides the spill directory (--spill-dir); wins over TTSTART_SPILL_DIR.
+  /// Must be set before the first spill. An unwritable directory surfaces as
+  /// StateCapacityError from the maintain step, never a silent /tmp fallback.
+  void set_spill_dir(std::string dir) {
+    TT_REQUIRE(!writer_, "set_spill_dir must precede the first spill");
+    spill_dir_ = std::move(dir);
+  }
+
+  /// Forces every maintain step to wait for its spill writes (the pre-
+  /// write-behind behavior). Bench baseline dial; off by default.
+  void set_spill_synchronous(bool on) { spill_sync_ = on; }
+
+  /// Switches the store into fingerprint-only mode (`--store lockfree-fp`);
+  /// must be called before any insert. Honors TTSTART_FP_BITS (8..64) to
+  /// narrow the stored fingerprint — the collision-oracle tests use this to
+  /// force aliasing that a 64-bit fingerprint would essentially never hit.
+  void set_fingerprint_only(bool on) {
+    TT_REQUIRE(size() == 0, "fingerprint-only mode must precede all inserts");
+    fp_mode_ = on;
+    if (on) {
+      if (const char* bits = std::getenv("TTSTART_FP_BITS")) {
+        const long b = std::strtol(bits, nullptr, 10);
+        if (b >= 8 && b <= 64) set_fingerprint_bits(static_cast<unsigned>(b));
+      }
+    }
+  }
+
+  [[nodiscard]] bool fingerprint_only() const noexcept { return fp_mode_; }
+
+  /// Narrows the stored fingerprint to the low `bits` bits (test dial; the
+  /// default is the full 64-bit hash). Fingerprint-only mode only.
+  void set_fingerprint_bits(unsigned bits) {
+    TT_REQUIRE(fp_mode_ && size() == 0, "fingerprint width is an fp-mode pre-insert dial");
+    TT_REQUIRE(bits >= 8 && bits <= 64, "fingerprint width out of range");
+    fp_mask_ = bits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);
+  }
+
+  [[nodiscard]] std::uint64_t fp_mask() const noexcept { return fp_mask_; }
+
+  /// Installs the exact-reconstruction hook fingerprint-only mode needs once
+  /// pages start dropping. The engines install a predecessor-path replayer.
+  void set_resolver(Resolver r) { resolver_ = std::move(r); }
+
+  /// The stored masked fingerprint of `id`. Fingerprint-only mode only.
+  [[nodiscard]] std::uint64_t fingerprint_of(std::uint32_t id) const {
+    TT_ASSERT(fp_mode_);
+    const Shard& sh = shards_[id & shard_mask_];
+    const std::uint32_t local = id >> shard_bits_;
+    return page_for_read(sh, local >> kPageBits)->fps[local & kPageOffMask];
+  }
+
+  /// True when `id` can be read back without the resolver (raw/sealed/
+  /// spilled body, or pinned exactly after a collision).
+  [[nodiscard]] bool body_resident(std::uint32_t id) const {
+    const Shard& sh = shards_[id & shard_mask_];
+    const std::uint32_t local = id >> shard_bits_;
+    if (page_for_read(sh, local >> kPageBits)->tier != kTierDropped) return true;
+    State tmp;
+    return lookup_pinned(id, tmp);
+  }
+
+  /// Reads `id` back without consulting the resolver; false when the body
+  /// was dropped and the state is not pinned. The engines' replayers use
+  /// this as the recursion-free base of the predecessor walk.
+  [[nodiscard]] bool resident_state(std::uint32_t id, State& out) const {
+    const Shard& sh = shards_[id & shard_mask_];
+    const std::uint32_t local = id >> shard_bits_;
+    const Page* pg = page_for_read(sh, local >> kPageBits);
+    const std::uint32_t off = local & kPageOffMask;
+    if (pg->tier == kTierRaw) {
+      out = pg->raw[off];
+      return true;
+    }
+    if (pg->tier == kTierDropped) return lookup_pinned(id, out);
+    decode_into(*pg, off, out);
+    return true;
+  }
+
   [[nodiscard]] StoreStats store_stats() const noexcept {
     StoreStats st = stats_;
     st.cas_retries = cas_retries_.load(std::memory_order_relaxed);
     st.bloom_negatives = bloom_negatives_.load(std::memory_order_relaxed);
+    st.fp_collisions = fp_collisions_.load(std::memory_order_relaxed);
+    st.reexpansions = reexpansions_.load(std::memory_order_relaxed);
     return st;
   }
 
   /// The between-levels maintenance step; must be called with no concurrent
   /// access (the engines call it from the coordinator between barriers).
   ///
-  ///   1. Grows any shard whose table would exceed ~50% load after
+  ///   1. Harvests write-behind completions from the I/O thread and flips
+  ///      the newly durable pages' tier (readers only ever see the flip
+  ///      after this quiescent point).
+  ///   2. Grows any shard whose table would exceed ~50% load after
   ///      `expected_new_states` more inserts (rehash from fingerprints alone
   ///      — sealed states never need decoding to rehash).
-  ///   2. Grows/rebuilds the Bloom filter toward 16 bits per state.
-  ///   3. Seals every full arena page whose states predate the *previous*
+  ///   3. Grows/rebuilds the Bloom filter toward 16 bits per state.
+  ///   4. Seals every full arena page whose states predate the *previous*
   ///      quiescent point (the current frontier stays raw for fast expand
-  ///      reads), replacing raw words with the delta-compressed form.
-  ///   4. While memory_bytes() exceeds the budget, spills the oldest sealed
-  ///      pages to the backing file, then remaps it read-only once.
+  ///      reads) — delta-compressed under lockfree, body dropped outright
+  ///      under fingerprint-only mode.
+  ///   5. Under a memory budget, enqueues sealed pages to the write-behind
+  ///      thread and frees the oldest *durable* bodies while over budget;
+  ///      takes the synchronous barrier only when still over budget with
+  ///      writes in flight (StoreStats::spill_sync_waits).
   MaintainStats quiescent_maintain(std::size_t expected_new_states = 0) {
     MaintainStats out;
+    harvest_spill();
     const std::size_t expected_share =
         expected_new_states / shard_count() + expected_new_states / (4 * shard_count()) + 16;
     for (unsigned s = 0; s <= shard_mask_; ++s) {
@@ -368,25 +553,69 @@ class LockFreeStateIndexMap {
       sh.prev_quiescent = sh.count.load(std::memory_order_relaxed);
       while ((sh.sealed_pages + 1) * kPageStates <= sealable_limit) {
         Page* pg = page_for_read(sh, sh.sealed_pages);
-        seal_page(*pg);
-        spill_queue_.push_back(pg);
+        if (fp_mode_) {
+          drop_page(*pg);
+        } else {
+          seal_page(*pg);
+          spill_queue_.push_back(pg);
+        }
         ++sh.sealed_pages;
         ++out.pages_sealed;
       }
     }
-    if (mem_budget_bytes_ != 0) {
-      while (memory_bytes() > mem_budget_bytes_ && spill_head_ < spill_queue_.size()) {
-        if (!spill_page(*spill_queue_[spill_head_], out)) break;  // spill tier unavailable
-        ++spill_head_;
+    if (!fp_mode_ && mem_budget_bytes_ != 0 && SpillWriter::platform_supported()) {
+      // Write-behind: hand every newly sealed page to the I/O thread and
+      // return; bodies stay resident (and readable) until their writes are
+      // durable *and* a later maintain step frees them.
+      if (!writer_ && enqueue_head_ < spill_queue_.size()) {
+        writer_ = std::make_unique<SpillWriter>(shard_count(), spill_dir_);
       }
-      if (out.pages_spilled != 0 && !spill_.remap()) {
-        TT_REQUIRE(false, "LockFreeStateIndexMap: spill file remap failed");
+      while (enqueue_head_ < spill_queue_.size()) {
+        Page* pg = spill_queue_[enqueue_head_];
+        const std::uint32_t len = static_cast<std::uint32_t>(pg->packed.size());
+        pg->spill_off = writer_->enqueue(pg->owner, pg->packed.data(), len,
+                                         reinterpret_cast<std::uint64_t>(pg));
+        pg->spill_len = len;
+        stats_.spill_bytes += len;
+        ++stats_.spill_async_pages;
+        out.bytes_spilled += len;
+        ++out.pages_enqueued;
+        ++enqueue_head_;
+      }
+      if (spill_sync_ && writer_ && out.pages_enqueued > 0) {
+        writer_->wait_idle();
+        ++stats_.spill_sync_waits;
+        ++out.sync_waits;
+      }
+      harvest_spill();
+      while (memory_bytes() > mem_budget_bytes_ && free_head_ < spill_queue_.size()) {
+        Page* pg = spill_queue_[free_head_];
+        if (!pg->durable) {
+          // Budget critically exceeded with writes still in flight: the one
+          // place the write-behind pipeline takes a synchronous barrier.
+          writer_->wait_idle();
+          ++stats_.spill_sync_waits;
+          ++out.sync_waits;
+          harvest_spill();
+          if (!pg->durable) break;  // writer failed; surfaced below
+        }
+        evict_page(*pg, out);
+        ++free_head_;
+      }
+      if (writer_) {
+        if (writer_->failed()) {
+          throw StateCapacityError("LockFreeStateIndexMap: " + writer_->error());
+        }
+        if (!writer_->remap_all()) {
+          throw StateCapacityError("LockFreeStateIndexMap: " + writer_->error());
+        }
       }
     }
     return out;
   }
 
   ~LockFreeStateIndexMap() {
+    writer_.reset();  // join the I/O thread before its page buffers go away
     for (unsigned s = 0; s <= shard_mask_; ++s) {
       Shard& sh = shards_[s];
       for (std::size_t d = 0; d < kDirTop; ++d) {
@@ -415,16 +644,28 @@ class LockFreeStateIndexMap {
   static constexpr std::uint32_t kAnchorShift = 3;  ///< random-access stride 8
   static constexpr std::uint32_t kAnchorEvery = 1u << kAnchorShift;
   static constexpr std::size_t kStateBytes = W * sizeof(std::uint64_t);
+  /// Per-entry bookkeeping charged for a pinned state (key + node overhead);
+  /// part of the memory_bytes() formula the accounting test pins.
+  static constexpr std::size_t kPinnedNodeOverhead =
+      sizeof(std::uint32_t) + 4 * sizeof(void*);
 
-  enum Tier : std::uint8_t { kTierRaw = 0, kTierSealed = 1, kTierSpilled = 2 };
+  enum Tier : std::uint8_t {
+    kTierRaw = 0,
+    kTierSealed = 1,
+    kTierSpilled = 2,
+    kTierDropped = 3,  ///< fp-only: body gone, fingerprints remain
+  };
 
   struct Page {
     std::unique_ptr<State[]> raw;        ///< kPageStates entries while kTierRaw
     State ref{};                         ///< delta reference once sealed
     std::vector<std::uint8_t> packed;    ///< mask+delta stream while kTierSealed
     std::vector<std::uint32_t> anchors;  ///< stream offset of every 8th state
+    std::unique_ptr<std::uint64_t[]> fps;  ///< fp-only: masked fp per state
     std::uint64_t spill_off = 0;
     std::uint32_t spill_len = 0;
+    unsigned owner = 0;     ///< owning shard = this page's spill file index
+    bool durable = false;   ///< write-behind completion harvested
     std::uint8_t tier = kTierRaw;
   };
 
@@ -470,7 +711,7 @@ class LockFreeStateIndexMap {
 
   /// Writer-side page lookup: allocates directory leaves and pages on first
   /// touch via CAS publication (losers free their allocation and adopt).
-  Page* page_for_write(Shard& sh, std::uint32_t page_idx) {
+  Page* page_for_write(Shard& sh, unsigned shard_idx, std::uint32_t page_idx) {
     std::atomic<Leaf*>& le = sh.dir[page_idx >> kLeafBits];
     Leaf* leaf = le.load(std::memory_order_acquire);
     if (!leaf) {
@@ -487,10 +728,16 @@ class LockFreeStateIndexMap {
     if (!pg) {
       Page* fresh = new Page();
       fresh->raw = std::make_unique<State[]>(kPageStates);
+      fresh->owner = shard_idx;
+      if (fp_mode_) fresh->fps = std::make_unique<std::uint64_t[]>(kPageStates);
       if (pe.compare_exchange_strong(pg, fresh, std::memory_order_acq_rel,
                                      std::memory_order_acquire)) {
         pg = fresh;
         raw_bytes_.fetch_add(kPageStates * sizeof(State), std::memory_order_relaxed);
+        if (fp_mode_) {
+          fp_bytes_.fetch_add(kPageStates * sizeof(std::uint64_t),
+                              std::memory_order_relaxed);
+        }
       } else {
         delete fresh;
       }
@@ -515,6 +762,53 @@ class LockFreeStateIndexMap {
     State tmp;
     decode_into(*pg, off, tmp);
     return tmp == s;
+  }
+
+  /// Exact membership verdict against stored `local`, all tiers and modes:
+  /// 1 = same state, 0 = different state, -1 = different state *sharing the
+  /// candidate's masked fingerprint* (fp-only mode; the stored state has
+  /// been pinned exactly and the caller must pin the candidate too once it
+  /// is interned). In fp-only mode a dropped body with a matching
+  /// fingerprint is ambiguous and goes through the resolver.
+  int matches(unsigned shard_idx, const Shard& sh, std::uint32_t local, const State& s,
+              std::uint64_t h) const {
+    if (!fp_mode_) return state_equals(sh, local, s) ? 1 : 0;
+    const Page* pg = page_for_read(sh, local >> kPageBits);
+    const std::uint32_t off = local & kPageOffMask;
+    if (pg->fps[off] != (h & fp_mask_)) return 0;
+    const std::uint32_t gid = id_of(shard_idx, local);
+    State stored;
+    if (pg->tier == kTierRaw) {
+      stored = pg->raw[off];
+    } else if (!lookup_pinned(gid, stored)) {
+      TT_REQUIRE(resolver_ != nullptr,
+                 "LockFreeStateIndexMap: fingerprint-only probe hit a dropped "
+                 "body with no re-expansion resolver installed");
+      reexpansions_.fetch_add(1, std::memory_order_relaxed);
+      const bool ok = resolver_(gid, stored);
+      TT_REQUIRE(ok, "LockFreeStateIndexMap: re-expansion failed to rebuild a state");
+    }
+    if (stored == s) return 1;
+    // Genuine collision. Pin the stored state *now* — even while its body is
+    // still resident — so the set of distinct states sharing a masked
+    // fingerprint within a shard is always fully pinned, which is what makes
+    // the replay disambiguation sound after later body drops.
+    fp_collisions_.fetch_add(1, std::memory_order_relaxed);
+    pin_state(gid, stored);
+    return -1;
+  }
+
+  void pin_state(std::uint32_t gid, const State& s) const {
+    std::lock_guard<std::mutex> lk(pinned_mu_);
+    pinned_.emplace(gid, s);
+  }
+
+  [[nodiscard]] bool lookup_pinned(std::uint32_t gid, State& out) const {
+    std::lock_guard<std::mutex> lk(pinned_mu_);
+    const auto it = pinned_.find(gid);
+    if (it == pinned_.end()) return false;
+    out = it->second;
+    return true;
   }
 
   // ---- delta codec -------------------------------------------------------
@@ -560,7 +854,7 @@ class LockFreeStateIndexMap {
   void decode_into(const Page& pg, std::uint32_t off, State& out) const {
     const std::uint8_t* base;
     if (pg.tier == kTierSpilled) {
-      base = spill_.data(pg.spill_off);
+      base = writer_->data(pg.owner, pg.spill_off, pg.spill_len);
     } else {
       base = pg.packed.data();
     }
@@ -588,21 +882,38 @@ class LockFreeStateIndexMap {
     ++stats_.pages_compressed;
   }
 
-  bool spill_page(Page& pg, MaintainStats& out) {
-    std::uint64_t off = 0;
-    if (!spill_.append(pg.packed.data(), pg.packed.size(), off)) return false;
-    pg.spill_off = off;
-    pg.spill_len = static_cast<std::uint32_t>(pg.packed.size());
-    sealed_bytes_ -= pg.packed.capacity() + pg.anchors.capacity() * sizeof(std::uint32_t);
-    stats_.spill_bytes += pg.packed.size();
-    ++stats_.pages_spilled;
-    out.bytes_spilled += pg.packed.size();
-    ++out.pages_spilled;
+  /// Fingerprint-only seal: the body is simply discarded. The per-state
+  /// fingerprints (pg.fps) and any pinned collision states carry the exact
+  /// membership semantics from here on.
+  void drop_page(Page& pg) {
+    pg.raw.reset();
+    pg.tier = kTierDropped;
+    raw_bytes_.fetch_sub(kPageStates * sizeof(State), std::memory_order_relaxed);
+    ++stats_.pages_dropped;
+  }
+
+  /// Frees the resident body of a page whose write-behind job is durable.
+  void evict_page(Page& pg, MaintainStats& out) {
+    sealed_bytes_ -= pg.packed.capacity();
     pg.packed.clear();
     pg.packed.shrink_to_fit();
-    sealed_bytes_ += pg.anchors.capacity() * sizeof(std::uint32_t);  // anchors stay resident
-    pg.tier = kTierSpilled;
-    return true;
+    pg.tier = kTierSpilled;  // anchors stay resident for random access
+    ++stats_.pages_spilled;
+    ++out.pages_spilled;
+  }
+
+  /// Collects write-behind completions and marks their pages durable. The
+  /// tier flip to kTierSpilled happens later, in evict_page, and only at
+  /// quiescent points — concurrent readers never observe a transition.
+  void harvest_spill() {
+    if (!writer_) return;
+    harvest_buf_.clear();
+    writer_->harvest(harvest_buf_);
+    for (const SpillWriter::Completion& c : harvest_buf_) {
+      Page* pg = reinterpret_cast<Page*>(static_cast<std::uintptr_t>(c.cookie));
+      TT_ASSERT(pg->spill_off == c.offset && pg->spill_len == c.length);
+      pg->durable = true;
+    }
   }
 
   // ---- probe-table growth (quiescent/serial only) ------------------------
@@ -668,108 +979,6 @@ class LockFreeStateIndexMap {
     }
   }
 
-  // ---- spill backing file ------------------------------------------------
-  // An unlinked temp file (TTSTART_SPILL_DIR, else TMPDIR, else /tmp),
-  // append-written with pwrite at quiescent points and remapped read-only
-  // once per maintain call. Reads during the concurrent phases touch only
-  // the stable mapping. On non-POSIX hosts the tier is disabled: sealed
-  // pages simply stay resident and spill_bytes stays 0.
-
-  class SpillFile {
-   public:
-    ~SpillFile() { reset(); }
-
-    bool append(const void* p, std::size_t n, std::uint64_t& off_out) {
-#if TT_LFSIM_HAS_SPILL
-      if (!ensure_open()) return false;
-      const auto* bytes = static_cast<const std::uint8_t*>(p);
-      std::size_t done = 0;
-      while (done < n) {
-        const ::ssize_t w = ::pwrite(fd_, bytes + done, n - done,
-                                     static_cast<::off_t>(end_ + done));
-        if (w <= 0) {
-          failed_ = true;
-          return false;
-        }
-        done += static_cast<std::size_t>(w);
-      }
-      off_out = end_;
-      end_ += n;
-      return true;
-#else
-      (void)p;
-      (void)n;
-      (void)off_out;
-      return false;
-#endif
-    }
-
-    bool remap() {
-#if TT_LFSIM_HAS_SPILL
-      if (end_ == 0 || fd_ < 0) return true;
-      if (base_ != nullptr) ::munmap(base_, mapped_);
-      base_ = nullptr;
-      mapped_ = 0;
-      void* m = ::mmap(nullptr, end_, PROT_READ, MAP_SHARED, fd_, 0);
-      if (m == MAP_FAILED) {
-        failed_ = true;
-        return false;
-      }
-      base_ = static_cast<std::uint8_t*>(m);
-      mapped_ = end_;
-      return true;
-#else
-      return true;
-#endif
-    }
-
-    [[nodiscard]] const std::uint8_t* data(std::uint64_t off) const {
-      TT_ASSERT(base_ != nullptr && off < mapped_);
-      return base_ + off;
-    }
-
-   private:
-    bool ensure_open() {
-#if TT_LFSIM_HAS_SPILL
-      if (fd_ >= 0) return true;
-      if (failed_) return false;
-      const char* dir = std::getenv("TTSTART_SPILL_DIR");
-      if (dir == nullptr || *dir == '\0') dir = std::getenv("TMPDIR");
-      if (dir == nullptr || *dir == '\0') dir = "/tmp";
-      std::string path = std::string(dir) + "/ttstart-spill-XXXXXX";
-      std::vector<char> buf(path.begin(), path.end());
-      buf.push_back('\0');
-      fd_ = ::mkstemp(buf.data());
-      if (fd_ < 0) {
-        failed_ = true;
-        return false;
-      }
-      ::unlink(buf.data());  // anonymous: reclaimed on close, even on crash
-      return true;
-#else
-      failed_ = true;
-      return false;
-#endif
-    }
-
-    void reset() {
-#if TT_LFSIM_HAS_SPILL
-      if (base_ != nullptr) ::munmap(base_, mapped_);
-      if (fd_ >= 0) ::close(fd_);
-#endif
-      base_ = nullptr;
-      mapped_ = 0;
-      end_ = 0;
-      fd_ = -1;
-    }
-
-    int fd_ = -1;
-    bool failed_ = false;
-    std::uint8_t* base_ = nullptr;
-    std::size_t mapped_ = 0;
-    std::uint64_t end_ = 0;
-  };
-
   std::unique_ptr<Shard[]> shards_;
   unsigned shard_bits_ = 0;
   unsigned shard_mask_ = 0;
@@ -782,14 +991,30 @@ class LockFreeStateIndexMap {
 
   std::size_t mem_budget_bytes_ = 0;  ///< 0 = unlimited (never spill)
   std::vector<Page*> spill_queue_;    ///< sealed pages in seal order
-  std::size_t spill_head_ = 0;        ///< next page to evict
-  SpillFile spill_;
+  std::size_t enqueue_head_ = 0;      ///< next page to hand to the writer
+  std::size_t free_head_ = 0;         ///< next durable page body to free
+  std::string spill_dir_;             ///< --spill-dir override (may be empty)
+  bool spill_sync_ = false;           ///< bench dial: wait for every spill
+  std::vector<SpillWriter::Completion> harvest_buf_;
+
+  bool fp_mode_ = false;
+  std::uint64_t fp_mask_ = ~std::uint64_t{0};
+  Resolver resolver_;
+  mutable std::mutex pinned_mu_;
+  mutable std::unordered_map<std::uint32_t, State> pinned_;
 
   std::atomic<std::size_t> raw_bytes_{0};
+  std::atomic<std::size_t> fp_bytes_{0};
   std::size_t sealed_bytes_ = 0;
   StoreStats stats_;
   mutable std::atomic<std::size_t> cas_retries_{0};
   mutable std::atomic<std::size_t> bloom_negatives_{0};
+  mutable std::atomic<std::size_t> fp_collisions_{0};
+  mutable std::atomic<std::size_t> reexpansions_{0};
+
+  // Joined in the destructor before the arena pages are freed — keep last so
+  // any member-destruction order change cannot outlive the pages it reads.
+  std::unique_ptr<SpillWriter> writer_;
 };
 
 }  // namespace tt

@@ -1,0 +1,246 @@
+#include "support/spill_writer.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/assert.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define TT_SPILL_WRITER_POSIX 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+#else
+#define TT_SPILL_WRITER_POSIX 0
+#endif
+
+namespace tt {
+
+bool SpillWriter::platform_supported() noexcept { return TT_SPILL_WRITER_POSIX != 0; }
+
+SpillWriter::SpillWriter(unsigned files, std::string explicit_dir)
+    : ring_(kRingCapacity), files_(files), explicit_dir_(std::move(explicit_dir)) {
+  if (const char* cap = std::getenv("TTSTART_SPILL_FAIL_AFTER")) {
+    fail_after_ = static_cast<std::uint64_t>(std::strtoull(cap, nullptr, 10));
+  }
+  if (platform_supported()) {
+    io_ = std::thread([this] { io_loop(); });
+  } else {
+    failed_ = true;
+    error_ = "spill unsupported on this platform";
+  }
+}
+
+SpillWriter::~SpillWriter() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  if (io_.joinable()) io_.join();
+#if TT_SPILL_WRITER_POSIX
+  for (FileState& fs : files_) {
+    if (fs.base != nullptr) ::munmap(fs.base, fs.mapped);
+    if (fs.fd >= 0) ::close(fs.fd);
+  }
+#endif
+}
+
+void SpillWriter::fail(std::string msg) {
+  if (failed_) return;
+  failed_ = true;
+  error_ = std::move(msg);
+}
+
+bool SpillWriter::open_file(FileState& fs) {
+#if TT_SPILL_WRITER_POSIX
+  if (fs.fd >= 0) return true;
+  if (dir_.empty()) {
+    const char* dir = explicit_dir_.empty() ? nullptr : explicit_dir_.c_str();
+    const bool requested = dir != nullptr;
+    const char* env = std::getenv("TTSTART_SPILL_DIR");
+    const bool env_requested = !requested && env != nullptr && *env != '\0';
+    if (dir == nullptr && env_requested) dir = env;
+    if (dir == nullptr) dir = std::getenv("TMPDIR");
+    if (dir == nullptr || *dir == '\0') dir = "/tmp";
+    // An explicitly requested directory (flag or env) that is unwritable is
+    // a hard error — never silently fall through to /tmp.
+    std::string probe = std::string(dir) + "/ttstart-spill-XXXXXX";
+    std::vector<char> buf(probe.begin(), probe.end());
+    buf.push_back('\0');
+    const int fd = ::mkstemp(buf.data());
+    if (fd < 0) {
+      const int err = errno;
+      if (requested || env_requested) {
+        fail("spill directory '" + std::string(dir) + "' is unwritable: " +
+             std::strerror(err));
+      } else {
+        fail("cannot create spill file under '" + std::string(dir) + "': " +
+             std::strerror(err));
+      }
+      return false;
+    }
+    ::unlink(buf.data());  // anonymous: reclaimed on close, even on crash
+    dir_ = dir;
+    fs.fd = fd;
+    return true;
+  }
+  std::string path = dir_ + "/ttstart-spill-XXXXXX";
+  std::vector<char> buf(path.begin(), path.end());
+  buf.push_back('\0');
+  fs.fd = ::mkstemp(buf.data());
+  if (fs.fd < 0) {
+    fail("spill directory '" + dir_ + "' is unwritable: " + std::strerror(errno));
+    return false;
+  }
+  ::unlink(buf.data());
+  return true;
+#else
+  (void)fs;
+  return false;
+#endif
+}
+
+std::uint64_t SpillWriter::enqueue(unsigned file, const std::uint8_t* data,
+                                   std::uint32_t len, std::uint64_t cookie) {
+  std::unique_lock<std::mutex> lk(mu_);
+  TT_REQUIRE(file < files_.size(), "SpillWriter: file index out of range");
+  if (failed_) return 0;
+  if (!open_file(files_[file])) return 0;
+  if (ring_tail_ - ring_head_ == kRingCapacity) {
+    ++stats_.sync_waits;  // backpressure: the budget outran the device
+    done_cv_.wait(lk, [this] { return ring_tail_ - ring_head_ < kRingCapacity || failed_; });
+    if (failed_) return 0;
+  }
+  FileState& fs = files_[file];
+  const std::uint64_t off = fs.reserved;
+  fs.reserved += len;
+  Job& j = ring_[ring_tail_ % kRingCapacity];
+  j = Job{file, data, len, cookie, off};
+  ++ring_tail_;
+  ++stats_.async_pages;
+  lk.unlock();
+  work_cv_.notify_one();
+  return off;
+}
+
+void SpillWriter::io_loop() {
+#if TT_SPILL_WRITER_POSIX
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    work_cv_.wait(lk, [this] { return stop_ || ring_head_ != ring_tail_; });
+    if (ring_head_ == ring_tail_) {
+      if (stop_) return;
+      continue;
+    }
+    const Job j = ring_[ring_head_ % kRingCapacity];
+    const int fd = files_[j.file].fd;
+    const std::uint64_t injected_cap = fail_after_;
+    const std::uint64_t injected_before = injected_written_;
+    lk.unlock();
+    bool ok = true;
+    std::string msg;
+    if (injected_before + j.len > injected_cap) {
+      ok = false;
+      msg = "spill write failed: No space left on device (injected by "
+            "TTSTART_SPILL_FAIL_AFTER)";
+    } else {
+      std::uint32_t done = 0;
+      while (done < j.len) {
+        const ::ssize_t w = ::pwrite(fd, j.data + done, j.len - done,
+                                     static_cast<::off_t>(j.offset + done));
+        if (w <= 0) {
+          ok = false;
+          msg = std::string("spill write failed: ") + std::strerror(errno);
+          break;
+        }
+        done += static_cast<std::uint32_t>(w);
+      }
+    }
+    lk.lock();
+    if (ok) {
+      injected_written_ += j.len;
+      files_[j.file].written = j.offset + j.len;
+      stats_.bytes_written += j.len;
+      done_.push_back(Completion{j.cookie, j.file, j.offset, j.len});
+    } else {
+      fail(std::move(msg));
+    }
+    ++ring_head_;
+    done_cv_.notify_all();
+  }
+#endif
+}
+
+std::size_t SpillWriter::harvest(std::vector<Completion>& out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::size_t n = done_.size();
+  out.insert(out.end(), done_.begin(), done_.end());
+  done_.clear();
+  return n;
+}
+
+void SpillWriter::wait_idle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (ring_head_ == ring_tail_ || failed_) return;
+  ++stats_.sync_waits;
+  done_cv_.wait(lk, [this] { return ring_head_ == ring_tail_ || failed_; });
+}
+
+bool SpillWriter::remap_all() {
+#if TT_SPILL_WRITER_POSIX
+  std::unique_lock<std::mutex> lk(mu_);
+  for (FileState& fs : files_) {
+    if (fs.fd < 0 || fs.written == fs.mapped) continue;
+    const std::uint64_t len = fs.written;
+    lk.unlock();  // mmap outside the lock; `written` only grows
+    void* m = ::mmap(nullptr, len, PROT_READ, MAP_SHARED, fs.fd, 0);
+    lk.lock();
+    if (m == MAP_FAILED) {
+      fail(std::string("spill remap failed: ") + std::strerror(errno));
+      return false;
+    }
+    if (fs.base != nullptr) ::munmap(fs.base, fs.mapped);
+    fs.base = static_cast<std::uint8_t*>(m);
+    fs.mapped = len;
+  }
+  return true;
+#else
+  return false;
+#endif
+}
+
+const std::uint8_t* SpillWriter::data(unsigned file, std::uint64_t off,
+                                      std::uint32_t len) const {
+  // No lock: base/mapped change only at quiescent remap_all(), and readers
+  // only ask for offsets that were durable and mapped before the barrier
+  // that released them.
+  const FileState& fs = files_[file];
+  TT_ASSERT(fs.base != nullptr && off + len <= fs.mapped);
+  (void)len;
+  return fs.base + off;
+}
+
+bool SpillWriter::failed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return failed_;
+}
+
+std::string SpillWriter::error() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return error_;
+}
+
+std::size_t SpillWriter::memory_bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return sizeof(SpillWriter) + ring_.capacity() * sizeof(Job) +
+         files_.capacity() * sizeof(FileState) + done_.capacity() * sizeof(Completion);
+}
+
+SpillWriter::Stats SpillWriter::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace tt

@@ -1,0 +1,145 @@
+// SpillWriter: the asynchronous write-behind back end of the out-of-core
+// state store (DESIGN.md §3.9).
+//
+// One dedicated I/O thread owns a set of unlinked temp files — one append
+// stream per store shard, each with its own offset, so sealed pages from
+// different shards never serialize against a shared file position and the
+// quiescent maintain step never copies page bytes around. Producers enqueue
+// (file, bytes, cookie) jobs into a bounded FIFO ring and return immediately;
+// the I/O thread drains the ring with pwrite. Completions are collected with
+// harvest() and the only synchronous barrier is wait_idle(), which the store
+// takes when a page must become durable *now* (budget critically exceeded)
+// — counted upstream as RunStats::spill_sync_waits.
+//
+// Concurrency contract:
+//   * enqueue()/harvest()/wait_idle()/remap_all() — one producer thread at a
+//     time (the store's quiescent maintain step). enqueue() blocks only when
+//     the ring is full (backpressure, counted as a sync wait).
+//   * data() — safe from any number of reader threads concurrently with the
+//     I/O thread, for offsets below the last remap_all(); the mapping is
+//     only replaced at quiescent points.
+//   * The offset of each job is assigned at enqueue time (per-file bump), so
+//     page offsets are deterministic regardless of I/O timing.
+//
+// Directory resolution: an explicit dir (from --spill-dir) wins, then
+// TTSTART_SPILL_DIR, then TMPDIR, then /tmp. When an explicitly requested
+// directory is unwritable the writer fails loudly (failed()/error()) instead
+// of silently falling through to /tmp.
+//
+// Failure injection for tests: TTSTART_SPILL_FAIL_AFTER=<bytes> makes every
+// write past that many total bytes fail as if the device were full, which is
+// how the ENOSPC propagation tests drive the error path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tt {
+
+class SpillWriter {
+ public:
+  /// Bounded job ring; enqueue blocks (a sync wait) when it is full.
+  static constexpr std::size_t kRingCapacity = 256;
+
+  struct Completion {
+    std::uint64_t cookie = 0;
+    unsigned file = 0;
+    std::uint64_t offset = 0;
+    std::uint32_t length = 0;
+  };
+
+  struct Stats {
+    std::size_t sync_waits = 0;      ///< blocking waits (ring full / wait_idle)
+    std::size_t async_pages = 0;     ///< jobs accepted without blocking
+    std::uint64_t bytes_written = 0; ///< durable bytes across all files
+  };
+
+  /// True when this platform has the POSIX pieces (mkstemp/pwrite/mmap).
+  [[nodiscard]] static bool platform_supported() noexcept;
+
+  /// `files` independent append streams; `explicit_dir` overrides the
+  /// TTSTART_SPILL_DIR / TMPDIR / /tmp fallback chain when non-empty.
+  explicit SpillWriter(unsigned files, std::string explicit_dir = {});
+  ~SpillWriter();
+
+  SpillWriter(const SpillWriter&) = delete;
+  SpillWriter& operator=(const SpillWriter&) = delete;
+
+  /// Queues an append of [data, data+len) to `file` and returns the offset
+  /// the bytes will land at. The buffer must stay valid and unmodified until
+  /// the job's completion has been harvested. Returns immediately unless the
+  /// ring is full. No-op (returns 0) after a failure.
+  std::uint64_t enqueue(unsigned file, const std::uint8_t* data, std::uint32_t len,
+                        std::uint64_t cookie);
+
+  /// Appends every newly durable job's completion to `out`; non-blocking.
+  std::size_t harvest(std::vector<Completion>& out);
+
+  /// Synchronous barrier: returns once every enqueued job is durable (or the
+  /// writer has failed). Counts toward Stats::sync_waits when it had to wait.
+  void wait_idle();
+
+  /// Refreshes the read-only mappings of every file that grew since the last
+  /// call. Producer thread only, at quiescent points. False on mmap failure.
+  bool remap_all();
+
+  /// Pointer to durable bytes below the last remap_all(). Reader-safe.
+  [[nodiscard]] const std::uint8_t* data(unsigned file, std::uint64_t off,
+                                         std::uint32_t len) const;
+
+  [[nodiscard]] bool failed() const;
+  [[nodiscard]] std::string error() const;
+
+  /// Resident bytes of the writer itself: ring, per-file metadata, pending
+  /// completion buffer. Counted into the store's memory_bytes() so the
+  /// memory budget stays honest about its own machinery.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Job {
+    unsigned file = 0;
+    const std::uint8_t* data = nullptr;
+    std::uint32_t len = 0;
+    std::uint64_t cookie = 0;
+    std::uint64_t offset = 0;
+  };
+
+  struct FileState {
+    int fd = -1;
+    std::uint64_t reserved = 0;  ///< producer-side append offset
+    std::uint64_t written = 0;   ///< durable bytes (I/O thread side)
+    std::uint8_t* base = nullptr;
+    std::size_t mapped = 0;
+  };
+
+  void io_loop();
+  bool open_file(FileState& fs);  // producer, under mu_
+  void fail(std::string msg);     // under mu_
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // producer -> I/O thread
+  std::condition_variable done_cv_;   // I/O thread -> producer
+  std::vector<Job> ring_;             // fixed kRingCapacity slots
+  std::size_t ring_head_ = 0;         // next job the I/O thread takes
+  std::size_t ring_tail_ = 0;         // next free slot
+  std::vector<Completion> done_;      // completions awaiting harvest
+  std::vector<FileState> files_;
+  std::string dir_;                   // resolved at first open
+  std::string explicit_dir_;
+  bool stop_ = false;
+  bool failed_ = false;
+  std::string error_;
+  Stats stats_;
+  std::uint64_t fail_after_ = ~std::uint64_t{0};  ///< injected device-full cap
+  std::uint64_t injected_written_ = 0;
+  std::thread io_;
+};
+
+}  // namespace tt

@@ -1,0 +1,88 @@
+// StableVector: an append-only vector with stable element addresses and
+// race-free concurrent reads of previously published entries.
+//
+// The parallel engines' per-shard parent-link arrays used to be plain
+// std::vector<uint32_t>: safe while only the owning drain worker touched
+// them, but the fingerprint-only store's re-expansion resolver (DESIGN.md
+// §3.9) walks parent chains from *other* workers mid-level, and a
+// std::vector reallocation under a concurrent reader is a use-after-free.
+// This container never relocates: storage is fixed-size chunks published
+// through an atomic directory, so a reader holding an index below the
+// writer's frontier always dereferences stable memory.
+//
+// Contract (exactly what the level-synchronous engines need):
+//   * push_back() — single writer at a time (the shard's drain owner).
+//   * operator[]  — safe from any thread for indices whose push_back
+//     happened before a synchronization point the reader passed (the level
+//     barrier), or from the writer itself at any time.
+//   * size()/memory_bytes() — writer thread or quiescent phases only.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "support/assert.hpp"
+
+namespace tt {
+
+template <class T>
+class StableVector {
+ public:
+  static constexpr std::size_t kChunkBits = 13;  ///< 8192 elements per chunk
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkBits;
+  static constexpr std::size_t kChunkMask = kChunkSize - 1;
+  // Directory depth: covers 2^(13+16) = 2^29 elements, past the per-shard
+  // dense-id ceiling of the state stores.
+  static constexpr std::size_t kMaxChunks = std::size_t{1} << 16;
+
+  StableVector() : dir_(std::make_unique<std::atomic<T*>[]>(kMaxChunks)) {}
+
+  ~StableVector() {
+    for (std::size_t c = 0; c < chunks_; ++c) {
+      delete[] dir_[c].load(std::memory_order_relaxed);
+    }
+  }
+
+  StableVector(const StableVector&) = delete;
+  StableVector& operator=(const StableVector&) = delete;
+
+  void push_back(const T& v) {
+    const std::size_t chunk = size_ >> kChunkBits;
+    T* p = dir_[chunk].load(std::memory_order_acquire);
+    if (p == nullptr) {
+      TT_REQUIRE(chunk < kMaxChunks, "StableVector: directory exhausted");
+      p = new T[kChunkSize]();
+      dir_[chunk].store(p, std::memory_order_release);
+      chunks_ = chunk + 1;
+    }
+    p[size_ & kChunkMask] = v;
+    ++size_;
+  }
+
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    T* p = dir_[i >> kChunkBits].load(std::memory_order_acquire);
+    TT_ASSERT(p != nullptr);
+    return p[i & kChunkMask];
+  }
+
+  [[nodiscard]] T& operator[](std::size_t i) {
+    T* p = dir_[i >> kChunkBits].load(std::memory_order_acquire);
+    TT_ASSERT(p != nullptr);
+    return p[i & kChunkMask];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return kMaxChunks * sizeof(std::atomic<T*>) + chunks_ * kChunkSize * sizeof(T);
+  }
+
+ private:
+  std::unique_ptr<std::atomic<T*>[]> dir_;
+  std::size_t size_ = 0;
+  std::size_t chunks_ = 0;
+};
+
+}  // namespace tt

@@ -281,6 +281,203 @@ TEST(LockFreeStateIndexMap, IncrementalSpillKeepsEarlierPagesValid) {
 }
 #endif  // TT_LFSIM_HAS_SPILL
 
+#if TT_LFSIM_HAS_SPILL
+// Write-behind semantics: with a budget that is set but not exceeded, sealed
+// pages are handed to the I/O thread asynchronously and their bodies stay
+// resident (no eviction, no synchronous barrier). Tightening the budget
+// later evicts the already-durable pages; every state keeps reading back.
+TEST(LockFreeStateIndexMap, WriteBehindEnqueuesWithoutEvictingUnderGenerousBudget) {
+  constexpr std::uint64_t kStates = 5000;
+  Map2 map;
+  map.set_mem_budget(64u << 20);  // generous: never exceeded by this test
+  std::vector<std::uint32_t> ids;
+  for (std::uint64_t i = 0; i < kStates; ++i) {
+    ids.push_back(map.insert_serial(make_state(i * 3, i ^ 0xf00d)).first);
+  }
+  (void)map.quiescent_maintain();
+  const auto m = map.quiescent_maintain();
+  EXPECT_EQ(m.pages_sealed, 4u);
+  EXPECT_EQ(m.pages_enqueued, 4u);
+  auto st = map.store_stats();
+  EXPECT_EQ(st.spill_async_pages, 4u);
+  EXPECT_EQ(st.spill_sync_waits, 0u);  // under budget: nothing ever blocks
+  EXPECT_EQ(st.pages_spilled, 0u);     // bodies stay resident until needed
+  for (std::uint64_t i = 0; i < kStates; ++i) {
+    ASSERT_EQ(map.at(ids[i]), make_state(i * 3, i ^ 0xf00d)) << "i=" << i;
+  }
+
+  map.set_mem_budget(1);  // now critically exceeded: evict durable pages
+  (void)map.quiescent_maintain();
+  st = map.store_stats();
+  EXPECT_EQ(st.pages_spilled, 4u);
+  for (std::uint64_t i = 0; i < kStates; ++i) {
+    const auto s = make_state(i * 3, i ^ 0xf00d);
+    ASSERT_EQ(map.at(ids[i]), s) << "i=" << i;
+    ASSERT_EQ(map.find(s), ids[i]) << "i=" << i;
+  }
+}
+
+// An I/O-thread write failure (injected device-full) must surface as
+// StateCapacityError from the next quiescent maintain, not hang the barrier
+// or silently drop pages.
+TEST(LockFreeStateIndexMap, WriterFailureSurfacesAsStateCapacityErrorAtMaintain) {
+  ::setenv("TTSTART_SPILL_FAIL_AFTER", "1", 1);
+  Map2 map;
+  map.set_mem_budget(1);
+  for (std::uint64_t i = 0; i < 5000; ++i) map.insert_serial(make_state(i, i * 17));
+  (void)map.quiescent_maintain();  // records the quiescent count, no spill yet
+  EXPECT_THROW((void)map.quiescent_maintain(), StateCapacityError);
+  ::unsetenv("TTSTART_SPILL_FAIL_AFTER");
+}
+
+// The TSan target for the write-behind pipeline: seal + enqueue pages, then
+// immediately hammer the store with concurrent find()/at() readers and
+// insert() writers while the I/O thread is (potentially) still writing the
+// sealed bodies it was handed. Bodies stay resident until a quiescent
+// harvest, so readers never observe a tier change mid-flight.
+TEST(LockFreeStateIndexMap, ConcurrentFindsRaceInFlightAsyncSpillWrites) {
+  constexpr std::uint64_t kOld = 8192;
+  constexpr std::uint64_t kNewUniverse = 8000;
+  constexpr int kReaders = 4;
+  constexpr int kWriters = 2;
+  Map2 map(4);
+  map.set_mem_budget(64u << 20);
+  map.reserve(kOld + kNewUniverse);
+  std::vector<std::uint32_t> old_ids;
+  for (std::uint64_t i = 0; i < kOld; ++i) {
+    old_ids.push_back(map.insert_serial(make_state(i, i * 2654435761ull)).first);
+  }
+  (void)map.quiescent_maintain();
+  const auto m = map.quiescent_maintain();  // seals + enqueues, returns async
+  ASSERT_GT(m.pages_enqueued, 0u);
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kReaders; ++t) {
+    workers.emplace_back([&map, &old_ids, t] {
+      Rng rng(31 * t + 7);
+      for (int i = 0; i < 30000; ++i) {
+        const std::uint64_t key = rng.next() % kOld;
+        const auto s = make_state(key, key * 2654435761ull);
+        if (map.at(old_ids[key]) != s) {
+          ADD_FAILURE() << "sealed state " << key << " read back wrong";
+          return;
+        }
+        if (map.find(s) != old_ids[key]) {
+          ADD_FAILURE() << "sealed state " << key << " not found";
+          return;
+        }
+      }
+    });
+  }
+  for (int t = 0; t < kWriters; ++t) {
+    workers.emplace_back([&map, t] {
+      Rng rng(41 * t + 11);
+      for (int i = 0; i < 30000; ++i) {
+        const std::uint64_t key = 1000000 + rng.next() % kNewUniverse;
+        map.insert(make_state(key, key ^ 0xabcdef));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  (void)map.quiescent_maintain();  // harvest the completions
+  for (std::uint64_t i = 0; i < kOld; ++i) {
+    ASSERT_EQ(map.at(old_ids[i]), make_state(i, i * 2654435761ull)) << "i=" << i;
+  }
+}
+#endif  // TT_LFSIM_HAS_SPILL
+
+// Accounting regression: memory_bytes() must be exactly the sum of the
+// breakdown components (the budget enforcement compares memory_bytes()
+// against the budget, so a component silently dropping out of the sum would
+// under-enforce it).
+TEST(LockFreeStateIndexMap, MemoryBytesIsExactlyTheBreakdownSum) {
+  Map2 map(4);
+  for (std::uint64_t i = 0; i < 6000; ++i) map.insert_serial(make_state(i, i * 31));
+  (void)map.quiescent_maintain();
+  (void)map.quiescent_maintain();
+  const auto b = map.memory_breakdown();
+  EXPECT_EQ(map.memory_bytes(), b.slots + b.raw_pages + b.sealed_pages + b.fingerprints +
+                                    b.pinned + b.bloom + b.spill_writer);
+  EXPECT_EQ(map.memory_bytes(), b.total());
+  EXPECT_GT(b.slots, 0u);
+  EXPECT_GT(b.raw_pages, 0u);
+  EXPECT_GT(b.sealed_pages, 0u);
+  EXPECT_EQ(b.fingerprints, 0u);  // not in fp mode
+#if TT_LFSIM_HAS_SPILL
+  // With a budget, the write-behind machinery itself must be counted.
+  Map2 budgeted;
+  budgeted.set_mem_budget(1);
+  for (std::uint64_t i = 0; i < 3000; ++i) budgeted.insert_serial(make_state(i, i));
+  (void)budgeted.quiescent_maintain();
+  (void)budgeted.quiescent_maintain();
+  const auto bb = budgeted.memory_breakdown();
+  EXPECT_GT(bb.spill_writer, 0u);
+  EXPECT_EQ(budgeted.memory_bytes(), bb.total());
+#endif
+}
+
+// The fingerprint-collision oracle: a 12-bit fingerprint over 9000 states
+// forces masses of genuine collisions (distinct states, equal masked
+// fingerprint). With a shadow resolver standing in for the engines'
+// predecessor-path replay, membership and ids must stay exact — collisions
+// get pinned, ambiguous matches get re-expanded, and nothing is ever
+// conflated (the difference between this store and classical hash
+// compaction).
+TEST(LockFreeStateIndexMap, FingerprintOnlyNarrowMaskStaysExact) {
+  constexpr std::uint64_t kStates = 9000;
+  Map2 map;  // one shard: dense ids index the shadow directly
+  map.set_fingerprint_only(true);
+  map.set_fingerprint_bits(12);
+  std::vector<Map2::State> shadow;
+  map.set_resolver([&shadow](std::uint32_t id, Map2::State& out) {
+    if (id >= shadow.size()) return false;
+    out = shadow[id];
+    return true;
+  });
+
+  for (std::uint64_t i = 0; i < kStates; ++i) {
+    const auto s = make_state(i * 11, i ^ 0x1234);
+    const auto [id, fresh] = map.insert_serial(s);
+    ASSERT_TRUE(fresh) << "i=" << i;
+    ASSERT_EQ(id, shadow.size()) << "i=" << i;
+    shadow.push_back(s);
+  }
+  (void)map.quiescent_maintain();
+  (void)map.quiescent_maintain();  // drops every full page body
+  auto st = map.store_stats();
+  EXPECT_GT(st.pages_dropped, 0u);
+  EXPECT_GT(st.fp_collisions, 0u) << "12-bit fps over 9000 states must collide";
+  EXPECT_EQ(st.pages_compressed, 0u);  // fp mode drops instead of sealing
+
+  // Exact membership for everything inserted, against dropped bodies.
+  for (std::uint64_t i = 0; i < kStates; ++i) {
+    const auto s = make_state(i * 11, i ^ 0x1234);
+    ASSERT_EQ(map.find(s), static_cast<std::uint32_t>(i)) << "i=" << i;
+    ASSERT_EQ(map.at(static_cast<std::uint32_t>(i)), s) << "i=" << i;
+  }
+  EXPECT_GT(map.store_stats().reexpansions, 0u);
+
+  // Duplicates are still duplicates; aliasing-but-distinct states are fresh.
+  for (std::uint64_t i = 0; i < kStates; i += 57) {
+    EXPECT_FALSE(map.insert_serial(make_state(i * 11, i ^ 0x1234)).second);
+  }
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    const auto s = make_state(500000 + i, ~i);
+    const auto [id, fresh] = map.insert_serial(s);
+    ASSERT_TRUE(fresh) << "i=" << i;
+    ASSERT_EQ(id, shadow.size());
+    shadow.push_back(s);
+  }
+  EXPECT_EQ(map.size(), kStates + 2000);
+
+  // The fp arrays and pins show up in the accounting.
+  const auto b = map.memory_breakdown();
+  EXPECT_GT(b.fingerprints, 0u);
+  EXPECT_GT(b.pinned, 0u);
+  EXPECT_EQ(map.memory_bytes(), b.total());
+}
+
 TEST(LockFreeStateIndexMap, MaxStatesCapThrowsOnBothInsertPaths) {
   Map2 serial;
   serial.set_max_states(4);

@@ -1,0 +1,174 @@
+// SpillWriter unit suite (DESIGN.md §3.9): per-file append offsets assigned
+// at enqueue time, completion harvesting, the wait_idle barrier, read-back
+// through the remapped files, the injected-ENOSPC failure path, and the
+// hard error on an explicitly requested unwritable directory.
+#include "support/spill_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+namespace tt {
+namespace {
+
+#if defined(__unix__) || defined(__APPLE__)
+
+std::vector<std::uint8_t> make_page(std::size_t len, std::uint8_t seed) {
+  std::vector<std::uint8_t> page(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    page[i] = static_cast<std::uint8_t>(seed + i * 31);
+  }
+  return page;
+}
+
+TEST(SpillWriter, PlatformSupportedOnPosix) { EXPECT_TRUE(SpillWriter::platform_supported()); }
+
+TEST(SpillWriter, OffsetsAreAssignedPerFileAtEnqueueTime) {
+  SpillWriter w(3);
+  const auto a = make_page(100, 1);
+  const auto b = make_page(200, 2);
+  const auto c = make_page(50, 3);
+  // Interleave files: each file's offsets bump independently, and the
+  // returned offset is decided before the I/O thread touches anything.
+  EXPECT_EQ(w.enqueue(0, a.data(), 100, 10), 0u);
+  EXPECT_EQ(w.enqueue(1, b.data(), 200, 11), 0u);
+  EXPECT_EQ(w.enqueue(0, c.data(), 50, 12), 100u);
+  EXPECT_EQ(w.enqueue(1, c.data(), 50, 13), 200u);
+  EXPECT_EQ(w.enqueue(2, a.data(), 100, 14), 0u);
+  w.wait_idle();
+  EXPECT_FALSE(w.failed()) << w.error();
+  EXPECT_EQ(w.stats().bytes_written, 500u);
+}
+
+TEST(SpillWriter, HarvestReportsEveryCompletionExactlyOnce) {
+  SpillWriter w(2);
+  constexpr int kJobs = 40;
+  std::vector<std::vector<std::uint8_t>> pages;
+  pages.reserve(kJobs);
+  for (int i = 0; i < kJobs; ++i) {
+    pages.push_back(make_page(64 + i, static_cast<std::uint8_t>(i)));
+    w.enqueue(static_cast<unsigned>(i % 2), pages.back().data(),
+              static_cast<std::uint32_t>(pages.back().size()),
+              /*cookie=*/static_cast<std::uint64_t>(1000 + i));
+  }
+  w.wait_idle();
+  std::vector<SpillWriter::Completion> done;
+  w.harvest(done);
+  ASSERT_EQ(done.size(), static_cast<std::size_t>(kJobs));
+  std::set<std::uint64_t> cookies;
+  for (const auto& c : done) {
+    EXPECT_TRUE(cookies.insert(c.cookie).second) << "duplicate cookie " << c.cookie;
+    const int i = static_cast<int>(c.cookie - 1000);
+    ASSERT_GE(i, 0);
+    ASSERT_LT(i, kJobs);
+    EXPECT_EQ(c.file, static_cast<unsigned>(i % 2));
+    EXPECT_EQ(c.length, 64u + static_cast<std::uint32_t>(i));
+  }
+  // A second harvest finds nothing: completions are consumed, not replayed.
+  std::vector<SpillWriter::Completion> again;
+  EXPECT_EQ(w.harvest(again), 0u);
+}
+
+TEST(SpillWriter, DataReadsBackExactlyAfterRemap) {
+  SpillWriter w(2);
+  const auto a = make_page(4096, 7);
+  const auto b = make_page(1024, 42);
+  const std::uint64_t off_a = w.enqueue(0, a.data(), 4096, 1);
+  const std::uint64_t off_b = w.enqueue(1, b.data(), 1024, 2);
+  const auto c = make_page(512, 99);
+  const std::uint64_t off_c = w.enqueue(0, c.data(), 512, 3);
+  w.wait_idle();
+  ASSERT_FALSE(w.failed()) << w.error();
+  ASSERT_TRUE(w.remap_all());
+  EXPECT_EQ(std::vector<std::uint8_t>(w.data(0, off_a, 4096), w.data(0, off_a, 4096) + 4096), a);
+  EXPECT_EQ(std::vector<std::uint8_t>(w.data(1, off_b, 1024), w.data(1, off_b, 1024) + 1024), b);
+  EXPECT_EQ(std::vector<std::uint8_t>(w.data(0, off_c, 512), w.data(0, off_c, 512) + 512), c);
+}
+
+TEST(SpillWriter, EarlierOffsetsSurviveLaterRemaps) {
+  SpillWriter w(1);
+  std::vector<std::vector<std::uint8_t>> pages;
+  std::vector<std::uint64_t> offsets;
+  for (int round = 0; round < 5; ++round) {
+    pages.push_back(make_page(2000, static_cast<std::uint8_t>(round * 17)));
+    offsets.push_back(w.enqueue(0, pages.back().data(), 2000, static_cast<std::uint64_t>(round)));
+    w.wait_idle();
+    ASSERT_TRUE(w.remap_all());
+    for (std::size_t i = 0; i < pages.size(); ++i) {
+      const std::uint8_t* p = w.data(0, offsets[i], 2000);
+      ASSERT_EQ(std::vector<std::uint8_t>(p, p + 2000), pages[i]) << "round " << round;
+    }
+  }
+}
+
+TEST(SpillWriter, InjectedDeviceFullSurfacesAsFailure) {
+  ::setenv("TTSTART_SPILL_FAIL_AFTER", "1024", 1);
+  SpillWriter w(1);
+  ::unsetenv("TTSTART_SPILL_FAIL_AFTER");
+  const auto a = make_page(1024, 5);
+  const auto b = make_page(1024, 6);
+  w.enqueue(0, a.data(), 1024, 1);  // fills the injected cap exactly
+  w.enqueue(0, b.data(), 1024, 2);  // must fail as if the device were full
+  w.wait_idle();
+  EXPECT_TRUE(w.failed());
+  EXPECT_NE(w.error().find("No space left on device"), std::string::npos) << w.error();
+  // After a failure the writer refuses further work instead of wedging.
+  EXPECT_EQ(w.enqueue(0, a.data(), 1024, 3), 0u);
+}
+
+TEST(SpillWriter, ExplicitUnwritableDirectoryIsAHardError) {
+  SpillWriter w(1, "/nonexistent-spill-dir-for-test");
+  const auto a = make_page(64, 1);
+  w.enqueue(0, a.data(), 64, 1);
+  w.wait_idle();
+  EXPECT_TRUE(w.failed());
+  EXPECT_NE(w.error().find("unwritable"), std::string::npos) << w.error();
+}
+
+TEST(SpillWriter, EnvRequestedUnwritableDirectoryIsAHardErrorToo) {
+  // TTSTART_SPILL_DIR is a user request just like --spill-dir: falling
+  // through to /tmp silently would hide a misconfiguration.
+  ::setenv("TTSTART_SPILL_DIR", "/nonexistent-spill-dir-for-test", 1);
+  SpillWriter w(1);
+  const auto a = make_page(64, 1);
+  w.enqueue(0, a.data(), 64, 1);
+  w.wait_idle();
+  ::unsetenv("TTSTART_SPILL_DIR");
+  EXPECT_TRUE(w.failed());
+  EXPECT_NE(w.error().find("unwritable"), std::string::npos) << w.error();
+}
+
+TEST(SpillWriter, MemoryBytesCoversRingAndFileMetadata) {
+  SpillWriter w(8);
+  EXPECT_GE(w.memory_bytes(), SpillWriter::kRingCapacity * sizeof(std::uint64_t));
+  const std::size_t before = w.memory_bytes();
+  const auto a = make_page(256, 1);
+  w.enqueue(3, a.data(), 256, 1);
+  w.wait_idle();
+  EXPECT_GE(w.memory_bytes(), before);  // metadata never shrinks mid-run
+}
+
+TEST(SpillWriter, StatsCountAsyncPages) {
+  SpillWriter w(1);
+  const auto a = make_page(128, 9);
+  for (int i = 0; i < 10; ++i) w.enqueue(0, a.data(), 128, static_cast<std::uint64_t>(i));
+  w.wait_idle();
+  EXPECT_EQ(w.stats().async_pages, 10u);
+  EXPECT_EQ(w.stats().bytes_written, 1280u);
+}
+
+#else  // !POSIX
+
+TEST(SpillWriter, PlatformUnsupportedFailsLoudly) {
+  EXPECT_FALSE(SpillWriter::platform_supported());
+  SpillWriter w(1);
+  EXPECT_TRUE(w.failed());
+}
+
+#endif
+
+}  // namespace
+}  // namespace tt

@@ -1,0 +1,87 @@
+// StableVector unit suite: chunked growth without relocation, index
+// round-trips across chunk boundaries, and the concurrent-reader contract
+// the parallel engines' parent-link arrays rely on in fingerprint-only mode
+// (a TSan target: reader threads walk entries published before a
+// synchronization point while the writer keeps appending).
+#include "support/stable_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace tt {
+namespace {
+
+TEST(StableVector, RoundTripsAcrossChunkBoundaries) {
+  StableVector<std::uint32_t> v;
+  constexpr std::size_t kN = 3 * StableVector<std::uint32_t>::kChunkSize + 117;
+  for (std::size_t i = 0; i < kN; ++i) v.push_back(static_cast<std::uint32_t>(i * 7));
+  ASSERT_EQ(v.size(), kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(v[i], static_cast<std::uint32_t>(i * 7)) << "i=" << i;
+  }
+}
+
+TEST(StableVector, AddressesNeverRelocate) {
+  StableVector<std::uint32_t> v;
+  v.push_back(42);
+  const std::uint32_t* first = &v[0];
+  for (std::size_t i = 1; i < 5 * StableVector<std::uint32_t>::kChunkSize; ++i) {
+    v.push_back(static_cast<std::uint32_t>(i));
+  }
+  EXPECT_EQ(&v[0], first) << "growth must not move published elements";
+  EXPECT_EQ(v[0], 42u);
+}
+
+TEST(StableVector, MemoryBytesGrowsWithChunks) {
+  StableVector<std::uint64_t> v;
+  const std::size_t empty = v.memory_bytes();  // directory only
+  v.push_back(1);
+  const std::size_t one_chunk = v.memory_bytes();
+  EXPECT_GT(one_chunk, empty);
+  for (std::size_t i = 0; i <= StableVector<std::uint64_t>::kChunkSize; ++i) v.push_back(i);
+  EXPECT_GT(v.memory_bytes(), one_chunk);
+}
+
+// The TSan target: one writer appends while readers dereference every index
+// below the writer's published watermark — exactly the parallel drain
+// phase's parent[] access pattern when the fp-only resolver walks a chain
+// owned by another shard. The watermark release/acquire pairs with the
+// chunk-pointer publication inside push_back.
+TEST(StableVector, ConcurrentReadersBelowPublishedWatermark) {
+  StableVector<std::uint32_t> v;
+  std::atomic<std::size_t> published{0};
+  constexpr std::size_t kN = 4 * StableVector<std::uint32_t>::kChunkSize;
+
+  std::thread writer([&] {
+    for (std::size_t i = 0; i < kN; ++i) {
+      v.push_back(static_cast<std::uint32_t>(i ^ 0x5a5a));
+      published.store(i + 1, std::memory_order_release);
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      std::size_t seen = 0;
+      while (seen < kN) {
+        const std::size_t limit = published.load(std::memory_order_acquire);
+        for (std::size_t i = seen; i < limit; ++i) {
+          if (v[i] != static_cast<std::uint32_t>(i ^ 0x5a5a)) {
+            ADD_FAILURE() << "index " << i << " read back wrong";
+            return;
+          }
+        }
+        seen = limit;
+      }
+    });
+  }
+  writer.join();
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(v.size(), kN);
+}
+
+}  // namespace
+}  // namespace tt

@@ -1,0 +1,233 @@
+// EXP-PROOF: the unbounded proof engines on the paper's claim grid. The
+// paper's §5 results are bounded or exhaustive-by-enumeration: fig. 4/fig. 6
+// cells are verified by exhausting the reachable set, and the §5.2 clique is
+// refuted by bounded search at a known depth. This bench upgrades both
+// directions to SAT-based engines over the star-cluster IR (DESIGN.md
+// §3.10):
+//
+//   * k-induction ("kind") returns PROVED@k — an unbounded guarantee — on
+//     the fig. 4/fig. 6 invariant cells, with the per-row solver_calls /
+//     clauses_reused columns showing a single incremental solver carrying
+//     learned clauses across every query of the run.
+//   * IC3/PDR ("ic3") proves a reduced-init-window cell through frame
+//     convergence and refutes a tightened timeliness bound through its
+//     obligation queue (full-window cells exceed its obligation budget —
+//     kind carries the full grid).
+//   * incremental BMC re-finds the §5.2 clique: one solver instance probes
+//     every depth up to the violation (solver_calls == depths probed), at
+//     exactly twice the cluster depth of the explicit-search counterexample
+//     (two IR steps per cluster step).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bmc/encoder.hpp"
+#include "core/verifier.hpp"
+#include "support/bench_report.hpp"
+#include "support/table.hpp"
+#include "tta/star_ir.hpp"
+
+namespace {
+
+bool quick_mode() {
+  const char* env = std::getenv("TTSTART_BENCH_QUICK");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+tt::tta::ClusterConfig fig6_config(int n) {
+  tt::tta::ClusterConfig cfg;
+  cfg.n = n;
+  cfg.faulty_node = 0;
+  cfg.fault_degree = 6;
+  cfg.init_window = n;
+  cfg.hub_init_window = n;
+  return cfg;
+}
+
+tt::tta::ClusterConfig fig4_config(int degree, tt::core::Lemma lemma) {
+  tt::tta::ClusterConfig cfg;
+  cfg.n = 4;
+  cfg.faulty_node = 0;
+  cfg.fault_degree = degree;
+  cfg.init_window = 8;
+  cfg.hub_init_window = 8;
+  if (lemma == tt::core::Lemma::kTimeliness) cfg.timeliness_bound = 6 * cfg.n;
+  return cfg;
+}
+
+/// §5.2 faulty-guardian configuration (bench_bigbang_necessity.cpp).
+tt::tta::ClusterConfig clique_config(int n) {
+  tt::tta::ClusterConfig cfg;
+  cfg.n = n;
+  cfg.faulty_hub = 0;
+  cfg.big_bang = false;
+  cfg.init_window = 3;
+  cfg.hub_init_window = 1;
+  return cfg;
+}
+
+tt::core::VerificationResult run_proof(const tt::tta::ClusterConfig& cfg,
+                                       tt::core::Lemma lemma, tt::mc::EngineKind engine) {
+  tt::core::VerifyOptions opts;
+  opts.engine = engine;
+  return tt::core::verify(cfg, lemma, opts);
+}
+
+void add_proof_record(tt::BenchReport& report, const std::string& experiment,
+                      const char* engine, const tt::core::VerificationResult& r) {
+  tt::BenchRecord rec;
+  rec.experiment = experiment;
+  rec.engine = engine;
+  rec.seconds = r.stats.seconds;
+  rec.exhausted = r.exhausted;
+  rec.verdict = r.verdict_text;
+  rec.solver_calls = static_cast<long long>(r.stats.solver_calls);
+  rec.clauses_reused = static_cast<long long>(r.stats.clauses_reused);
+  rec.frames = static_cast<long long>(r.stats.frames);
+  rec.proof_obligations = static_cast<long long>(r.stats.proof_obligations);
+  report.add(rec);
+}
+
+void BM_KindProvesFig6(benchmark::State& state) {
+  const auto cfg = fig6_config(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const auto r = run_proof(cfg, tt::core::Lemma::kSafety, tt::mc::EngineKind::kKInduction);
+    if (!r.holds) state.SkipWithError("expected PROVED");
+    state.counters["solver_calls"] = static_cast<double>(r.stats.solver_calls);
+  }
+}
+BENCHMARK(BM_KindProvesFig6)->Arg(3)->Unit(benchmark::kMillisecond)->MinTime(0.01);
+
+void BM_IncrementalBmcClique(benchmark::State& state) {
+  const auto cfg = tt::core::prepare_config(clique_config(static_cast<int>(state.range(0))),
+                                            tt::core::Lemma::kSafety);
+  const tt::tta::StarIr ir(cfg);
+  for (auto _ : state) {
+    const auto r = tt::bmc::check_invariant_bounded(ir.system(), ir.safety_expr(), 64);
+    if (!r.violation_found) state.SkipWithError("expected the clique violation");
+    state.counters["ir_depth"] = r.depth;
+  }
+}
+BENCHMARK(BM_IncrementalBmcClique)->Arg(3)->Unit(benchmark::kMillisecond)->MinTime(0.01);
+
+void kind_row(tt::TextTable& t, tt::BenchReport& report, const std::string& experiment,
+              const tt::tta::ClusterConfig& cfg, tt::core::Lemma lemma) {
+  const auto r = run_proof(cfg, lemma, tt::mc::EngineKind::kKInduction);
+  t.add_row({experiment, "kind", r.verdict_text, std::to_string(r.stats.solver_calls),
+             std::to_string(r.stats.clauses_reused), tt::strfmt("%.2f", r.stats.seconds)});
+  add_proof_record(report, experiment, "kind", r);
+  if (!r.holds) std::printf("!! expected PROVED on %s\n", experiment.c_str());
+}
+
+void print_table(tt::BenchReport& report) {
+  std::printf("\n=== unbounded proofs: kind / ic3 / incremental BMC on the claim grid ===\n");
+  tt::TextTable t({"experiment", "engine", "verdict", "solver calls", "clauses reused",
+                   "time s"});
+
+  // k-induction across the fig. 6 / fig. 4 invariant cells (the cells the
+  // explicit engines verify by exhaustion in the golden-count grid).
+  kind_row(t, report, "fig6/safety/n3", fig6_config(3), tt::core::Lemma::kSafety);
+  if (!quick_mode()) {
+    kind_row(t, report, "fig6/safety/n4", fig6_config(4), tt::core::Lemma::kSafety);
+    kind_row(t, report, "fig4/safety/deg1", fig4_config(1, tt::core::Lemma::kSafety),
+             tt::core::Lemma::kSafety);
+    kind_row(t, report, "fig4/safety/deg3", fig4_config(3, tt::core::Lemma::kSafety),
+             tt::core::Lemma::kSafety);
+    kind_row(t, report, "fig4/timeliness/deg1", fig4_config(1, tt::core::Lemma::kTimeliness),
+             tt::core::Lemma::kTimeliness);
+  }
+
+  // IC3: refutation through the obligation queue on a tightened timeliness
+  // bound (quick), frame-convergence proof on a reduced init window (full —
+  // the proof costs minutes, the refutation seconds).
+  {
+    tt::tta::ClusterConfig cfg;
+    cfg.n = 3;
+    cfg.faulty_node = 0;
+    cfg.fault_degree = 1;
+    cfg.init_window = 3;
+    cfg.hub_init_window = 3;
+    cfg.timeliness_bound = 2;  // tightened until the lemma breaks shallow
+    const auto r = run_proof(cfg, tt::core::Lemma::kTimeliness, tt::mc::EngineKind::kIc3);
+    t.add_row({"ic3/refute/tight_bound", "ic3", r.verdict_text,
+               std::to_string(r.stats.solver_calls), std::to_string(r.stats.clauses_reused),
+               tt::strfmt("%.2f", r.stats.seconds)});
+    add_proof_record(report, "ic3/refute/tight_bound", "ic3", r);
+    if (r.holds) std::printf("!! expected VIOLATED on ic3/refute/tight_bound\n");
+  }
+  if (!quick_mode()) {
+    tt::tta::ClusterConfig cfg;
+    cfg.n = 3;
+    cfg.faulty_node = 0;
+    cfg.fault_degree = 1;
+    cfg.init_window = 2;
+    cfg.hub_init_window = 2;
+    const auto r = run_proof(cfg, tt::core::Lemma::kSafety, tt::mc::EngineKind::kIc3);
+    t.add_row({"ic3/prove/reduced_window", "ic3", r.verdict_text,
+               std::to_string(r.stats.solver_calls), std::to_string(r.stats.clauses_reused),
+               tt::strfmt("%.2f", r.stats.seconds)});
+    add_proof_record(report, "ic3/prove/reduced_window", "ic3", r);
+    if (!r.holds) std::printf("!! expected PROVED on ic3/prove/reduced_window\n");
+  }
+
+  // §5.2 incremental BMC: the explicit sequential search pins the minimal
+  // clique depth d; one incremental solver instance then re-finds it at IR
+  // depth exactly 2d, with one solve() per depth probed and learned clauses
+  // carried across all of them.
+  {
+    const int n = 3;
+    const auto cfg = tt::core::prepare_config(clique_config(n), tt::core::Lemma::kSafety);
+    const auto seq = tt::core::verify(cfg, tt::core::Lemma::kSafety);
+    const int cluster_depth = static_cast<int>(seq.trace.size()) - 1;
+    const tt::tta::StarIr ir(cfg);
+    const auto r =
+        tt::bmc::check_invariant_bounded(ir.system(), ir.safety_expr(), 2 * cluster_depth);
+    const bool depth_matches = r.violation_found && r.depth == 2 * cluster_depth;
+    if (!depth_matches) {
+      std::printf("!! incremental BMC missed the §5.2 clique depth (ir depth %d, want %d)\n",
+                  r.depth, 2 * cluster_depth);
+    }
+    if (r.solver_calls != static_cast<std::uint64_t>(r.depth) + 1) {
+      std::printf("!! expected one solve() per probed depth, got %llu for %d depths\n",
+                  static_cast<unsigned long long>(r.solver_calls), r.depth + 1);
+    }
+    t.add_row({tt::strfmt("s52/clique/n%d", n), "sat",
+               r.violation_found ? tt::strfmt("VIOLATED@%d (ir %d)", r.depth / 2, r.depth)
+                                 : std::string("no cex"),
+               std::to_string(r.solver_calls), std::to_string(r.clauses_reused),
+               tt::strfmt("%.2f", r.seconds)});
+    tt::BenchRecord rec;
+    rec.experiment = tt::strfmt("s52/clique/n%d", n);
+    rec.engine = "sat";
+    rec.seconds = r.seconds;
+    rec.exhausted = r.violation_found;
+    rec.verdict = r.violation_found ? tt::strfmt("VIOLATED@%d", r.depth / 2)
+                                    : std::string("no cex");
+    rec.solver_calls = static_cast<long long>(r.solver_calls);
+    rec.clauses_reused = static_cast<long long>(r.clauses_reused);
+    rec.frames = static_cast<long long>(r.depth) + 1;
+    report.add(rec);
+  }
+
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "(shape: the cells the paper verifies by exhausting the reachable set\n"
+      " come back PROVED@k from k-induction — an unbounded guarantee — and\n"
+      " the §5.2 clique the paper refutes by bounded search is re-found by\n"
+      " one incremental solver at twice the cluster depth, reusing learned\n"
+      " clauses across every depth probed.)\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  tt::BenchReport report("bench_unbounded_proofs");
+  print_table(report);
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("machine-readable results: %s\n", path.c_str());
+  return 0;
+}

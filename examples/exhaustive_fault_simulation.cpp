@@ -15,7 +15,13 @@
 //     --restarts <k>        transient-restart budget (§2.1)
 //     --no-feedback         disable the feedback optimization
 //     --no-bigbang          disable the big-bang mechanism (§5.2)
-//     --engine <kind>       auto|seq|par|sym exploration engine (default auto)
+//     --engine <kind>       auto|seq|par|sym|kind|ic3 (default auto). kind =
+//                           k-induction and ic3 = IC3/PDR are the SAT-based
+//                           proof engines (DESIGN.md §3.10): they run on the
+//                           star-cluster IR instead of enumerating states
+//                           and can PROVE an invariant lemma outright
+//                           (verdict PROVED@k), not merely exhaust a finite
+//                           search; invariant lemmas only, --reduction none
 //     --reduction <kind>    none|sym|por|sym+por state-space reduction: sym
 //                           explores the symmetry quotient (orbit
 //                           representatives, DESIGN.md §3.6), por the
@@ -44,6 +50,7 @@
 //     --quiet               suppress heartbeat lines (tracing unaffected)
 #include <cstdio>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -166,7 +173,15 @@ int main(int argc, char** argv) {
   std::printf("configuration: %s\n", cfg.summary().c_str());
   std::printf("lemma: %s\n", core::to_string(lemma));
 
-  const auto result = core::verify(cfg, lemma, opts);
+  core::VerificationResult result;
+  try {
+    result = core::verify(cfg, lemma, opts);
+  } catch (const std::invalid_argument& e) {
+    // Unsupported flag combination (e.g. a proof engine asked for a liveness
+    // lemma or a reduced run) — a usage error, not a crash.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
   std::printf("verdict: %s  (states=%zu transitions=%zu depth=%d time=%.2fs mem=%.1fMB)\n",
               result.verdict_text.c_str(), result.stats.states, result.stats.transitions,
               result.stats.depth, result.stats.seconds,
@@ -175,6 +190,15 @@ int main(int argc, char** argv) {
               mc::to_string(result.engine_used), result.stats.threads,
               result.stats.states_per_sec(),
               result.stats.exhausted ? "" : "  [search truncated by limits]");
+  if (mc::is_proof_engine(result.engine_used)) {
+    // Machine-greppable proof line; the CI proof-smoke step asserts on the
+    // solver_calls / clauses_reused columns (one incremental solver per run,
+    // learned clauses carried across depth probes).
+    std::printf("proof: solver_calls=%zu clauses_reused=%zu frames=%zu "
+                "proof_obligations=%zu\n",
+                result.stats.solver_calls, result.stats.clauses_reused,
+                result.stats.frames, result.stats.proof_obligations);
+  }
   if (result.engine_used == mc::EngineKind::kSymbolic) {
     std::printf("bdd: peak_live=%zu gc_runs=%zu unique_hit=%.1f%% op_cache_hit=%.1f%%",
                 result.stats.bdd_peak_live_nodes, result.stats.bdd_gc_collections,

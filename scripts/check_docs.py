@@ -5,7 +5,8 @@ Four classes of drift this catches:
 
   1. Engine-name drift — the engine set documented in README.md must match
      what `parse_engine` / `to_string` in src/mc/engine.hpp actually accept.
-     Every engine name from the header must appear backticked in README.md,
+     `parse_engine` and `to_string` must round-trip the same EngineKind set,
+     every engine name from the header must appear backticked in README.md,
      and every `--engine a|b|c` alternation in README.md and the CLI header
      comment must list exactly the header's engine set.
 
@@ -53,6 +54,21 @@ def check_engine_names(root, failures):
     if not engines:
         fail(failures, "src/mc/engine.hpp: found no EngineKind names (regex drift?)")
         return
+    # parse_engine and to_string must round-trip the same name set; an
+    # engine added to one but not the other is exactly the drift this
+    # catches (e.g. a new proof engine that to_string can print but the CLI
+    # cannot select).
+    parse_block = re.search(r"parse_engine\(.*?\n}", header, re.S)
+    if not parse_block:
+        fail(failures, "src/mc/engine.hpp: found no parse_engine body "
+                       "(regex drift?)")
+    else:
+        parsed = re.findall(r"EngineKind::k\w+", parse_block.group(0))
+        cased = re.findall(r"case (EngineKind::k\w+):", header)
+        if sorted(set(parsed)) != sorted(set(cased)):
+            fail(failures, f"src/mc/engine.hpp: parse_engine accepts "
+                           f"{sorted(set(parsed))} but to_string names "
+                           f"{sorted(set(cased))}")
     readme = read(root, "README.md")
     for name in engines:
         if f"`{name}`" not in readme and f"`--engine {name}" not in readme \

@@ -26,17 +26,24 @@ out-of-core pipeline columns (DESIGN.md 3.9): `spill_sync_waits`
 blocking), `fp_collisions` (genuine fingerprint collisions under
 fingerprint-only mode), `reexpansions` (predecessor-path replays that
 disambiguated a dropped-body match), and `resident_bytes` (store-resident
-footprint at run end). Optional numeric fields must be non-negative when
-present; all optional fields are rejected under schemas older than the one
-that introduced them.
+footprint at run end). v8 adds the SAT proof-engine columns (DESIGN.md
+3.10): `solver_calls` (solve() invocations on the run's single incremental
+solver — for bounded BMC exactly one per depth probed), `clauses_reused`
+(learned clauses carried across those calls), `frames` (IC3 frame count /
+k-induction unrolling depth), and `proof_obligations` (IC3 obligation-queue
+pops). Optional numeric fields must be non-negative when present; all
+optional fields are rejected under schemas older than the one that
+introduced them.
 
 Checks the envelope, the per-record field set and types, and basic value
 sanity (non-negative counts/times, verdict non-empty, threads >= 1). With
 --require, additionally fails unless every named bench contributed at least
 one record — the CI bench-smoke job uses this to catch a bench binary that
-silently stopped reporting. With --require-engine, fails unless at least one
-record ran on the named engine — CI uses `--require-engine sym` so the
-symbolic leg cannot silently drop out of the comparison. With
+silently stopped reporting. With --require-engine (a single name or a comma
+list, repeatable), fails unless every named engine has at least one record —
+CI uses `--require-engine sym` so the symbolic leg cannot silently drop out
+of the comparison, and `--require-engine kind,ic3` so the proof engines
+cannot silently drop out of the unbounded-proofs bench. With
 --require-engine-for SUBSTR:ENGINE, fails unless at least one record whose
 experiment name contains SUBSTR ran on ENGINE — CI uses
 `--require-engine-for liveness:par` so liveness checking cannot silently
@@ -109,6 +116,13 @@ OPTIONAL_FIELDS_V7 = {
     "reexpansions": int,
     "resident_bytes": int,
 }
+OPTIONAL_FIELDS_V8 = {
+    **OPTIONAL_FIELDS_V7,
+    "solver_calls": int,
+    "clauses_reused": int,
+    "frames": int,
+    "proof_obligations": int,
+}
 
 REDUCTION_NAMES_V4 = ("none", "sym")
 REDUCTION_NAMES_V6 = ("none", "sym", "por", "sym+por")
@@ -124,6 +138,7 @@ SCHEMAS = (
     "ttstart-bench-v5",
     "ttstart-bench-v6",
     "ttstart-bench-v7",
+    "ttstart-bench-v8",
 )
 
 
@@ -135,7 +150,9 @@ def validate(doc, require, require_engines, require_engine_for, require_reductio
     schema = doc.get("schema")
     if schema not in SCHEMAS:
         errors.append(f"schema is {schema!r}, expected one of {SCHEMAS!r}")
-    if schema == "ttstart-bench-v7":
+    if schema == "ttstart-bench-v8":
+        allowed_optional = OPTIONAL_FIELDS_V8
+    elif schema == "ttstart-bench-v7":
         allowed_optional = OPTIONAL_FIELDS_V7
     elif schema == "ttstart-bench-v6":
         allowed_optional = OPTIONAL_FIELDS_V6
@@ -151,11 +168,13 @@ def validate(doc, require, require_engines, require_engine_for, require_reductio
         allowed_optional = {}
     reduction_names = (
         REDUCTION_NAMES_V6
-        if schema in ("ttstart-bench-v6", "ttstart-bench-v7")
+        if schema in ("ttstart-bench-v6", "ttstart-bench-v7", "ttstart-bench-v8")
         else REDUCTION_NAMES_V4
     )
     store_names = (
-        STORE_NAMES_V7 if schema == "ttstart-bench-v7" else STORE_NAMES_V5
+        STORE_NAMES_V7
+        if schema in ("ttstart-bench-v7", "ttstart-bench-v8")
+        else STORE_NAMES_V5
     )
     results = doc.get("results")
     if not isinstance(results, list):
@@ -291,8 +310,9 @@ def main():
         "--require-engine",
         action="append",
         default=[],
-        metavar="ENGINE",
-        help="engine name that must have >= 1 record (repeatable)",
+        metavar="ENGINE[,ENGINE...]",
+        help="engine name(s) that must each have >= 1 record "
+        "(repeatable; commas separate names within one flag)",
     )
     parser.add_argument(
         "--require-engine-for",
@@ -329,7 +349,7 @@ def main():
     errors = validate(
         doc,
         args.require,
-        args.require_engine,
+        [e for spec in args.require_engine for e in spec.split(",") if e],
         args.require_engine_for,
         [n for n in args.require_reduction.split(",") if n],
         args.require_store,

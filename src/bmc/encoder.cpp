@@ -1,6 +1,6 @@
 #include "bmc/encoder.hpp"
 
-#include <map>
+#include <algorithm>
 
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
@@ -9,283 +9,283 @@
 
 namespace tt::bmc {
 
-namespace {
-
 using kernel::ExprId;
 using kernel::ExprNode;
 using kernel::Op;
-using kernel::System;
 using kernel::VarId;
 using sat::Lit;
 
-/// One unrolling instance: owns the solver and the frame variable tables.
-class Unrolling {
- public:
-  Unrolling(const System& system, int frames) : system_(system) {
-    // Allocate one-hot bits for every frame and add the one-hot axioms.
-    bits_.resize(static_cast<std::size_t>(frames));
-    for (int t = 0; t < frames; ++t) {
-      auto& frame = bits_[static_cast<std::size_t>(t)];
-      frame.resize(system_.vars().size());
-      for (std::size_t v = 0; v < system_.vars().size(); ++v) {
-        const int domain = system_.vars()[v].domain;
-        for (int val = 0; val < domain; ++val) {
-          frame[v].push_back(solver_.new_var());
-        }
-        // At least one value...
-        std::vector<Lit> alo;
-        for (int bit : frame[v]) alo.push_back(Lit::make(bit, false));
-        solver_.add_clause(alo);
-        // ... and at most one.
-        for (int a = 0; a < domain; ++a) {
-          for (int b = a + 1; b < domain; ++b) {
-            solver_.add_clause({Lit::make(frame[v][static_cast<std::size_t>(a)], true),
-                                Lit::make(frame[v][static_cast<std::size_t>(b)], true)});
-          }
-        }
-      }
+Unroller::Unroller(const kernel::System& system, Options opts)
+    : system_(system), opts_(opts) {
+  true_lit_ = Lit::make(solver_.new_var(), false);
+  solver_.add_clause({true_lit_});
+  ensure_frames(1);
+  if (opts_.constrain_initial) encode_initial();
+}
+
+void Unroller::ensure_frames(int frames) {
+  while (frames_ < frames) {
+    add_frame();
+    if (frames_ >= 2) encode_transition(frames_ - 2);
+  }
+}
+
+void Unroller::add_frame() {
+  // Allocate one-hot bits for the new frame and add the one-hot axioms.
+  bits_.emplace_back();
+  auto& frame = bits_.back();
+  frame.resize(system_.vars().size());
+  for (std::size_t v = 0; v < system_.vars().size(); ++v) {
+    const int domain = system_.vars()[v].domain;
+    for (int val = 0; val < domain; ++val) {
+      frame[v].push_back(solver_.new_var());
     }
-    // Constant true literal.
-    true_lit_ = Lit::make(solver_.new_var(), false);
-    solver_.add_clause({true_lit_});
-
-    encode_initial();
-    for (int t = 0; t + 1 < frames; ++t) encode_transition(t);
-  }
-
-  [[nodiscard]] sat::Solver& solver() noexcept { return solver_; }
-
-  /// Literal of "variable v has value val in frame t".
-  [[nodiscard]] Lit var_bit(int t, VarId v, int val) const {
-    return Lit::make(
-        bits_[static_cast<std::size_t>(t)][static_cast<std::size_t>(v)][static_cast<std::size_t>(val)],
-        false);
-  }
-
-  /// Literal equivalent to the boolean expression `e` at frame `t`.
-  [[nodiscard]] Lit bool_expr(ExprId e, int t) {
-    const auto key = std::pair(e, t);
-    if (const auto it = bool_cache_.find(key); it != bool_cache_.end()) return it->second;
-    const ExprNode& n = system_.exprs().node(e);
-    Lit out = true_lit_;
-    switch (n.op) {
-      case Op::kEqC: out = int_eq(n.a, n.k, t); break;
-      case Op::kLtC:
-      case Op::kGeC: {
-        std::vector<Lit> alts;
-        const int dom = expr_domain(n.a);
-        for (int val = 0; val < dom; ++val) {
-          const bool in = n.op == Op::kLtC ? (val < n.k) : (val >= n.k);
-          if (in) alts.push_back(int_eq(n.a, val, t));
-        }
-        out = define_or(alts);
-        break;
-      }
-      case Op::kEqV: {
-        std::vector<Lit> alts;
-        const int dom = std::min(expr_domain(n.a), expr_domain(n.b));
-        for (int val = 0; val < dom; ++val) {
-          alts.push_back(define_and({int_eq(n.a, val, t), int_eq(n.b, val, t)}));
-        }
-        out = define_or(alts);
-        break;
-      }
-      case Op::kAnd: out = define_and({bool_expr(n.a, t), bool_expr(n.b, t)}); break;
-      case Op::kOr: out = define_or({bool_expr(n.a, t), bool_expr(n.b, t)}); break;
-      case Op::kNot: out = ~bool_expr(n.a, t); break;
-      case Op::kIte: {
-        const Lit c = bool_expr(n.c, t);
-        out = define_or({define_and({c, bool_expr(n.a, t)}),
-                         define_and({~c, bool_expr(n.b, t)})});
-        break;
-      }
-      default:
-        TT_REQUIRE(false, "integer expression used as boolean in BMC encoding");
-    }
-    bool_cache_.emplace(key, out);
-    return out;
-  }
-
-  /// Literal equivalent to "integer expression e equals val" at frame t.
-  [[nodiscard]] Lit int_eq(ExprId e, int val, int t) {
-    const ExprNode& n = system_.exprs().node(e);
-    switch (n.op) {
-      case Op::kConst: return n.k == val ? true_lit_ : ~true_lit_;
-      case Op::kVar: {
-        const int dom = system_.vars()[static_cast<std::size_t>(n.var)].domain;
-        if (val < 0 || val >= dom) return ~true_lit_;
-        return var_bit(t, n.var, val);
-      }
-      case Op::kAddMod: {
-        if (val < 0 || val >= n.m) return ~true_lit_;
-        const int dom = expr_domain(n.a);
-        // e.a may take any value w with (w + k) mod m == val.
-        std::vector<Lit> alts;
-        for (int w = 0; w < dom; ++w) {
-          if (((w + n.k) % n.m + n.m) % n.m == val) alts.push_back(int_eq(n.a, w, t));
-        }
-        return define_or(alts);
-      }
-      case Op::kIte: {
-        const Lit c = bool_expr(n.c, t);
-        return define_or({define_and({c, int_eq(n.a, val, t)}),
-                          define_and({~c, int_eq(n.b, val, t)})});
-      }
-      default: {
-        // Boolean expression used as 0/1 integer.
-        const Lit b = bool_expr(e, t);
-        if (val == 1) return b;
-        if (val == 0) return ~b;
-        return ~true_lit_;
+    // At least one value...
+    std::vector<Lit> alo;
+    for (int bit : frame[v]) alo.push_back(Lit::make(bit, false));
+    solver_.add_clause(alo);
+    // ... and at most one.
+    for (int a = 0; a < domain; ++a) {
+      for (int b = a + 1; b < domain; ++b) {
+        solver_.add_clause({Lit::make(frame[v][static_cast<std::size_t>(a)], true),
+                            Lit::make(frame[v][static_cast<std::size_t>(b)], true)});
       }
     }
   }
+  ++frames_;
+}
 
-  /// Upper bound (exclusive) of the values an integer expression can take.
-  [[nodiscard]] int expr_domain(ExprId e) const {
-    const ExprNode& n = system_.exprs().node(e);
-    switch (n.op) {
-      case Op::kConst: return n.k + 1;
-      case Op::kVar: return system_.vars()[static_cast<std::size_t>(n.var)].domain;
-      case Op::kAddMod: return n.m;
-      case Op::kIte: return std::max(expr_domain(n.a), expr_domain(n.b));
-      default: return 2;  // boolean
-    }
-  }
+Lit Unroller::var_bit(int t, VarId v, int val) const {
+  return Lit::make(
+      bits_[static_cast<std::size_t>(t)][static_cast<std::size_t>(v)][static_cast<std::size_t>(val)],
+      false);
+}
 
-  [[nodiscard]] std::vector<int> decode_frame(int t) const {
-    std::vector<int> v(system_.vars().size(), -1);
-    for (std::size_t var = 0; var < v.size(); ++var) {
-      const int dom = system_.vars()[var].domain;
+Lit Unroller::bool_expr(ExprId e, int t) {
+  TT_ASSERT(t < frames_);
+  const auto key = std::pair(e, t);
+  if (const auto it = bool_cache_.find(key); it != bool_cache_.end()) return it->second;
+  const ExprNode& n = system_.exprs().node(e);
+  Lit out = true_lit_;
+  switch (n.op) {
+    case Op::kEqC: out = int_eq(n.a, n.k, t); break;
+    case Op::kLtC:
+    case Op::kGeC: {
+      std::vector<Lit> alts;
+      const int dom = expr_domain(n.a);
       for (int val = 0; val < dom; ++val) {
-        if (solver_.value(bits_[static_cast<std::size_t>(t)][var][static_cast<std::size_t>(val)])) {
-          v[var] = val;
-          break;
-        }
+        const bool in = n.op == Op::kLtC ? (val < n.k) : (val >= n.k);
+        if (in) alts.push_back(int_eq(n.a, val, t));
       }
-      TT_ASSERT(v[var] >= 0);
+      out = define_or(alts);
+      break;
     }
-    return v;
+    case Op::kEqV: {
+      std::vector<Lit> alts;
+      const int dom = std::min(expr_domain(n.a), expr_domain(n.b));
+      for (int val = 0; val < dom; ++val) {
+        alts.push_back(define_and({int_eq(n.a, val, t), int_eq(n.b, val, t)}));
+      }
+      out = define_or(alts);
+      break;
+    }
+    case Op::kAnd: out = define_and({bool_expr(n.a, t), bool_expr(n.b, t)}); break;
+    case Op::kOr: out = define_or({bool_expr(n.a, t), bool_expr(n.b, t)}); break;
+    case Op::kNot: out = ~bool_expr(n.a, t); break;
+    case Op::kIte: {
+      const Lit c = bool_expr(n.c, t);
+      out = define_or({define_and({c, bool_expr(n.a, t)}),
+                       define_and({~c, bool_expr(n.b, t)})});
+      break;
+    }
+    default:
+      TT_REQUIRE(false, "integer expression used as boolean in BMC encoding");
   }
+  bool_cache_.emplace(key, out);
+  return out;
+}
 
- private:
-  /// Tseitin AND definition: returns a literal d with d <-> AND(xs).
-  Lit define_and(const std::vector<Lit>& xs) {
-    if (xs.empty()) return true_lit_;
-    if (xs.size() == 1) return xs[0];
-    const Lit d = Lit::make(solver_.new_var(), false);
-    std::vector<Lit> big{d};
-    for (const Lit x : xs) {
-      solver_.add_clause({~d, x});
-      big.push_back(~x);
+Lit Unroller::int_eq(ExprId e, int val, int t) {
+  const ExprNode& n = system_.exprs().node(e);
+  switch (n.op) {
+    case Op::kConst: return n.k == val ? true_lit_ : ~true_lit_;
+    case Op::kVar: {
+      const int dom = system_.vars()[static_cast<std::size_t>(n.var)].domain;
+      if (val < 0 || val >= dom) return ~true_lit_;
+      return var_bit(t, n.var, val);
     }
-    solver_.add_clause(big);
-    return d;
-  }
-
-  /// Tseitin OR definition.
-  Lit define_or(const std::vector<Lit>& xs) {
-    if (xs.empty()) return ~true_lit_;
-    if (xs.size() == 1) return xs[0];
-    const Lit d = Lit::make(solver_.new_var(), false);
-    std::vector<Lit> big{~d};
-    for (const Lit x : xs) {
-      solver_.add_clause({d, ~x});
-      big.push_back(x);
+    case Op::kAddMod: {
+      if (val < 0 || val >= n.m) return ~true_lit_;
+      const int dom = expr_domain(n.a);
+      // e.a may take any value w with (w + k) mod m == val.
+      std::vector<Lit> alts;
+      for (int w = 0; w < dom; ++w) {
+        if (((w + n.k) % n.m + n.m) % n.m == val) alts.push_back(int_eq(n.a, w, t));
+      }
+      return define_or(alts);
     }
-    solver_.add_clause(big);
-    return d;
-  }
-
-  void encode_initial() {
-    for (std::size_t v = 0; v < system_.vars().size(); ++v) {
-      const auto& d = system_.vars()[v];
-      if (!d.init_any) {
-        solver_.add_clause({var_bit(0, static_cast<VarId>(v), d.init)});
-      }
+    case Op::kIte: {
+      const Lit c = bool_expr(n.c, t);
+      return define_or({define_and({c, int_eq(n.a, val, t)}),
+                        define_and({~c, int_eq(n.b, val, t)})});
     }
-  }
-
-  void encode_transition(int t) {
-    std::vector<std::uint8_t> owned(system_.vars().size(), 0);
-    for (std::size_t g = 0; g < system_.groups().size(); ++g) {
-      const auto& grp = system_.groups()[g];
-      // Selector per command (+ optional stutter selector).
-      std::vector<Lit> selectors;
-      for (const auto& cmd : grp.commands) {
-        const Lit s = Lit::make(solver_.new_var(), false);
-        selectors.push_back(s);
-        // Selector implies the guard at frame t.
-        solver_.add_clause({~s, bool_expr(cmd.guard, t)});
-        // Selector implies the assignments at frame t+1.
-        for (const auto& a : cmd.assigns) {
-          owned[static_cast<std::size_t>(a.var)] = 1;
-          const int dom = system_.vars()[static_cast<std::size_t>(a.var)].domain;
-          for (int val = 0; val < dom; ++val) {
-            // s & (expr == val) -> var'[val]
-            solver_.add_clause({~s, ~int_eq(a.value, val, t), var_bit(t + 1, a.var, val)});
-          }
-        }
-        // Selector implies frame axioms for owned-but-unassigned variables;
-        // handled below per variable by collecting which commands assign it.
-      }
-      Lit stutter = ~true_lit_;
-      if (grp.else_stutter) {
-        stutter = Lit::make(solver_.new_var(), false);
-        selectors.push_back(stutter);
-        // Stuttering is only allowed when no command is enabled.
-        for (const auto& cmd : grp.commands) {
-          solver_.add_clause({~stutter, ~bool_expr(cmd.guard, t)});
-        }
-      }
-      // Exactly one selector fires.
-      solver_.add_clause(selectors);
-      for (std::size_t a = 0; a < selectors.size(); ++a) {
-        for (std::size_t b = a + 1; b < selectors.size(); ++b) {
-          solver_.add_clause({~selectors[a], ~selectors[b]});
-        }
-      }
-      // Frame axioms: for each variable owned by this group, any selected
-      // command that does not assign it (and the stutter option) keeps it.
-      for (std::size_t v = 0; v < system_.vars().size(); ++v) {
-        if (system_.vars()[v].group != static_cast<int>(g)) continue;
-        owned[v] = 1;
-        for (std::size_t c = 0; c < grp.commands.size(); ++c) {
-          bool assigns = false;
-          for (const auto& a : grp.commands[c].assigns) {
-            if (a.var == static_cast<VarId>(v)) {
-              assigns = true;
-              break;
-            }
-          }
-          if (assigns) continue;
-          frame_equal(selectors[c], static_cast<VarId>(v), t);
-        }
-        if (grp.else_stutter) frame_equal(stutter, static_cast<VarId>(v), t);
-      }
-    }
-    // Globally unowned variables never change.
-    for (std::size_t v = 0; v < system_.vars().size(); ++v) {
-      if (system_.vars()[v].group == -1) frame_equal(true_lit_, static_cast<VarId>(v), t);
+    default: {
+      // Boolean expression used as 0/1 integer.
+      const Lit b = bool_expr(e, t);
+      if (val == 1) return b;
+      if (val == 0) return ~b;
+      return ~true_lit_;
     }
   }
+}
 
-  /// Under `cond`, variable v keeps its value across frames t -> t+1.
-  void frame_equal(Lit cond, VarId v, int t) {
-    const int dom = system_.vars()[static_cast<std::size_t>(v)].domain;
+int Unroller::expr_domain(ExprId e) const {
+  const ExprNode& n = system_.exprs().node(e);
+  switch (n.op) {
+    case Op::kConst: return n.k + 1;
+    case Op::kVar: return system_.vars()[static_cast<std::size_t>(n.var)].domain;
+    case Op::kAddMod: return n.m;
+    case Op::kIte: return std::max(expr_domain(n.a), expr_domain(n.b));
+    default: return 2;  // boolean
+  }
+}
+
+Lit Unroller::frames_differ(int i, int j) {
+  TT_ASSERT(i < frames_ && j < frames_);
+  std::vector<Lit> any_diff;
+  for (std::size_t v = 0; v < system_.vars().size(); ++v) {
+    const int dom = system_.vars()[v].domain;
+    std::vector<Lit> diff_v;
     for (int val = 0; val < dom; ++val) {
-      solver_.add_clause({~cond, ~var_bit(t, v, val), var_bit(t + 1, v, val)});
+      diff_v.push_back(
+          define_and({var_bit(i, static_cast<VarId>(v), val),
+                      ~var_bit(j, static_cast<VarId>(v), val)}));
+    }
+    any_diff.push_back(define_or(diff_v));
+  }
+  return define_or(any_diff);
+}
+
+std::vector<int> Unroller::decode_frame(int t) const {
+  std::vector<int> v(system_.vars().size(), -1);
+  for (std::size_t var = 0; var < v.size(); ++var) {
+    const int dom = system_.vars()[var].domain;
+    for (int val = 0; val < dom; ++val) {
+      if (solver_.value(bits_[static_cast<std::size_t>(t)][var][static_cast<std::size_t>(val)])) {
+        v[var] = val;
+        break;
+      }
+    }
+    TT_ASSERT(v[var] >= 0);
+  }
+  return v;
+}
+
+Lit Unroller::define_and(const std::vector<Lit>& xs) {
+  if (xs.empty()) return true_lit_;
+  if (xs.size() == 1) return xs[0];
+  const Lit d = Lit::make(solver_.new_var(), false);
+  std::vector<Lit> big{d};
+  for (const Lit x : xs) {
+    solver_.add_clause({~d, x});
+    big.push_back(~x);
+  }
+  solver_.add_clause(big);
+  return d;
+}
+
+Lit Unroller::define_or(const std::vector<Lit>& xs) {
+  if (xs.empty()) return ~true_lit_;
+  if (xs.size() == 1) return xs[0];
+  const Lit d = Lit::make(solver_.new_var(), false);
+  std::vector<Lit> big{~d};
+  for (const Lit x : xs) {
+    solver_.add_clause({d, ~x});
+    big.push_back(x);
+  }
+  solver_.add_clause(big);
+  return d;
+}
+
+void Unroller::encode_initial() {
+  for (std::size_t v = 0; v < system_.vars().size(); ++v) {
+    const auto& d = system_.vars()[v];
+    if (!d.init_any) {
+      solver_.add_clause({var_bit(0, static_cast<VarId>(v), d.init)});
     }
   }
+}
 
-  const System& system_;
-  sat::Solver solver_;
-  std::vector<std::vector<std::vector<int>>> bits_;  // [frame][var][value]
-  Lit true_lit_ = Lit::make(0, false);
-  std::map<std::pair<ExprId, int>, Lit> bool_cache_;
-};
+void Unroller::encode_transition(int t) {
+  std::vector<std::uint8_t> owned(system_.vars().size(), 0);
+  for (std::size_t g = 0; g < system_.groups().size(); ++g) {
+    const auto& grp = system_.groups()[g];
+    // Selector per command (+ optional stutter selector).
+    std::vector<Lit> selectors;
+    for (const auto& cmd : grp.commands) {
+      const Lit s = Lit::make(solver_.new_var(), false);
+      selectors.push_back(s);
+      // Selector implies the guard at frame t.
+      solver_.add_clause({~s, bool_expr(cmd.guard, t)});
+      // Selector implies the assignments at frame t+1.
+      for (const auto& a : cmd.assigns) {
+        owned[static_cast<std::size_t>(a.var)] = 1;
+        const int dom = system_.vars()[static_cast<std::size_t>(a.var)].domain;
+        for (int val = 0; val < dom; ++val) {
+          // s & (expr == val) -> var'[val]
+          solver_.add_clause({~s, ~int_eq(a.value, val, t), var_bit(t + 1, a.var, val)});
+        }
+      }
+      // Selector implies frame axioms for owned-but-unassigned variables;
+      // handled below per variable by collecting which commands assign it.
+    }
+    Lit stutter = ~true_lit_;
+    if (grp.else_stutter) {
+      stutter = Lit::make(solver_.new_var(), false);
+      selectors.push_back(stutter);
+      // Stuttering is only allowed when no command is enabled.
+      for (const auto& cmd : grp.commands) {
+        solver_.add_clause({~stutter, ~bool_expr(cmd.guard, t)});
+      }
+    }
+    // Exactly one selector fires.
+    solver_.add_clause(selectors);
+    for (std::size_t a = 0; a < selectors.size(); ++a) {
+      for (std::size_t b = a + 1; b < selectors.size(); ++b) {
+        solver_.add_clause({~selectors[a], ~selectors[b]});
+      }
+    }
+    // Frame axioms: for each variable owned by this group, any selected
+    // command that does not assign it (and the stutter option) keeps it.
+    for (std::size_t v = 0; v < system_.vars().size(); ++v) {
+      if (system_.vars()[v].group != static_cast<int>(g)) continue;
+      owned[v] = 1;
+      for (std::size_t c = 0; c < grp.commands.size(); ++c) {
+        bool assigns = false;
+        for (const auto& a : grp.commands[c].assigns) {
+          if (a.var == static_cast<VarId>(v)) {
+            assigns = true;
+            break;
+          }
+        }
+        if (assigns) continue;
+        frame_equal(selectors[c], static_cast<VarId>(v), t);
+      }
+      if (grp.else_stutter) frame_equal(stutter, static_cast<VarId>(v), t);
+    }
+  }
+  // Globally unowned variables never change.
+  for (std::size_t v = 0; v < system_.vars().size(); ++v) {
+    if (system_.vars()[v].group == -1) frame_equal(true_lit_, static_cast<VarId>(v), t);
+  }
+}
 
-}  // namespace
+void Unroller::frame_equal(Lit cond, VarId v, int t) {
+  const int dom = system_.vars()[static_cast<std::size_t>(v)].domain;
+  for (int val = 0; val < dom; ++val) {
+    solver_.add_clause({~cond, ~var_bit(t, v, val), var_bit(t + 1, v, val)});
+  }
+}
 
 BmcResult check_invariant_bounded(const kernel::System& system, kernel::ExprId property,
                                   int max_depth) {
@@ -293,14 +293,14 @@ BmcResult check_invariant_bounded(const kernel::System& system, kernel::ExprId p
   obs::Span run_span("bmc.run");
   run_span.set_arg("max_depth", max_depth);
   BmcResult result;
+  Unroller u(system);
   for (int k = 0; k <= max_depth; ++k) {
     obs::Span depth_span("bmc.depth");
     depth_span.set_arg("k", k);
-    Unrolling u(system, k + 1);
-    u.solver().add_clause({~u.bool_expr(property, k)});
-    const sat::Result r = u.solver().solve();
-    result.total_conflicts += u.solver().stats().conflicts;
-    result.total_clauses += u.solver().num_clauses();
+    u.ensure_frames(k + 1);
+    // Depth goal as an assumption: the k-unrolling stays intact (and the
+    // learned clauses stay sound) when depth k+1 extends it.
+    const sat::Result r = u.solver().solve({~u.bool_expr(property, k)});
     if (obs::enabled()) {
       obs::emit_counter("bmc.conflicts",
                         static_cast<double>(u.solver().stats().conflicts));
@@ -317,6 +317,10 @@ BmcResult check_invariant_bounded(const kernel::System& system, kernel::ExprId p
       break;
     }
   }
+  result.total_conflicts = u.solver().stats().conflicts;
+  result.total_clauses = u.solver().num_clauses();
+  result.solver_calls = u.solver().stats().solve_calls;
+  result.clauses_reused = u.solver().stats().clauses_reused;
   result.seconds = timer.seconds();
   return result;
 }

@@ -1,5 +1,7 @@
 #include "core/verifier.hpp"
 
+#include "bmc/ic3.hpp"
+#include "bmc/kinduction.hpp"
 #include "mc/liveness.hpp"
 #include "mc/parallel_liveness.hpp"
 #include "mc/parallel_reachability.hpp"
@@ -9,6 +11,7 @@
 #include "obs/trace.hpp"
 #include "support/assert.hpp"
 #include "tta/properties.hpp"
+#include "tta/star_ir.hpp"
 #include "tta/symmetry.hpp"
 
 namespace tt::core {
@@ -59,6 +62,74 @@ void finish_reduced_run(const tta::Cluster& cluster, const tta::ClusterConfig& c
   out.loop_start = conc.loop_start;
 }
 
+/// The SAT-based proof-engine path (DESIGN.md §3.10): re-expresses the
+/// configuration as the star-cluster guarded-command IR and runs k-induction
+/// or IC3/PDR on the phase-gated property expression. Unlike the exploratory
+/// engines these can return PROVED — an unbounded guarantee — and on a
+/// violation the even (phase-0) frames of the IR counterexample decode to an
+/// exact cluster trace at half the IR depth.
+VerificationResult verify_with_proof_engine(const tta::ClusterConfig& cfg, Lemma lemma,
+                                            const VerifyOptions& opts) {
+  TT_REQUIRE(is_invariant_lemma(lemma),
+             "proof engines (kind/ic3) handle invariant lemmas only");
+  TT_REQUIRE(opts.reduction == mc::ReductionKind::kNone,
+             "proof engines run on the raw star IR; combine them with --reduction none");
+  VerificationResult out;
+  out.engine_used = opts.engine;
+
+  const tta::StarIr ir(cfg);
+  kernel::ExprId property = -1;
+  switch (lemma) {
+    case Lemma::kSafety: property = ir.safety_expr(); break;
+    case Lemma::kTimeliness:
+    case Lemma::kSafety2: property = ir.timeliness_expr(); break;
+    case Lemma::kHubAgreement: property = ir.hub_agreement_expr(); break;
+    case Lemma::kLiveness:
+    case Lemma::kReintegration: TT_ASSERT(false && "unreachable"); break;
+  }
+
+  bmc::ProofResult r;
+  if (opts.engine == mc::EngineKind::kKInduction) {
+    bmc::KindOptions kopt;
+    if (opts.limits.max_depth != std::numeric_limits<int>::max() &&
+        opts.limits.max_depth < kopt.max_k / 2) {
+      kopt.max_k = 2 * opts.limits.max_depth;  // cluster depth d = IR depth 2d
+    }
+    r = bmc::check_invariant_kind(ir.system(), property, kopt);
+  } else {
+    r = bmc::check_invariant_ic3(ir.system(), property, {});
+  }
+
+  out.holds = r.verdict == bmc::ProofVerdict::kProved;
+  out.exhausted = r.verdict != bmc::ProofVerdict::kUnknown;
+  out.stats.seconds = r.seconds;
+  out.stats.threads = 1;
+  out.stats.solver_calls = static_cast<std::size_t>(r.solver_calls);
+  out.stats.clauses_reused = static_cast<std::size_t>(r.clauses_reused);
+  out.stats.frames = static_cast<std::size_t>(r.frames);
+  out.stats.proof_obligations = static_cast<std::size_t>(r.proof_obligations);
+  switch (r.verdict) {
+    case bmc::ProofVerdict::kProved:
+      out.stats.depth = r.depth;
+      out.verdict_text = "PROVED@" + std::to_string(r.depth) +
+                         (r.via_diameter ? " (reachability diameter)" : "");
+      break;
+    case bmc::ProofVerdict::kViolated: {
+      out.stats.depth = r.depth / 2;
+      out.verdict_text = to_string(r.verdict);
+      const tta::Cluster raw(cfg);
+      for (const std::vector<int>& frame : r.trace) {
+        if (ir.is_cluster_frame(frame)) out.trace.push_back(raw.pack(ir.decode(frame)));
+      }
+      break;
+    }
+    case bmc::ProofVerdict::kUnknown:
+      out.verdict_text = to_string(r.verdict);
+      break;
+  }
+  return out;
+}
+
 }  // namespace
 
 tta::ClusterConfig prepare_config(tta::ClusterConfig cfg, Lemma lemma) {
@@ -89,14 +160,20 @@ VerificationResult verify(const tta::ClusterConfig& raw_cfg, Lemma lemma,
                           const VerifyOptions& opts) {
   const tta::ClusterConfig cfg = prepare_config(raw_cfg, lemma);
   const bool reduced = opts.reduction != mc::ReductionKind::kNone;
-  const tta::Cluster cluster(cfg, to_tta_reduction(opts.reduction));
-  VerificationResult out;
   // Top-level span: one per verify() call, detail = lemma (static storage
   // from to_string), so engine-level spans nest under it in the trace.
   obs::Span verify_span("verify");
   verify_span.set_detail(to_string(lemma));
   verify_span.set_arg("n", cfg.n);
   if (reduced) verify_span.set_arg("reduction", static_cast<int>(opts.reduction));
+
+  if (mc::is_proof_engine(opts.engine)) {
+    verify_span.set_arg("engine", static_cast<int>(opts.engine));
+    return verify_with_proof_engine(cfg, lemma, opts);
+  }
+
+  const tta::Cluster cluster(cfg, to_tta_reduction(opts.reduction));
+  VerificationResult out;
 
   if (!is_invariant_lemma(lemma)) {
     // Liveness engines (DESIGN.md §3.4): auto resolves to the parallel

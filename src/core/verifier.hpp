@@ -8,9 +8,13 @@
 // (mc/parallel_liveness.hpp). EngineKind kSymbolic routes invariants to the
 // BDD-set engine (mc/symbolic_reachability.hpp) and liveness to the
 // backward EG(¬goal) fixpoint (mc/symbolic_liveness.hpp); kSequential
-// forces the single-threaded BFS / colored-DFS engines. VerifyOptions
-// overrides the engine and thread count; the TTSTART_THREADS environment
-// variable sets the default thread count (see mc::resolve_threads).
+// forces the single-threaded BFS / colored-DFS engines. kKInduction and
+// kIc3 route invariant lemmas to the SAT-based proof engines over the
+// star-cluster IR (tta/star_ir.hpp, DESIGN.md §3.10) — the only engines
+// that can return PROVED (verdict_text "PROVED@k") rather than merely
+// exhausting a finite search. VerifyOptions overrides the engine and thread
+// count; the TTSTART_THREADS environment variable sets the default thread
+// count (see mc::resolve_threads).
 #pragma once
 
 #include <string>

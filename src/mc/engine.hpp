@@ -23,37 +23,54 @@ namespace tt::mc {
 /// reached set as a BDD — reachability for invariants
 /// (mc/symbolic_reachability.hpp) and a backward EG(¬goal) greatest
 /// fixpoint for liveness (mc/symbolic_liveness.hpp).
+///
+/// kKInduction and kIc3 are the SAT-based *proof* engines (bmc/, DESIGN.md
+/// §3.10): they run on the star-cluster guarded-command IR (tta/star_ir.hpp)
+/// instead of enumerating states, and — unlike every bounded or exploratory
+/// engine — can return a PROVED verdict that holds at every depth. Invariant
+/// lemmas only.
 enum class EngineKind {
   kAuto,
   kSequential,
   kParallel,
   kSymbolic,
+  kKInduction,
+  kIc3,
 };
 
-/// Canonical engine name ("auto"/"seq"/"par"/"sym"). The pointer has static
-/// storage duration, so it is safe to keep (CLI output, bench records,
-/// obs::Span names all rely on this).
+/// Canonical engine name ("auto"/"seq"/"par"/"sym"/"kind"/"ic3"). The
+/// pointer has static storage duration, so it is safe to keep (CLI output,
+/// bench records, obs::Span names all rely on this).
 [[nodiscard]] constexpr const char* to_string(EngineKind k) noexcept {
   switch (k) {
     case EngineKind::kAuto: return "auto";
     case EngineKind::kSequential: return "seq";
     case EngineKind::kParallel: return "par";
     case EngineKind::kSymbolic: return "sym";
+    case EngineKind::kKInduction: return "kind";
+    case EngineKind::kIc3: return "ic3";
   }
   return "?";
 }
 
-/// Parses an engine name ("auto", "seq", "par", "sym"); returns false and
-/// leaves `out` untouched on unknown names.
+/// Parses an engine name ("auto", "seq", "par", "sym", "kind", "ic3");
+/// returns false and leaves `out` untouched on unknown names.
 [[nodiscard]] inline bool parse_engine(std::string_view name, EngineKind& out) noexcept {
   for (const EngineKind k : {EngineKind::kAuto, EngineKind::kSequential,
-                             EngineKind::kParallel, EngineKind::kSymbolic}) {
+                             EngineKind::kParallel, EngineKind::kSymbolic,
+                             EngineKind::kKInduction, EngineKind::kIc3}) {
     if (name == to_string(k)) {
       out = k;
       return true;
     }
   }
   return false;
+}
+
+/// True for the SAT-based proof engines (k-induction, IC3/PDR), which can
+/// prove invariants outright instead of exploring states.
+[[nodiscard]] constexpr bool is_proof_engine(EngineKind k) noexcept {
+  return k == EngineKind::kKInduction || k == EngineKind::kIc3;
 }
 
 /// Which state-space reduction the model applies below the engines (the

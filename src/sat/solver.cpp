@@ -9,12 +9,15 @@ int Solver::new_var() {
   const int v = num_vars();
   assign_.push_back(0);
   phase_.push_back(-1);  // default polarity: false (BMC formulas like sparse models)
+  model_.push_back(0);
   level_.push_back(0);
   reason_.push_back(kNoReason);
   activity_.push_back(0.0);
   seen_.push_back(0);
+  heap_pos_.push_back(-1);
   watches_.emplace_back();
   watches_.emplace_back();
+  heap_insert(v);
   return v;
 }
 
@@ -109,12 +112,51 @@ Solver::ClauseRef Solver::propagate() {
   return kNoReason;
 }
 
+void Solver::heap_insert(int var) {
+  if (heap_pos_[static_cast<std::size_t>(var)] >= 0) return;
+  heap_pos_[static_cast<std::size_t>(var)] = static_cast<int>(heap_.size());
+  heap_.push_back(var);
+  heap_sift_up(heap_.size() - 1);
+}
+
+void Solver::heap_sift_up(std::size_t i) {
+  const int v = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!heap_less(heap_[parent], v)) break;
+    heap_[i] = heap_[parent];
+    heap_pos_[static_cast<std::size_t>(heap_[i])] = static_cast<int>(i);
+    i = parent;
+  }
+  heap_[i] = v;
+  heap_pos_[static_cast<std::size_t>(v)] = static_cast<int>(i);
+}
+
+void Solver::heap_sift_down(std::size_t i) {
+  const int v = heap_[i];
+  const std::size_t n = heap_.size();
+  while (true) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && heap_less(heap_[child], heap_[child + 1])) ++child;
+    if (!heap_less(v, heap_[child])) break;
+    heap_[i] = heap_[child];
+    heap_pos_[static_cast<std::size_t>(heap_[i])] = static_cast<int>(i);
+    i = child;
+  }
+  heap_[i] = v;
+  heap_pos_[static_cast<std::size_t>(v)] = static_cast<int>(i);
+}
+
 void Solver::bump_var(int var) {
   activity_[static_cast<std::size_t>(var)] += var_inc_;
   if (activity_[static_cast<std::size_t>(var)] > 1e100) {
+    // Uniform rescale preserves the heap order.
     for (double& a : activity_) a *= 1e-100;
     var_inc_ *= 1e-100;
   }
+  const int pos = heap_pos_[static_cast<std::size_t>(var)];
+  if (pos >= 0) heap_sift_up(static_cast<std::size_t>(pos));
 }
 
 void Solver::bump_clause(Clause& c) {
@@ -207,6 +249,40 @@ void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learnt, int& backtrac
   for (const int v : to_clear_) seen_[static_cast<std::size_t>(v)] = 0;
 }
 
+void Solver::analyze_final(Lit failed) {
+  // The assumption `failed` is falsified by the current (assumption-only)
+  // trail. Collect the subset of assumption decisions whose implication
+  // chain reaches ~failed; together with `failed` itself they form an
+  // unsatisfiable core over the assumptions.
+  core_.clear();
+  core_.push_back(failed);
+  if (trail_lim_.empty()) return;  // falsified at level 0: formula units suffice
+  std::vector<int> marked;
+  seen_[static_cast<std::size_t>(failed.var())] = 1;
+  marked.push_back(failed.var());
+  const std::size_t bottom = static_cast<std::size_t>(trail_lim_[0]);
+  for (std::size_t i = trail_.size(); i-- > bottom;) {
+    const Lit x = trail_[i];
+    const int v = x.var();
+    if (seen_[static_cast<std::size_t>(v)] == 0) continue;
+    const ClauseRef cr = reason_[static_cast<std::size_t>(v)];
+    if (cr == kNoReason) {
+      // A decision above level 0 is necessarily an assumption.
+      if (!(x == failed)) core_.push_back(x);
+    } else {
+      for (const Lit q : clauses_[static_cast<std::size_t>(cr)].lits) {
+        const int qv = q.var();
+        if (qv == v || level_[static_cast<std::size_t>(qv)] == 0) continue;
+        if (seen_[static_cast<std::size_t>(qv)] == 0) {
+          seen_[static_cast<std::size_t>(qv)] = 1;
+          marked.push_back(qv);
+        }
+      }
+    }
+  }
+  for (const int v : marked) seen_[static_cast<std::size_t>(v)] = 0;
+}
+
 bool Solver::lit_redundant(Lit l, std::uint32_t abstract_levels) {
   minimize_stack_.clear();
   minimize_stack_.push_back(l);
@@ -251,22 +327,26 @@ void Solver::backtrack(int target_level) {
       phase_[static_cast<std::size_t>(l.var())] = l.negated() ? -1 : 1;
       assign_[static_cast<std::size_t>(l.var())] = 0;
       reason_[static_cast<std::size_t>(l.var())] = kNoReason;
+      heap_insert(l.var());
     }
   }
   propagate_head_ = trail_.size();
 }
 
 int Solver::pick_branch_var() {
-  int best = -1;
-  double best_activity = -1.0;
-  for (int v = 0; v < num_vars(); ++v) {
-    if (assign_[static_cast<std::size_t>(v)] != 0) continue;
-    if (activity_[static_cast<std::size_t>(v)] > best_activity) {
-      best_activity = activity_[static_cast<std::size_t>(v)];
-      best = v;
+  while (!heap_.empty()) {
+    const int v = heap_[0];
+    const int last = heap_.back();
+    heap_.pop_back();
+    heap_pos_[static_cast<std::size_t>(v)] = -1;
+    if (!heap_.empty()) {
+      heap_[0] = last;
+      heap_pos_[static_cast<std::size_t>(last)] = 0;
+      heap_sift_down(0);
     }
+    if (assign_[static_cast<std::size_t>(v)] == 0) return v;
   }
-  return best;
+  return -1;
 }
 
 int Solver::luby(int i) {
@@ -323,27 +403,37 @@ void Solver::reduce_learned() {
     if (drop[i] != 0) {
       clauses_[i].lits.clear();
       clauses_[i].lits.shrink_to_fit();
+      --live_learned_;
     }
   }
 }
 
-Result Solver::solve() {
+Result Solver::solve(const std::vector<Lit>& assumptions) {
+  ++stats_.solve_calls;
+  if (stats_.solve_calls > 1) stats_.clauses_reused += live_learned_;
+  core_.clear();
   if (unsat_) return Result::kUnsat;
-  if (propagate() != kNoReason) return Result::kUnsat;
+  TT_ASSERT(trail_lim_.empty());
+  if (propagate() != kNoReason) {
+    unsat_ = true;
+    return Result::kUnsat;
+  }
 
   std::vector<Lit> learnt;
   int restart_count = 0;
   std::uint64_t conflicts_until_restart =
       100 * static_cast<std::uint64_t>(luby(restart_count));
   std::uint64_t conflicts_this_restart = 0;
-  std::uint64_t reduce_at = 4000;
 
   while (true) {
     const ClauseRef conflict = propagate();
     if (conflict != kNoReason) {
       ++stats_.conflicts;
       ++conflicts_this_restart;
-      if (trail_lim_.empty()) return Result::kUnsat;
+      if (trail_lim_.empty()) {
+        unsat_ = true;
+        return Result::kUnsat;
+      }
       int backtrack_level = 0;
       analyze(conflict, learnt, backtrack_level);
       backtrack(backtrack_level);
@@ -359,11 +449,12 @@ Result Solver::solve() {
         attach(cr);
         enqueue(learnt[0], cr);
         ++stats_.learned;
+        ++live_learned_;
       }
       decay_activities();
-      if (stats_.learned >= reduce_at) {
+      if (stats_.learned >= reduce_at_) {
         reduce_learned();
-        reduce_at += 2000;
+        reduce_at_ += 2000;
       }
       continue;
     }
@@ -377,11 +468,38 @@ Result Solver::solve() {
       continue;
     }
 
-    const int v = pick_branch_var();
-    if (v < 0) return Result::kSat;  // full assignment, no conflict
+    // Place pending assumptions as pseudo-decisions (one level each, so
+    // analyze() treats them exactly like decisions and never resolves
+    // past them — learned clauses stay assumption-free).
+    Lit decision;
+    bool have_decision = false;
+    while (trail_lim_.size() < assumptions.size()) {
+      const Lit a = assumptions[trail_lim_.size()];
+      const std::int8_t v = lit_value(a);
+      if (v > 0) {
+        trail_lim_.push_back(static_cast<int>(trail_.size()));  // already satisfied
+      } else if (v < 0) {
+        analyze_final(a);
+        backtrack(0);
+        return Result::kUnsat;
+      } else {
+        decision = a;
+        have_decision = true;
+        break;
+      }
+    }
+    if (!have_decision) {
+      const int v = pick_branch_var();
+      if (v < 0) {
+        model_ = assign_;  // full assignment, no conflict
+        backtrack(0);
+        return Result::kSat;
+      }
+      decision = Lit::make(v, phase_[static_cast<std::size_t>(v)] < 0);
+    }
     ++stats_.decisions;
     trail_lim_.push_back(static_cast<int>(trail_.size()));
-    enqueue(Lit::make(v, phase_[static_cast<std::size_t>(v)] < 0), kNoReason);
+    enqueue(decision, kNoReason);
   }
 }
 

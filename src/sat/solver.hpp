@@ -1,11 +1,18 @@
-// A CDCL SAT solver — the substrate behind the bounded model checker
-// (paper §5.2: "Bounded model checkers, which are based on propositional
-// satisfiability (SAT) solvers, are specialized for detecting bugs").
+// An incremental CDCL SAT solver — the substrate behind the bounded model
+// checker and the unbounded proof engines (paper §5.2: "Bounded model
+// checkers, which are based on propositional satisfiability (SAT) solvers,
+// are specialized for detecting bugs"; DESIGN.md §3.10 for the incremental
+// interface).
 //
 // Feature set: two-watched-literal propagation, first-UIP conflict analysis
-// with recursive clause minimization, EVSIDS branching, phase saving, Luby
-// restarts, and lazy clause-database reduction. Deliberately no
-// preprocessing: BMC formulas are generated, solved once, and discarded.
+// with recursive clause minimization, EVSIDS branching over an indexed binary
+// heap, phase saving, Luby restarts, lazy clause-database reduction, and
+// incremental solving under assumptions: `solve(assumptions)` may be called
+// any number of times, clauses may be added between calls, learned clauses
+// are retained across calls, and an UNSAT answer under assumptions yields a
+// conflict core (the subset of assumptions the refutation used). Per-call
+// constraints are expressed through activation literals: add `C ∨ ¬a`, pass
+// `a` in the assumptions to activate `C`, and add the unit `¬a` to retire it.
 #pragma once
 
 #include <cstdint>
@@ -42,16 +49,32 @@ class Solver {
   [[nodiscard]] int num_vars() const noexcept { return static_cast<int>(assign_.size()); }
 
   /// Adds a clause (empty clause makes the instance trivially unsat).
+  /// Clauses may be added at any point between `solve` calls.
   void add_clause(std::vector<Lit> lits);
 
-  /// Solves the current formula. May be called once per instance.
-  [[nodiscard]] Result solve();
+  /// Solves the current formula (no assumptions).
+  [[nodiscard]] Result solve() { return solve({}); }
 
-  /// Value of `var` in the satisfying assignment (only after kSat).
+  /// Solves the current formula under the given assumption literals. The
+  /// assumptions act as pseudo-decisions: a kSat answer satisfies all of
+  /// them, a kUnsat answer means the formula together with the assumptions
+  /// is unsatisfiable, and `conflict_core()` names the culpable subset.
+  /// Learned clauses (which derive from the formula alone, never from the
+  /// assumptions) are retained for later calls.
+  [[nodiscard]] Result solve(const std::vector<Lit>& assumptions);
+
+  /// Value of `var` in the most recent satisfying assignment (only after a
+  /// kSat answer; stable until the next `solve` call).
   [[nodiscard]] bool value(int var) const {
-    TT_ASSERT(assign_[static_cast<std::size_t>(var)] != 0);
-    return assign_[static_cast<std::size_t>(var)] > 0;
+    TT_ASSERT(model_[static_cast<std::size_t>(var)] != 0);
+    return model_[static_cast<std::size_t>(var)] > 0;
   }
+
+  /// After a kUnsat answer from `solve(assumptions)`: a subset of the
+  /// assumptions that the refutation actually used (empty when the formula
+  /// is unsatisfiable on its own). The proof engines use this as an
+  /// unsatisfiable core for IC3 cube generalization.
+  [[nodiscard]] const std::vector<Lit>& conflict_core() const noexcept { return core_; }
 
   struct Stats {
     std::uint64_t conflicts = 0;
@@ -59,6 +82,8 @@ class Solver {
     std::uint64_t propagations = 0;
     std::uint64_t restarts = 0;
     std::uint64_t learned = 0;
+    std::uint64_t solve_calls = 0;    ///< number of `solve` invocations
+    std::uint64_t clauses_reused = 0; ///< learned clauses carried into later calls (cumulative)
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -84,6 +109,7 @@ class Solver {
   void enqueue(Lit l, ClauseRef reason);
   [[nodiscard]] ClauseRef propagate();
   void analyze(ClauseRef conflict, std::vector<Lit>& learnt, int& backtrack_level);
+  void analyze_final(Lit failed);
   [[nodiscard]] bool lit_redundant(Lit l, std::uint32_t abstract_levels);
   void backtrack(int level);
   [[nodiscard]] int pick_branch_var();
@@ -94,10 +120,21 @@ class Solver {
   void reduce_learned();
   [[nodiscard]] static int luby(int i);
 
+  // Indexed binary max-heap over activity_ (the MiniSat order heap): O(log n)
+  // decisions instead of an O(n) scan, which matters once one incremental
+  // solver carries a deep unrolling across many solve calls.
+  void heap_insert(int var);
+  void heap_sift_up(std::size_t i);
+  void heap_sift_down(std::size_t i);
+  [[nodiscard]] bool heap_less(int a, int b) const {
+    return activity_[static_cast<std::size_t>(a)] < activity_[static_cast<std::size_t>(b)];
+  }
+
   std::vector<Clause> clauses_;
   std::vector<std::vector<ClauseRef>> watches_;  // indexed by literal code
   std::vector<std::int8_t> assign_;              // 0 unassigned, +1 true, -1 false
   std::vector<std::int8_t> phase_;               // saved phases
+  std::vector<std::int8_t> model_;               // snapshot of the last kSat assignment
   std::vector<int> level_;
   std::vector<ClauseRef> reason_;
   std::vector<Lit> trail_;
@@ -107,11 +144,15 @@ class Solver {
   std::vector<double> activity_;
   double var_inc_ = 1.0;
   double clause_inc_ = 1.0;
-  std::vector<int> heap_;  // lazy: simple max-scan; fine for BMC-scale problems
+  std::vector<int> heap_;       // binary max-heap of candidate decision vars
+  std::vector<int> heap_pos_;   // var -> index in heap_, -1 if absent
   std::vector<std::uint8_t> seen_;
   std::vector<int> to_clear_;  ///< vars whose seen_ mark analyze() must reset
   std::vector<Lit> minimize_stack_;
+  std::vector<Lit> core_;  ///< failed-assumption core of the last kUnsat
 
+  std::uint64_t live_learned_ = 0;  ///< learned clauses currently retained
+  std::uint64_t reduce_at_ = 4000;
   bool unsat_ = false;
   Stats stats_;
 };

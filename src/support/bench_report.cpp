@@ -72,6 +72,11 @@ std::string render_record(const std::string& bench, const BenchRecord& r) {
   if (r.fp_collisions >= 0) line << ", \"fp_collisions\": " << r.fp_collisions;
   if (r.reexpansions >= 0) line << ", \"reexpansions\": " << r.reexpansions;
   if (r.resident_bytes >= 0) line << ", \"resident_bytes\": " << r.resident_bytes;
+  // v8 optional columns (SAT proof-engine runs, DESIGN.md §3.10).
+  if (r.solver_calls >= 0) line << ", \"solver_calls\": " << r.solver_calls;
+  if (r.clauses_reused >= 0) line << ", \"clauses_reused\": " << r.clauses_reused;
+  if (r.frames >= 0) line << ", \"frames\": " << r.frames;
+  if (r.proof_obligations >= 0) line << ", \"proof_obligations\": " << r.proof_obligations;
   line << "}";
   return line.str();
 }
@@ -135,7 +140,7 @@ std::string BenchReport::write() {
     std::fprintf(stderr, "ttstart: cannot write %s\n", path.c_str());
     return {};
   }
-  out << "{\n  \"schema\": \"ttstart-bench-v7\",\n  \"results\": [\n";
+  out << "{\n  \"schema\": \"ttstart-bench-v8\",\n  \"results\": [\n";
   bool first = true;
   for (const std::string& rec : kept) {
     out << (first ? "    " : ",\n    ") << rec;

@@ -13,7 +13,7 @@
 
 namespace tt {
 
-/// One measurement row of the ttstart-bench-v7 schema (the `experiment`
+/// One measurement row of the ttstart-bench-v8 schema (the `experiment`
 /// keys are the ones EXPERIMENTS.md's claim→command table points at).
 struct BenchRecord {
   std::string experiment;  ///< e.g. "fig6/safety/n4"
@@ -71,6 +71,15 @@ struct BenchRecord {
   long long fp_collisions = -1;
   long long reexpansions = -1;
   long long resident_bytes = -1;
+  /// Proof-engine columns (schema v8; DESIGN.md §3.10): SAT solve() calls on
+  /// the run's single incremental solver (for bounded BMC exactly one per
+  /// depth probed), learned clauses carried across those calls, IC3 frame
+  /// count / k-induction unrolling depth, and IC3 obligation-queue pops.
+  /// Negative = not applicable, omitted from the JSON.
+  long long solver_calls = -1;
+  long long clauses_reused = -1;
+  long long frames = -1;
+  long long proof_obligations = -1;
 };
 
 /// Reads the minimum "seconds" value among the report-file records matching

@@ -1,0 +1,684 @@
+#include "tta/star_ir.hpp"
+
+#include <algorithm>
+#include <array>
+#include <string>
+#include <utility>
+
+#include "support/assert.hpp"
+#include "tta/faulty_node.hpp"
+#include "tta/hub.hpp"
+#include "tta/node.hpp"
+
+namespace tt::tta {
+
+using kernel::Assignment;
+using kernel::ExprId;
+
+StarIr::StarIr(const ClusterConfig& cfg) : cfg_(cfg) {
+  cfg_.validate();
+  TT_REQUIRE(cfg_.transient_restarts == 0,
+             "the star IR does not model transient restarts");
+  build();
+}
+
+int StarIr::frame_index(const Frame& f) const {
+  const Frame c = f.canonical();
+  if (c.is_quiet()) return 0;
+  if (c.kind == MsgKind::kNoise) return 1;
+  if (c.is_cs()) return 2 + c.time;
+  if (c.is_i()) return 2 + cfg_.n + c.time;
+  TT_ASSERT(c.kind == MsgKind::kI && !c.ok);
+  return 2 + 2 * cfg_.n;
+}
+
+Frame StarIr::frame_of(int index) const {
+  const int n = cfg_.n;
+  TT_ASSERT(index >= 0 && index < frame_domain());
+  if (index == 0) return Frame::quiet();
+  if (index == 1) return Frame::noise();
+  if (index < 2 + n) return Frame::cs(static_cast<std::uint8_t>(index - 2));
+  if (index < 2 + 2 * n) return Frame::i(static_cast<std::uint8_t>(index - 2 - n));
+  return Frame::i_bad();
+}
+
+ExprId StarIr::is_cs(ExprId f) {
+  auto& e = system_.exprs();
+  return e.land(e.ge_const(f, 2), e.lt_const(f, 2 + cfg_.n));
+}
+
+ExprId StarIr::is_i(ExprId f) {
+  auto& e = system_.exprs();
+  return e.land(e.ge_const(f, 2 + cfg_.n), e.lt_const(f, 2 + 2 * cfg_.n));
+}
+
+ExprId StarIr::usable(ExprId f) {
+  auto& e = system_.exprs();
+  return e.land(e.ge_const(f, 2), e.lt_const(f, 2 + 2 * cfg_.n));
+}
+
+ExprId StarIr::time_of(ExprId f) {
+  auto& e = system_.exprs();
+  ExprId out = e.constant(0);
+  for (int t = 1; t < cfg_.n; ++t) {  // t == 0 is the default arm
+    out = e.ite(e.eq_const(f, 2 + t), e.constant(t), out);
+    out = e.ite(e.eq_const(f, 2 + cfg_.n + t), e.constant(t), out);
+  }
+  return out;
+}
+
+ExprId StarIr::node_out_expr(int j, int h) {
+  auto& e = system_.exprs();
+  if (cfg_.node_is_faulty(j)) return e.var(fout_[h]);
+  return e.var(nout_[j]);
+}
+
+bool StarIr::is_cluster_frame(const std::vector<int>& valuation) const {
+  return valuation[static_cast<std::size_t>(phase_)] == 0;
+}
+
+void StarIr::build() {
+  auto& e = system_.exprs();
+  const int n = cfg_.n;
+  const int fd = frame_domain();
+  // LISTEN clocks top out at 2n + (n-1); INIT clocks at the wake window.
+  node_counter_dom_ = std::max(cfg_.init_window, 3 * n - 1) + 1;
+  hub_counter_dom_ = std::max(2 * n, cfg_.hub_init_window) + 1;
+
+  phase_ = system_.add_var("phase", 2, 0);
+
+  nstate_.assign(static_cast<std::size_t>(n), -1);
+  ncounter_.assign(static_cast<std::size_t>(n), -1);
+  npos_.assign(static_cast<std::size_t>(n), -1);
+  nbb_.assign(static_cast<std::size_t>(n), -1);
+  nout_.assign(static_cast<std::size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    const std::string p = "n" + std::to_string(i) + ".";
+    if (cfg_.node_is_faulty(i)) {
+      fstate_ = system_.add_var(p + "state", 8, static_cast<int>(NodeState::kFaulty));
+      fout_[0] = system_.add_var(p + "out0", fd, 0);
+      fout_[1] = system_.add_var(p + "out1", fd, 0);
+    } else {
+      nstate_[static_cast<std::size_t>(i)] = system_.add_var(p + "state", 4, 0);
+      ncounter_[static_cast<std::size_t>(i)] =
+          system_.add_var(p + "counter", node_counter_dom_, 1);
+      npos_[static_cast<std::size_t>(i)] = system_.add_var(p + "pos", n, 0);
+      nbb_[static_cast<std::size_t>(i)] = system_.add_var(p + "bb", 2, 1);
+      nout_[static_cast<std::size_t>(i)] = system_.add_var(p + "out", fd, 0);
+    }
+  }
+  for (int h = 0; h < 2; ++h) {
+    const std::string p = "h" + std::to_string(h) + ".";
+    if (cfg_.hub_is_faulty(h)) {
+      for (int j = 0; j < n; ++j) {
+        fh_pattern_.push_back(system_.add_var_nondet(p + "pat" + std::to_string(j), 3));
+      }
+      for (int j = 0; j < n; ++j) {
+        fh_out_.push_back(system_.add_var(p + "out" + std::to_string(j), fd, 0));
+      }
+    } else {
+      hstate_[h] = system_.add_var(p + "state", 7, 0);
+      hcounter_[h] = system_.add_var(p + "counter", hub_counter_dom_, 1);
+      hslot_[h] = system_.add_var(p + "slot", n, 0);
+      for (int j = 0; j < n; ++j) {
+        hlock_[h].push_back(system_.add_var(p + "lock" + std::to_string(j), 2, 0));
+      }
+      hout_[h] = system_.add_var(p + "out", fd, 0);
+    }
+  }
+  if (cfg_.timeliness_bound > 0) {
+    st_ = system_.add_var("startup_time", cfg_.timeliness_bound + 3, 0);
+  }
+
+  const int g_phase = system_.add_group("phase", /*else_stutter=*/false);
+  system_.add_command(g_phase, e.eq_const(e.var(phase_), 0), {{phase_, e.constant(1)}});
+  system_.add_command(g_phase, e.eq_const(e.var(phase_), 1), {{phase_, e.constant(0)}});
+
+  for (int i = 0; i < n; ++i) {
+    if (cfg_.node_is_faulty(i)) {
+      build_faulty_node();
+    } else {
+      build_correct_node(i);
+    }
+  }
+  build_hub_group();
+
+  // Properties, phase-gated so only cluster frames are constrained.
+  const ExprId gate = e.eq_const(e.var(phase_), 1);
+  std::vector<ExprId> safe;
+  for (int i = 0; i < n; ++i) {
+    if (cfg_.node_is_faulty(i)) continue;
+    for (int j = i + 1; j < n; ++j) {
+      if (cfg_.node_is_faulty(j)) continue;
+      const ExprId both =
+          e.land(e.eq_const(e.var(nstate_[static_cast<std::size_t>(i)]), 3),
+                 e.eq_const(e.var(nstate_[static_cast<std::size_t>(j)]), 3));
+      safe.push_back(e.lor(e.lnot(both), e.eq(e.var(npos_[static_cast<std::size_t>(i)]),
+                                              e.var(npos_[static_cast<std::size_t>(j)]))));
+    }
+  }
+  safety_expr_ = e.lor(gate, e.all(safe));
+
+  if (cfg_.timeliness_bound > 0) {
+    timeliness_expr_ =
+        e.lor(gate, e.lnot(e.eq_const(e.var(st_), cfg_.timeliness_bound + 1)));
+  }
+
+  std::vector<ExprId> agree;
+  for (int h = 0; h < 2; ++h) {
+    if (cfg_.hub_is_faulty(h)) continue;
+    const ExprId hub_act = e.eq_const(e.var(hstate_[h]), 6);
+    for (int i = 0; i < n; ++i) {
+      if (cfg_.node_is_faulty(i)) continue;
+      const ExprId both =
+          e.land(hub_act, e.eq_const(e.var(nstate_[static_cast<std::size_t>(i)]), 3));
+      agree.push_back(e.lor(e.lnot(both), e.eq(e.var(npos_[static_cast<std::size_t>(i)]),
+                                               e.var(hslot_[h]))));
+    }
+  }
+  hub_agreement_expr_ = e.lor(gate, e.all(agree));
+}
+
+void StarIr::build_correct_node(int i) {
+  auto& e = system_.exprs();
+  const int n = cfg_.n;
+  const int g = system_.add_group("node" + std::to_string(i), /*else_stutter=*/false);
+
+  const ExprId in_a = e.eq_const(e.var(phase_), 0);
+  const ExprId in_b = e.eq_const(e.var(phase_), 1);
+  const auto iu = static_cast<std::size_t>(i);
+  const ExprId ns = e.var(nstate_[iu]);
+  const ExprId ct = e.var(ncounter_[iu]);
+  const ExprId pos = e.var(npos_[iu]);
+  const ExprId bb = e.var(nbb_[iu]);
+  const ExprId tick = e.add_mod(ct, 1, node_counter_dom_);
+  const ExprId zero = e.constant(0);
+
+  // Reception classification (node.cpp classify_reception) over the frames
+  // the hubs delivered last phase B. For usable frames (cs/i, well-formed)
+  // frame-code equality coincides with (kind, time) equality.
+  ExprId f[2];
+  for (int h = 0; h < 2; ++h) {
+    f[h] = cfg_.hub_is_faulty(h) ? e.var(fh_out_[iu]) : e.var(hout_[h]);
+  }
+  const ExprId u0 = usable(f[0]);
+  const ExprId u1 = usable(f[1]);
+  const ExprId i0 = is_i(f[0]);
+  const ExprId i1 = is_i(f[1]);
+  const ExprId mismatch = e.all({u0, u1, e.lnot(e.eq(f[0], f[1]))});
+  const ExprId ixor = e.lor(e.land(i0, e.lnot(i1)), e.land(e.lnot(i0), i1));
+  const ExprId iwin = e.land(mismatch, ixor);       // i-frame beats cs-frame
+  const ExprId rcoll = e.land(mismatch, e.lnot(ixor));
+  const ExprId single = e.land(e.lnot(mismatch), e.lor(u0, u1));
+  const ExprId sf = e.ite(u0, f[0], f[1]);
+  const ExprId src = e.ite(iwin, e.ite(i0, f[0], f[1]), sf);
+  const ExprId r_i = e.lor(iwin, e.land(single, is_i(sf)));
+  const ExprId r_cs = e.land(single, is_cs(sf));
+
+  // (time + 1) mod n of the frame a reception synchronizes on.
+  ExprId next_pos = zero;
+  for (int t = 0; t < n; ++t) {
+    const ExprId np = e.constant((t + 1) % n);
+    next_pos = e.ite(e.eq_const(src, 2 + t), np, next_pos);
+    next_pos = e.ite(e.eq_const(src, 2 + n + t), np, next_pos);
+  }
+  const ExprId enter_out =
+      e.ite(e.eq_const(next_pos, i), e.constant(2 + n + i), zero);
+  const ExprId cs_frame_i = e.constant(2 + i);
+
+  // INIT: wake now, or let time advance while the window allows it.
+  system_.add_command(g, e.land(in_a, e.eq_const(ns, 0)),
+                      {{nstate_[iu], e.constant(1)},
+                       {ncounter_[iu], e.constant(1)},
+                       {nbb_[iu], e.constant(1)}});
+  system_.add_command(
+      g, e.all({in_a, e.eq_const(ns, 0), e.lt_const(ct, cfg_.init_window)}),
+      {{ncounter_[iu], tick}});
+
+  // LISTEN. With the big bang armed, cs and collision receptions produce the
+  // same update whether the bang is consumed or not, so no bb test is needed
+  // in the go_cs branch.
+  {
+    ExprId enter;
+    ExprId go_cs;
+    if (cfg_.big_bang) {
+      enter = r_i;
+      go_cs = e.lor(r_cs, rcoll);
+    } else {
+      enter = e.lor(r_i, r_cs);  // §5.2 variant: first cs synchronizes
+      go_cs = rcoll;
+    }
+    const ExprId lto = e.ge_const(ct, cfg_.listen_timeout(i));
+    system_.add_command(
+        g, e.land(in_a, e.eq_const(ns, 1)),
+        {{nstate_[iu], e.ite(enter, e.constant(3),
+                             e.ite(go_cs, e.constant(2),
+                                   e.ite(lto, e.constant(2), e.constant(1))))},
+         {ncounter_[iu], e.ite(enter, zero,
+                               e.ite(go_cs, e.constant(2),
+                                     e.ite(lto, e.constant(1), tick)))},
+         {npos_[iu], e.ite(enter, next_pos, e.ite(e.lor(go_cs, lto), zero, pos))},
+         {nbb_[iu], e.ite(e.lor(enter, go_cs), zero, bb)},
+         {nout_[iu], e.ite(enter, enter_out,
+                           e.ite(go_cs, zero, e.ite(lto, cs_frame_i, zero)))}});
+  }
+
+  // COLDSTART.
+  {
+    const ExprId foreign = e.land(r_cs, e.lnot(e.eq_const(src, 2 + i)));
+    const ExprId csto = e.ge_const(ct, cfg_.coldstart_timeout(i));
+    ExprId bbc = -1;  // big-bang consumption in COLDSTART
+    ExprId enter;
+    if (cfg_.big_bang) {
+      bbc = e.land(e.eq_const(bb, 1), e.lor(foreign, rcoll));
+      enter = e.lor(r_i, e.land(e.lnot(bbc), foreign));
+    } else {
+      enter = e.lor(r_i, foreign);
+    }
+    ExprId ctv = e.ite(csto, e.constant(1), tick);
+    if (bbc != -1) ctv = e.ite(bbc, e.constant(2), ctv);
+    ctv = e.ite(enter, zero, ctv);
+    const ExprId bbv = bbc != -1 ? e.ite(e.lor(enter, bbc), zero, bb)
+                                 : e.ite(enter, zero, bb);
+    ExprId outv = e.ite(csto, cs_frame_i, zero);
+    if (bbc != -1) outv = e.ite(bbc, zero, outv);
+    outv = e.ite(enter, enter_out, outv);
+    system_.add_command(g, e.land(in_a, e.eq_const(ns, 2)),
+                        {{nstate_[iu], e.ite(enter, e.constant(3), e.constant(2))},
+                         {ncounter_[iu], ctv},
+                         {npos_[iu], e.ite(enter, next_pos, pos)},
+                         {nbb_[iu], bbv},
+                         {nout_[iu], outv}});
+  }
+
+  // ACTIVE: advance the TDMA position, transmit in the own slot.
+  {
+    const ExprId newpos = e.add_mod(pos, 1, n);
+    system_.add_command(
+        g, e.land(in_a, e.eq_const(ns, 3)),
+        {{ncounter_[iu], zero},
+         {npos_[iu], newpos},
+         {nout_[iu], e.ite(e.eq_const(newpos, i), e.constant(2 + n + i), zero)}});
+  }
+
+  // Phase B: the transmission was consumed by the hubs; clear the latch.
+  system_.add_command(g, in_b, {{nout_[iu], zero}});
+}
+
+void StarIr::build_faulty_node() {
+  auto& e = system_.exprs();
+  const int fnode = cfg_.faulty_node;
+  const int g = system_.add_group("faulty_node", /*else_stutter=*/false);
+  const ExprId in_a = e.eq_const(e.var(phase_), 0);
+  const ExprId in_b = e.eq_const(e.var(phase_), 1);
+  const ExprId zero = e.constant(0);
+
+  // Per-channel lock feedback: only a correct guardian can lock the port.
+  ExprId locked[2] = {-1, -1};
+  for (int h = 0; h < 2; ++h) {
+    if (!cfg_.hub_is_faulty(h)) {
+      locked[h] = e.eq_const(e.var(hlock_[h][fnode]), 1);
+    }
+  }
+
+  ExprId next_state = -1;
+  if (cfg_.feedback) {
+    // faulty_node_vars: the state records the pre-state lock bits.
+    const ExprId c4 = e.constant(4);
+    const ExprId c5 = e.constant(5);
+    const ExprId c6 = e.constant(6);
+    const ExprId c7 = e.constant(7);
+    if (locked[0] != -1 && locked[1] != -1) {
+      next_state = e.ite(locked[0], e.ite(locked[1], c7, c5), e.ite(locked[1], c6, c4));
+    } else if (locked[0] != -1) {
+      next_state = e.ite(locked[0], c5, c4);
+    } else if (locked[1] != -1) {
+      next_state = e.ite(locked[1], c6, c4);
+    } else {
+      next_state = c4;
+    }
+  }
+
+  const auto opts =
+      FaultyNodeOutputs::channel_options(cfg_.n, fnode, cfg_.fault_degree);
+  for (const Frame& a : opts) {
+    for (const Frame& b : opts) {
+      std::vector<ExprId> guard{in_a};
+      if (cfg_.feedback) {
+        // A locked channel only admits quiet (the feedback collapse).
+        if (!a.is_quiet() && locked[0] != -1) guard.push_back(e.lnot(locked[0]));
+        if (!b.is_quiet() && locked[1] != -1) guard.push_back(e.lnot(locked[1]));
+      }
+      std::vector<Assignment> assigns{{fout_[0], e.constant(frame_index(a))},
+                                      {fout_[1], e.constant(frame_index(b))}};
+      if (cfg_.feedback) assigns.push_back({fstate_, next_state});
+      system_.add_command(g, e.all(guard), std::move(assigns));
+    }
+  }
+  system_.add_command(g, in_b, {{fout_[0], zero}, {fout_[1], zero}});
+}
+
+void StarIr::build_hub_group() {
+  auto& e = system_.exprs();
+  const int n = cfg_.n;
+  const int fh = cfg_.faulty_hub;
+  g_hub_ = system_.add_group("hubs", /*else_stutter=*/true);
+  const ExprId in_b = e.eq_const(e.var(phase_), 1);
+  const ExprId zero = e.constant(0);
+
+  // Relay choices of each correct hub. A choice's `d` expression is both the
+  // broadcast to the ports and the interlink mirror (hub.cpp keeps them
+  // identical in every state of a correct hub).
+  struct Choice {
+    ExprId guard;
+    ExprId d;
+  };
+  std::vector<Choice> choices[2];
+  std::vector<Assignment> lock_assigns[2];
+  for (int h = 0; h < 2; ++h) {
+    if (cfg_.hub_is_faulty(h)) continue;
+    const ExprId hs = e.var(hstate_[h]);
+    const ExprId hc = e.var(hcounter_[h]);
+    const ExprId in_sp = e.lor(e.eq_const(hs, 2), e.eq_const(hs, 5));
+    const ExprId in_ta = e.lor(e.eq_const(hs, 3), e.eq_const(hs, 6));
+    const ExprId open = e.lor(in_sp, in_ta);
+
+    // scan_locks: anything non-quiet that is not the port's own cs- or
+    // i-frame is provably faulty; locks latch while ports are open.
+    for (int j = 0; j < n; ++j) {
+      const ExprId fj = node_out_expr(j, h);
+      const ExprId lj = e.eq_const(e.var(hlock_[h][j]), 1);
+      const ExprId pf = e.all({e.lnot(e.eq_const(fj, 0)),
+                               e.lnot(e.eq_const(fj, 2 + j)),
+                               e.lnot(e.eq_const(fj, 2 + n + j))});
+      lock_assigns[h].push_back({hlock_[h][j], e.lor(lj, e.land(open, pf))});
+    }
+
+    std::vector<ExprId> elig(static_cast<std::size_t>(n));
+    for (int p = 0; p < n; ++p) {
+      // In PROTECTED, port p only in its timeout-pattern slot (counter-1 == p).
+      elig[static_cast<std::size_t>(p)] =
+          e.all({e.eq_const(e.var(hlock_[h][p]), 0),
+                 e.lnot(e.eq_const(node_out_expr(p, h), 0)),
+                 e.lor(e.lnot(e.eq_const(hs, 5)), e.eq_const(hc, p + 1))});
+    }
+    const ExprId any_elig = e.any(elig);
+
+    // TENTATIVE/ACTIVE slot relay: the expected slot's valid i-frame or quiet.
+    const ExprId s_exp = e.add_mod(e.var(hslot_[h]), 1, n);
+    ExprId slot_relay = zero;
+    for (int t = 0; t < n; ++t) {
+      const ExprId hit = e.all({e.eq_const(s_exp, t), e.eq_const(e.var(hlock_[h][t]), 0),
+                                e.eq_const(node_out_expr(t, h), 2 + n + t)});
+      slot_relay = e.ite(hit, e.constant(2 + n + t), slot_relay);
+    }
+
+    for (int p = 0; p < n; ++p) {
+      const ExprId fp = node_out_expr(p, h);
+      // Semantic filter: own cs-frame always; own i-frame in STARTUP only.
+      const ExprId valid = e.lor(
+          e.eq_const(fp, 2 + p),
+          e.land(e.eq_const(fp, 2 + n + p), e.eq_const(hs, 2)));
+      choices[h].push_back({e.land(in_sp, elig[static_cast<std::size_t>(p)]),
+                            e.ite(valid, fp, e.constant(1))});
+    }
+    choices[h].push_back({e.lnot(e.land(in_sp, any_elig)),
+                          e.ite(in_ta, slot_relay, zero)});
+  }
+
+  // State step of a correct hub (hub.cpp hub_state_step + canonicalize),
+  // given its own relay decision `d` and the other channel's interlink `il`.
+  auto hub_next = [&](int h, ExprId d, ExprId il) -> std::array<ExprId, 3> {
+    const ExprId hs = e.var(hstate_[h]);
+    const ExprId hc = e.var(hcounter_[h]);
+    const ExprId tick = e.add_mod(hc, 1, hub_counter_dom_);
+    const ExprId s_exp = e.add_mod(e.var(hslot_[h]), 1, n);
+    const ExprId c0 = zero;
+    const ExprId c1 = e.constant(1);
+    const ExprId c2 = e.constant(2);
+    const ExprId c3 = e.constant(3);
+    const ExprId c4 = e.constant(4);
+    const ExprId c5 = e.constant(5);
+    const ExprId c6 = e.constant(6);
+    const ExprId il_i = is_i(il);
+    const ExprId il_cs = is_cs(il);
+    const ExprId own_i = is_i(d);
+    const ExprId own_cs = is_cs(d);
+    const ExprId t_il = time_of(il);
+    const ExprId t_d = time_of(d);
+
+    // LISTEN: integration through the interlink only.
+    const ExprId lto = e.ge_const(hc, 2 * n);
+    const ExprId l_st = e.ite(il_i, c6, e.ite(il_cs, c3, e.ite(lto, c2, c1)));
+    const ExprId l_ct = e.ite(il_i, c0, e.ite(il_cs, c1, e.ite(lto, c0, tick)));
+    const ExprId l_sl = e.ite(il_i, t_il, e.ite(il_cs, t_il, c0));
+
+    // STARTUP / PROTECTED.
+    const ExprId prot = e.eq_const(hs, 5);
+    const ExprId coll = e.all({own_cs, il_cs, e.lnot(e.eq(d, il))});
+    const ExprId sync = e.any({own_cs, il_cs, own_i});
+    const ExprId pto = e.ge_const(hc, n);
+    const ExprId sp_st =
+        e.ite(coll, c4, e.ite(sync, c3, e.ite(e.land(prot, pto), c2, hs)));
+    const ExprId sp_ct =
+        e.ite(coll, c1, e.ite(sync, c1, e.ite(prot, e.ite(pto, c0, tick), c0)));
+    const ExprId sp_sl = e.ite(
+        coll, c0,
+        e.ite(own_cs, t_d, e.ite(il_cs, t_il, e.ite(own_i, t_d, c0))));
+
+    // TENTATIVE: confirmation must name the expected slot.
+    std::vector<ExprId> il_conf;
+    for (int t = 0; t < n; ++t) {
+      il_conf.push_back(e.land(e.eq_const(s_exp, t), e.eq_const(il, 2 + n + t)));
+    }
+    const ExprId conf = e.lor(own_i, e.any(il_conf));
+    const ExprId tto = e.ge_const(hc, n - 1);
+    const ExprId te_st = e.ite(conf, c6, e.ite(tto, c5, c3));
+    const ExprId te_ct = e.ite(conf, c0, e.ite(tto, c1, tick));
+    const ExprId te_sl = e.ite(conf, s_exp, e.ite(tto, c0, s_exp));
+
+    // SILENCE: own channel blocked, interlink still watched.
+    const ExprId si_st = e.ite(il_cs, c3, e.ite(tto, c5, c4));
+    const ExprId si_ct = e.ite(il_cs, c1, e.ite(tto, c1, tick));
+    const ExprId si_sl = e.ite(il_cs, t_il, c0);
+
+    const ExprId in_init = e.eq_const(hs, 0);
+    const ExprId in_listen = e.eq_const(hs, 1);
+    const ExprId in_sp = e.lor(e.eq_const(hs, 2), prot);
+    const ExprId in_tent = e.eq_const(hs, 3);
+    const ExprId in_sil = e.eq_const(hs, 4);
+    auto sel = [&](ExprId ini, ExprId li, ExprId sp, ExprId te, ExprId si,
+                   ExprId act) {
+      return e.ite(in_init, ini,
+                   e.ite(in_listen, li,
+                         e.ite(in_sp, sp, e.ite(in_tent, te, e.ite(in_sil, si, act)))));
+    };
+    return {sel(c1, l_st, sp_st, te_st, si_st, c6),
+            sel(c1, l_ct, sp_ct, te_ct, si_ct, c0),
+            sel(c0, l_sl, sp_sl, te_sl, si_sl, s_exp)};
+  };
+
+  auto stay_guard = [&](int h) {
+    return e.land(e.eq_const(e.var(hstate_[h]), 0),
+                  e.lt_const(e.var(hcounter_[h]), hub_init_window_for(cfg_, h)));
+  };
+  auto stay_next = [&](int h) -> std::array<ExprId, 3> {
+    return {zero, e.add_mod(e.var(hcounter_[h]), 1, hub_counter_dom_), zero};
+  };
+
+  // Faulty-hub per-port deliveries of the selected source through the frozen
+  // pattern (relay / noise-for-activity / quiet).
+  auto faulty_assigns = [&](ExprId src) {
+    std::vector<Assignment> assigns;
+    for (int j = 0; j < n; ++j) {
+      const ExprId pat = e.var(fh_pattern_[static_cast<std::size_t>(j)]);
+      const ExprId val =
+          e.ite(e.eq_const(pat, 0), src,
+                e.ite(e.eq_const(pat, 1),
+                      e.ite(e.eq_const(src, 0), zero, e.constant(1)), zero));
+      assigns.push_back({fh_out_[static_cast<std::size_t>(j)], val});
+    }
+    return assigns;
+  };
+
+  // startup_time update (cluster.cpp startup_from). The node-dependent parts
+  // read the phase-A results, which are exactly this phase's pre-state vars.
+  const int bound = cfg_.timeliness_bound;
+  ExprId node_target = -1;
+  ExprId st_tail = -1;
+  if (bound > 0) {
+    std::vector<ExprId> actives;
+    std::vector<ExprId> awake;
+    for (int i = 0; i < n; ++i) {
+      if (cfg_.node_is_faulty(i)) continue;
+      const ExprId ns = e.var(nstate_[static_cast<std::size_t>(i)]);
+      actives.push_back(e.eq_const(ns, 3));
+      awake.push_back(e.lor(e.eq_const(ns, 1), e.eq_const(ns, 2)));
+    }
+    node_target = e.any(actives);
+    std::vector<ExprId> pairs;
+    for (std::size_t a = 0; a < awake.size(); ++a) {
+      for (std::size_t b = a + 1; b < awake.size(); ++b) {
+        pairs.push_back(e.land(awake[a], awake[b]));
+      }
+    }
+    const ExprId awake2 = e.any(pairs);
+    const ExprId stv = e.var(st_);
+    st_tail = e.ite(e.eq_const(stv, 0), e.ite(awake2, e.constant(1), zero),
+                    e.ite(e.ge_const(stv, bound + 1), e.constant(bound + 1),
+                          e.add_mod(stv, 1, bound + 3)));
+  }
+  auto st_assign = [&](const std::array<ExprId, 3>& first_correct_next) {
+    const ExprId stv = e.var(st_);
+    ExprId target;
+    if (cfg_.timeliness_target == TimelinessTarget::kFirstCorrectActive) {
+      target = node_target;
+    } else {
+      const ExprId stx = first_correct_next[0];
+      target = e.lor(e.eq_const(stx, 3), e.eq_const(stx, 6));
+    }
+    const ExprId done = e.constant(bound + 2);
+    return Assignment{st_, e.ite(e.eq_const(stv, bound + 2), done,
+                                 e.ite(target, done, st_tail))};
+  };
+
+  auto correct_hub_assigns = [&](int h, const std::array<ExprId, 3>& nx, ExprId d,
+                                 std::vector<Assignment>& assigns) {
+    assigns.push_back({hstate_[h], nx[0]});
+    assigns.push_back({hcounter_[h], nx[1]});
+    assigns.push_back({hslot_[h], nx[2]});
+    assigns.push_back({hout_[h], d});
+    for (const Assignment& a : lock_assigns[h]) assigns.push_back(a);
+  };
+
+  if (fh == ClusterConfig::kNone) {
+    const int windows[2] = {hub_init_window_for(cfg_, 0), hub_init_window_for(cfg_, 1)};
+    const int noarb[2] = {static_cast<int>(choices[0].size()) - 1,
+                          static_cast<int>(choices[1].size()) - 1};
+    for (int s0 = 0; s0 < (windows[0] > 1 ? 2 : 1); ++s0) {
+      for (int s1 = 0; s1 < (windows[1] > 1 ? 2 : 1); ++s1) {
+        for (std::size_t c0 = 0; c0 < choices[0].size(); ++c0) {
+          if (s0 == 1 && static_cast<int>(c0) != noarb[0]) continue;
+          for (std::size_t c1 = 0; c1 < choices[1].size(); ++c1) {
+            if (s1 == 1 && static_cast<int>(c1) != noarb[1]) continue;
+            const ExprId d0 = choices[0][c0].d;
+            const ExprId d1 = choices[1][c1].d;
+            const auto n0 = s0 != 0 ? stay_next(0) : hub_next(0, d0, d1);
+            const auto n1 = s1 != 0 ? stay_next(1) : hub_next(1, d1, d0);
+            std::vector<ExprId> guard{in_b, choices[0][c0].guard, choices[1][c1].guard};
+            if (s0 != 0) guard.push_back(stay_guard(0));
+            if (s1 != 0) guard.push_back(stay_guard(1));
+            std::vector<Assignment> assigns;
+            correct_hub_assigns(0, n0, d0, assigns);
+            correct_hub_assigns(1, n1, d1, assigns);
+            if (bound > 0) assigns.push_back(st_assign(n0));
+            system_.add_command(g_hub_, e.all(guard), std::move(assigns));
+          }
+        }
+      }
+    }
+    return;
+  }
+
+  // One faulty hub: its relay replays quiet, the correct hub's same-step
+  // interlink, or one active port — and the correct hub's interlink input is
+  // whatever the faulty hub selected.
+  const int ch = 1 - fh;
+  const int window = hub_init_window_for(cfg_, ch);
+  const int noarb_c = static_cast<int>(choices[ch].size()) - 1;
+  for (int s = 0; s < (window > 1 ? 2 : 1); ++s) {
+    for (std::size_t cc = 0; cc < choices[ch].size(); ++cc) {
+      if (s == 1 && static_cast<int>(cc) != noarb_c) continue;
+      const ExprId d_corr = choices[ch][cc].d;
+      for (int fc = 0; fc < n + 2; ++fc) {
+        ExprId src = zero;
+        ExprId fguard = -1;
+        if (fc == 1) {
+          src = d_corr;  // replay the other channel's traffic
+        } else if (fc >= 2) {
+          src = node_out_expr(fc - 2, fh);
+          fguard = e.lnot(e.eq_const(src, 0));  // an *active* port
+        }
+        const auto nc = s != 0 ? stay_next(ch) : hub_next(ch, d_corr, src);
+        std::vector<ExprId> guard{in_b, choices[ch][cc].guard};
+        if (fguard != -1) guard.push_back(fguard);
+        if (s != 0) guard.push_back(stay_guard(ch));
+        std::vector<Assignment> assigns;
+        correct_hub_assigns(ch, nc, d_corr, assigns);
+        for (const Assignment& a : faulty_assigns(src)) assigns.push_back(a);
+        if (bound > 0) assigns.push_back(st_assign(nc));
+        system_.add_command(g_hub_, e.all(guard), std::move(assigns));
+      }
+    }
+  }
+}
+
+ClusterState StarIr::decode(const std::vector<int>& valuation) const {
+  TT_ASSERT(is_cluster_frame(valuation));
+  ClusterState c;
+  for (int i = 0; i < cfg_.n; ++i) {
+    NodeVars& v = c.node[i];
+    const auto iu = static_cast<std::size_t>(i);
+    if (cfg_.node_is_faulty(i)) {
+      v.state = static_cast<NodeState>(valuation[static_cast<std::size_t>(fstate_)]);
+      v.counter = 0;
+      v.pos = 0;
+      v.big_bang = false;
+    } else {
+      v.state = static_cast<NodeState>(valuation[static_cast<std::size_t>(nstate_[iu])]);
+      v.counter = static_cast<std::uint8_t>(valuation[static_cast<std::size_t>(ncounter_[iu])]);
+      v.pos = static_cast<std::uint8_t>(valuation[static_cast<std::size_t>(npos_[iu])]);
+      v.big_bang = valuation[static_cast<std::size_t>(nbb_[iu])] != 0;
+    }
+  }
+  for (int h = 0; h < 2; ++h) {
+    HubVars& v = c.hub[h];
+    v = HubVars{};
+    if (cfg_.hub_is_faulty(h)) {
+      v.state = HubState::kFaulty;
+      v.counter = 0;
+      for (int j = 0; j < cfg_.n; ++j) {
+        const auto ju = static_cast<std::size_t>(j);
+        v.set_port_mode(j, static_cast<HubPortMode>(
+                               valuation[static_cast<std::size_t>(fh_pattern_[ju])]));
+        v.out_per_port[j] = frame_of(valuation[static_cast<std::size_t>(fh_out_[ju])]);
+      }
+    } else {
+      v.state = static_cast<HubState>(valuation[static_cast<std::size_t>(hstate_[h])]);
+      v.counter = static_cast<std::uint8_t>(valuation[static_cast<std::size_t>(hcounter_[h])]);
+      v.slot_pos = static_cast<std::uint8_t>(valuation[static_cast<std::size_t>(hslot_[h])]);
+      for (int j = 0; j < cfg_.n; ++j) {
+        if (valuation[static_cast<std::size_t>(hlock_[h][static_cast<std::size_t>(j)])] != 0) {
+          v.locks = static_cast<std::uint8_t>(v.locks | (1u << j));
+        }
+      }
+      v.out = frame_of(valuation[static_cast<std::size_t>(hout_[h])]);
+    }
+  }
+  c.startup_time =
+      st_ != -1 ? static_cast<std::uint8_t>(valuation[static_cast<std::size_t>(st_)]) : 0;
+  c.restarts_used = 0;
+  return c;
+}
+
+}  // namespace tt::tta

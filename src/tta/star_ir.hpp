@@ -1,0 +1,126 @@
+// The star-cluster model in the mini-SAL guarded-command IR (DESIGN.md
+// §3.10): the same TTA startup semantics as tta::Cluster, re-expressed as a
+// kernel::System so the SAT-based proof engines (bmc::check_invariant_kind,
+// bmc::check_invariant_ic3, incremental BMC) can run on the very grid cells
+// the explicit/symbolic engines verify.
+//
+// Encoding: one tta::Cluster step is TWO IR steps, sequenced by a `phase`
+// bit.
+//
+//   phase A (phase==0 -> 1)  every node group fires: nodes read the frames
+//            the hubs delivered last step (hub `out` state variables) and
+//            latch their own transmission into per-node `out` variables.
+//   phase B (phase==1 -> 0)  one combined hub group fires: both hubs
+//            arbitrate the latched node outputs, exchange same-step
+//            interlink data (expressions, not state — exactly the
+//            cut-through relay of hub.hpp), advance their automata and the
+//            startup_time counter; node groups clear their `out` latches.
+//
+// The combined hub group is what makes the synchronous interlink coupling
+// expressible: hub 0's state update reads hub 1's same-step relay decision
+// as a subexpression of the same command (and, with a faulty hub, the
+// faulty relay replays the correct hub's interlink expression).
+//
+// States with phase==0 are in 1:1 correspondence with ClusterStates —
+// decode() maps them back, and the star_ir bisimulation test checks that
+// the phase-0 reachable set equals tta::Cluster's reachable set exactly.
+// Properties must therefore be phase-gated: every property expression this
+// class builds is of the form (phase == 1) || P, so intermediate states are
+// exempt and a violation is always witnessed on a cluster frame. A
+// counterexample trace of length 2d hence decodes (even frames only) to a
+// cluster trace of length d.
+//
+// Supported configurations: everything tta::Cluster supports except the
+// transient-restart dimension (transient_restarts must be 0) — restarts
+// would need a per-step restart chooser that the proof engines' two-frame
+// queries cannot amortize, and no §5 experiment needs them.
+#pragma once
+
+#include <vector>
+
+#include "kernel/system.hpp"
+#include "tta/cluster.hpp"
+#include "tta/config.hpp"
+
+namespace tt::tta {
+
+class StarIr {
+ public:
+  explicit StarIr(const ClusterConfig& cfg);
+
+  [[nodiscard]] const kernel::System& system() const noexcept { return system_; }
+  [[nodiscard]] kernel::System& system() noexcept { return system_; }
+  [[nodiscard]] const ClusterConfig& config() const noexcept { return cfg_; }
+
+  // Phase-gated property expressions ((phase == 1) || P), matching
+  // tta::properties on decoded cluster frames.
+  [[nodiscard]] kernel::ExprId safety_expr() const noexcept { return safety_expr_; }
+  /// Requires cfg.timeliness_bound > 0 (shared by Lemma 3 and Lemma 4; the
+  /// configured TimelinessTarget selects which counter is tracked).
+  [[nodiscard]] kernel::ExprId timeliness_expr() const noexcept { return timeliness_expr_; }
+  [[nodiscard]] kernel::ExprId hub_agreement_expr() const noexcept {
+    return hub_agreement_expr_;
+  }
+
+  /// True when `valuation` is a cluster frame (phase == 0).
+  [[nodiscard]] bool is_cluster_frame(const std::vector<int>& valuation) const;
+
+  /// Decodes a phase-0 IR valuation into the ClusterState it represents.
+  [[nodiscard]] ClusterState decode(const std::vector<int>& valuation) const;
+
+  // Frame codes: the IR stores one enumerated variable per frame with
+  // domain 2n+3 — quiet, noise, cs(0..n-1), i(0..n-1), i_bad.
+  [[nodiscard]] int frame_index(const Frame& f) const;
+  [[nodiscard]] Frame frame_of(int index) const;
+  [[nodiscard]] int frame_domain() const noexcept { return 2 * cfg_.n + 3; }
+
+  [[nodiscard]] kernel::VarId phase_var() const noexcept { return phase_; }
+
+ private:
+  void build();
+  void build_correct_node(int i);
+  void build_faulty_node();
+  void build_hub_group();
+
+  // Expression helpers over frame-code expressions.
+  [[nodiscard]] kernel::ExprId is_cs(kernel::ExprId f);
+  [[nodiscard]] kernel::ExprId is_i(kernel::ExprId f);
+  [[nodiscard]] kernel::ExprId usable(kernel::ExprId f);
+  /// Value expression for the `time` field of a usable frame code (0 for
+  /// quiet/noise/i_bad — callers guard on usability).
+  [[nodiscard]] kernel::ExprId time_of(kernel::ExprId f);
+  /// Frame node `j` transmits on channel `h` this phase-B step.
+  [[nodiscard]] kernel::ExprId node_out_expr(int j, int h);
+
+  ClusterConfig cfg_;
+  kernel::System system_;
+
+  kernel::VarId phase_ = -1;
+  // Correct-node variables (index = node id; unused entries stay -1).
+  std::vector<kernel::VarId> nstate_, ncounter_, npos_, nbb_, nout_;
+  // Faulty-node variables (valid when cfg.faulty_node != kNone).
+  kernel::VarId fstate_ = -1;
+  kernel::VarId fout_[kNumChannels] = {-1, -1};
+  // Correct-hub variables (index = hub).
+  kernel::VarId hstate_[2] = {-1, -1};
+  kernel::VarId hcounter_[2] = {-1, -1};
+  kernel::VarId hslot_[2] = {-1, -1};
+  std::vector<kernel::VarId> hlock_[2];
+  kernel::VarId hout_[2] = {-1, -1};
+  // Faulty-hub variables (valid when cfg.faulty_hub != kNone): the frozen
+  // per-port delivery pattern (init_any, never assigned — the IR analogue of
+  // the SAL model's uninitialized LOCAL arrays) and the per-port deliveries.
+  std::vector<kernel::VarId> fh_pattern_;
+  std::vector<kernel::VarId> fh_out_;
+  kernel::VarId st_ = -1;  ///< startup_time (timeliness_bound > 0 only)
+
+  int node_counter_dom_ = 0;
+  int hub_counter_dom_ = 0;
+  int g_hub_ = -1;
+
+  kernel::ExprId safety_expr_ = -1;
+  kernel::ExprId timeliness_expr_ = -1;
+  kernel::ExprId hub_agreement_expr_ = -1;
+};
+
+}  // namespace tt::tta

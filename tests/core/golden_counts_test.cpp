@@ -175,6 +175,33 @@ TEST_P(GoldenCounts, LockFreeStoreReproducesGoldenCountsExactly) {
   }
 }
 
+TEST_P(GoldenCounts, ProofEngineProvesInvariantCellsUnbounded) {
+  // The proof-engine cross-check on the golden grid: every invariant cell
+  // the explicit engines verify by exhaustion must also come back PROVED@k
+  // from k-induction over the star IR — an unbounded guarantee, not a
+  // failed refutation — with the run's single incremental solver showing
+  // real clause reuse across its solve() calls. (ic3 is exercised on
+  // reduced cells in engine_equivalence_test.cpp: the full-window golden
+  // cells are beyond its obligation budget in test time.)
+  const GoldenCell& cell = GetParam();
+  if (cell.lemma == Lemma::kLiveness) {
+    GTEST_SKIP() << "proof engines are invariant-only";
+  }
+  const tta::ClusterConfig cfg = cell.lemma == Lemma::kSafety && cell.degree == 6
+                                     ? fig6_config(cell.n)
+                                     : fig4_config(cell.degree, cell.lemma);
+
+  VerifyOptions opts;
+  opts.engine = mc::EngineKind::kKInduction;
+  const auto proof = verify(cfg, cell.lemma, opts);
+  ASSERT_TRUE(proof.holds) << cell.name << ": " << proof.verdict_text;
+  EXPECT_EQ(proof.engine_used, mc::EngineKind::kKInduction) << cell.name;
+  EXPECT_EQ(proof.verdict_text.rfind("PROVED@", 0), 0u)
+      << cell.name << ": " << proof.verdict_text;
+  EXPECT_GT(proof.stats.solver_calls, 0u) << cell.name;
+  EXPECT_GT(proof.stats.clauses_reused, 0u) << cell.name;
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Grid, GoldenCounts,
     ::testing::Values(

@@ -164,6 +164,155 @@ TEST(Solver, RandomInstancesAgreeWithBruteForce) {
   }
 }
 
+TEST(Solver, AssumptionSolveFlipsPerCall) {
+  // The same instance answers differently under different assumptions, and
+  // the assumptions never leak into the formula.
+  Solver s;
+  const int a = s.new_var();
+  const int b = s.new_var();
+  s.add_clause({pos(a), pos(b)});
+  ASSERT_EQ(s.solve({neg(a)}), Result::kSat);
+  EXPECT_FALSE(s.value(a));
+  EXPECT_TRUE(s.value(b));
+  ASSERT_EQ(s.solve({neg(b)}), Result::kSat);
+  EXPECT_TRUE(s.value(a));
+  EXPECT_FALSE(s.value(b));
+  ASSERT_EQ(s.solve({neg(a), neg(b)}), Result::kUnsat);
+  ASSERT_EQ(s.solve(), Result::kSat);  // formula itself still satisfiable
+}
+
+TEST(Solver, ConflictCoreNamesCulpableAssumptions) {
+  Solver s;
+  const int a = s.new_var();
+  const int b = s.new_var();
+  const int c = s.new_var();
+  const int unrelated = s.new_var();
+  s.add_clause({neg(a), pos(b)});
+  s.add_clause({neg(b), pos(c)});
+  ASSERT_EQ(s.solve({pos(unrelated), pos(a), neg(c)}), Result::kUnsat);
+  const auto& core = s.conflict_core();
+  // The core must name a and ~c (the chain a -> b -> c) but never the
+  // unrelated assumption.
+  bool has_a = false;
+  bool has_not_c = false;
+  for (const Lit l : core) {
+    EXPECT_NE(l.var(), unrelated);
+    if (l == pos(a)) has_a = true;
+    if (l == neg(c)) has_not_c = true;
+  }
+  EXPECT_TRUE(has_a);
+  EXPECT_TRUE(has_not_c);
+}
+
+TEST(Solver, ActivationLiteralRetractsClause) {
+  // The activation-literal pattern behind per-depth BMC constraints:
+  // C ∨ ¬act is active while `act` is assumed and dead once ¬act is added.
+  Solver s;
+  const int x = s.new_var();
+  const int act = s.new_var();
+  s.add_clause({pos(x), neg(act)});
+  ASSERT_EQ(s.solve({pos(act), neg(x)}), Result::kUnsat);
+  s.add_clause({neg(act)});  // retire the constraint
+  ASSERT_EQ(s.solve({neg(x)}), Result::kSat);
+  EXPECT_FALSE(s.value(x));
+}
+
+TEST(Solver, LearnedClausesRetainedAcrossCalls) {
+  // PHP(5,4) solved twice in one instance: the second refutation reuses the
+  // first call's learned clauses (and must be cheaper, not dearer).
+  Solver s;
+  constexpr int P = 5;
+  constexpr int H = 4;
+  int x[P][H];
+  for (auto& row : x) {
+    for (int& v : row) v = s.new_var();
+  }
+  const int guard = s.new_var();  // keeps the instance satisfiable overall
+  for (int p = 0; p < P; ++p) {
+    std::vector<Lit> clause{pos(guard)};
+    for (int h = 0; h < H; ++h) clause.push_back(pos(x[p][h]));
+    s.add_clause(clause);
+  }
+  for (int h = 0; h < H; ++h) {
+    for (int p1 = 0; p1 < P; ++p1) {
+      for (int p2 = p1 + 1; p2 < P; ++p2) {
+        s.add_clause({neg(x[p1][h]), neg(x[p2][h])});
+      }
+    }
+  }
+  ASSERT_EQ(s.solve({neg(guard)}), Result::kUnsat);
+  const std::uint64_t learned_after_first = s.stats().learned;
+  EXPECT_GT(learned_after_first, 0u);
+  ASSERT_EQ(s.solve({neg(guard)}), Result::kUnsat);
+  EXPECT_EQ(s.stats().solve_calls, 2u);
+  EXPECT_GT(s.stats().clauses_reused, 0u);
+}
+
+TEST(Solver, RandomInstancesUnderAssumptionsAgreeWithBruteForce) {
+  // Random 3-SAT plus random assumptions, cross-checked against enumeration
+  // (assumptions modeled as unit clauses in the reference). Also validates
+  // the conflict core: the formula plus only the core assumptions must
+  // still be unsatisfiable.
+  Rng rng(4091);
+  Solver s;  // ONE instance across all iterations: the incremental path
+  constexpr int kVars = 9;
+  for (int v = 0; v < kVars; ++v) (void)s.new_var();
+  std::vector<std::vector<int>> clauses;
+  for (int iter = 0; iter < 200; ++iter) {
+    // Grow the formula a little each round (stays mostly satisfiable).
+    for (int c = 0; c < 2; ++c) {
+      std::vector<int> clause;
+      for (int k = 0; k < 3; ++k) {
+        const int v = 1 + static_cast<int>(rng.below(kVars));
+        clause.push_back(rng.below(2) != 0 ? v : -v);
+      }
+      clauses.push_back(clause);
+      std::vector<Lit> lits;
+      for (int lit : clause) lits.push_back(Lit::make(std::abs(lit) - 1, lit < 0));
+      s.add_clause(lits);
+    }
+    // Random assumptions over distinct vars.
+    std::vector<Lit> assumptions;
+    std::vector<int> assumed_units;
+    for (int v = 0; v < kVars; ++v) {
+      if (rng.below(3) == 0) {
+        const bool negate = rng.below(2) != 0;
+        assumptions.push_back(Lit::make(v, negate));
+        assumed_units.push_back(negate ? -(v + 1) : v + 1);
+      }
+    }
+    auto with_units = clauses;
+    for (int u : assumed_units) with_units.push_back({u});
+    const bool expected = brute_force_sat(kVars, with_units);
+    const Result got = s.solve(assumptions);
+    if (got == Result::kUnsat && !expected) {
+      // Core validity: formula + core alone is already unsat.
+      auto with_core = clauses;
+      for (const Lit l : s.conflict_core()) {
+        with_core.push_back({l.negated() ? -(l.var() + 1) : l.var() + 1});
+      }
+      EXPECT_FALSE(brute_force_sat(kVars, with_core)) << "iteration " << iter;
+    }
+    ASSERT_EQ(got == Result::kSat, expected) << "iteration " << iter;
+    if (got == Result::kSat) {
+      for (const auto& clause : with_units) {
+        bool any = false;
+        for (int lit : clause) {
+          if ((lit > 0) == s.value(std::abs(lit) - 1)) {
+            any = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(any) << "model does not satisfy a clause";
+      }
+    }
+    if (!expected) {
+      // Once the formula itself goes unsat, later rounds add nothing.
+      if (s.solve() == Result::kUnsat) break;
+    }
+  }
+}
+
 TEST(Solver, LargeChainedXorUnsat) {
   // x1 ^ x2 ^ ... ^ xn = 0 and = 1 encoded via chain variables: UNSAT.
   // Exercises learned-clause handling and restarts on a bigger instance.
